@@ -1,0 +1,230 @@
+// Package abcast is the public API of the crash-recovery Atomic Broadcast
+// library — a reproduction of Rodrigues & Raynal, "Atomic Broadcast in
+// Asynchronous Crash-Recovery Distributed Systems" (ICDCS 2000).
+//
+// # Overview
+//
+// A Process is one member of a static group. Messages submitted with
+// Broadcast are delivered by every good process in the same total order,
+// even though processes may crash, lose their volatile memory and the
+// messages that arrived while they were down, and later recover from
+// stable storage.
+//
+// The zero configuration runs the paper's basic protocol (Fig. 2), whose
+// only stable-storage writes are the Consensus proposals. The alternative
+// protocol of §5 is enabled piecewise through Config (checkpointing, state
+// transfer, batched broadcast, incremental logging, application
+// checkpoints).
+//
+// # Quickstart
+//
+//	net := abcast.NewMemNetwork(3, abcast.MemNetOptions{})
+//	for pid := 0; pid < 3; pid++ {
+//		p, _ := abcast.NewProcess(abcast.Config{
+//			PID: abcast.ProcessID(pid), N: 3,
+//			OnDeliver: func(d abcast.Delivery) { fmt.Println(d.Msg) },
+//		}, abcast.NewMemStorage(), net)
+//		p.Start(ctx)
+//	}
+//
+// See examples/ for runnable programs and DESIGN.md for the architecture.
+package abcast
+
+import (
+	"context"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/node"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// Re-exported identity types.
+type (
+	// ProcessID identifies a group member (0..N-1).
+	ProcessID = ids.ProcessID
+	// MsgID is a globally unique message identity.
+	MsgID = ids.MsgID
+	// Message is an application message with its identity.
+	Message = msg.Message
+	// Delivery is an A-delivered message with its agreed position.
+	Delivery = core.Delivery
+	// Snapshot is an application-level checkpoint (§5.2).
+	Snapshot = core.Snapshot
+	// Checkpointer is the A-checkpoint upcall interface (Fig. 5).
+	Checkpointer = core.Checkpointer
+	// Stats exposes broadcast-layer counters.
+	Stats = core.Stats
+)
+
+// Network abstracts the transport (in-memory simulation or TCP).
+type Network = transport.Network
+
+// MemNetOptions configures the simulated network.
+type MemNetOptions = transport.MemOptions
+
+// Storage is the stable-storage interface processes persist into.
+type Storage = storage.Stable
+
+// ConsensusPolicy selects the consensus engine's coordinator style.
+type ConsensusPolicy = consensus.Policy
+
+// Consensus coordinator policies: PolicyLeader follows an Ω leader hint
+// (ACT-style [1]); PolicyRotating rotates coordinators (HMR-style [11]).
+const (
+	PolicyLeader   = consensus.PolicyLeader
+	PolicyRotating = consensus.PolicyRotating
+)
+
+// Config assembles one process. Unset durations use library defaults tuned
+// for LAN-like latencies.
+type Config struct {
+	// PID and N identify the process within its static group.
+	PID ProcessID
+	N   int
+
+	// Protocol selects the broadcast options; its zero value is the
+	// paper's basic protocol.
+	Protocol ProtocolOptions
+
+	// Policy selects the consensus coordinator policy (default
+	// PolicyLeader).
+	Policy ConsensusPolicy
+
+	// OnDeliver receives every A-delivered message in order (including
+	// re-deliveries during recovery replay).
+	OnDeliver func(Delivery)
+	// OnRestore is invoked when the process adopts a checkpoint or
+	// state transfer instead of replaying.
+	OnRestore func(Snapshot)
+}
+
+// ProtocolOptions mirrors the §5 alternative-protocol knobs.
+type ProtocolOptions struct {
+	// CheckpointEvery logs (k, Agreed) every so many rounds (§5.1);
+	// 0 disables checkpointing (basic protocol).
+	CheckpointEvery int
+	// Delta enables state transfer when a process lags more than Delta
+	// rounds (§5.3); 0 disables it.
+	Delta uint64
+	// BatchedBroadcast returns from Broadcast after logging the
+	// Unordered set, before ordering (§5.4).
+	BatchedBroadcast bool
+	// IncrementalLog logs only new Unordered entries (§5.5).
+	IncrementalLog bool
+	// Checkpointer enables application-level checkpoints (§5.2).
+	Checkpointer Checkpointer
+}
+
+// Process is one group member with crash/recover lifecycle.
+type Process struct {
+	n *node.Node
+}
+
+// NewProcess builds a process over the given stable storage and network.
+// The same Storage must be passed again after a crash for recovery to work;
+// the same Network must be shared by the whole group.
+func NewProcess(cfg Config, st Storage, net Network) *Process {
+	nodeCfg := node.Config{
+		PID: cfg.PID,
+		N:   cfg.N,
+		Core: core.Config{
+			CheckpointEvery:  cfg.Protocol.CheckpointEvery,
+			Delta:            cfg.Protocol.Delta,
+			BatchedBroadcast: cfg.Protocol.BatchedBroadcast,
+			IncrementalLog:   cfg.Protocol.IncrementalLog,
+			Checkpointer:     cfg.Protocol.Checkpointer,
+			OnDeliver:        cfg.OnDeliver,
+			OnRestore:        cfg.OnRestore,
+		},
+		Consensus: consensus.Config{Policy: cfg.Policy},
+		FD:        fd.Options{},
+	}
+	return &Process{n: node.New(nodeCfg, st, net)}
+}
+
+// Start boots the process (initialization or recovery). It blocks until
+// the replay phase completes.
+func (p *Process) Start(ctx context.Context) error { return p.n.Start(ctx) }
+
+// Crash kills the process, losing all volatile state. Stable storage is
+// untouched; call Start to recover.
+func (p *Process) Crash() { p.n.Crash() }
+
+// Up reports whether the process is currently running.
+func (p *Process) Up() bool { return p.n.Up() }
+
+// Broadcast implements A-broadcast(m): in the basic protocol it returns
+// once m has a position in the total order.
+func (p *Process) Broadcast(ctx context.Context, payload []byte) (MsgID, error) {
+	return p.n.Broadcast(ctx, payload)
+}
+
+// Delivered reports whether id is in this process's delivery sequence.
+func (p *Process) Delivered(id MsgID) bool {
+	proto := p.n.Proto()
+	return proto != nil && proto.Delivered(id)
+}
+
+// Sequence implements A-deliver-sequence(): the base snapshot that
+// initiates the sequence plus the explicitly delivered suffix.
+func (p *Process) Sequence() (Snapshot, []Delivery) {
+	proto := p.n.Proto()
+	if proto == nil {
+		return Snapshot{}, nil
+	}
+	return proto.Sequence()
+}
+
+// Round returns the current protocol round (the next Consensus instance).
+func (p *Process) Round() uint64 {
+	proto := p.n.Proto()
+	if proto == nil {
+		return 0
+	}
+	return proto.Round()
+}
+
+// CheckpointNow forces a checkpoint (alternative protocol).
+func (p *Process) CheckpointNow() error {
+	proto := p.n.Proto()
+	if proto == nil {
+		return node.ErrDown
+	}
+	return proto.CheckpointNow()
+}
+
+// Stats returns broadcast-layer counters for the live incarnation.
+func (p *Process) Stats() Stats {
+	proto := p.n.Proto()
+	if proto == nil {
+		return Stats{}
+	}
+	return proto.Stats()
+}
+
+// NewMemNetwork creates the in-memory fair-lossy network for n processes.
+func NewMemNetwork(n int, opts MemNetOptions) *transport.Mem {
+	return transport.NewMem(n, opts)
+}
+
+// NewTCPNetwork creates a TCP network; addrs[i] is process i's listen
+// address.
+func NewTCPNetwork(addrs []string) *transport.TCP {
+	return transport.NewTCP(addrs)
+}
+
+// NewMemStorage creates volatile-machine-resident stable storage (it
+// survives process crashes because the caller owns it, mirroring how a
+// real OS keeps files across process restarts).
+func NewMemStorage() *storage.Mem { return storage.NewMem() }
+
+// NewFileStorage creates file-backed stable storage rooted at dir. With
+// syncWrites every log write is fsynced.
+func NewFileStorage(dir string, syncWrites bool) (*storage.File, error) {
+	return storage.NewFile(dir, syncWrites)
+}

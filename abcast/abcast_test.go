@@ -1,0 +1,118 @@
+package abcast_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/abcast"
+)
+
+// group spins up n processes over one mem network with per-process
+// delivery logs.
+type group struct {
+	procs []*abcast.Process
+	mu    sync.Mutex
+	logs  [][]abcast.MsgID
+}
+
+func newGroup(t *testing.T, n int, proto abcast.ProtocolOptions) *group {
+	t.Helper()
+	g := &group{logs: make([][]abcast.MsgID, n)}
+	net := abcast.NewMemNetwork(n, abcast.MemNetOptions{Seed: 7})
+	t.Cleanup(net.Close)
+	for pid := 0; pid < n; pid++ {
+		pid := pid
+		st := abcast.NewMemStorage()
+		p := abcast.NewProcess(abcast.Config{
+			PID:      abcast.ProcessID(pid),
+			N:        n,
+			Protocol: proto,
+			OnDeliver: func(d abcast.Delivery) {
+				g.mu.Lock()
+				g.logs[pid] = append(g.logs[pid], d.Msg.ID)
+				g.mu.Unlock()
+			},
+		}, st, net)
+		g.procs = append(g.procs, p)
+	}
+	t.Cleanup(func() {
+		for _, p := range g.procs {
+			p.Crash()
+		}
+	})
+	return g
+}
+
+func TestPublicAPIBasicRoundTrip(t *testing.T) {
+	g := newGroup(t, 3, abcast.ProtocolOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for _, p := range g.procs {
+		if err := p.Start(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id, err := g.procs[0].Broadcast(ctx, []byte("public api"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		all := true
+		for _, p := range g.procs {
+			if !p.Delivered(id) {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, suffix := g.procs[2].Sequence()
+	if len(suffix) != 1 || suffix[0].Msg.ID != id {
+		t.Fatalf("sequence: %v", suffix)
+	}
+	if g.procs[0].Round() == 0 {
+		t.Fatal("round never advanced")
+	}
+	if g.procs[0].Stats().Broadcasts != 1 {
+		t.Fatal("stats not counted")
+	}
+}
+
+func TestPublicAPICrashRecover(t *testing.T) {
+	g := newGroup(t, 3, abcast.ProtocolOptions{CheckpointEvery: 3, Delta: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for _, p := range g.procs {
+		if err := p.Start(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := g.procs[0].Broadcast(ctx, []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.procs[1].Crash()
+	if g.procs[1].Up() {
+		t.Fatal("crashed process reports up")
+	}
+	if err := g.procs[1].Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !g.procs[1].Up() {
+		t.Fatal("recovered process reports down")
+	}
+	id, err := g.procs[1].Broadcast(ctx, []byte("after recovery"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.procs[1].Delivered(id) {
+		t.Fatal("broadcast returned but not delivered")
+	}
+}

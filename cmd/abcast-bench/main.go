@@ -1,0 +1,75 @@
+// Command abcast-bench runs the reproduction experiments (E1–E10 in
+// DESIGN.md) and prints their tables. EXPERIMENTS.md is generated from its
+// full-scale output.
+//
+// Usage:
+//
+//	abcast-bench                 # run everything at full scale
+//	abcast-bench -quick          # small sizes (seconds, CI-friendly)
+//	abcast-bench -exp E4,E5      # a subset
+//	abcast-bench -md             # markdown tables (for EXPERIMENTS.md)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced-size experiments")
+	expFlag := flag.String("exp", "", "comma-separated experiment ids (e.g. E1,E4); empty = all")
+	md := flag.Bool("md", false, "emit markdown tables")
+	flag.Parse()
+
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+
+	if err := run(scale, *expFlag, *md); err != nil {
+		fmt.Fprintln(os.Stderr, "abcast-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale experiments.Scale, expFlag string, md bool) error {
+	var results []*experiments.Result
+	start := time.Now()
+	if expFlag == "" {
+		var err error
+		results, err = experiments.All(scale)
+		if err != nil {
+			return err
+		}
+	} else {
+		for _, name := range strings.Split(expFlag, ",") {
+			name = strings.TrimSpace(name)
+			fn, ok := experiments.ByName(name)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q", name)
+			}
+			r, err := fn(scale)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			results = append(results, r)
+		}
+	}
+	for _, r := range results {
+		if md {
+			fmt.Println(r.Table.Markdown())
+		} else {
+			r.Table.Print(os.Stdout)
+		}
+		for _, n := range r.Notes {
+			fmt.Printf("  note: %s\n", n)
+		}
+	}
+	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

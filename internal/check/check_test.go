@@ -1,0 +1,198 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/vclock"
+)
+
+func mid(s int32, seq uint64) ids.MsgID {
+	return ids.MsgID{Sender: ids.ProcessID(s), Incarnation: 1, Seq: seq}
+}
+
+func del(s int32, seq uint64, round, pos uint64) core.Delivery {
+	return core.Delivery{
+		Msg:   msg.Message{ID: mid(s, seq), Payload: []byte("p")},
+		Round: round,
+		Pos:   pos,
+	}
+}
+
+// record broadcasts everything a history delivers so Validity passes.
+func record(r *Recorder, ds ...core.Delivery) {
+	for _, d := range ds {
+		r.RecordBroadcast(d.Msg.ID, d.Msg.Payload)
+	}
+}
+
+func TestVerifyAcceptsConsistentHistories(t *testing.T) {
+	r := NewRecorder(2)
+	a := del(0, 1, 0, 0)
+	b := del(1, 1, 0, 1)
+	c := del(0, 2, 1, 2)
+	record(r, a, b, c)
+	r.StartSession(0)
+	r.StartSession(1)
+	r.OnDeliver(0)(a)
+	r.OnDeliver(0)(b)
+	r.OnDeliver(0)(c)
+	// p1 is one behind: a strict prefix.
+	r.OnDeliver(1)(a)
+	r.OnDeliver(1)(b)
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Deliveries() != 5 {
+		t.Fatalf("deliveries = %d", r.Deliveries())
+	}
+}
+
+func TestVerifyCatchesPositionConflict(t *testing.T) {
+	r := NewRecorder(2)
+	a := del(0, 1, 0, 0)
+	x := del(1, 9, 0, 0) // same position, different message
+	record(r, a, x)
+	r.StartSession(0)
+	r.StartSession(1)
+	r.OnDeliver(0)(a)
+	r.OnDeliver(1)(x)
+	err := r.Verify()
+	if err == nil || !strings.Contains(err.Error(), "total order") {
+		t.Fatalf("expected total order violation, got %v", err)
+	}
+}
+
+func TestVerifyCatchesDuplicateDelivery(t *testing.T) {
+	r := NewRecorder(1)
+	a := del(0, 1, 0, 0)
+	a2 := del(0, 1, 1, 1) // same message again at a later position
+	record(r, a)
+	r.StartSession(0)
+	r.OnDeliver(0)(a)
+	r.OnDeliver(0)(a2)
+	err := r.Verify()
+	if err == nil || !strings.Contains(err.Error(), "delivered twice") {
+		t.Fatalf("expected integrity violation, got %v", err)
+	}
+}
+
+func TestVerifyCatchesHole(t *testing.T) {
+	r := NewRecorder(1)
+	a := del(0, 1, 0, 0)
+	c := del(0, 2, 1, 2) // skips position 1
+	record(r, a, c)
+	r.StartSession(0)
+	r.OnDeliver(0)(a)
+	r.OnDeliver(0)(c)
+	err := r.Verify()
+	if err == nil || !strings.Contains(err.Error(), "hole") {
+		t.Fatalf("expected hole, got %v", err)
+	}
+}
+
+func TestVerifyCatchesSpuriousMessage(t *testing.T) {
+	r := NewRecorder(1)
+	a := del(0, 1, 0, 0)
+	// Not recorded as broadcast.
+	r.StartSession(0)
+	r.OnDeliver(0)(a)
+	err := r.Verify()
+	if err == nil || !strings.Contains(err.Error(), "validity") {
+		t.Fatalf("expected validity violation, got %v", err)
+	}
+}
+
+func TestVerifyCatchesAlteredPayload(t *testing.T) {
+	r := NewRecorder(1)
+	a := del(0, 1, 0, 0)
+	r.RecordBroadcast(a.Msg.ID, []byte("original"))
+	r.StartSession(0)
+	r.OnDeliver(0)(a) // payload "p" != "original"
+	err := r.Verify()
+	if err == nil || !strings.Contains(err.Error(), "altered") {
+		t.Fatalf("expected altered payload, got %v", err)
+	}
+}
+
+func TestRestoreResetsExpectations(t *testing.T) {
+	r := NewRecorder(1)
+	a := del(0, 1, 0, 0)
+	b := del(1, 1, 1, 1)
+	record(r, a, b)
+	r.StartSession(0)
+	r.OnDeliver(0)(a)
+	r.OnDeliver(0)(b)
+	// State transfer adoption: restore at position 1, then re-deliver b.
+	vc := vclock.New()
+	vc.Observe(a.Msg.ID)
+	r.OnRestore(0)(core.Snapshot{VC: vc, Pos: 1, Rounds: 1})
+	r.OnDeliver(0)(b)
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossSessionRedeliveryAllowed(t *testing.T) {
+	// A crash wipes the app; the replay phase re-delivers from scratch.
+	r := NewRecorder(1)
+	a := del(0, 1, 0, 0)
+	record(r, a)
+	r.StartSession(0)
+	r.OnDeliver(0)(a)
+	r.StartSession(0) // recovery
+	r.OnDeliver(0)(a)
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyTermination(t *testing.T) {
+	a := del(0, 1, 0, 0)
+	b := del(1, 1, 0, 1)
+	vc := vclock.New()
+	vc.Observe(a.Msg.ID)
+	// Good process covers a via checkpoint, b explicitly.
+	f := NewFinal(0, core.Snapshot{VC: vc, Pos: 1}, []core.Delivery{b})
+	if err := VerifyTermination([]ids.MsgID{a.Msg.ID, b.Msg.ID}, []Final{f}); err != nil {
+		t.Fatal(err)
+	}
+	// Missing message fails.
+	missing := mid(2, 7)
+	if err := VerifyTermination([]ids.MsgID{missing}, []Final{f}); err == nil {
+		t.Fatal("termination should fail for missing message")
+	}
+}
+
+func TestVerifyPrefix(t *testing.T) {
+	h := map[ids.ProcessID][]ids.MsgID{
+		0: {mid(0, 1), mid(1, 1), mid(0, 2)},
+		1: {mid(0, 1), mid(1, 1)},
+		2: {mid(0, 1), mid(1, 1), mid(0, 2)},
+	}
+	if err := VerifyPrefix(h); err != nil {
+		t.Fatal(err)
+	}
+	h[1] = []ids.MsgID{mid(0, 1), mid(9, 9)}
+	if err := VerifyPrefix(h); err == nil {
+		t.Fatal("divergent histories accepted")
+	}
+}
+
+func TestDeliveredAnywhereAndReturned(t *testing.T) {
+	r := NewRecorder(2)
+	a := del(0, 1, 0, 0)
+	record(r, a)
+	r.MarkReturned(a.Msg.ID)
+	r.StartSession(0)
+	r.OnDeliver(0)(a)
+	if got := r.DeliveredAnywhere(); len(got) != 1 || got[0] != a.Msg.ID {
+		t.Fatalf("delivered anywhere: %v", got)
+	}
+	if got := r.ReturnedBroadcasts(); len(got) != 1 || got[0] != a.Msg.ID {
+		t.Fatalf("returned: %v", got)
+	}
+}

@@ -1,0 +1,127 @@
+// Package consensus implements the paper's Consensus building block for the
+// asynchronous crash-recovery model (§3.2–§3.5): a multi-instance engine
+// with idempotent propose/decided primitives satisfying
+//
+//   - Termination: every good process eventually decides,
+//   - Uniform Validity: the decision was proposed by some process,
+//   - Uniform Agreement: no two processes (good or bad) decide differently,
+//
+// provided a majority of processes are good (the assumption made by the
+// crash-recovery consensus protocols the paper cites [1, 11, 14]).
+//
+// The engine follows the logged ballot-voting (synod) discipline: acceptor
+// state (promise, accepted pair) and decisions are forced to stable storage
+// before being announced, so a crash and recovery can never retract a
+// promise or un-decide an instance. "A process proposes by logging its
+// initial value on stable storage" (§3.2) — Propose's first action is that
+// log write, which is exactly the log operation the broadcast layer's
+// minimal-logging claim (§4.3) charges to Consensus.
+//
+// Two coordinator policies demonstrate that the broadcast transformation
+// treats Consensus as a black box (paper claim C2):
+//
+//   - PolicyLeader drives instances from the failure detector's Ω leader
+//     hint (the structure of Aguilera–Chen–Toueg [1]);
+//   - PolicyRotating rotates the coordinator round-robin with
+//     suspicion-driven hand-off (the structure of Hurfin–Mostefaoui–Raynal
+//     [11]).
+package consensus
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// Policy selects how instances pick their coordinator.
+type Policy int
+
+// Coordinator policies. See the package comment.
+const (
+	PolicyLeader Policy = iota + 1
+	PolicyRotating
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyLeader:
+		return "leader"
+	case PolicyRotating:
+		return "rotating"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrStopped is returned when the engine's incarnation context ends while an
+// operation is in flight.
+var ErrStopped = errors.New("consensus: engine stopped")
+
+// ErrDiscarded is returned for instances below the garbage-collection floor
+// set by DiscardBelow.
+var ErrDiscarded = errors.New("consensus: instance discarded")
+
+// API is the interface the atomic broadcast layer programs against
+// (Fig. 1's propose/decided box). All methods are idempotent: "upon
+// recovery, a process may (re-)invoke these primitives for a Consensus
+// instance that has already started or even terminated" (§4.1).
+type API interface {
+	// Propose submits this process's initial value for instance k. Its
+	// first action is logging the value; re-proposing a different value
+	// for the same instance keeps the original (property P4).
+	Propose(k uint64, v []byte) error
+	// WaitDecided blocks until instance k decides and returns the
+	// decision. Repeated calls return the same value (property P5).
+	WaitDecided(ctx context.Context, k uint64) ([]byte, error)
+	// DecidedLocal returns the locally known decision of k, if any,
+	// without blocking or touching the network.
+	DecidedLocal(k uint64) ([]byte, bool)
+	// Proposal returns the logged initial value for k, if any. The
+	// broadcast replay procedure iterates instances "while
+	// Proposed_p[k_p] ≠ ⊥" (Fig. 2).
+	Proposal(k uint64) ([]byte, bool)
+	// DiscardBelow garbage-collects all state of instances < k
+	// ("Proposed_p[i], i < k_p can be discarded from the log", Fig. 4
+	// line (c)). Only safe once the caller has a checkpoint covering
+	// those instances.
+	DiscardBelow(k uint64) error
+}
+
+// Suspector is the failure-detector view the engine needs. It matches
+// *fd.Detector.
+type Suspector interface {
+	Suspects(p ids.ProcessID) bool
+	Leader() ids.ProcessID
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	PID ids.ProcessID
+	N   int
+	// Policy selects the coordinator policy (default PolicyLeader).
+	Policy Policy
+	// RetryMin/RetryMax bound the driver's phase timeout and backoff
+	// (defaults 8ms / 120ms). Small values suit the in-memory network.
+	RetryMin time.Duration
+	RetryMax time.Duration
+	// Seed randomizes backoff jitter.
+	Seed uint64
+}
+
+func (c *Config) fill() {
+	if c.Policy == 0 {
+		c.Policy = PolicyLeader
+	}
+	if c.RetryMin <= 0 {
+		c.RetryMin = 8 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 120 * time.Millisecond
+	}
+}
+
+// Quorum returns the majority size for n processes.
+func Quorum(n int) int { return n/2 + 1 }

@@ -1,0 +1,304 @@
+package consensus
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// startDriverLocked launches the per-instance driver goroutine if it is not
+// already running. e.mu held.
+func (e *Engine) startDriverLocked(in *instance) {
+	if in.driving || in.hasDec || in.gone || e.stopped || e.ctx == nil {
+		return
+	}
+	in.driving = true
+	e.wg.Add(1)
+	go e.drive(in)
+}
+
+// ballotFor computes the ballot of logical attempt a for this engine's
+// policy. Ballots are globally unique: under PolicyLeader every process
+// embeds its own pid; under PolicyRotating attempt a belongs exclusively to
+// process a mod n.
+func (e *Engine) ballotFor(a uint64) uint64 {
+	n := uint64(e.cfg.N)
+	switch e.cfg.Policy {
+	case PolicyRotating:
+		return a*n + a%n + 1
+	default:
+		return a*n + uint64(e.cfg.PID) + 1
+	}
+}
+
+// attemptAbove returns the smallest attempt whose ballot exceeds b.
+func (e *Engine) attemptAbove(b uint64) uint64 {
+	return b/uint64(e.cfg.N) + 1
+}
+
+// myTurn reports whether this process should coordinate attempt a.
+// stuck counts consecutive idle waits; after enough of them the process
+// drives regardless (ballot safety makes competition harmless, and this
+// guarantees termination even if the detector's hint is wrong).
+func (e *Engine) myTurn(a uint64, stuck int) bool {
+	const graceWaits = 8
+	switch e.cfg.Policy {
+	case PolicyRotating:
+		owner := ids.ProcessID(a % uint64(e.cfg.N))
+		if owner == e.cfg.PID {
+			return true
+		}
+		return stuck > graceWaits
+	default:
+		if e.fd == nil {
+			return true
+		}
+		if e.fd.Leader() == e.cfg.PID {
+			return true
+		}
+		return stuck > graceWaits
+	}
+}
+
+// skipTurn reports whether attempt a's owner is suspected, letting rotating
+// processes advance without waiting the full timeout.
+func (e *Engine) skipTurn(a uint64) bool {
+	if e.cfg.Policy != PolicyRotating || e.fd == nil {
+		return false
+	}
+	owner := ids.ProcessID(a % uint64(e.cfg.N))
+	return owner != e.cfg.PID && e.fd.Suspects(owner)
+}
+
+// backoff returns the wait before re-examining the instance, growing with
+// consecutive failures and jittered to break ties between competitors.
+func (e *Engine) backoff(fails int) time.Duration {
+	d := e.cfg.RetryMin << uint(min(fails, 5))
+	if d > e.cfg.RetryMax {
+		d = e.cfg.RetryMax
+	}
+	e.rngMu.Lock()
+	j := time.Duration(e.rng.Int64N(int64(e.cfg.RetryMin) + 1))
+	e.rngMu.Unlock()
+	return d + j
+}
+
+// drive pushes instance in to a decision. It acts as coordinator when the
+// policy says so and as a decision requester otherwise. It exits when the
+// instance decides, is discarded, or the incarnation ends.
+func (e *Engine) drive(in *instance) {
+	defer e.wg.Done()
+	ctx := e.ctx
+	fails := 0
+	stuck := 0
+	var attempt uint64
+
+	// Resume above anything this process ever promised: our own logged
+	// promise is a lower bound on ballots already in circulation.
+	e.mu.Lock()
+	attempt = e.attemptAbove(in.promised)
+	e.mu.Unlock()
+
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		e.mu.Lock()
+		if in.hasDec || in.gone || in.wasForgot {
+			e.mu.Unlock()
+			return
+		}
+		hasProp := in.hasProp
+		e.mu.Unlock()
+
+		if e.skipTurn(attempt) {
+			attempt++
+			continue
+		}
+		if !hasProp || !e.myTurn(attempt, stuck) {
+			// Learner mode: ask around for the decision, then wait.
+			e.send(ids.Nobody, message{kind: mDecideReq, k: in.k})
+			stuck++
+			if !e.waitWake(ctx, in, e.backoff(fails)) {
+				return
+			}
+			if e.cfg.Policy == PolicyRotating {
+				attempt++
+			}
+			continue
+		}
+		stuck = 0
+
+		decided, higher := e.runBallot(ctx, in, attempt)
+		if decided {
+			return
+		}
+		if higher > 0 {
+			attempt = e.attemptAbove(higher)
+		} else {
+			attempt++
+		}
+		fails++
+		if !e.waitWake(ctx, in, e.backoff(fails)) {
+			return
+		}
+		e.mu.Lock()
+		done := in.hasDec || in.gone
+		e.mu.Unlock()
+		if done {
+			return
+		}
+	}
+}
+
+// waitWake sleeps up to d or until the instance is poked. Returns false when
+// the incarnation is over.
+func (e *Engine) waitWake(ctx context.Context, in *instance, d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-in.progress:
+		return true
+	case <-timer.C:
+		return true
+	}
+}
+
+// runBallot executes one prepare/accept round as coordinator. It returns
+// decided=true if the instance decided (by us or concurrently), or the
+// highest conflicting ballot seen in a nack (0 if none).
+func (e *Engine) runBallot(ctx context.Context, in *instance, attempt uint64) (decided bool, higher uint64) {
+	b := e.ballotFor(attempt)
+
+	e.mu.Lock()
+	if in.hasDec || in.gone {
+		e.mu.Unlock()
+		return true, 0
+	}
+	in.curBallot = b
+	in.phase = 1
+	clear(in.promises)
+	clear(in.accepts)
+	in.maxNack = 0
+	e.mu.Unlock()
+
+	e.send(ids.Nobody, message{kind: mPrepare, k: in.k, b: b})
+
+	// Phase 1: collect promises from a majority.
+	deadline := time.Now().Add(e.phaseTimeout())
+	for {
+		e.mu.Lock()
+		if in.hasDec || in.gone {
+			e.mu.Unlock()
+			return true, 0
+		}
+		if in.maxNack > b {
+			higher = in.maxNack
+			in.phase = 0
+			e.mu.Unlock()
+			return false, higher
+		}
+		if len(in.promises) >= Quorum(e.cfg.N) {
+			e.mu.Unlock()
+			break
+		}
+		e.mu.Unlock()
+		if !e.waitDeadline(ctx, in, deadline) {
+			return e.isDecided(in), 0
+		}
+	}
+
+	// Choose the value: the accepted value with the highest ballot wins;
+	// otherwise our own logged proposal (Uniform Validity).
+	e.mu.Lock()
+	var v []byte
+	var bestB uint64
+	found := false
+	for _, pi := range in.promises {
+		if pi.hasAcc && (!found || pi.accB > bestB) {
+			bestB = pi.accB
+			v = pi.accV
+			found = true
+		}
+	}
+	if !found {
+		v = in.proposal
+	}
+	in.phase = 2
+	e.mu.Unlock()
+
+	e.send(ids.Nobody, message{kind: mAccept, k: in.k, b: b, val: v})
+
+	// Phase 2: collect accepts from a majority.
+	deadline = time.Now().Add(e.phaseTimeout())
+	for {
+		e.mu.Lock()
+		if in.hasDec || in.gone {
+			e.mu.Unlock()
+			return true, 0
+		}
+		if in.maxNack > b {
+			higher = in.maxNack
+			in.phase = 0
+			e.mu.Unlock()
+			return false, higher
+		}
+		if len(in.accepts) >= Quorum(e.cfg.N) {
+			// Chosen: decide and tell everyone.
+			e.decideLocked(in, v)
+			dec := in.hasDec
+			e.mu.Unlock()
+			if dec {
+				e.send(ids.Nobody, message{kind: mDecide, k: in.k, val: v})
+			}
+			return dec, 0
+		}
+		e.mu.Unlock()
+		if !e.waitDeadline(ctx, in, deadline) {
+			return e.isDecided(in), 0
+		}
+	}
+}
+
+func (e *Engine) isDecided(in *instance) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return in.hasDec
+}
+
+// waitDeadline waits for a poke or the deadline; false means give up this
+// ballot (timeout or shutdown).
+func (e *Engine) waitDeadline(ctx context.Context, in *instance, deadline time.Time) bool {
+	remain := time.Until(deadline)
+	if remain <= 0 {
+		return false
+	}
+	timer := time.NewTimer(remain)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-in.progress:
+		return true
+	case <-timer.C:
+		return false
+	}
+}
+
+// phaseTimeout is the per-phase wait for quorum responses.
+func (e *Engine) phaseTimeout() time.Duration {
+	return e.cfg.RetryMax
+}
+
+// send transmits to one process, or to all when to is Nobody.
+func (e *Engine) send(to ids.ProcessID, m message) {
+	buf := m.encode()
+	if to == ids.Nobody {
+		e.net.Multisend(buf)
+		return
+	}
+	e.net.Send(to, buf)
+}

@@ -1,0 +1,412 @@
+package consensus
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/ids"
+	"repro/internal/router"
+	"repro/internal/storage"
+	"repro/internal/wire"
+)
+
+// Storage key layout. Instances use fixed-width hex so List order is
+// numeric order.
+//
+//	cons/p/<k>  proposal cell   — the paper's required "propose" log (§3.2)
+//	cons/a/<k>  acceptor cell   — promise + accepted pair
+//	cons/d/<k>  decision cell   — learned decision
+const keyPrefix = "cons/"
+
+func propKey(k uint64) string { return fmt.Sprintf("cons/p/%016x", k) }
+func accKey(k uint64) string  { return fmt.Sprintf("cons/a/%016x", k) }
+func decKey(k uint64) string  { return fmt.Sprintf("cons/d/%016x", k) }
+
+// parseKey inverts the key layout; ok is false for foreign keys.
+func parseKey(key string) (kind byte, k uint64, ok bool) {
+	rest, found := strings.CutPrefix(key, keyPrefix)
+	if !found || len(rest) < 3 || rest[1] != '/' {
+		return 0, 0, false
+	}
+	v, err := strconv.ParseUint(rest[2:], 16, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return rest[0], v, true
+}
+
+// instance holds the per-instance state. Acceptor fields mirror the logged
+// acceptor cell; everything else is volatile.
+type instance struct {
+	k uint64
+
+	// proposer state
+	proposal []byte
+	hasProp  bool
+
+	// acceptor state (logged before every reply)
+	promised uint64
+	accB     uint64
+	accV     []byte
+	hasAcc   bool
+
+	// learner state
+	decided []byte
+	hasDec  bool
+	done    chan struct{} // closed when decided
+	// forgotten is closed when a peer reports it garbage-collected this
+	// instance (mForgotten): the decision may be unrecoverable through
+	// Consensus, so waiters fall back to the broadcast layer's state
+	// transfer.
+	forgotten chan struct{}
+	wasForgot bool
+
+	// driver state (volatile)
+	driving   bool
+	gone      bool // GC'd under the floor; driver must exit
+	curBallot uint64
+	phase     int // 0 idle, 1 collecting promises, 2 collecting accepts
+	promises  map[ids.ProcessID]promiseInfo
+	accepts   map[ids.ProcessID]bool
+	maxNack   uint64
+	progress  chan struct{} // capacity 1; wakes the driver
+}
+
+type promiseInfo struct {
+	hasAcc bool
+	accB   uint64
+	accV   []byte
+}
+
+func newInstance(k uint64) *instance {
+	return &instance{
+		k:         k,
+		done:      make(chan struct{}),
+		forgotten: make(chan struct{}),
+		promises:  make(map[ids.ProcessID]promiseInfo),
+		accepts:   make(map[ids.ProcessID]bool),
+		progress:  make(chan struct{}, 1),
+	}
+}
+
+// markForgotLocked records a peer's report that it GC'd this instance.
+// e.mu held.
+func (in *instance) markForgotLocked() {
+	if !in.wasForgot && !in.hasDec {
+		in.wasForgot = true
+		close(in.forgotten)
+		in.wake()
+	}
+}
+
+func (in *instance) wake() {
+	select {
+	case in.progress <- struct{}{}:
+	default:
+	}
+}
+
+// Engine is the multi-instance consensus engine for one process
+// incarnation. Create it with New (which replays the stable log), register
+// OnMessage with the router, then Start.
+type Engine struct {
+	cfg Config
+	st  storage.Stable
+	net router.Net
+	fd  Suspector // may be nil (tests); then every process may drive
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu      sync.Mutex
+	insts   map[uint64]*instance
+	floor   uint64 // instances below this are discarded
+	ctx     context.Context
+	stopped bool
+
+	wg sync.WaitGroup
+}
+
+var _ API = (*Engine)(nil)
+
+// New builds an engine and restores all logged instance state — this is the
+// consensus side of crash recovery. net must be bound to the consensus
+// channel.
+func New(cfg Config, st storage.Stable, net router.Net, det Suspector) (*Engine, error) {
+	cfg.fill()
+	e := &Engine{
+		cfg:   cfg,
+		st:    st,
+		net:   net,
+		fd:    det,
+		rng:   rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xa5a5a5a5deadbeef)),
+		insts: make(map[uint64]*instance),
+	}
+	if err := e.restore(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// restore reloads every logged instance.
+func (e *Engine) restore() error {
+	keys, err := e.st.List(keyPrefix)
+	if err != nil {
+		return fmt.Errorf("consensus: list log: %w", err)
+	}
+	for _, key := range keys {
+		kind, k, ok := parseKey(key)
+		if !ok {
+			continue
+		}
+		val, found, err := e.st.Get(key)
+		if err != nil {
+			return fmt.Errorf("consensus: restore %s: %w", key, err)
+		}
+		if !found {
+			continue
+		}
+		in := e.getLocked(k)
+		switch kind {
+		case 'p':
+			in.proposal = val
+			in.hasProp = true
+		case 'a':
+			r := wire.NewReader(val)
+			in.promised = r.U64()
+			in.hasAcc = r.Bool()
+			in.accB = r.U64()
+			in.accV = r.BytesCopy()
+			if err := r.Done(); err != nil {
+				return fmt.Errorf("consensus: corrupt acceptor cell %s: %w", key, err)
+			}
+		case 'd':
+			if !in.hasDec {
+				in.decided = val
+				in.hasDec = true
+				close(in.done)
+			}
+		}
+	}
+	return nil
+}
+
+// Start arms the engine with its incarnation context. Drivers started by
+// Propose/WaitDecided stop when ctx is cancelled; Stop waits for them.
+func (e *Engine) Start(ctx context.Context) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ctx = ctx
+	// Resume drivers for instances that were mid-flight when the previous
+	// incarnation crashed: any logged proposal without a logged decision
+	// must be re-proposed (idempotently) so the instance terminates.
+	for _, in := range e.insts {
+		if in.hasProp && !in.hasDec {
+			e.startDriverLocked(in)
+		}
+	}
+}
+
+// Stop waits for all drivers to exit (cancel the Start context first).
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	e.stopped = true
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// getLocked returns the instance for k, creating it if needed. e.mu held.
+func (e *Engine) getLocked(k uint64) *instance {
+	in, ok := e.insts[k]
+	if !ok {
+		in = newInstance(k)
+		e.insts[k] = in
+	}
+	return in
+}
+
+// Propose implements API.
+func (e *Engine) Propose(k uint64, v []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if k < e.floor {
+		return fmt.Errorf("%w: instance %d below floor %d", ErrDiscarded, k, e.floor)
+	}
+	in := e.getLocked(k)
+	if in.hasDec {
+		return nil
+	}
+	if in.hasProp {
+		// P4: despite crashes and re-executions, the value proposed to
+		// instance k never changes. A different v is a caller bug in
+		// the basic protocol; keep the original.
+		if !bytes.Equal(in.proposal, v) && v != nil {
+			// Keep the logged value; nothing to do.
+			_ = v
+		}
+		e.startDriverLocked(in)
+		return nil
+	}
+	// "A process proposes by logging its initial value on stable
+	// storage; this is the only logging required by our basic version of
+	// the protocol" (§3.2). The write happens before anything else.
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	if err := e.st.Put(propKey(k), cp); err != nil {
+		return fmt.Errorf("consensus: log proposal %d: %w", k, err)
+	}
+	in.proposal = cp
+	in.hasProp = true
+	e.startDriverLocked(in)
+	return nil
+}
+
+// WaitDecided implements API.
+func (e *Engine) WaitDecided(ctx context.Context, k uint64) ([]byte, error) {
+	e.mu.Lock()
+	if k < e.floor {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: instance %d", ErrDiscarded, k)
+	}
+	in := e.getLocked(k)
+	if in.hasDec {
+		v := in.decided
+		e.mu.Unlock()
+		return v, nil
+	}
+	// Ensure someone is working on the instance, at least as a learner
+	// asking for the decision.
+	e.startDriverLocked(in)
+	done := in.done
+	forgot := in.forgotten
+	e.mu.Unlock()
+
+	select {
+	case <-done:
+		e.mu.Lock()
+		v := in.decided
+		e.mu.Unlock()
+		return v, nil
+	case <-forgot:
+		// A peer garbage-collected this instance under a checkpoint:
+		// the decision may no longer be reachable through Consensus.
+		// The caller must catch up via state transfer instead (§5.3).
+		e.mu.Lock()
+		if in.hasDec {
+			v := in.decided
+			e.mu.Unlock()
+			return v, nil
+		}
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: instance %d reported forgotten by a peer", ErrDiscarded, k)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// DecidedLocal implements API.
+func (e *Engine) DecidedLocal(k uint64) ([]byte, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	in, ok := e.insts[k]
+	if !ok || !in.hasDec {
+		return nil, false
+	}
+	return in.decided, true
+}
+
+// Proposal implements API.
+func (e *Engine) Proposal(k uint64) ([]byte, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	in, ok := e.insts[k]
+	if !ok || !in.hasProp {
+		return nil, false
+	}
+	return in.proposal, true
+}
+
+// DiscardBelow implements API.
+func (e *Engine) DiscardBelow(k uint64) error {
+	e.mu.Lock()
+	if k <= e.floor {
+		e.mu.Unlock()
+		return nil
+	}
+	e.floor = k
+	var victims []uint64
+	for kk, in := range e.insts {
+		if kk < k {
+			in.gone = true
+			in.wake()
+			victims = append(victims, kk)
+			delete(e.insts, kk)
+		}
+	}
+	e.mu.Unlock()
+
+	for _, kk := range victims {
+		for _, key := range []string{propKey(kk), accKey(kk), decKey(kk)} {
+			if err := e.st.Delete(key); err != nil {
+				return fmt.Errorf("consensus: discard %d: %w", kk, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Floor returns the current GC floor.
+func (e *Engine) Floor() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.floor
+}
+
+// MaxKnown returns the highest instance with any local state, and whether
+// one exists.
+func (e *Engine) MaxKnown() (uint64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var maxK uint64
+	found := false
+	for k := range e.insts {
+		if !found || k > maxK {
+			maxK = k
+			found = true
+		}
+	}
+	return maxK, found
+}
+
+// logAcceptorLocked forces the acceptor cell to stable storage. e.mu held.
+func (e *Engine) logAcceptorLocked(in *instance) error {
+	w := wire.NewWriter(24 + len(in.accV))
+	w.U64(in.promised)
+	w.Bool(in.hasAcc)
+	w.U64(in.accB)
+	w.Bytes32(in.accV)
+	return e.st.Put(accKey(in.k), w.Bytes())
+}
+
+// decideLocked records a decision: log first, then announce. e.mu held.
+func (e *Engine) decideLocked(in *instance, v []byte) {
+	if in.hasDec {
+		return
+	}
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	if err := e.st.Put(decKey(in.k), cp); err != nil {
+		// Stable storage failed (injected crash): the incarnation is
+		// dying; do not expose an unlogged decision.
+		return
+	}
+	in.decided = cp
+	in.hasDec = true
+	close(in.done)
+	in.wake()
+}

@@ -1,0 +1,135 @@
+package consensus
+
+import (
+	"repro/internal/ids"
+)
+
+// OnMessage is the router handler for the consensus channel. It runs on the
+// router's receive goroutine; every branch does at most one stable-storage
+// write and one send.
+func (e *Engine) OnMessage(from ids.ProcessID, payload []byte) {
+	m, err := decodeMessage(payload)
+	if err != nil {
+		return // malformed packets are dropped like lost packets
+	}
+
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	if m.k < e.floor {
+		// The instance was garbage-collected under a checkpoint; the
+		// asker will catch up through the broadcast layer's state
+		// transfer (§5.3).
+		floor := e.floor
+		e.mu.Unlock()
+		if m.kind == mPrepare || m.kind == mAccept || m.kind == mDecideReq {
+			e.send(from, message{kind: mForgotten, k: m.k, promised: floor})
+		}
+		return
+	}
+	in := e.getLocked(m.k)
+
+	switch m.kind {
+	case mPrepare:
+		if in.hasDec {
+			v := in.decided
+			e.mu.Unlock()
+			e.send(from, message{kind: mDecide, k: m.k, val: v})
+			return
+		}
+		if m.b > in.promised {
+			in.promised = m.b
+			if err := e.logAcceptorLocked(in); err != nil {
+				e.mu.Unlock()
+				return // dying incarnation: stay silent
+			}
+			reply := message{
+				kind:   mPromise,
+				k:      m.k,
+				b:      m.b,
+				hasAcc: in.hasAcc,
+				accB:   in.accB,
+				val:    in.accV,
+			}
+			e.mu.Unlock()
+			e.send(from, reply)
+			return
+		}
+		promised := in.promised
+		e.mu.Unlock()
+		e.send(from, message{kind: mNack, k: m.k, b: m.b, promised: promised})
+
+	case mAccept:
+		if in.hasDec {
+			v := in.decided
+			e.mu.Unlock()
+			e.send(from, message{kind: mDecide, k: m.k, val: v})
+			return
+		}
+		if m.b >= in.promised {
+			in.promised = m.b
+			in.accB = m.b
+			in.accV = m.val
+			in.hasAcc = true
+			if err := e.logAcceptorLocked(in); err != nil {
+				e.mu.Unlock()
+				return
+			}
+			e.mu.Unlock()
+			e.send(from, message{kind: mAccepted, k: m.k, b: m.b})
+			return
+		}
+		promised := in.promised
+		e.mu.Unlock()
+		e.send(from, message{kind: mNack, k: m.k, b: m.b, promised: promised})
+
+	case mPromise:
+		if in.phase == 1 && m.b == in.curBallot {
+			in.promises[from] = promiseInfo{hasAcc: m.hasAcc, accB: m.accB, accV: m.val}
+			in.wake()
+		}
+		e.mu.Unlock()
+
+	case mAccepted:
+		if in.phase == 2 && m.b == in.curBallot {
+			in.accepts[from] = true
+			in.wake()
+		}
+		e.mu.Unlock()
+
+	case mNack:
+		if m.b == in.curBallot && m.promised > in.maxNack {
+			in.maxNack = m.promised
+			in.wake()
+		}
+		e.mu.Unlock()
+
+	case mDecide:
+		e.decideLocked(in, m.val)
+		e.mu.Unlock()
+
+	case mDecideReq:
+		if in.hasDec {
+			v := in.decided
+			e.mu.Unlock()
+			e.send(from, message{kind: mDecide, k: m.k, val: v})
+			return
+		}
+		e.mu.Unlock()
+
+	case mForgotten:
+		// The peer GC'd this instance under a checkpoint. If its GC
+		// floor is above this instance, the decision may be
+		// unreachable through Consensus: release waiters so the
+		// broadcast layer falls back to state transfer (§5.3).
+		if m.promised > m.k {
+			in.markForgotLocked()
+		}
+		e.mu.Unlock()
+
+	default:
+		e.mu.Unlock()
+	}
+}

@@ -1,0 +1,54 @@
+package consensus
+
+import (
+	"repro/internal/wire"
+)
+
+// Message kinds on the consensus channel.
+const (
+	mPrepare   uint8 = 1 // coordinator -> all: claim ballot b for instance k
+	mPromise   uint8 = 2 // acceptor -> coordinator: promise + accepted pair
+	mAccept    uint8 = 3 // coordinator -> all: accept (b, v)
+	mAccepted  uint8 = 4 // acceptor -> coordinator: accepted b
+	mNack      uint8 = 5 // acceptor -> coordinator: ballot refused, promised attached
+	mDecide    uint8 = 6 // anyone -> anyone: instance k decided v
+	mDecideReq uint8 = 7 // learner -> all: please resend decision of k
+	mForgotten uint8 = 8 // responder -> learner: instance k was GC'd; floor attached
+)
+
+type message struct {
+	kind uint8
+	k    uint64 // instance
+	b    uint64 // ballot
+	// Promise fields: the acceptor's accepted pair, if any.
+	hasAcc bool
+	accB   uint64
+	val    []byte // Promise: accepted value; Accept/Decide: the value
+	// Nack/Forgotten: the acceptor's current promise / GC floor.
+	promised uint64
+}
+
+func (m message) encode() []byte {
+	w := wire.NewWriter(16 + len(m.val))
+	w.U8(m.kind)
+	w.U64(m.k)
+	w.U64(m.b)
+	w.Bool(m.hasAcc)
+	w.U64(m.accB)
+	w.Bytes32(m.val)
+	w.U64(m.promised)
+	return w.Bytes()
+}
+
+func decodeMessage(payload []byte) (message, error) {
+	r := wire.NewReader(payload)
+	var m message
+	m.kind = r.U8()
+	m.k = r.U64()
+	m.b = r.U64()
+	m.hasAcc = r.Bool()
+	m.accB = r.U64()
+	m.val = r.BytesCopy()
+	m.promised = r.U64()
+	return m, r.Done()
+}

@@ -1,0 +1,260 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/ids"
+	"repro/internal/msg"
+)
+
+// countingCheckpointer is a trivial application: its state is the count of
+// messages applied, encoded in decimal.
+type countingCheckpointer struct {
+	mu       sync.Mutex
+	restores int
+}
+
+func (cc *countingCheckpointer) Checkpoint(prev []byte, delivered []msg.Message) []byte {
+	count := 0
+	if len(prev) > 0 {
+		fmt.Sscanf(string(prev), "%d", &count)
+	}
+	return []byte(fmt.Sprintf("%d", count+len(delivered)))
+}
+
+func (cc *countingCheckpointer) Restore(app []byte) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	cc.restores++
+}
+
+func (cc *countingCheckpointer) Restores() int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.restores
+}
+
+func TestCheckpointShortensReplay(t *testing.T) {
+	c := harness.NewCluster(harness.Options{
+		N:    3,
+		Seed: 91,
+		Core: core.Config{CheckpointEvery: 5},
+	})
+	defer c.Stop()
+	if err := c.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := ctxT(t, 60*time.Second)
+
+	for i := 0; i < 30; i++ {
+		if _, err := c.Broadcast(ctx, 1, []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.AwaitRound(ctx, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Force a checkpoint at a known point, then crash and recover.
+	if err := c.Nodes[1].Proto().CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	kAtCkpt := c.Nodes[1].Proto().Round()
+	c.Crash(1)
+	if _, err := c.Recover(1); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Nodes[1].Proto().Stats()
+	if !st.RecoveredFromCkpt {
+		t.Fatal("expected recovery from checkpoint")
+	}
+	// Replay must cover only the rounds after the checkpoint.
+	if st.ReplayedRounds > c.Nodes[1].Proto().Round()-kAtCkpt+2 {
+		t.Fatalf("replayed %d rounds, checkpoint was at %d", st.ReplayedRounds, kAtCkpt)
+	}
+	if err := c.AwaitAllDelivered(ctx, 0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppCheckpointBoundsSuffix(t *testing.T) {
+	ck := &countingCheckpointer{}
+	c := harness.NewCluster(harness.Options{
+		N:    3,
+		Seed: 92,
+		Core: core.Config{CheckpointEvery: 4, Checkpointer: ck},
+	})
+	defer c.Stop()
+	if err := c.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := ctxT(t, 60*time.Second)
+
+	for i := 0; i < 40; i++ {
+		if _, err := c.Broadcast(ctx, 0, []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Nodes[0].Proto().CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	base, suffix := c.Nodes[0].Proto().Sequence()
+	if base.Pos == 0 {
+		t.Fatal("expected a non-empty application checkpoint base")
+	}
+	if base.App == nil {
+		t.Fatal("expected application state in the checkpoint")
+	}
+	// The folded prefix plus the suffix covers all deliveries.
+	if got := base.Pos + uint64(len(suffix)); got < 40 {
+		t.Fatalf("coverage %d < 40 messages", got)
+	}
+	// The VC must cover exactly the folded messages.
+	var count int
+	fmt.Sscanf(string(base.App), "%d", &count)
+	if uint64(count) != base.Pos {
+		t.Fatalf("app state folded %d messages, base position is %d", count, base.Pos)
+	}
+	if err := c.VerifySafety(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateTransferSkipsMissedRounds(t *testing.T) {
+	c := harness.NewCluster(harness.Options{
+		N:    3,
+		Seed: 93,
+		Core: core.Config{CheckpointEvery: 10, Delta: 3},
+	})
+	defer c.Stop()
+	if err := c.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := ctxT(t, 120*time.Second)
+
+	// p2 goes down for many rounds; the others checkpoint and GC their
+	// consensus logs, so p2 cannot replay the missed instances — it MUST
+	// adopt a state transfer.
+	c.Crash(2)
+	for i := 0; i < 50; i++ {
+		if _, err := c.Broadcast(ctx, 0, []byte(fmt.Sprintf("gap%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.AwaitRound(ctx, 0, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Nodes[0].Proto().CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Nodes[1].Proto().CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recover(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AwaitAllDelivered(ctx, 0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Nodes[2].Proto().Stats()
+	if st.StateAdopted == 0 {
+		t.Fatal("expected p2 to adopt a state transfer")
+	}
+	if st.DeliveredByTransfer == 0 {
+		t.Fatal("expected p2 to skip messages via the transfer")
+	}
+	sent := c.Nodes[0].Proto().Stats().StateSent + c.Nodes[1].Proto().Stats().StateSent
+	if sent == 0 {
+		t.Fatal("expected an up-to-date process to send a state message")
+	}
+}
+
+func TestBatchedBroadcastSurvivesSenderCrash(t *testing.T) {
+	for _, incremental := range []bool{false, true} {
+		name := "full-log"
+		if incremental {
+			name = "incremental-log"
+		}
+		t.Run(name, func(t *testing.T) {
+			c := harness.NewCluster(harness.Options{
+				N:    3,
+				Seed: 94,
+				Core: core.Config{BatchedBroadcast: true, IncrementalLog: incremental},
+			})
+			defer c.Stop()
+			if err := c.StartAll(); err != nil {
+				t.Fatal(err)
+			}
+			ctx := ctxT(t, 60*time.Second)
+
+			// With §5.4 batching, A-broadcast returns after logging
+			// Unordered — before ordering. Crash the sender right
+			// away: on recovery the logged messages must still make
+			// it into the total order.
+			var ids0 []ids.MsgID
+			for i := 0; i < 5; i++ {
+				id, err := c.Broadcast(ctx, 0, []byte(fmt.Sprintf("logged%d", i)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				ids0 = append(ids0, id)
+			}
+			c.Crash(0)
+			if _, err := c.Recover(0); err != nil {
+				t.Fatal(err)
+			}
+			st := c.Nodes[0].Proto().Stats()
+			if st.RecoveredUnordered == 0 && !c.Nodes[0].Proto().Delivered(ids0[0]) {
+				t.Fatal("unordered messages neither recovered nor already delivered")
+			}
+			for _, id := range ids0 {
+				if err := c.AwaitDelivered(ctx, id, 0, 1, 2); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := c.VerifyAll(0, 1, 2); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestFaultStormMaintainsSafetyAndLiveness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault storm is slow")
+	}
+	c := harness.NewCluster(harness.Options{
+		N:    5,
+		Seed: 95,
+		Net:  harness.DefaultLossyNet(95),
+		Core: core.Config{CheckpointEvery: 20, Delta: 10},
+	})
+	defer c.Stop()
+	if err := c.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := ctxT(t, 180*time.Second)
+
+	faultCtx, stopFaults := context.WithTimeout(ctx, 3*time.Second)
+	defer stopFaults()
+	wait := c.RunFaults(faultCtx,
+		harness.FaultSchedule{PID: 3, UpFor: 400 * time.Millisecond, DownFor: 200 * time.Millisecond},
+		harness.FaultSchedule{PID: 4, UpFor: 300 * time.Millisecond, DownFor: 300 * time.Millisecond},
+	)
+
+	if _, err := c.Run(ctx, harness.Workload{
+		Senders:           []ids.ProcessID{0, 1, 2},
+		MessagesPerSender: 25,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wait()
+	if err := c.AwaitAllDelivered(ctx, 0, 1, 2, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+// Package core implements the paper's contribution: the transformation of a
+// crash-recovery Consensus protocol into a crash-recovery Atomic Broadcast
+// protocol.
+//
+// The basic protocol (Fig. 2) is obtained with a Config whose alternative
+// options are all zero: the only stable-storage write on the broadcast path
+// is the initial value proposed to each Consensus instance — and that write
+// is performed by the Consensus itself as its first operation (§4.3), so
+// the broadcast layer adds no log operations at all.
+//
+// The alternative protocol (Figs. 3–4) is enabled piecewise:
+//
+//   - CheckpointEvery > 0 logs (k, Agreed) periodically, shortening the
+//     replay phase (§5.1) and, together with a Checkpointer, replacing the
+//     delivered prefix by an application-level checkpoint with a vector
+//     clock, bounding log growth (§5.2);
+//   - Delta > 0 enables Δ-triggered state transfer so a process that was
+//     down for a long time skips the Consensus instances it missed (§5.3);
+//   - BatchedBroadcast logs the Unordered set so A-broadcast returns before
+//     the message is ordered (§5.4);
+//   - IncrementalLog logs only the new part of the Unordered set (§5.5).
+package core
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/vclock"
+)
+
+// ErrStopped is returned when the process incarnation ends while an
+// operation is in flight. A Broadcast interrupted this way "may have or may
+// have not been A-broadcast" (§4.2) — exactly as if the caller crashed just
+// before invoking it.
+var ErrStopped = errors.New("core: protocol stopped")
+
+// Delivery is one A-delivered message with its agreed global position.
+// Round is the Consensus instance that ordered the message; Pos is the
+// message's index in the single total order (identical at every process —
+// the checker verifies this).
+type Delivery struct {
+	Msg   msg.Message
+	Round uint64
+	Pos   uint64
+}
+
+// Snapshot is an application-level checkpoint (§5.2): the pair
+// (A-checkpoint(σ), VC(σ)) plus bookkeeping that anchors it in the total
+// order.
+type Snapshot struct {
+	// App is the opaque application state that logically contains every
+	// message covered by VC. Nil when no Checkpointer is configured.
+	App []byte
+	// VC is the checkpoint vector clock.
+	VC vclock.VC
+	// Rounds is the number of Consensus instances folded into the
+	// snapshot (the next round to replay is exactly Rounds).
+	Rounds uint64
+	// Pos is the number of messages logically contained (the global
+	// position of the first suffix message).
+	Pos uint64
+}
+
+// Checkpointer is the upcall interface of Fig. 5. Implementations fold
+// delivered messages into an opaque state and reinstall adopted states.
+// Methods are called from protocol goroutines and must not call back into
+// the Protocol.
+type Checkpointer interface {
+	// Checkpoint returns the application state obtained by applying
+	// delivered to prev. Checkpoint(nil, nil) must return the initial
+	// state (the paper's A-checkpoint(⊥)).
+	Checkpoint(prev []byte, delivered []msg.Message) []byte
+	// Restore installs an adopted application state (recovery or state
+	// transfer).
+	Restore(app []byte)
+}
+
+// Config parameterizes a Protocol.
+type Config struct {
+	PID ids.ProcessID
+	N   int
+	// Incarnation qualifies locally generated message identities so they
+	// never repeat across crashes. The node layer logs it.
+	Incarnation uint32
+
+	// GossipInterval is the period of the gossip task (default 20ms).
+	GossipInterval time.Duration
+	// GossipMaxMessages caps the unordered messages piggybacked on one
+	// gossip (default 512); fairness only needs repetition, not size.
+	GossipMaxMessages int
+	// MaxBatch caps the messages proposed to one Consensus instance
+	// (0 = no cap).
+	MaxBatch int
+
+	// CheckpointEvery triggers the checkpoint task every so many rounds
+	// (0 disables it: basic protocol).
+	CheckpointEvery int
+	// Delta is the de-synchronization threshold that triggers a state
+	// transfer (0 disables state transfer).
+	Delta uint64
+	// BatchedBroadcast makes Broadcast log the Unordered set and return
+	// without waiting for the message to be ordered (§5.4).
+	BatchedBroadcast bool
+	// IncrementalLog logs only new Unordered entries (§5.5); it only
+	// matters when BatchedBroadcast is set.
+	IncrementalLog bool
+	// Checkpointer, when set with CheckpointEvery, replaces the
+	// delivered prefix with application checkpoints (§5.2).
+	Checkpointer Checkpointer
+
+	// OnDeliver, when set, is invoked in delivery order for every
+	// A-delivered message (including re-deliveries during the replay
+	// phase, which reconstruct the application state in the basic
+	// protocol).
+	OnDeliver func(Delivery)
+	// OnRestore, when set, is invoked when the process adopts a
+	// checkpoint or a state transfer instead of replaying: the
+	// application must reset itself to the snapshot.
+	OnRestore func(Snapshot)
+}
+
+func (c *Config) fill() {
+	if c.GossipInterval <= 0 {
+		c.GossipInterval = 20 * time.Millisecond
+	}
+	if c.GossipMaxMessages <= 0 {
+		c.GossipMaxMessages = 512
+	}
+}
+
+// Stats counts protocol events; all fields are cumulative for the
+// incarnation.
+type Stats struct {
+	Rounds              uint64 // consensus instances committed
+	EmptyRounds         uint64 // rounds decided with an empty batch
+	Delivered           uint64 // messages appended to Agreed
+	Broadcasts          uint64 // local A-broadcast invocations
+	GossipSent          uint64
+	GossipReceived      uint64
+	StateSent           uint64 // state messages sent (we were ahead)
+	StateAdopted        uint64 // state transfers adopted (we were behind)
+	Checkpoints         uint64
+	ReplayedRounds      uint64 // rounds re-executed by replay() on recovery
+	RecoveredFromCkpt   bool
+	RecoveredUnordered  int // unordered messages retrieved on recovery
+	ProposalsSubmitted  uint64
+	DeliveredByTransfer uint64 // messages skipped over via state adoption
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// checkpointTask implements Fig. 4's checkpoint task: every
+// CheckpointEvery rounds it logs (k_p, Agreed_p) — folding the delivered
+// suffix into an application-level checkpoint when a Checkpointer is
+// configured — and discards Consensus state below k_p (line (c)).
+func (p *Protocol) checkpointTask() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case <-p.ckptCh:
+			_ = p.CheckpointNow()
+		}
+	}
+}
+
+// CheckpointNow performs one checkpoint immediately (Fig. 4 lines (b)/(c)).
+// It is exported so applications and experiments can force a checkpoint at
+// a chosen moment; the periodic task calls it too.
+func (p *Protocol) CheckpointNow() error {
+	p.mu.Lock()
+	if p.cfg.Checkpointer != nil && len(p.ds.suffix) > 0 {
+		// (b) Agreed_p ← (A-checkpoint(Agreed_p), VC(Agreed_p)): the
+		// application folds the delivered suffix into its state; the
+		// checkpoint vector clock replaces the explicit messages.
+		app := p.cfg.Checkpointer.Checkpoint(p.ds.base.App, p.ds.suffixMessages())
+		p.ds.fold(app, p.k)
+	}
+	w := wire.NewWriter(256)
+	w.U64(p.k)
+	p.ds.encode(w)
+	k := p.k
+	p.stats.Checkpoints++
+
+	// Compact the incremental Unordered log under the same lock that
+	// Broadcast appends under, so no record is lost.
+	var compactErr error
+	if p.cfg.BatchedBroadcast && p.cfg.IncrementalLog {
+		uw := wire.NewWriter(64)
+		p.unordered.Encode(uw)
+		if err := p.st.Put(keyUnord, uw.Bytes()); err != nil {
+			compactErr = err
+		} else if err := p.st.Delete(keyUnordLog); err != nil {
+			compactErr = err
+		}
+	}
+	p.mu.Unlock()
+
+	if compactErr != nil {
+		return fmt.Errorf("core: compact unordered log: %w", compactErr)
+	}
+	// log(k_p, Agreed_p)
+	if err := p.st.Put(keyCkpt, w.Bytes()); err != nil {
+		return fmt.Errorf("core: log checkpoint: %w", err)
+	}
+	// (c) Proposed_p[i], i < k_p can be discarded from the log.
+	if err := p.cons.DiscardBelow(k); err != nil {
+		return fmt.Errorf("core: discard consensus log: %w", err)
+	}
+	p.mu.Lock()
+	if k > p.gcFloor {
+		p.gcFloor = k
+	}
+	p.mu.Unlock()
+	return nil
+}

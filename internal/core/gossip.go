@@ -1,0 +1,178 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/wire"
+)
+
+// Core-channel message subtypes.
+const (
+	subGossip uint8 = 1 // gossip(k_p, Unordered_p)
+	subState  uint8 = 2 // state(k_p - 1, Agreed_p)
+)
+
+// gossipTask periodically multisends gossip(k_p, Unordered_p): it
+// disseminates data messages so every good process eventually proposes
+// them, and lets a process that was down discover the most up-to-date round
+// (§4.2).
+func (p *Protocol) gossipTask() {
+	defer p.wg.Done()
+	ticker := time.NewTicker(p.cfg.GossipInterval)
+	defer ticker.Stop()
+	p.sendGossip()
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case <-ticker.C:
+			p.sendGossip()
+		}
+	}
+}
+
+func (p *Protocol) sendGossip() {
+	p.mu.Lock()
+	p.lastGossip = time.Now()
+	k := p.k
+	batch := p.unordered.Slice()
+	if len(batch) > p.cfg.GossipMaxMessages {
+		batch = batch[:p.cfg.GossipMaxMessages]
+	}
+	p.stats.GossipSent++
+	p.mu.Unlock()
+
+	w := wire.NewWriter(64)
+	w.U8(subGossip)
+	w.U64(k)
+	msg.EncodeBatch(w, batch)
+	p.net.Multisend(w.Bytes())
+}
+
+// eagerGossip pushes the Unordered set right after a local A-broadcast so
+// the message reaches the other sequencers without waiting for the next
+// periodic tick. Fairness only requires repetition, so extra sends are
+// always allowed; a tiny guard merely coalesces very tight submission
+// loops (it must stay well under the gossip interval, or it phase-locks
+// onto the periodic ticker and every broadcast waits a full tick).
+func (p *Protocol) eagerGossip() {
+	p.mu.Lock()
+	recent := time.Since(p.lastGossip) < p.cfg.GossipInterval/128
+	p.mu.Unlock()
+	if recent {
+		return
+	}
+	p.sendGossip()
+}
+
+// OnMessage is the router handler for the core channel.
+func (p *Protocol) OnMessage(from ids.ProcessID, payload []byte) {
+	if len(payload) < 1 {
+		return
+	}
+	r := wire.NewReader(payload)
+	switch r.U8() {
+	case subGossip:
+		p.onGossip(from, r)
+	case subState:
+		p.onState(from, r)
+	}
+}
+
+// onGossip merges the sender's Unordered set and compares round numbers
+// ("upon receive gossip(k_q, U_q)", Fig. 2 / Fig. 3 line (d)).
+func (p *Protocol) onGossip(from ids.ProcessID, r *wire.Reader) {
+	kq := r.U64()
+	batch := msg.DecodeBatch(r)
+	if r.Err() != nil {
+		return
+	}
+
+	p.mu.Lock()
+	p.stats.GossipReceived++
+	added := 0
+	for _, m := range batch {
+		if p.ds.contains(m.ID) {
+			continue
+		}
+		if p.unordered.Add(m) {
+			added++
+		}
+	}
+	var sendState []byte
+	lagging := p.cfg.Delta > 0 && p.k > kq+p.cfg.Delta
+	// A peer below our GC floor can never learn those rounds through
+	// Consensus again (we discarded them, Fig. 4 line (c)); only a state
+	// transfer can unblock it, whatever Δ says. This closes a liveness
+	// hole the paper leaves implicit in the tuning of Δ.
+	gcForced := kq < p.gcFloor
+	switch {
+	case kq > p.k:
+		// q is ahead: remember the most up-to-date round.
+		if kq > p.gossipK {
+			p.gossipK = kq
+		}
+	case from != p.cfg.PID && (lagging || gcForced):
+		// q lagged behind: ship it our state (rate-limited per
+		// destination to avoid flooding a recovering process).
+		now := time.Now()
+		if now.Sub(p.lastStateTo[from]) >= 2*p.cfg.GossipInterval {
+			p.lastStateTo[from] = now
+			w := wire.NewWriter(256)
+			w.U8(subState)
+			w.U64(p.k - 1)
+			w.U64(p.gcFloor)
+			p.ds.encode(w)
+			sendState = w.Bytes()
+			p.stats.StateSent++
+		}
+	}
+	wakeNeeded := added > 0 || kq > p.k
+	p.mu.Unlock()
+
+	if wakeNeeded {
+		p.poke()
+	}
+	if sendState != nil {
+		p.net.Send(from, sendState)
+	}
+}
+
+// onState handles a state message ("upon receive state(k_q, A_q)"): if this
+// process is seriously late it adopts the state and skips the missed
+// Consensus instances; otherwise it just notes the newer round.
+func (p *Protocol) onState(from ids.ProcessID, r *wire.Reader) {
+	ks := r.U64()
+	floor := r.U64()
+	ds := decodeDeliveryState(r)
+	if ds == nil || r.Err() != nil {
+		return
+	}
+	newK := ks + 1
+
+	p.mu.Lock()
+	// Adopt when seriously behind (the paper's Δ rule) or when the
+	// sender garbage-collected rounds we still need (we could otherwise
+	// never terminate them through Consensus).
+	if (p.cfg.Delta > 0 && newK > p.k+p.cfg.Delta) || (p.k < floor && newK > p.k) {
+		// Seriously behind: stage the adoption and interrupt the
+		// sequencer (Fig. 3 line (e)); it restarts from the adopted
+		// state (line (f)).
+		if p.pending == nil || newK > p.pendingK {
+			p.pending = ds
+			p.pendingK = newK
+		}
+		if p.seqInterrupt != nil {
+			p.seqInterrupt()
+		}
+	} else {
+		// Small de-synchronization: treat like gossip.
+		if newK > p.gossipK {
+			p.gossipK = newK
+		}
+	}
+	p.mu.Unlock()
+	p.poke()
+}

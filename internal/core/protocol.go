@@ -1,0 +1,434 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/router"
+	"repro/internal/storage"
+	"repro/internal/wire"
+)
+
+// Stable-storage keys owned by the broadcast layer. The basic protocol
+// writes none of them.
+const (
+	keyCkpt     = "abcast/ckpt"     // (k, Agreed) checkpoint cell (§5.1/§5.2)
+	keyUnord    = "abcast/unord"    // full Unordered set cell (§5.4)
+	keyUnordLog = "abcast/unordlog" // incremental Unordered log (§5.5)
+)
+
+// Protocol is one process's Atomic Broadcast endpoint for one incarnation.
+// Create it with New, then Start (which runs the recovery procedure), then
+// use Broadcast and the delivery APIs. Stop ends the incarnation.
+type Protocol struct {
+	cfg  Config
+	st   storage.Stable
+	cons consensus.API
+	net  router.Net
+
+	mu        sync.Mutex
+	k         uint64 // current round (next Consensus instance)
+	gossipK   uint64 // highest round known decided, via gossip
+	unordered *msg.Set
+	ds        *deliveryState
+	seq       uint64 // local sequence numbers for MsgIDs
+	waiters   map[ids.MsgID][]chan struct{}
+
+	pending      *deliveryState // state transfer awaiting adoption
+	pendingK     uint64
+	gcFloor      uint64             // consensus instances below this were discarded
+	seqInterrupt context.CancelFunc // interrupts the sequencer's WaitDecided
+
+	lastStateTo map[ids.ProcessID]time.Time // state-message rate limiting
+	lastGossip  time.Time                   // eager-gossip rate limiting
+
+	stats Stats
+
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wake    chan struct{} // capacity 1: pokes the sequencer
+	ckptCh  chan struct{} // capacity 1: pokes the checkpoint task
+	wg      sync.WaitGroup
+	started bool
+	stopped bool
+}
+
+// New creates a Protocol. st is the process's stable storage, cons the
+// consensus building block, net the router binding for the core channel.
+// Register OnMessage with the router before calling Start.
+func New(cfg Config, st storage.Stable, cons consensus.API, net router.Net) *Protocol {
+	cfg.fill()
+	return &Protocol{
+		cfg:         cfg,
+		st:          st,
+		cons:        cons,
+		net:         net,
+		unordered:   msg.NewSet(),
+		ds:          newDeliveryState(),
+		waiters:     make(map[ids.MsgID][]chan struct{}),
+		lastStateTo: make(map[ids.ProcessID]time.Time),
+		wake:        make(chan struct{}, 1),
+		ckptCh:      make(chan struct{}, 1),
+	}
+}
+
+// Start runs the paper's "upon initialization or recovery" procedure:
+// retrieve logged state, replay logged Consensus instances, then fork the
+// sequencer, gossip and checkpoint tasks. It blocks until the replay phase
+// completes (so its return marks the end of recovery).
+func (p *Protocol) Start(ctx context.Context) error {
+	p.mu.Lock()
+	if p.started {
+		p.mu.Unlock()
+		return fmt.Errorf("core: already started")
+	}
+	p.started = true
+	p.mu.Unlock()
+
+	p.ctx, p.cancel = context.WithCancel(ctx)
+
+	if err := p.recover(); err != nil {
+		return err
+	}
+
+	p.wg.Add(2)
+	go p.sequencerTask()
+	go p.gossipTask()
+	if p.cfg.CheckpointEvery > 0 {
+		p.wg.Add(1)
+		go p.checkpointTask()
+	}
+	return nil
+}
+
+// Stop ends the incarnation: tasks stop, pending Broadcast calls return
+// ErrStopped. The stable storage is untouched.
+func (p *Protocol) Stop() {
+	p.mu.Lock()
+	p.stopped = true
+	p.mu.Unlock()
+	if p.cancel != nil {
+		p.cancel()
+	}
+	p.wg.Wait()
+}
+
+// recover implements retrieve + replay (Fig. 2 / Fig. 3).
+func (p *Protocol) recover() error {
+	// retrieve (k_p, Agreed_p) — present only if the alternative
+	// protocol's checkpoint task (or a past state-transfer adoption)
+	// logged it.
+	raw, hasCkpt, err := p.st.Get(keyCkpt)
+	if err != nil {
+		return fmt.Errorf("core: retrieve checkpoint: %w", err)
+	}
+	if !hasCkpt {
+		// The delivery sequence restarts from ⊥: tell the application
+		// to reset to its initial state before the replay phase
+		// re-delivers the history (otherwise re-deliveries would be
+		// applied on top of stale pre-crash state).
+		if cb := p.cfg.OnRestore; cb != nil {
+			cb(Snapshot{VC: p.ds.base.VC.Clone()})
+		}
+	} else {
+		r := wire.NewReader(raw)
+		k := r.U64()
+		ds := decodeDeliveryState(r)
+		if ds == nil || r.Done() != nil {
+			return fmt.Errorf("core: corrupt checkpoint cell")
+		}
+		p.mu.Lock()
+		p.k = k
+		p.ds = ds
+		// The checkpoint task discarded Consensus state below the
+		// checkpointed round before the crash.
+		p.gcFloor = k
+		p.stats.RecoveredFromCkpt = true
+		base := ds.snapshotBase()
+		redeliver := ds.deliveries()
+		restoreCb := p.cfg.OnRestore
+		deliverCb := p.cfg.OnDeliver
+		p.mu.Unlock()
+		if restoreCb != nil {
+			restoreCb(base)
+		}
+		if deliverCb != nil {
+			for _, d := range redeliver {
+				deliverCb(d)
+			}
+		}
+	}
+
+	// retrieve (Unordered_p) — present only with BatchedBroadcast.
+	if p.cfg.BatchedBroadcast {
+		if err := p.recoverUnordered(); err != nil {
+			return err
+		}
+	}
+
+	// replay (): the recovery procedure "parses the log of proposed and
+	// agreed values (which is kept internally by Consensus)" (§4.2).
+	// Rounds with a logged decision are committed straight from the log;
+	// a round with only a logged proposal is re-proposed idempotently
+	// and awaited. Re-deliveries reconstruct the Agreed queue.
+	replayed := uint64(0)
+	for {
+		p.mu.Lock()
+		k := p.k
+		p.mu.Unlock()
+		if res, ok := p.cons.DecidedLocal(k); ok {
+			p.commit(k, res)
+			replayed++
+			continue
+		}
+		prop, ok := p.cons.Proposal(k)
+		if !ok {
+			break
+		}
+		if err := p.cons.Propose(k, prop); err != nil {
+			if errors.Is(err, consensus.ErrDiscarded) {
+				break
+			}
+			return fmt.Errorf("core: replay propose %d: %w", k, err)
+		}
+		res, err := p.cons.WaitDecided(p.ctx, k)
+		if errors.Is(err, consensus.ErrDiscarded) {
+			// Peers garbage-collected this instance: replay cannot
+			// finish it. Stop here — once the tasks fork, the
+			// gossip exchange triggers a state transfer that skips
+			// over the missing rounds (§5.3).
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("core: replay wait %d: %w", k, err)
+		}
+		p.commit(k, res)
+		replayed++
+	}
+	p.mu.Lock()
+	p.stats.ReplayedRounds = replayed
+	p.mu.Unlock()
+	return nil
+}
+
+// recoverUnordered restores the Unordered set from the full cell plus the
+// incremental log (§5.4/§5.5).
+func (p *Protocol) recoverUnordered() error {
+	recovered := 0
+	if raw, ok, err := p.st.Get(keyUnord); err != nil {
+		return fmt.Errorf("core: retrieve unordered: %w", err)
+	} else if ok {
+		r := wire.NewReader(raw)
+		set := msg.DecodeSet(r)
+		if r.Done() != nil {
+			return fmt.Errorf("core: corrupt unordered cell")
+		}
+		p.mu.Lock()
+		for _, m := range set.Slice() {
+			if !p.ds.contains(m.ID) && p.unordered.Add(m) {
+				recovered++
+			}
+			if m.ID.Sender == p.cfg.PID && m.ID.Seq > p.seq {
+				p.seq = m.ID.Seq
+			}
+		}
+		p.mu.Unlock()
+	}
+	recs, err := p.st.Records(keyUnordLog)
+	if err != nil {
+		return fmt.Errorf("core: read unordered log: %w", err)
+	}
+	p.mu.Lock()
+	for _, rec := range recs {
+		r := wire.NewReader(rec)
+		m := msg.DecodeMessage(r)
+		if r.Done() != nil {
+			continue // torn/corrupt record: treated as never logged
+		}
+		if !p.ds.contains(m.ID) && p.unordered.Add(m) {
+			recovered++
+		}
+		if m.ID.Sender == p.cfg.PID && m.ID.Seq > p.seq {
+			p.seq = m.ID.Seq
+		}
+	}
+	p.stats.RecoveredUnordered = recovered
+	p.mu.Unlock()
+	return nil
+}
+
+// Broadcast implements A-broadcast(m). In the basic protocol it blocks
+// until m is in the Agreed queue ("A-broadcast(m) does not return until the
+// message m is in the agreed queue", §4.2). With BatchedBroadcast it logs
+// the Unordered set and returns immediately (§5.4).
+func (p *Protocol) Broadcast(ctx context.Context, payload []byte) (ids.MsgID, error) {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return ids.MsgID{}, ErrStopped
+	}
+	p.seq++
+	m := msg.Message{
+		ID:      ids.MsgID{Sender: p.cfg.PID, Incarnation: p.cfg.Incarnation, Seq: p.seq},
+		Payload: append([]byte(nil), payload...),
+	}
+	p.unordered.Add(m)
+	p.stats.Broadcasts++
+
+	if p.cfg.BatchedBroadcast {
+		var err error
+		if p.cfg.IncrementalLog {
+			w := wire.NewWriter(16 + len(m.Payload))
+			m.Encode(w)
+			err = p.st.Append(keyUnordLog, w.Bytes())
+		} else {
+			w := wire.NewWriter(64)
+			p.unordered.Encode(w)
+			err = p.st.Put(keyUnord, w.Bytes())
+		}
+		p.mu.Unlock()
+		p.poke()
+		p.eagerGossip()
+		if err != nil {
+			return ids.MsgID{}, fmt.Errorf("core: log unordered: %w", err)
+		}
+		return m.ID, nil
+	}
+
+	ch := make(chan struct{})
+	p.waiters[m.ID] = append(p.waiters[m.ID], ch)
+	p.mu.Unlock()
+	p.poke()
+	p.eagerGossip()
+
+	select {
+	case <-ch:
+		return m.ID, nil
+	case <-ctx.Done():
+		return m.ID, ctx.Err()
+	case <-p.ctx.Done():
+		return m.ID, ErrStopped
+	}
+}
+
+// BroadcastAsync adds m to the Unordered set and returns at once without
+// any delivery guarantee for this incarnation (the caller behaves as if it
+// might crash immediately after invoking A-broadcast). Load generators use
+// it to drive open-loop workloads.
+func (p *Protocol) BroadcastAsync(payload []byte) (ids.MsgID, error) {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return ids.MsgID{}, ErrStopped
+	}
+	p.seq++
+	m := msg.Message{
+		ID:      ids.MsgID{Sender: p.cfg.PID, Incarnation: p.cfg.Incarnation, Seq: p.seq},
+		Payload: append([]byte(nil), payload...),
+	}
+	p.unordered.Add(m)
+	p.stats.Broadcasts++
+	p.mu.Unlock()
+	p.poke()
+	p.eagerGossip()
+	return m.ID, nil
+}
+
+// commit finishes round: the decided batch is appended to Agreed by the
+// deterministic rule, the round counter advances, and ordered messages
+// leave the Unordered set. Deliveries run on the caller's goroutine (the
+// sequencer or the recovery procedure), preserving order.
+func (p *Protocol) commit(round uint64, result []byte) {
+	r := wire.NewReader(result)
+	batch := msg.DecodeBatch(r)
+
+	p.mu.Lock()
+	deliveries := p.ds.appendBatch(round, batch)
+	p.k = round + 1
+	p.unordered.SubtractDelivered(p.ds.contains)
+	for _, d := range deliveries {
+		p.notifyWaitersLocked(d.Msg.ID)
+	}
+	p.stats.Rounds++
+	if len(batch) == 0 {
+		p.stats.EmptyRounds++
+	}
+	p.stats.Delivered += uint64(len(deliveries))
+	ckptDue := p.cfg.CheckpointEvery > 0 && p.k%uint64(p.cfg.CheckpointEvery) == 0
+	deliverCb := p.cfg.OnDeliver
+	p.mu.Unlock()
+
+	if deliverCb != nil {
+		for _, d := range deliveries {
+			deliverCb(d)
+		}
+	}
+	if ckptDue {
+		select {
+		case p.ckptCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// notifyWaitersLocked releases Broadcast callers waiting on id. p.mu held.
+func (p *Protocol) notifyWaitersLocked(id ids.MsgID) {
+	if chans, ok := p.waiters[id]; ok {
+		for _, ch := range chans {
+			close(ch)
+		}
+		delete(p.waiters, id)
+	}
+}
+
+// poke wakes the sequencer.
+func (p *Protocol) poke() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Round returns the current round counter k_p.
+func (p *Protocol) Round() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.k
+}
+
+// Delivered reports whether id is in the delivery sequence (explicitly or
+// via the base checkpoint).
+func (p *Protocol) Delivered(id ids.MsgID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ds.contains(id)
+}
+
+// Sequence implements A-deliver-sequence(): it returns the base snapshot
+// that initiates the sequence (empty in the basic protocol) and the
+// explicitly delivered suffix.
+func (p *Protocol) Sequence() (Snapshot, []Delivery) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ds.snapshotBase(), p.ds.deliveries()
+}
+
+// UnorderedLen returns the size of the Unordered set (observability).
+func (p *Protocol) UnorderedLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.unordered.Len()
+}
+
+// Stats returns a snapshot of the protocol counters.
+func (p *Protocol) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/wire"
+)
+
+// sequencerTask is the heart of the ordering protocol (Fig. 2): in round k
+// the process proposes its Unordered set to the k-th Consensus instance and
+// appends the decided batch to the Agreed queue.
+func (p *Protocol) sequencerTask() {
+	defer p.wg.Done()
+	for {
+		if p.ctx.Err() != nil {
+			return
+		}
+		p.maybeAdopt()
+
+		p.mu.Lock()
+		k := p.k
+		p.mu.Unlock()
+
+		if _, ok := p.cons.Proposal(k); !ok {
+			// "wait until ((Unordered_p ≠ ∅) or (gossip-k_p > k_p))"
+			if !p.waitProposable() {
+				return
+			}
+			p.mu.Lock()
+			if p.pending != nil {
+				p.mu.Unlock()
+				continue // adopt first; the proposal would be stale
+			}
+			k = p.k
+			batch := p.unordered.Slice()
+			if p.cfg.MaxBatch > 0 && len(batch) > p.cfg.MaxBatch {
+				batch = batch[:p.cfg.MaxBatch]
+			}
+			p.stats.ProposalsSubmitted++
+			p.mu.Unlock()
+
+			w := wire.NewWriter(64)
+			msg.EncodeBatch(w, batch)
+			// "Proposed_p[k_p] ← Unordered_p; log(Proposed_p[k_p]);
+			// propose(k_p, ...)". The log is the first operation of
+			// the Consensus (§4.2) — Propose performs it.
+			if err := p.cons.Propose(k, w.Bytes()); err != nil {
+				// Below the GC floor (a state transfer adopted a
+				// higher round concurrently) or storage death.
+				continue
+			}
+		}
+
+		// "wait until decided(k_p, result)" — interruptible by a state
+		// transfer (Fig. 3 line (e) terminates the sequencer task).
+		wctx, cancel := context.WithCancel(p.ctx)
+		p.mu.Lock()
+		p.seqInterrupt = cancel
+		if p.pending != nil {
+			cancel()
+		}
+		p.mu.Unlock()
+
+		result, err := p.cons.WaitDecided(wctx, k)
+
+		p.mu.Lock()
+		p.seqInterrupt = nil
+		p.mu.Unlock()
+		cancel()
+
+		if err != nil {
+			if p.ctx.Err() != nil {
+				return
+			}
+			// Interrupted by a state transfer, or the instance was
+			// garbage-collected by peers. Wait for an adoption (or
+			// the next gossip) rather than spinning on WaitDecided.
+			select {
+			case <-p.ctx.Done():
+				return
+			case <-p.wake:
+			case <-time.After(p.cfg.GossipInterval):
+			}
+			continue
+		}
+		p.commit(k, result)
+	}
+}
+
+// waitProposable blocks until there is something to propose, the process
+// learns it lagged behind, or a state transfer is pending. False means the
+// incarnation ended.
+func (p *Protocol) waitProposable() bool {
+	for {
+		p.mu.Lock()
+		ready := p.unordered.Len() > 0 || p.gossipK > p.k || p.pending != nil
+		p.mu.Unlock()
+		if ready {
+			return true
+		}
+		select {
+		case <-p.ctx.Done():
+			return false
+		case <-p.wake:
+		}
+	}
+}
+
+// maybeAdopt applies a pending state transfer (Fig. 3's "upon receive
+// state" when p is late): the sequencer was interrupted, the state is
+// installed, rounds are skipped, and the sequencer restarts from the new
+// round.
+func (p *Protocol) maybeAdopt() {
+	p.mu.Lock()
+	if p.pending == nil {
+		p.mu.Unlock()
+		return
+	}
+	newDS, newK := p.pending, p.pendingK
+	p.pending = nil
+	if newK <= p.k {
+		p.mu.Unlock()
+		return // stale transfer; we caught up on our own
+	}
+	oldNext := p.ds.nextPos()
+	p.ds.adopt(newDS)
+	p.k = newK
+	p.unordered.SubtractDelivered(p.ds.contains)
+	// Release Broadcast callers whose messages the adopted state covers.
+	for id := range p.waiters {
+		if p.ds.contains(id) {
+			p.notifyWaitersLocked(id)
+		}
+	}
+	p.stats.StateAdopted++
+	if next := p.ds.nextPos(); next > oldNext {
+		p.stats.DeliveredByTransfer += next - oldNext
+	}
+	base := p.ds.snapshotBase()
+	suffix := p.ds.deliveries()
+	restoreCb := p.cfg.OnRestore
+	deliverCb := p.cfg.OnDeliver
+	w := wire.NewWriter(256)
+	w.U64(p.k)
+	p.ds.encode(w)
+	ckptBytes := w.Bytes()
+	p.mu.Unlock()
+
+	if restoreCb != nil {
+		restoreCb(base)
+	}
+	if deliverCb != nil {
+		for _, d := range suffix {
+			deliverCb(d)
+		}
+	}
+
+	// Persist the adopted state as a checkpoint so a crash right after
+	// adoption does not replay into Consensus instances that peers may
+	// have garbage-collected, then drop our own state for the skipped
+	// instances. (Their decisions are stable — the transferred Agreed
+	// queue contains them — so discarding acceptor cells is safe.)
+	if err := p.st.Put(keyCkpt, ckptBytes); err != nil {
+		return // dying incarnation
+	}
+	_ = p.cons.DiscardBelow(newK)
+	p.mu.Lock()
+	if newK > p.gcFloor {
+		p.gcFloor = newK
+	}
+	p.mu.Unlock()
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+// suffixEntry is one explicitly delivered message and the Consensus round
+// that ordered it.
+type suffixEntry struct {
+	m     msg.Message
+	round uint64
+}
+
+// deliveryState is the Agreed queue generalized per §5.2: an application
+// checkpoint (base) plus the messages delivered after it (suffix). With no
+// checkpointing the base stays empty and the suffix is the whole queue —
+// the basic protocol's Agreed.
+type deliveryState struct {
+	base   Snapshot
+	suffix []suffixEntry
+	index  map[ids.MsgID]int // id -> suffix position
+}
+
+func newDeliveryState() *deliveryState {
+	return &deliveryState{
+		base:  Snapshot{VC: vclock.New()},
+		index: make(map[ids.MsgID]int),
+	}
+}
+
+// contains implements the membership predicate of the redefined delivery
+// sequence: explicit in the suffix, or covered by the base checkpoint's
+// vector clock.
+func (d *deliveryState) contains(id ids.MsgID) bool {
+	if _, ok := d.index[id]; ok {
+		return true
+	}
+	return d.base.VC.Covers(id)
+}
+
+// nextPos is the global position the next delivered message will get.
+func (d *deliveryState) nextPos() uint64 {
+	return d.base.Pos + uint64(len(d.suffix))
+}
+
+// appendBatch applies the ⊕ rule for the batch decided by round: messages
+// not yet contained are appended in canonical order. It returns the new
+// deliveries with their agreed positions.
+func (d *deliveryState) appendBatch(round uint64, batch []msg.Message) []Delivery {
+	sorted := make([]msg.Message, len(batch))
+	copy(sorted, batch)
+	msg.SortCanonical(sorted)
+	var out []Delivery
+	for _, m := range sorted {
+		if d.contains(m.ID) {
+			continue
+		}
+		d.index[m.ID] = len(d.suffix)
+		d.suffix = append(d.suffix, suffixEntry{m: m, round: round})
+		out = append(out, Delivery{Msg: m, Round: round, Pos: d.base.Pos + uint64(len(d.suffix)) - 1})
+	}
+	return out
+}
+
+// deliveries returns the suffix as Delivery values (for re-delivery on
+// recovery and for the pull API).
+func (d *deliveryState) deliveries() []Delivery {
+	out := make([]Delivery, len(d.suffix))
+	for i, e := range d.suffix {
+		out[i] = Delivery{Msg: e.m, Round: e.round, Pos: d.base.Pos + uint64(i)}
+	}
+	return out
+}
+
+// suffixMessages returns the suffix messages in delivery order.
+func (d *deliveryState) suffixMessages() []msg.Message {
+	out := make([]msg.Message, len(d.suffix))
+	for i, e := range d.suffix {
+		out[i] = e.m
+	}
+	return out
+}
+
+// fold replaces the delivered prefix with a checkpoint: the base absorbs the
+// suffix (vector clock + position) and adopts the given application state.
+// rounds is the next round number at the time of the fold.
+func (d *deliveryState) fold(app []byte, rounds uint64) {
+	for _, e := range d.suffix {
+		d.base.VC.Observe(e.m.ID)
+	}
+	d.base.Pos += uint64(len(d.suffix))
+	d.base.Rounds = rounds
+	d.base.App = app
+	d.suffix = nil
+	d.index = make(map[ids.MsgID]int)
+}
+
+// adopt replaces the whole state with another process's (state transfer,
+// §5.3, or checkpoint retrieval on recovery).
+func (d *deliveryState) adopt(o *deliveryState) {
+	d.base = Snapshot{
+		App:    o.base.App,
+		VC:     o.base.VC.Clone(),
+		Rounds: o.base.Rounds,
+		Pos:    o.base.Pos,
+	}
+	d.suffix = make([]suffixEntry, len(o.suffix))
+	copy(d.suffix, o.suffix)
+	d.index = make(map[ids.MsgID]int, len(o.index))
+	for id, i := range o.index {
+		d.index[id] = i
+	}
+}
+
+// snapshotBase returns a copy of the base snapshot.
+func (d *deliveryState) snapshotBase() Snapshot {
+	return Snapshot{
+		App:    d.base.App,
+		VC:     d.base.VC.Clone(),
+		Rounds: d.base.Rounds,
+		Pos:    d.base.Pos,
+	}
+}
+
+// encode serializes the full state (base + suffix with rounds).
+func (d *deliveryState) encode(w *wire.Writer) {
+	w.Bool(d.base.App != nil)
+	w.Bytes32(d.base.App)
+	d.base.VC.Encode(w)
+	w.U64(d.base.Rounds)
+	w.U64(d.base.Pos)
+	w.U64(uint64(len(d.suffix)))
+	for _, e := range d.suffix {
+		w.U64(e.round)
+		e.m.Encode(w)
+	}
+}
+
+// decodeDeliveryState reads a state written by encode; nil on corruption.
+func decodeDeliveryState(r *wire.Reader) *deliveryState {
+	d := newDeliveryState()
+	hasApp := r.Bool()
+	app := r.BytesCopy()
+	if !hasApp {
+		app = nil
+	}
+	vc := vclock.Decode(r)
+	rounds := r.U64()
+	pos := r.U64()
+	n := r.U64()
+	if r.Err() != nil {
+		return nil
+	}
+	d.base = Snapshot{App: app, VC: vc, Rounds: rounds, Pos: pos}
+	for i := uint64(0); i < n; i++ {
+		round := r.U64()
+		m := msg.DecodeMessage(r)
+		if r.Err() != nil {
+			return nil
+		}
+		if _, dup := d.index[m.ID]; dup {
+			continue
+		}
+		d.index[m.ID] = len(d.suffix)
+		d.suffix = append(d.suffix, suffixEntry{m: m, round: round})
+	}
+	return d
+}

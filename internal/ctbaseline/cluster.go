@@ -1,0 +1,89 @@
+package ctbaseline
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/fd"
+	"repro/internal/ids"
+	"repro/internal/router"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// Cluster assembles n crash-stop processes over an in-memory network (for
+// the E7 baseline benchmarks and tests).
+type Cluster struct {
+	Net   *transport.Mem
+	Procs []*Protocol
+
+	routers   []*router.Router
+	detectors []*fd.Detector
+	engines   []*consensus.Engine
+	cancel    context.CancelFunc
+}
+
+// NewCluster builds and starts the baseline cluster. onDeliver, if non-nil,
+// receives every delivery tagged with the process id.
+func NewCluster(n int, netOpts transport.MemOptions, onDeliver func(ids.ProcessID, Delivery)) (*Cluster, error) {
+	c := &Cluster{Net: transport.NewMem(n, netOpts)}
+	ctx, cancel := context.WithCancel(context.Background())
+	c.cancel = cancel
+	for p := 0; p < n; p++ {
+		pid := ids.ProcessID(p)
+		ep, err := c.Net.Attach(pid)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("ctbaseline: attach %v: %w", pid, err)
+		}
+		rt := router.New(ep)
+		det := fd.New(pid, n, 1, fd.Options{
+			Heartbeat: 5 * time.Millisecond,
+			Timeout:   30 * time.Millisecond,
+		}, rt.Bound(router.ChanFD))
+		eng, err := consensus.New(consensus.Config{
+			PID:      pid,
+			N:        n,
+			Policy:   consensus.PolicyLeader,
+			RetryMin: 3 * time.Millisecond,
+			RetryMax: 50 * time.Millisecond,
+			Seed:     uint64(p) + 1,
+		}, storage.Null{}, rt.Bound(router.ChanConsensus), det)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("ctbaseline: engine %v: %w", pid, err)
+		}
+		cfg := Config{PID: pid, N: n}
+		if onDeliver != nil {
+			cfg.OnDeliver = func(d Delivery) { onDeliver(pid, d) }
+		}
+		proto := New(cfg, eng, rt.Bound(router.ChanCore))
+		rt.Handle(router.ChanFD, det.OnMessage)
+		rt.Handle(router.ChanConsensus, eng.OnMessage)
+		rt.Handle(router.ChanCore, proto.OnMessage)
+		rt.Start(ctx)
+		det.Start(ctx)
+		eng.Start(ctx)
+		proto.Start(ctx)
+
+		c.Procs = append(c.Procs, proto)
+		c.routers = append(c.routers, rt)
+		c.detectors = append(c.detectors, det)
+		c.engines = append(c.engines, eng)
+	}
+	return c, nil
+}
+
+// Stop tears the cluster down.
+func (c *Cluster) Stop() {
+	c.cancel()
+	for i := range c.Procs {
+		c.routers[i].Stop()
+		c.Procs[i].Stop()
+		c.engines[i].Stop()
+		c.detectors[i].Stop()
+	}
+	c.Net.Close()
+}

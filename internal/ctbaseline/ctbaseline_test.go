@@ -1,0 +1,118 @@
+package ctbaseline
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/ids"
+	"repro/internal/transport"
+)
+
+func TestBaselineDeliversInTotalOrder(t *testing.T) {
+	var mu sync.Mutex
+	histories := make(map[ids.ProcessID][]ids.MsgID)
+	c, err := NewCluster(3, transport.MemOptions{Seed: 1}, func(pid ids.ProcessID, d Delivery) {
+		mu.Lock()
+		defer mu.Unlock()
+		histories[pid] = append(histories[pid], d.Msg.ID)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := c.Procs[p].Broadcast(ctx, []byte(fmt.Sprintf("p%d-%d", p, i))); err != nil {
+					t.Errorf("broadcast p%d: %v", p, err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	// Everyone eventually delivers all 30.
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for p := 0; p < 3; p++ {
+			if len(c.Procs[p].Sequence()) < 30 {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for p := 0; p < 3; p++ {
+		if len(histories[ids.ProcessID(p)]) != 30 {
+			t.Fatalf("p%d delivered %d/30", p, len(histories[ids.ProcessID(p)]))
+		}
+	}
+	if err := check.VerifyPrefix(histories); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselineSurvivesMinorityCrashStop(t *testing.T) {
+	c, err := NewCluster(3, transport.MemOptions{Seed: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// One crash-stop failure (never returns).
+	c.Procs[2].Stop()
+
+	id, err := c.Procs[0].Broadcast(ctx, []byte("still works"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Procs[0].Delivered(id) && c.Procs[1].Delivered(id) {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("survivors never delivered")
+}
+
+func TestBaselineFloodReachesNonSenders(t *testing.T) {
+	c, err := NewCluster(3, transport.MemOptions{Seed: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	id, err := c.Procs[1].Broadcast(ctx, []byte("from p1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Procs[0].Delivered(id) && c.Procs[2].Delivered(id) {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("message never reached non-senders")
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/harness"
+	"repro/internal/ids"
+)
+
+// Ablation experiments: design-choice sweeps over knobs the paper leaves
+// open ("implementation dependent frequency", failure-detector quality,
+// group size). They are not paper claims but quantify the sensitivity of
+// the protocol to its tuning parameters.
+
+// E11FDTimeout sweeps the failure-detector timeout and measures how fast
+// the protocol recovers ordering after the Ω leader crashes: an aggressive
+// detector hands off quickly; a conservative one stalls every instance for
+// the full timeout (the trade-off behind §3.5's "unreliable" detectors).
+func E11FDTimeout(scale Scale) (*Result, error) {
+	msgs := scale.pick(5, 20)
+	table := harness.NewTable(
+		"E11 (ablation) — FD timeout vs ordering stall after leader crash (n=3)",
+		"fd timeout", "first post-crash delivery", "total for all msgs")
+	res := &Result{Table: table}
+	for _, timeout := range []time.Duration{20 * time.Millisecond, 80 * time.Millisecond, 300 * time.Millisecond} {
+		c := harness.NewCluster(harness.Options{
+			N:    3,
+			Seed: 11000 + uint64(timeout),
+			FD: fd.Options{
+				Heartbeat: 5 * time.Millisecond,
+				Timeout:   timeout,
+			},
+			Consensus: consensus.Config{
+				RetryMin: 3 * time.Millisecond,
+				RetryMax: 40 * time.Millisecond,
+			},
+		})
+		if err := c.StartAll(); err != nil {
+			c.Stop()
+			return nil, err
+		}
+		cx, cancel := ctx()
+		// Warm up so the detector has seen the leader alive.
+		if err := broadcastN(c, cx, []ids.ProcessID{1}, 3, 32); err != nil {
+			cancel()
+			c.Stop()
+			return nil, err
+		}
+		// Kill the Ω leader (p0) and immediately broadcast from p1.
+		c.Crash(0)
+		start := time.Now()
+		var first time.Duration
+		err := error(nil)
+		for i := 0; i < msgs; i++ {
+			if _, err = c.Broadcast(cx, 1, []byte("post-crash")); err != nil {
+				break
+			}
+			if i == 0 {
+				first = time.Since(start)
+			}
+		}
+		total := time.Since(start)
+		cancel()
+		if err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("E11 timeout=%v: %w", timeout, err)
+		}
+		table.Add(timeout, first.Round(time.Millisecond), total.Round(time.Millisecond))
+		c.Stop()
+	}
+	res.Notes = append(res.Notes,
+		"after the leader crashes, non-leaders take over once the detector suspects it (plus a grace period); ordering stall tracks the FD timeout")
+	return res, nil
+}
+
+// E12GossipInterval sweeps the gossip period: dissemination of unordered
+// messages (and hence non-leader broadcast latency when the eager push is
+// lost) degrades as gossip slows, while network cost shrinks.
+func E12GossipInterval(scale Scale) (*Result, error) {
+	perSender := scale.pick(15, 60)
+	table := harness.NewTable(
+		fmt.Sprintf("E12 (ablation) — gossip interval sweep (n=3, lossy net, 3 senders x %d msgs)", perSender),
+		"gossip interval", "msgs/s", "mean latency", "p99 latency", "gossips sent")
+	res := &Result{Table: table}
+	for _, interval := range []time.Duration{5 * time.Millisecond, 20 * time.Millisecond, 80 * time.Millisecond} {
+		c := harness.NewCluster(harness.Options{
+			N:    3,
+			Seed: 12000 + uint64(interval),
+			Net:  harness.DefaultLossyNet(12000 + uint64(interval)),
+			Core: core.Config{GossipInterval: interval},
+		})
+		if err := c.StartAll(); err != nil {
+			c.Stop()
+			return nil, err
+		}
+		cx, cancel := ctx()
+		m, err := c.Run(cx, harness.Workload{
+			Senders:           []ids.ProcessID{0, 1, 2},
+			MessagesPerSender: perSender,
+			PayloadSize:       64,
+		})
+		cancel()
+		if err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("E12 interval=%v: %w", interval, err)
+		}
+		var gossips uint64
+		for p := 0; p < 3; p++ {
+			gossips += c.Nodes[p].Proto().Stats().GossipSent
+		}
+		table.Add(interval, m.Throughput(),
+			m.Mean().Round(10*time.Microsecond),
+			m.Percentile(99).Round(10*time.Microsecond), gossips)
+		c.Stop()
+	}
+	res.Notes = append(res.Notes,
+		"the gossip period bounds retransmission frequency on a lossy network: slower gossip = fewer messages but slower recovery of lost payloads (tail latency)")
+	return res, nil
+}
+
+// E13GroupSize sweeps n: consensus quorums grow with n, so per-message
+// cost rises while the protocol keeps working unchanged.
+func E13GroupSize(scale Scale) (*Result, error) {
+	perSender := scale.pick(15, 60)
+	table := harness.NewTable(
+		fmt.Sprintf("E13 (ablation) — group size sweep (3 senders x %d msgs)", perSender),
+		"n", "quorum", "msgs/s", "mean latency", "cons log ops/msg")
+	res := &Result{Table: table}
+	for _, n := range []int{3, 5, 7} {
+		c := harness.NewCluster(harness.Options{N: n, Seed: 13000 + uint64(n)})
+		if err := c.StartAll(); err != nil {
+			c.Stop()
+			return nil, err
+		}
+		cx, cancel := ctx()
+		m, err := c.Run(cx, harness.Workload{
+			Senders:           []ids.ProcessID{0, 1, 2},
+			MessagesPerSender: perSender,
+			PayloadSize:       64,
+		})
+		cancel()
+		if err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("E13 n=%d: %w", n, err)
+		}
+		var consOps int64
+		for p := 0; p < n; p++ {
+			consOps += c.Stores[p].Layer("cons").LogOps()
+		}
+		table.Add(n, consensus.Quorum(n), m.Throughput(),
+			m.Mean().Round(10*time.Microsecond),
+			float64(consOps)/float64(m.Count))
+		c.Stop()
+	}
+	res.Notes = append(res.Notes,
+		"quorum size (and acceptor logging) grows linearly with n; the protocol itself is unchanged")
+	return res, nil
+}

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/ids"
+)
+
+// E4CatchUp verifies C5c (§5.3): a process that was down for D rounds
+// catches up by replaying missed Consensus instances when D is small, and
+// by a Δ-triggered state transfer when D exceeds Δ — the latter in time
+// that does not grow with D.
+func E4CatchUp(scale Scale) (*Result, error) {
+	downs := []int{8, 40}
+	if scale == Full {
+		downs = []int{8, 40, 150, 400}
+	}
+	deltas := []uint64{5, 20}
+	table := harness.NewTable(
+		"E4 — catch-up after D missed messages (n=3)",
+		"D", "Δ", "mechanism", "transferred msgs", "caught-up rounds", "catch-up time")
+	res := &Result{Table: table}
+	for _, down := range downs {
+		// Δ = 0: no state transfer, no GC — the recovering process must
+		// run every missed Consensus instance (proposing ∅, §4.2).
+		allDeltas := append([]uint64{0}, deltas...)
+		for _, delta := range allDeltas {
+			coreCfg := core.Config{CheckpointEvery: 10, Delta: delta}
+			if delta == 0 {
+				coreCfg = core.Config{} // basic protocol: replay only
+			}
+			c := harness.NewCluster(harness.Options{
+				N:    3,
+				Seed: 4000 + uint64(down) + delta,
+				Core: coreCfg,
+			})
+			if err := c.StartAll(); err != nil {
+				c.Stop()
+				return nil, err
+			}
+			cx, cancel := ctx()
+			c.Crash(2)
+			err := broadcastN(c, cx, []ids.ProcessID{0, 1}, down, 32)
+			if err == nil && delta > 0 {
+				err = c.Nodes[0].Proto().CheckpointNow()
+				if err == nil {
+					err = c.Nodes[1].Proto().CheckpointNow()
+				}
+			}
+			if err != nil {
+				cancel()
+				c.Stop()
+				return nil, fmt.Errorf("E4 D=%d: %w", down, err)
+			}
+			start := time.Now()
+			if _, err := c.Recover(2); err != nil {
+				cancel()
+				c.Stop()
+				return nil, fmt.Errorf("E4 recover D=%d: %w", down, err)
+			}
+			// Catch-up ends when p2 holds everything ordered so far.
+			err = c.AwaitAllDelivered(cx, 0, 1, 2)
+			catchUp := time.Since(start)
+			cancel()
+			if err != nil {
+				c.Stop()
+				return nil, fmt.Errorf("E4 await D=%d Δ=%d: %w", down, delta, err)
+			}
+			st := c.Nodes[2].Proto().Stats()
+			mechanism := "per-round consensus"
+			if st.StateAdopted > 0 {
+				mechanism = "state transfer"
+			}
+			deltaLabel := fmt.Sprintf("%d", delta)
+			if delta == 0 {
+				deltaLabel = "off"
+			}
+			caughtUp := c.Nodes[2].Proto().Round()
+			table.Add(down, deltaLabel, mechanism, st.DeliveredByTransfer, caughtUp,
+				catchUp.Round(100*time.Microsecond))
+			c.Stop()
+		}
+	}
+	res.Notes = append(res.Notes,
+		"paper claim: 'a process that has been down for a long period ... may require a long time to catch-up' without state transfer; with it, missed instances are skipped",
+		"the survivors checkpointed and GC'd their logs, so for D > Δ only a state transfer can recover p2")
+	return res, nil
+}
+
+// E5Batching verifies C5d (§5.4): pipelining broadcasts into shared
+// Consensus instances raises throughput, and the batched (early-return)
+// A-broadcast slashes caller-visible latency.
+func E5Batching(scale Scale) (*Result, error) {
+	perSender := scale.pick(20, 100)
+	table := harness.NewTable(
+		fmt.Sprintf("E5 — batching and early return (n=3, 3 senders x %d msgs)", perSender),
+		"mode", "pipeline", "msgs/s", "mean latency", "p99 latency", "msgs/round")
+	res := &Result{Table: table}
+	for _, batched := range []bool{false, true} {
+		for _, pipeline := range []int{1, 8, 32} {
+			cfg := core.Config{}
+			mode := "wait-until-ordered"
+			if batched {
+				cfg = core.Config{BatchedBroadcast: true, IncrementalLog: true}
+				mode = "batched early-return"
+			}
+			c := harness.NewCluster(harness.Options{
+				N:    3,
+				Seed: 5000 + uint64(pipeline),
+				Core: cfg,
+			})
+			if err := c.StartAll(); err != nil {
+				c.Stop()
+				return nil, err
+			}
+			cx, cancel := ctx()
+			start := time.Now()
+			m, err := c.Run(cx, harness.Workload{
+				Senders:           []ids.ProcessID{0, 1, 2},
+				MessagesPerSender: perSender / pipelineDiv(pipeline),
+				Pipeline:          pipeline,
+				PayloadSize:       64,
+			})
+			if err == nil {
+				err = c.AwaitAllDelivered(cx, 0, 1, 2)
+			}
+			elapsed := time.Since(start)
+			cancel()
+			if err != nil {
+				c.Stop()
+				return nil, fmt.Errorf("E5 %s pipeline=%d: %w", mode, pipeline, err)
+			}
+			rounds := c.Nodes[0].Proto().Stats().Rounds
+			msgsPerRound := 0.0
+			if rounds > 0 {
+				msgsPerRound = float64(m.Count) / float64(rounds)
+			}
+			table.Add(mode, pipeline,
+				float64(m.Count)/elapsed.Seconds(),
+				m.Mean().Round(10*time.Microsecond),
+				m.Percentile(99).Round(10*time.Microsecond),
+				msgsPerRound)
+			c.Stop()
+		}
+	}
+	res.Notes = append(res.Notes,
+		"paper claim: 'for better throughput, it may be interesting to let the application propose batches of messages ... proposed in batch to a single instance of Consensus'",
+		"batched mode returns after logging Unordered (§5.4), so caller latency is storage-bound, not ordering-bound")
+	return res, nil
+}
+
+// pipelineDiv keeps total message counts comparable across pipeline widths.
+func pipelineDiv(pipeline int) int {
+	if pipeline > 4 {
+		return pipeline / 4
+	}
+	return 1
+}
+
+// E6IncrementalLog verifies C5e (§5.5): logging only the new part of the
+// Unordered set cuts logged bytes, most visibly when many broadcasts are
+// outstanding.
+func E6IncrementalLog(scale Scale) (*Result, error) {
+	perSender := scale.pick(40, 200)
+	table := harness.NewTable(
+		fmt.Sprintf("E6 — incremental vs full Unordered logging (n=3, batched, pipeline=16, %d msgs/sender)", perSender),
+		"mode", "abcast log ops", "abcast log bytes", "bytes/msg")
+	res := &Result{Table: table}
+	for _, incremental := range []bool{false, true} {
+		mode := "full set per A-broadcast"
+		if incremental {
+			mode = "incremental (new part only)"
+		}
+		c := harness.NewCluster(harness.Options{
+			N:    3,
+			Seed: 6000,
+			Core: core.Config{BatchedBroadcast: true, IncrementalLog: incremental},
+		})
+		if err := c.StartAll(); err != nil {
+			c.Stop()
+			return nil, err
+		}
+		cx, cancel := ctx()
+		m, err := c.Run(cx, harness.Workload{
+			Senders:           []ids.ProcessID{0, 1, 2},
+			MessagesPerSender: perSender,
+			Pipeline:          16,
+			PayloadSize:       64,
+		})
+		if err == nil {
+			err = c.AwaitAllDelivered(cx, 0, 1, 2)
+		}
+		cancel()
+		if err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("E6 %s: %w", mode, err)
+		}
+		var ops, bytes int64
+		for p := 0; p < 3; p++ {
+			st := c.Stores[p].Layer("abcast")
+			ops += st.LogOps()
+			bytes += st.LogBytes()
+		}
+		table.Add(mode, ops, bytes, float64(bytes)/float64(m.Count*3))
+		c.Stop()
+	}
+	res.Notes = append(res.Notes,
+		"paper claim: 'when logging a queue or a set ... only its new part (with respect to the previous logging) has to be logged'")
+	return res, nil
+}

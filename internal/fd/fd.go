@@ -1,0 +1,176 @@
+// Package fd implements an unreliable failure detector for the
+// crash-recovery model, in the style of Aguilera, Chen and Toueg (the
+// paper's reference [1]): its output is unbounded — alongside suspicions it
+// exports, for every process, the incarnation (epoch) counter the process
+// logged at its last recovery. Consensus uses it both for suspicion-driven
+// coordinator hand-off and for an Ω-style eventual-leader hint.
+//
+// Per the paper's claim C2, the atomic broadcast layer never touches this
+// package; only the consensus engine does (§3.5).
+package fd
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/router"
+	"repro/internal/wire"
+)
+
+// Options configures a Detector.
+type Options struct {
+	// Heartbeat is the interval between heartbeats (default 15ms).
+	Heartbeat time.Duration
+	// Timeout is the silence after which a process is suspected
+	// (default 4x Heartbeat).
+	Timeout time.Duration
+}
+
+func (o *Options) fill() {
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = 15 * time.Millisecond
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 4 * o.Heartbeat
+	}
+}
+
+// View is the detector's knowledge of one process.
+type View struct {
+	Trusted bool
+	Epoch   uint32 // highest incarnation observed
+}
+
+// Detector is a heartbeat failure detector for one process incarnation.
+type Detector struct {
+	pid   ids.ProcessID
+	n     int
+	epoch uint32
+	opts  Options
+	net   router.Net
+	clock func() time.Time
+
+	mu       sync.Mutex
+	lastSeen []time.Time
+	epochs   []uint32
+
+	wg sync.WaitGroup
+}
+
+// New creates a detector for process pid (of n) running incarnation epoch.
+// net must be bound to the FD channel.
+func New(pid ids.ProcessID, n int, epoch uint32, opts Options, net router.Net) *Detector {
+	opts.fill()
+	d := &Detector{
+		pid:      pid,
+		n:        n,
+		epoch:    epoch,
+		opts:     opts,
+		net:      net,
+		clock:    time.Now,
+		lastSeen: make([]time.Time, n),
+		epochs:   make([]uint32, n),
+	}
+	d.epochs[pid] = epoch
+	return d
+}
+
+// SetClock overrides the time source (tests only).
+func (d *Detector) SetClock(clock func() time.Time) { d.clock = clock }
+
+// Start launches the heartbeat task. It returns immediately; the task stops
+// when ctx is cancelled. Wait for it with Stop.
+func (d *Detector) Start(ctx context.Context) {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		ticker := time.NewTicker(d.opts.Heartbeat)
+		defer ticker.Stop()
+		d.beat()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				d.beat()
+			}
+		}
+	}()
+}
+
+// Stop waits for the heartbeat task to exit (cancel the Start context
+// first).
+func (d *Detector) Stop() { d.wg.Wait() }
+
+func (d *Detector) beat() {
+	w := wire.NewWriter(8)
+	w.U64(uint64(d.epoch))
+	d.net.Multisend(w.Bytes())
+}
+
+// OnMessage is the router handler for FD heartbeats.
+func (d *Detector) OnMessage(from ids.ProcessID, payload []byte) {
+	r := wire.NewReader(payload)
+	epoch := uint32(r.U64())
+	if r.Err() != nil || from < 0 || int(from) >= d.n {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.lastSeen[from] = d.clock()
+	if epoch > d.epochs[from] {
+		d.epochs[from] = epoch
+	}
+}
+
+// Suspects reports whether p is currently suspected. A process never
+// suspects itself.
+func (d *Detector) Suspects(p ids.ProcessID) bool {
+	if p == d.pid {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	last := d.lastSeen[p]
+	if last.IsZero() {
+		// Never heard from p this incarnation: give it one timeout of
+		// grace from our own start rather than suspecting instantly.
+		return false
+	}
+	return d.clock().Sub(last) > d.opts.Timeout
+}
+
+// Trusted returns the processes currently not suspected, in pid order.
+func (d *Detector) Trusted() []ids.ProcessID {
+	out := make([]ids.ProcessID, 0, d.n)
+	for p := 0; p < d.n; p++ {
+		if !d.Suspects(ids.ProcessID(p)) {
+			out = append(out, ids.ProcessID(p))
+		}
+	}
+	return out
+}
+
+// Leader returns the Ω-style eventual leader hint: the lowest-id trusted
+// process. With accurate-enough timeouts all good processes eventually
+// agree on it.
+func (d *Detector) Leader() ids.ProcessID {
+	for p := 0; p < d.n; p++ {
+		if !d.Suspects(ids.ProcessID(p)) {
+			return ids.ProcessID(p)
+		}
+	}
+	return d.pid
+}
+
+// Epoch returns the highest incarnation number observed for p.
+func (d *Detector) Epoch(p ids.ProcessID) uint32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.epochs[p]
+}
+
+// SelfEpoch returns this incarnation's epoch.
+func (d *Detector) SelfEpoch() uint32 { return d.epoch }

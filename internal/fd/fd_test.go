@@ -1,0 +1,180 @@
+package fd
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/router"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// fakeNet captures multisends.
+type fakeNet struct {
+	mu   sync.Mutex
+	sent [][]byte
+}
+
+var _ router.Net = (*fakeNet)(nil)
+
+func (f *fakeNet) Send(to ids.ProcessID, payload []byte) {}
+func (f *fakeNet) Multisend(payload []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	f.sent = append(f.sent, cp)
+}
+func (f *fakeNet) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.sent)
+}
+
+func TestHeartbeatTaskBeats(t *testing.T) {
+	net := &fakeNet{}
+	d := New(0, 3, 1, Options{Heartbeat: 2 * time.Millisecond}, net)
+	ctx, cancel := context.WithCancel(context.Background())
+	d.Start(ctx)
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	d.Stop()
+	if net.count() < 3 {
+		t.Fatalf("only %d heartbeats", net.count())
+	}
+}
+
+func TestSuspicionLifecycle(t *testing.T) {
+	net := &fakeNet{}
+	d := New(0, 3, 1, Options{Heartbeat: 5 * time.Millisecond, Timeout: 20 * time.Millisecond}, net)
+	now := time.Unix(1000, 0)
+	d.SetClock(func() time.Time { return now })
+
+	// Never-heard processes get grace: not suspected.
+	if d.Suspects(1) {
+		t.Fatal("grace period ignored")
+	}
+	// Fresh heartbeat: trusted.
+	hb := wire.NewWriter(4)
+	hb.U64(7)
+	d.OnMessage(1, hb.Bytes())
+	if d.Suspects(1) {
+		t.Fatal("fresh heartbeat suspected")
+	}
+	if d.Epoch(1) != 7 {
+		t.Fatalf("epoch = %d", d.Epoch(1))
+	}
+	// Silence beyond the timeout: suspected.
+	now = now.Add(50 * time.Millisecond)
+	if !d.Suspects(1) {
+		t.Fatal("silent process not suspected")
+	}
+	// It speaks again with a higher epoch (it recovered): trusted again.
+	hb2 := wire.NewWriter(4)
+	hb2.U64(8)
+	d.OnMessage(1, hb2.Bytes())
+	if d.Suspects(1) {
+		t.Fatal("recovered process still suspected")
+	}
+	if d.Epoch(1) != 8 {
+		t.Fatalf("epoch after recovery = %d", d.Epoch(1))
+	}
+}
+
+func TestNeverSuspectsSelf(t *testing.T) {
+	d := New(2, 3, 1, Options{}, &fakeNet{})
+	now := time.Unix(0, 0)
+	d.SetClock(func() time.Time { return now })
+	now = now.Add(time.Hour)
+	if d.Suspects(2) {
+		t.Fatal("self-suspicion")
+	}
+}
+
+func TestLeaderIsLowestTrusted(t *testing.T) {
+	net := &fakeNet{}
+	d := New(2, 3, 1, Options{Timeout: 10 * time.Millisecond}, net)
+	now := time.Unix(1000, 0)
+	d.SetClock(func() time.Time { return now })
+
+	hb := wire.NewWriter(4)
+	hb.U64(1)
+	d.OnMessage(0, hb.Bytes())
+	d.OnMessage(1, hb.Bytes())
+	if d.Leader() != 0 {
+		t.Fatalf("leader = %v", d.Leader())
+	}
+	// p0 goes silent past the timeout; p1 stays fresh.
+	now = now.Add(20 * time.Millisecond)
+	d.OnMessage(1, hb.Bytes())
+	if d.Leader() != 1 {
+		t.Fatalf("leader after p0 silence = %v", d.Leader())
+	}
+}
+
+func TestEpochNeverRegresses(t *testing.T) {
+	d := New(0, 2, 1, Options{}, &fakeNet{})
+	hbHigh := wire.NewWriter(4)
+	hbHigh.U64(9)
+	d.OnMessage(1, hbHigh.Bytes())
+	hbLow := wire.NewWriter(4)
+	hbLow.U64(3) // stale duplicate from an old incarnation
+	d.OnMessage(1, hbLow.Bytes())
+	if d.Epoch(1) != 9 {
+		t.Fatalf("epoch regressed to %d", d.Epoch(1))
+	}
+}
+
+func TestMalformedHeartbeatIgnored(t *testing.T) {
+	d := New(0, 2, 1, Options{}, &fakeNet{})
+	d.OnMessage(1, nil)
+	d.OnMessage(1, []byte{0xff}) // truncated varint
+	d.OnMessage(99, []byte{1})   // out-of-range pid
+	d.OnMessage(-1, []byte{1})   // negative pid
+	if d.Epoch(1) != 0 {
+		t.Fatal("malformed heartbeat had effect")
+	}
+}
+
+func TestTrustedListOverRealNetwork(t *testing.T) {
+	memNet := transport.NewMem(2, transport.MemOptions{Seed: 3})
+	defer memNet.Close()
+	var rts []*router.Router
+	var dets []*Detector
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for p := 0; p < 2; p++ {
+		ep, err := memNet.Attach(ids.ProcessID(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := router.New(ep)
+		det := New(ids.ProcessID(p), 2, 1, Options{
+			Heartbeat: 2 * time.Millisecond,
+			Timeout:   20 * time.Millisecond,
+		}, rt.Bound(router.ChanFD))
+		rt.Handle(router.ChanFD, det.OnMessage)
+		rt.Start(ctx)
+		det.Start(ctx)
+		rts = append(rts, rt)
+		dets = append(dets, det)
+	}
+	defer func() {
+		cancel()
+		for i := range rts {
+			rts[i].Stop()
+			dets[i].Stop()
+		}
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(dets[0].Trusted()) == 2 && dets[0].Leader() == 0 && dets[1].Leader() == 0 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("detectors never converged: trusted=%v", dets[0].Trusted())
+}

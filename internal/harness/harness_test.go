@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+)
+
+func TestClusterLifecycle(t *testing.T) {
+	c := NewCluster(Options{N: 3, Seed: 501})
+	defer c.Stop()
+	if err := c.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.UpPIDs()); got != 3 {
+		t.Fatalf("up = %d", got)
+	}
+	c.Crash(1)
+	if got := len(c.UpPIDs()); got != 2 {
+		t.Fatalf("up after crash = %d", got)
+	}
+	if _, err := c.Recover(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.UpPIDs()); got != 3 {
+		t.Fatalf("up after recover = %d", got)
+	}
+}
+
+func TestWorkloadRunCollectsMetrics(t *testing.T) {
+	c := NewCluster(Options{N: 3, Seed: 502})
+	defer c.Stop()
+	if err := c.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	m, err := c.Run(ctx, Workload{
+		Senders:           []ids.ProcessID{0, 1},
+		MessagesPerSender: 5,
+		PayloadSize:       32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count != 10 || m.Errors != 0 {
+		t.Fatalf("count=%d errors=%d", m.Count, m.Errors)
+	}
+	if m.Throughput() <= 0 {
+		t.Fatal("throughput not positive")
+	}
+	if m.Mean() <= 0 || m.Percentile(50) <= 0 || m.Percentile(99) < m.Percentile(50) {
+		t.Fatalf("latency stats inconsistent: mean=%v p50=%v p99=%v",
+			m.Mean(), m.Percentile(50), m.Percentile(99))
+	}
+}
+
+func TestMetricsEdgeCases(t *testing.T) {
+	var m Metrics
+	if m.Throughput() != 0 || m.Mean() != 0 || m.Percentile(99) != 0 {
+		t.Fatal("empty metrics should be zero")
+	}
+	m = Metrics{
+		Count:     3,
+		Elapsed:   time.Second,
+		Latencies: []time.Duration{3 * time.Millisecond, time.Millisecond, 2 * time.Millisecond},
+	}
+	if m.Throughput() != 3 {
+		t.Fatalf("throughput = %f", m.Throughput())
+	}
+	if m.Percentile(0) != time.Millisecond {
+		t.Fatalf("p0 = %v", m.Percentile(0))
+	}
+	if m.Percentile(100) != 3*time.Millisecond {
+		t.Fatalf("p100 = %v", m.Percentile(100))
+	}
+	if m.Mean() != 2*time.Millisecond {
+		t.Fatalf("mean = %v", m.Mean())
+	}
+}
+
+func TestRunFaultsLeavesProcessesUp(t *testing.T) {
+	c := NewCluster(Options{N: 3, Seed: 503})
+	defer c.Stop()
+	if err := c.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	fctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+	defer cancel()
+	wait := c.RunFaults(fctx, FaultSchedule{
+		PID:     2,
+		UpFor:   60 * time.Millisecond,
+		DownFor: 40 * time.Millisecond,
+	})
+	wait()
+	if !c.Nodes[2].Up() {
+		t.Fatal("fault schedule left process down")
+	}
+	// The process should have gone through at least one extra epoch.
+	if c.Nodes[2].Epoch() < 2 {
+		t.Fatalf("epoch = %d, expected churn", c.Nodes[2].Epoch())
+	}
+}
+
+func TestTablePrintAndMarkdown(t *testing.T) {
+	tb := NewTable("demo", "col-a", "b")
+	tb.Add("x", 1)
+	tb.Add("longer-value", 2.5)
+	var buf bytes.Buffer
+	tb.Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== demo ==") || !strings.Contains(out, "longer-value") {
+		t.Fatalf("print output:\n%s", out)
+	}
+	// Columns align: header width adapts to widest cell.
+	if !strings.Contains(out, "col-a") {
+		t.Fatal("missing header")
+	}
+	md := tb.Markdown()
+	if !strings.Contains(md, "| col-a | b |") || !strings.Contains(md, "| x | 1 |") {
+		t.Fatalf("markdown output:\n%s", md)
+	}
+	if !strings.Contains(md, "2.50") {
+		t.Fatal("float not formatted")
+	}
+}
+
+func TestMemStoreAccessor(t *testing.T) {
+	c := NewCluster(Options{N: 1, Seed: 504})
+	defer c.Stop()
+	if c.MemStore(0) == nil {
+		t.Fatal("mem store accessor broken")
+	}
+}
+
+func TestBroadcastOnDownNodeFails(t *testing.T) {
+	c := NewCluster(Options{N: 3, Seed: 505})
+	defer c.Stop()
+	if err := c.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash(0)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := c.Broadcast(ctx, 0, []byte("x")); err == nil {
+		t.Fatal("broadcast on down node succeeded")
+	}
+	if _, err := c.BroadcastAsync(0, []byte("x")); err == nil {
+		t.Fatal("async broadcast on down node succeeded")
+	}
+}

@@ -1,0 +1,177 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// Metrics aggregates a workload run.
+type Metrics struct {
+	Count     int
+	Elapsed   time.Duration
+	Latencies []time.Duration
+	Errors    int
+}
+
+// Throughput returns messages per second.
+func (m Metrics) Throughput() float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return float64(m.Count) / m.Elapsed.Seconds()
+}
+
+// Percentile returns the q-th latency percentile (q in [0,100]).
+func (m Metrics) Percentile(q float64) time.Duration {
+	if len(m.Latencies) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(m.Latencies))
+	copy(sorted, m.Latencies)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Mean returns the mean latency.
+func (m Metrics) Mean() time.Duration {
+	if len(m.Latencies) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, l := range m.Latencies {
+		total += l
+	}
+	return total / time.Duration(len(m.Latencies))
+}
+
+// Workload parameterizes a load run.
+type Workload struct {
+	// Senders broadcast in parallel (closed loop, one outstanding
+	// message each).
+	Senders []ids.ProcessID
+	// MessagesPerSender is the per-sender message count.
+	MessagesPerSender int
+	// PayloadSize in bytes.
+	PayloadSize int
+	// Pipeline > 1 keeps several broadcasts outstanding per sender
+	// (batching pressure, §5.4).
+	Pipeline int
+	// Seed randomizes payload content.
+	Seed uint64
+}
+
+func (w *Workload) fill() {
+	if w.MessagesPerSender <= 0 {
+		w.MessagesPerSender = 10
+	}
+	if w.PayloadSize <= 0 {
+		w.PayloadSize = 64
+	}
+	if w.Pipeline <= 0 {
+		w.Pipeline = 1
+	}
+	if w.Seed == 0 {
+		w.Seed = 1
+	}
+}
+
+// Run drives the workload to completion: every sender broadcasts its quota
+// (waiting for ordering, i.e. the basic A-broadcast contract) and the
+// elapsed time and latencies are collected.
+func (c *Cluster) Run(ctx context.Context, w Workload) (Metrics, error) {
+	w.fill()
+	var (
+		mu  sync.Mutex
+		m   Metrics
+		wg  sync.WaitGroup
+		err error
+	)
+	start := time.Now()
+	for si, sender := range w.Senders {
+		for lane := 0; lane < w.Pipeline; lane++ {
+			wg.Add(1)
+			go func(sender ids.ProcessID, stream int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewPCG(w.Seed, uint64(stream)))
+				payload := make([]byte, w.PayloadSize)
+				for i := 0; i < w.MessagesPerSender; i++ {
+					for b := range payload {
+						payload[b] = byte(rng.Uint64())
+					}
+					t0 := time.Now()
+					_, berr := c.Broadcast(ctx, sender, payload)
+					lat := time.Since(t0)
+					mu.Lock()
+					if berr != nil {
+						m.Errors++
+						if err == nil && ctx.Err() != nil {
+							err = fmt.Errorf("workload: %w", berr)
+						}
+					} else {
+						m.Count++
+						m.Latencies = append(m.Latencies, lat)
+					}
+					mu.Unlock()
+					if ctx.Err() != nil {
+						return
+					}
+				}
+			}(sender, si*w.Pipeline+lane)
+		}
+	}
+	wg.Wait()
+	m.Elapsed = time.Since(start)
+	return m, err
+}
+
+// FaultSchedule crashes and recovers a process in a loop until the context
+// ends. It models the paper's oscillating (potentially bad) process.
+type FaultSchedule struct {
+	PID     ids.ProcessID
+	UpFor   time.Duration
+	DownFor time.Duration
+}
+
+// RunFaults executes schedules concurrently until ctx is done, then leaves
+// every scheduled process recovered (so it can be judged "good": it
+// eventually remains permanently up). It returns a function that waits for
+// the schedules to finish.
+func (c *Cluster) RunFaults(ctx context.Context, schedules ...FaultSchedule) (wait func()) {
+	var wg sync.WaitGroup
+	for _, s := range schedules {
+		wg.Add(1)
+		go func(s FaultSchedule) {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					// Leave the process up: good processes
+					// eventually remain permanently up.
+					if !c.Nodes[s.PID].Up() {
+						_, _ = c.Recover(s.PID)
+					}
+					return
+				case <-time.After(s.UpFor):
+				}
+				c.Crash(s.PID)
+				select {
+				case <-ctx.Done():
+					_, _ = c.Recover(s.PID)
+					return
+				case <-time.After(s.DownFor):
+				}
+				if _, err := c.Recover(s.PID); err != nil {
+					return
+				}
+			}
+		}(s)
+	}
+	return wg.Wait
+}

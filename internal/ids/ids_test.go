@@ -1,0 +1,90 @@
+package ids
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestProcessIDString(t *testing.T) {
+	if got := ProcessID(3).String(); got != "p3" {
+		t.Fatalf("got %q", got)
+	}
+	if got := Nobody.String(); got != "p?" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestMsgIDLessOrdersBySenderIncarnationSeq(t *testing.T) {
+	cases := []struct {
+		a, b MsgID
+		less bool
+	}{
+		{MsgID{0, 1, 1}, MsgID{1, 1, 1}, true},
+		{MsgID{1, 1, 1}, MsgID{0, 1, 1}, false},
+		{MsgID{0, 1, 1}, MsgID{0, 2, 1}, true},
+		{MsgID{0, 1, 2}, MsgID{0, 1, 10}, true},
+		{MsgID{0, 1, 1}, MsgID{0, 1, 1}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.less {
+			t.Errorf("%v < %v = %v, want %v", c.a, c.b, got, c.less)
+		}
+	}
+}
+
+// TestLessIsStrictTotalOrder property-checks irreflexivity, asymmetry and
+// totality of the deterministic rule's order.
+func TestLessIsStrictTotalOrder(t *testing.T) {
+	irreflexive := func(s int32, inc uint32, seq uint64) bool {
+		m := MsgID{ProcessID(s), inc, seq}
+		return !m.Less(m)
+	}
+	if err := quick.Check(irreflexive, nil); err != nil {
+		t.Error(err)
+	}
+	asymmetric := func(s1, s2 int32, i1, i2 uint32, q1, q2 uint64) bool {
+		a := MsgID{ProcessID(s1), i1, q1}
+		b := MsgID{ProcessID(s2), i2, q2}
+		if a.Less(b) && b.Less(a) {
+			return false
+		}
+		// Totality: exactly one of <, >, == holds.
+		eq := a == b
+		return eq != (a.Less(b) || b.Less(a))
+	}
+	if err := quick.Check(asymmetric, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareConsistentWithLess(t *testing.T) {
+	f := func(s1, s2 int32, i1, i2 uint32, q1, q2 uint64) bool {
+		a := MsgID{ProcessID(s1), i1, q1}
+		b := MsgID{ProcessID(s2), i2, q2}
+		switch a.Compare(b) {
+		case -1:
+			return a.Less(b)
+		case 1:
+			return b.Less(a)
+		default:
+			return a == b
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLessIsTransitiveOnSortedSample(t *testing.T) {
+	sample := []MsgID{
+		{2, 1, 5}, {0, 3, 1}, {1, 1, 1}, {0, 1, 9}, {0, 1, 1},
+		{2, 1, 4}, {1, 2, 7}, {0, 2, 2}, {1, 1, 2},
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i].Less(sample[j]) })
+	for i := 0; i+1 < len(sample); i++ {
+		if sample[i+1].Less(sample[i]) {
+			t.Fatalf("sort produced inversion at %d", i)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package msg defines application messages and the two protocol-facing
+// containers of Fig. 1: the Unordered set and the Agreed queue.
+//
+// Both containers implement the idempotent semantics the paper requires:
+// "if the same message is added twice the result is the same as if it is
+// added just once (since messages have unique identifiers, duplicates can be
+// detected and eliminated)" (§4.1).
+package msg
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/ids"
+	"repro/internal/wire"
+)
+
+// Message is an application message submitted to A-broadcast.
+type Message struct {
+	ID      ids.MsgID
+	Payload []byte
+}
+
+// Equal reports whether two messages have the same identity and payload.
+func (m Message) Equal(o Message) bool {
+	return m.ID == o.ID && bytes.Equal(m.Payload, o.Payload)
+}
+
+// String implements fmt.Stringer.
+func (m Message) String() string {
+	return fmt.Sprintf("%v(%dB)", m.ID, len(m.Payload))
+}
+
+// Encode appends the message to w.
+func (m Message) Encode(w *wire.Writer) {
+	w.I64(int64(m.ID.Sender))
+	w.U64(uint64(m.ID.Incarnation))
+	w.U64(m.ID.Seq)
+	w.Bytes32(m.Payload)
+}
+
+// DecodeMessage reads one message from r, copying the payload.
+func DecodeMessage(r *wire.Reader) Message {
+	var m Message
+	m.ID.Sender = ids.ProcessID(r.I64())
+	m.ID.Incarnation = uint32(r.U64())
+	m.ID.Seq = r.U64()
+	m.Payload = r.BytesCopy()
+	return m
+}
+
+// SortCanonical sorts ms in place by the predetermined deterministic rule
+// (ascending MsgID order). Every process applies this rule to the result of
+// each Consensus instance, so all processes append a decided batch to their
+// Agreed queues in exactly the same order.
+func SortCanonical(ms []Message) {
+	sort.Slice(ms, func(i, j int) bool { return ms[i].ID.Less(ms[j].ID) })
+}
+
+// EncodeBatch encodes a slice of messages (count-prefixed).
+func EncodeBatch(w *wire.Writer, ms []Message) {
+	w.U64(uint64(len(ms)))
+	for _, m := range ms {
+		m.Encode(w)
+	}
+}
+
+// DecodeBatch decodes a slice of messages.
+func DecodeBatch(r *wire.Reader) []Message {
+	n := r.U64()
+	if r.Err() != nil {
+		return nil
+	}
+	// Cap the preallocation: n is attacker/disk-controlled.
+	capHint := n
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	ms := make([]Message, 0, capHint)
+	for i := uint64(0); i < n; i++ {
+		ms = append(ms, DecodeMessage(r))
+		if r.Err() != nil {
+			return nil
+		}
+	}
+	return ms
+}

@@ -1,0 +1,292 @@
+package msg
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+	"repro/internal/wire"
+)
+
+func mk(sender int32, inc uint32, seq uint64, payload string) Message {
+	return Message{
+		ID:      ids.MsgID{Sender: ids.ProcessID(sender), Incarnation: inc, Seq: seq},
+		Payload: []byte(payload),
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := mk(2, 3, 99, "the payload")
+	w := wire.NewWriter(0)
+	m.Encode(w)
+	r := wire.NewReader(w.Bytes())
+	got := DecodeMessage(r)
+	if err := r.Done(); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatalf("round trip mismatch: %v vs %v", got, m)
+	}
+}
+
+func TestBatchRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		in := make([]Message, int(n)%32)
+		for i := range in {
+			payload := make([]byte, rng.IntN(64))
+			for b := range payload {
+				payload[b] = byte(rng.Uint64())
+			}
+			in[i] = Message{
+				ID: ids.MsgID{
+					Sender:      ids.ProcessID(rng.IntN(7)),
+					Incarnation: uint32(rng.IntN(4)),
+					Seq:         rng.Uint64N(1000),
+				},
+				Payload: payload,
+			}
+		}
+		w := wire.NewWriter(0)
+		EncodeBatch(w, in)
+		r := wire.NewReader(w.Bytes())
+		out := DecodeBatch(r)
+		if r.Done() != nil || len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if !out[i].Equal(in[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSortCanonicalPermutationInvariant is the deterministic-rule property:
+// any permutation of a batch sorts to the same sequence.
+func TestSortCanonicalPermutationInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		n := 1 + rng.IntN(20)
+		batch := make([]Message, n)
+		for i := range batch {
+			batch[i] = mk(int32(rng.IntN(5)), uint32(rng.IntN(3)), rng.Uint64N(50), "x")
+		}
+		a := make([]Message, n)
+		b := make([]Message, n)
+		copy(a, batch)
+		copy(b, batch)
+		rng.Shuffle(n, func(i, j int) { b[i], b[j] = b[j], b[i] })
+		SortCanonical(a)
+		SortCanonical(b)
+		for i := range a {
+			if a[i].ID != b[i].ID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetAddIsIdempotent(t *testing.T) {
+	s := NewSet()
+	m := mk(0, 1, 1, "a")
+	if !s.Add(m) {
+		t.Fatal("first add reported duplicate")
+	}
+	if s.Add(m) {
+		t.Fatal("second add reported new")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestSetSubtractDelivered(t *testing.T) {
+	s := NewSet()
+	for i := uint64(1); i <= 10; i++ {
+		s.Add(mk(0, 1, i, "m"))
+	}
+	s.SubtractDelivered(func(id ids.MsgID) bool { return id.Seq <= 5 })
+	if s.Len() != 5 {
+		t.Fatalf("len = %d, want 5", s.Len())
+	}
+	for _, m := range s.Slice() {
+		if m.ID.Seq <= 5 {
+			t.Fatalf("message %v should have been subtracted", m.ID)
+		}
+	}
+}
+
+func TestSetSliceIsCanonicallySorted(t *testing.T) {
+	s := NewSet()
+	s.Add(mk(2, 1, 1, "c"))
+	s.Add(mk(0, 1, 2, "a2"))
+	s.Add(mk(0, 1, 1, "a1"))
+	s.Add(mk(1, 1, 1, "b"))
+	sl := s.Slice()
+	for i := 0; i+1 < len(sl); i++ {
+		if sl[i+1].ID.Less(sl[i].ID) {
+			t.Fatalf("slice not sorted at %d", i)
+		}
+	}
+}
+
+func TestSetCloneIsIndependent(t *testing.T) {
+	s := NewSet()
+	s.Add(mk(0, 1, 1, "a"))
+	c := s.Clone()
+	c.Add(mk(0, 1, 2, "b"))
+	if s.Len() != 1 || c.Len() != 2 {
+		t.Fatalf("clone not independent: %d vs %d", s.Len(), c.Len())
+	}
+}
+
+func TestSetRoundTrip(t *testing.T) {
+	s := NewSet()
+	s.Add(mk(0, 1, 1, "a"))
+	s.Add(mk(1, 2, 3, "b"))
+	w := wire.NewWriter(0)
+	s.Encode(w)
+	r := wire.NewReader(w.Bytes())
+	got := DecodeSet(r)
+	if r.Done() != nil || got.Len() != 2 {
+		t.Fatalf("round trip: len=%d", got.Len())
+	}
+	if !got.Contains(ids.MsgID{Sender: 1, Incarnation: 2, Seq: 3}) {
+		t.Fatal("missing member after round trip")
+	}
+}
+
+func TestQueueAppendBatchDeduplicates(t *testing.T) {
+	q := NewQueue()
+	first := q.AppendBatch([]Message{mk(0, 1, 1, "a"), mk(1, 1, 1, "b")})
+	if len(first) != 2 {
+		t.Fatalf("appended %d", len(first))
+	}
+	// ⊕: re-appending an already ordered message is a no-op.
+	second := q.AppendBatch([]Message{mk(0, 1, 1, "a"), mk(2, 1, 1, "c")})
+	if len(second) != 1 || second[0].ID.Sender != 2 {
+		t.Fatalf("dedup failed: %v", second)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("len = %d", q.Len())
+	}
+}
+
+func TestQueueAppendBatchUsesCanonicalOrder(t *testing.T) {
+	q := NewQueue()
+	q.AppendBatch([]Message{mk(2, 1, 1, "c"), mk(0, 1, 1, "a"), mk(1, 1, 1, "b")})
+	want := []int32{0, 1, 2}
+	for i, s := range want {
+		if q.At(i).ID.Sender != ids.ProcessID(s) {
+			t.Fatalf("position %d: sender %v", i, q.At(i).ID.Sender)
+		}
+	}
+}
+
+func TestQueuePositionsAndContains(t *testing.T) {
+	q := NewQueue()
+	q.AppendBatch([]Message{mk(0, 1, 1, "a")})
+	q.AppendBatch([]Message{mk(0, 1, 2, "b")})
+	if !q.Contains(ids.MsgID{Sender: 0, Incarnation: 1, Seq: 1}) {
+		t.Fatal("contains failed")
+	}
+	if q.Position(ids.MsgID{Sender: 0, Incarnation: 1, Seq: 2}) != 1 {
+		t.Fatal("position wrong")
+	}
+	if q.Position(ids.MsgID{Sender: 9, Incarnation: 1, Seq: 1}) != -1 {
+		t.Fatal("missing message should be -1")
+	}
+}
+
+// TestQueueRoundTripPreservesInterBatchOrder guards against re-sorting the
+// whole queue on decode: batch boundaries must not matter.
+func TestQueueRoundTripPreservesInterBatchOrder(t *testing.T) {
+	q := NewQueue()
+	q.AppendBatch([]Message{mk(2, 1, 7, "late-sender-first")})
+	q.AppendBatch([]Message{mk(0, 1, 1, "earlier-id-later-round")})
+	w := wire.NewWriter(0)
+	q.Encode(w)
+	r := wire.NewReader(w.Bytes())
+	got := DecodeQueue(r)
+	if r.Done() != nil || got.Len() != 2 {
+		t.Fatal("round trip failed")
+	}
+	if got.At(0).ID.Sender != 2 || got.At(1).ID.Sender != 0 {
+		t.Fatalf("order not preserved: %v, %v", got.At(0).ID, got.At(1).ID)
+	}
+}
+
+// TestQueuePrefixProperty: two queues built from the same batch stream are
+// bytewise-identical sequences (the foundation of Total Order).
+func TestQueuePrefixProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		q1, q2 := NewQueue(), NewQueue()
+		for round := 0; round < 10; round++ {
+			batch := make([]Message, rng.IntN(5))
+			for i := range batch {
+				batch[i] = mk(int32(rng.IntN(3)), 1, rng.Uint64N(30), "m")
+			}
+			// q2 receives the batch permuted.
+			perm := make([]Message, len(batch))
+			copy(perm, batch)
+			rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			q1.AppendBatch(batch)
+			q2.AppendBatch(perm)
+		}
+		a, b := q1.Slice(), q2.Slice()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueueSuffix(t *testing.T) {
+	q := NewQueue()
+	q.AppendBatch([]Message{mk(0, 1, 1, "a"), mk(0, 1, 2, "b"), mk(0, 1, 3, "c")})
+	suf := q.Suffix(1)
+	if len(suf) != 2 || suf[0].ID.Seq != 2 {
+		t.Fatalf("suffix wrong: %v", suf)
+	}
+	if q.Suffix(99) != nil {
+		t.Fatal("out-of-range suffix should be nil")
+	}
+	if got := q.Suffix(-1); len(got) != 3 {
+		t.Fatal("negative suffix should return all")
+	}
+}
+
+func TestMessageEqual(t *testing.T) {
+	a := mk(0, 1, 1, "x")
+	b := mk(0, 1, 1, "x")
+	c := mk(0, 1, 1, "y")
+	if !a.Equal(b) {
+		t.Fatal("equal messages reported unequal")
+	}
+	if a.Equal(c) {
+		t.Fatal("different payloads reported equal")
+	}
+	if !bytes.Equal(a.Payload, []byte("x")) {
+		t.Fatal("payload mangled")
+	}
+}

@@ -1,0 +1,102 @@
+package msg
+
+import (
+	"repro/internal/ids"
+	"repro/internal/wire"
+)
+
+// Queue is the Agreed container of the basic protocol: an append-only,
+// duplicate-free queue of ordered messages. The ⊕ append operation adds each
+// decided message at most once ("A message m appears at most once", §2.2).
+//
+// The zero value is not ready to use; call NewQueue.
+type Queue struct {
+	seq   []Message
+	index map[ids.MsgID]int // id -> position in seq
+}
+
+// NewQueue returns an empty queue.
+func NewQueue() *Queue {
+	return &Queue{index: make(map[ids.MsgID]int)}
+}
+
+// AppendBatch applies the paper's ⊕ operation: the messages of one Consensus
+// result that are not already in the queue are moved to its tail following
+// the predetermined deterministic rule. It returns the messages actually
+// appended, in delivery order.
+func (q *Queue) AppendBatch(batch []Message) []Message {
+	sorted := make([]Message, len(batch))
+	copy(sorted, batch)
+	SortCanonical(sorted)
+	appended := make([]Message, 0, len(sorted))
+	for _, m := range sorted {
+		if _, dup := q.index[m.ID]; dup {
+			continue
+		}
+		q.index[m.ID] = len(q.seq)
+		q.seq = append(q.seq, m)
+		appended = append(appended, m)
+	}
+	return appended
+}
+
+// Contains reports whether the message with the given id has been ordered.
+func (q *Queue) Contains(id ids.MsgID) bool {
+	_, ok := q.index[id]
+	return ok
+}
+
+// Position returns the delivery position of id, or -1 if absent.
+func (q *Queue) Position(id ids.MsgID) int {
+	if p, ok := q.index[id]; ok {
+		return p
+	}
+	return -1
+}
+
+// Len returns the number of ordered messages.
+func (q *Queue) Len() int { return len(q.seq) }
+
+// At returns the message at delivery position i.
+func (q *Queue) At(i int) Message { return q.seq[i] }
+
+// Slice returns a copy of the ordered sequence (payloads shared).
+func (q *Queue) Slice() []Message {
+	out := make([]Message, len(q.seq))
+	copy(out, q.seq)
+	return out
+}
+
+// Suffix returns a copy of the sequence from position i (payloads shared).
+func (q *Queue) Suffix(i int) []Message {
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(q.seq) {
+		return nil
+	}
+	out := make([]Message, len(q.seq)-i)
+	copy(out, q.seq[i:])
+	return out
+}
+
+// Encode appends the queue to w.
+func (q *Queue) Encode(w *wire.Writer) {
+	EncodeBatch(w, q.seq)
+}
+
+// DecodeQueue reads a queue from r, preserving the encoded delivery order
+// (the queue interleaves batches from many rounds, so it must not be
+// re-sorted as a whole).
+func DecodeQueue(r *wire.Reader) *Queue {
+	ms := DecodeBatch(r)
+	q := NewQueue()
+	for _, m := range ms {
+		if _, dup := q.index[m.ID]; dup {
+			continue
+		}
+		q.index[m.ID] = len(q.seq)
+		q.seq = append(q.seq, m)
+	}
+	return q
+}

@@ -1,0 +1,246 @@
+// Package node hosts one process of the group: it wires the transport
+// endpoint, stable storage, failure detector, consensus engine and atomic
+// broadcast protocol into a single lifecycle with crash and recover
+// transitions.
+//
+// A crash destroys the incarnation: every task stops, the endpoint detaches
+// (messages arriving while down are lost, §2.1), and all volatile state is
+// dropped. Recover starts a fresh incarnation from stable storage: the node
+// logs a new epoch (the incarnation counter that qualifies message
+// identities and failure-detector heartbeats), restores the consensus log,
+// and runs the broadcast protocol's replay procedure.
+package node
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/ids"
+	"repro/internal/router"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// ErrDown is returned by operations that need a live incarnation.
+var ErrDown = errors.New("node: process is down")
+
+const keyEpoch = "node/epoch"
+
+// Config assembles the per-layer configurations. PID, N and incarnation
+// numbers are filled in by the node.
+type Config struct {
+	PID       ids.ProcessID
+	N         int
+	Core      core.Config
+	Consensus consensus.Config
+	FD        fd.Options
+	// App, when set, is called at every incarnation start with the
+	// app-channel network binding; the returned handler (if non-nil)
+	// receives app-channel packets (e.g. quorum reads).
+	App func(net router.Net) router.Handler
+}
+
+// Node is one process. The stable store and the network outlive
+// incarnations; everything else is rebuilt by Start.
+type Node struct {
+	cfg   Config
+	store storage.Stable
+	net   transport.Network
+
+	mu  sync.Mutex
+	inc *incarnation
+}
+
+// incarnation is the volatile half of a process.
+type incarnation struct {
+	epoch  uint32
+	cancel context.CancelFunc
+	rt     *router.Router
+	det    *fd.Detector
+	eng    *consensus.Engine
+	proto  *core.Protocol
+}
+
+// New creates a node. store must be the process's stable storage (it
+// survives crashes); net the shared network.
+func New(cfg Config, store storage.Stable, net transport.Network) *Node {
+	return &Node{cfg: cfg, store: store, net: net}
+}
+
+// Start boots a new incarnation: it logs the incremented epoch, rebuilds
+// the stack from stable storage, and blocks until the broadcast replay
+// phase completes. It is both "initialization" and "recovery" (Fig. 2).
+func (n *Node) Start(ctx context.Context) error {
+	n.mu.Lock()
+	if n.inc != nil {
+		n.mu.Unlock()
+		return fmt.Errorf("node %v: already up", n.cfg.PID)
+	}
+	n.mu.Unlock()
+
+	epoch, err := n.nextEpoch()
+	if err != nil {
+		return err
+	}
+
+	ep, err := n.net.Attach(n.cfg.PID)
+	if err != nil {
+		return fmt.Errorf("node %v: attach: %w", n.cfg.PID, err)
+	}
+	rt := router.New(ep)
+
+	det := fd.New(n.cfg.PID, n.cfg.N, epoch, n.cfg.FD, rt.Bound(router.ChanFD))
+
+	ccfg := n.cfg.Consensus
+	ccfg.PID = n.cfg.PID
+	ccfg.N = n.cfg.N
+	if ccfg.Seed == 0 {
+		ccfg.Seed = uint64(n.cfg.PID)<<32 | uint64(epoch)
+	}
+	eng, err := consensus.New(ccfg, n.store, rt.Bound(router.ChanConsensus), det)
+	if err != nil {
+		rt.Stop()
+		return fmt.Errorf("node %v: consensus: %w", n.cfg.PID, err)
+	}
+
+	pcfg := n.cfg.Core
+	pcfg.PID = n.cfg.PID
+	pcfg.N = n.cfg.N
+	pcfg.Incarnation = epoch
+	proto := core.New(pcfg, n.store, eng, rt.Bound(router.ChanCore))
+
+	rt.Handle(router.ChanFD, det.OnMessage)
+	rt.Handle(router.ChanConsensus, eng.OnMessage)
+	rt.Handle(router.ChanCore, proto.OnMessage)
+	if n.cfg.App != nil {
+		if h := n.cfg.App(rt.Bound(router.ChanApp)); h != nil {
+			rt.Handle(router.ChanApp, h)
+		}
+	}
+
+	ictx, cancel := context.WithCancel(ctx)
+	inc := &incarnation{
+		epoch:  epoch,
+		cancel: cancel,
+		rt:     rt,
+		det:    det,
+		eng:    eng,
+		proto:  proto,
+	}
+	n.mu.Lock()
+	n.inc = inc
+	n.mu.Unlock()
+
+	rt.Start(ictx)
+	det.Start(ictx)
+	eng.Start(ictx)
+	if err := proto.Start(ictx); err != nil {
+		// Recovery was aborted (crash during replay or storage death).
+		n.Crash()
+		return fmt.Errorf("node %v: recovery: %w", n.cfg.PID, err)
+	}
+	return nil
+}
+
+// nextEpoch increments and logs the incarnation counter — the single
+// node-layer log write per recovery.
+func (n *Node) nextEpoch() (uint32, error) {
+	epoch := uint32(1)
+	if raw, ok, err := n.store.Get(keyEpoch); err != nil {
+		return 0, fmt.Errorf("node %v: read epoch: %w", n.cfg.PID, err)
+	} else if ok {
+		r := wire.NewReader(raw)
+		epoch = uint32(r.U64()) + 1
+		if r.Done() != nil {
+			return 0, fmt.Errorf("node %v: corrupt epoch cell", n.cfg.PID)
+		}
+	}
+	w := wire.NewWriter(8)
+	w.U64(uint64(epoch))
+	if err := n.store.Put(keyEpoch, w.Bytes()); err != nil {
+		return 0, fmt.Errorf("node %v: log epoch: %w", n.cfg.PID, err)
+	}
+	return epoch, nil
+}
+
+// Crash kills the incarnation: all volatile state is lost; stable storage
+// survives. Crashing a down node is a no-op.
+func (n *Node) Crash() {
+	n.mu.Lock()
+	inc := n.inc
+	n.inc = nil
+	n.mu.Unlock()
+	if inc == nil {
+		return
+	}
+	inc.cancel()
+	inc.rt.Stop() // closes the endpoint: packets now dropped
+	inc.proto.Stop()
+	inc.eng.Stop()
+	inc.det.Stop()
+}
+
+// Up reports whether the process currently has a live incarnation.
+func (n *Node) Up() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.inc != nil
+}
+
+// Epoch returns the current incarnation number (0 if down).
+func (n *Node) Epoch() uint32 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.inc == nil {
+		return 0
+	}
+	return n.inc.epoch
+}
+
+// Proto returns the live broadcast protocol, or nil if the node is down.
+func (n *Node) Proto() *core.Protocol {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.inc == nil {
+		return nil
+	}
+	return n.inc.proto
+}
+
+// Engine returns the live consensus engine, or nil if the node is down.
+func (n *Node) Engine() *consensus.Engine {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.inc == nil {
+		return nil
+	}
+	return n.inc.eng
+}
+
+// Detector returns the live failure detector, or nil if the node is down.
+func (n *Node) Detector() *fd.Detector {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.inc == nil {
+		return nil
+	}
+	return n.inc.det
+}
+
+// Broadcast submits a payload through the live incarnation.
+func (n *Node) Broadcast(ctx context.Context, payload []byte) (ids.MsgID, error) {
+	p := n.Proto()
+	if p == nil {
+		return ids.MsgID{}, ErrDown
+	}
+	return p.Broadcast(ctx, payload)
+}
+
+// PID returns the node's process id.
+func (n *Node) PID() ids.ProcessID { return n.cfg.PID }

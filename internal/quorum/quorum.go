@@ -1,0 +1,204 @@
+// Package quorum implements the §6.3 bridge between Atomic Broadcast and
+// quorum-based (weighted-voting) replica management: writes are serialized
+// by the total order — so every replica assigns the same version to the
+// same write — while reads contact only a read quorum of replicas and pick
+// the highest version among the replies.
+//
+// With writes applied at all replicas eventually (Termination) and a read
+// quorum of r replicas, a read that overlaps the set of replicas that
+// already applied version v returns at least v; stale replicas are
+// out-voted by fresher ones. The demo keeps the classic r + w > n intuition
+// with w = n (broadcast writes) and configurable r.
+package quorum
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/router"
+	"repro/internal/wire"
+)
+
+// Versioned is a value with its totally-ordered version.
+type Versioned struct {
+	Value   string
+	Version uint64
+}
+
+// Replica is one process's quorum-store endpoint: a versioned KV replica
+// maintained by Atomic Broadcast plus a read-quorum protocol on a side
+// channel.
+type Replica struct {
+	pid ids.ProcessID
+	n   int
+	net router.Net // bound to router.ChanApp
+
+	mu    sync.Mutex
+	data  map[string]Versioned
+	reads map[uint64]*readOp
+	nextR uint64
+}
+
+// readOp collects replies for one quorum read.
+type readOp struct {
+	need    int
+	replies map[ids.ProcessID]Versioned
+	done    chan struct{}
+	best    Versioned
+	got     int
+}
+
+// NewReplica creates the replica. Chain Apply into the process's OnDeliver
+// and register OnMessage on router.ChanApp.
+func NewReplica(pid ids.ProcessID, n int, net router.Net) *Replica {
+	return &Replica{
+		pid:   pid,
+		n:     n,
+		net:   net,
+		data:  make(map[string]Versioned),
+		reads: make(map[uint64]*readOp),
+	}
+}
+
+// EncodeWrite builds a broadcast payload for a quorum write.
+func EncodeWrite(key, value string) []byte {
+	w := wire.NewWriter(8 + len(key) + len(value))
+	w.String(key)
+	w.String(value)
+	return w.Bytes()
+}
+
+// Apply installs one totally-ordered write. Versions are assigned by
+// delivery position, so every replica agrees on them.
+func (q *Replica) Apply(d core.Delivery) {
+	r := wire.NewReader(d.Msg.Payload)
+	key := r.String()
+	value := r.String()
+	if r.Done() != nil {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.data[key] = Versioned{Value: value, Version: d.Pos + 1}
+}
+
+// Local returns this replica's local copy (possibly stale).
+func (q *Replica) Local(key string) (Versioned, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	v, ok := q.data[key]
+	return v, ok
+}
+
+// Message kinds on the app channel.
+const (
+	mReadReq  uint8 = 1
+	mReadResp uint8 = 2
+)
+
+// Read performs a quorum read: it queries all replicas, waits for r
+// replies (including its own), and returns the highest-version value.
+func (q *Replica) Read(ctx context.Context, key string, r int) (Versioned, error) {
+	if r < 1 || r > q.n {
+		return Versioned{}, fmt.Errorf("quorum: read quorum %d out of range [1,%d]", r, q.n)
+	}
+	q.mu.Lock()
+	q.nextR++
+	op := &readOp{
+		need:    r,
+		replies: make(map[ids.ProcessID]Versioned),
+		done:    make(chan struct{}),
+	}
+	id := q.nextR
+	q.reads[id] = op
+	// Count the local copy as the first vote.
+	local := q.data[key]
+	op.replies[q.pid] = local
+	op.best = local
+	op.got = 1
+	if op.got >= op.need {
+		close(op.done)
+		delete(q.reads, id)
+		q.mu.Unlock()
+		return op.best, nil
+	}
+	q.mu.Unlock()
+
+	// Ask everyone; retransmit until enough votes arrive (fair-lossy).
+	w := wire.NewWriter(16 + len(key))
+	w.U8(mReadReq)
+	w.U64(id)
+	w.String(key)
+	req := w.Bytes()
+	ticker := time.NewTicker(10 * time.Millisecond)
+	defer ticker.Stop()
+	q.net.Multisend(req)
+	for {
+		select {
+		case <-op.done:
+			q.mu.Lock()
+			best := op.best
+			q.mu.Unlock()
+			return best, nil
+		case <-ctx.Done():
+			q.mu.Lock()
+			delete(q.reads, id)
+			q.mu.Unlock()
+			return Versioned{}, ctx.Err()
+		case <-ticker.C:
+			q.net.Multisend(req)
+		}
+	}
+}
+
+// OnMessage handles quorum-read traffic on the app channel.
+func (q *Replica) OnMessage(from ids.ProcessID, payload []byte) {
+	r := wire.NewReader(payload)
+	switch r.U8() {
+	case mReadReq:
+		id := r.U64()
+		key := r.String()
+		if r.Done() != nil {
+			return
+		}
+		q.mu.Lock()
+		v := q.data[key]
+		q.mu.Unlock()
+		w := wire.NewWriter(32 + len(v.Value))
+		w.U8(mReadResp)
+		w.U64(id)
+		w.String(v.Value)
+		w.U64(v.Version)
+		q.net.Send(from, w.Bytes())
+	case mReadResp:
+		id := r.U64()
+		value := r.String()
+		version := r.U64()
+		if r.Done() != nil {
+			return
+		}
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		op, ok := q.reads[id]
+		if !ok {
+			return
+		}
+		if _, dup := op.replies[from]; dup {
+			return
+		}
+		v := Versioned{Value: value, Version: version}
+		op.replies[from] = v
+		op.got++
+		if v.Version > op.best.Version {
+			op.best = v
+		}
+		if op.got >= op.need {
+			close(op.done)
+			delete(q.reads, id)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package reduction implements the §6.1 direction of the equivalence:
+// Consensus built on top of Atomic Broadcast. "To propose a value a process
+// atomically broadcasts it; the first value to be delivered can be chosen
+// as the decided value." Together with the paper's transformation (core),
+// this closes the loop: the two problems are equivalent in asynchronous
+// crash-recovery systems.
+package reduction
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Consensus turns one process's Atomic Broadcast endpoint into a
+// multi-instance Consensus. Feed every delivery into Tap (chain it in
+// core.Config.OnDeliver); processes decide the first proposal delivered for
+// each instance.
+type Consensus struct {
+	mu        sync.Mutex
+	decisions map[uint64][]byte
+	waiters   map[uint64][]chan struct{}
+}
+
+// New creates an empty reduction consensus.
+func New() *Consensus {
+	return &Consensus{
+		decisions: make(map[uint64][]byte),
+		waiters:   make(map[uint64][]chan struct{}),
+	}
+}
+
+// Tap consumes one delivery. The first delivered proposal of each instance
+// is the decision; later proposals for the same instance are ignored —
+// total order makes this deterministic and identical at every process.
+func (c *Consensus) Tap(d core.Delivery) {
+	instance, value, ok := decodeProposal(d.Msg.Payload)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, decided := c.decisions[instance]; decided {
+		return
+	}
+	c.decisions[instance] = value
+	for _, ch := range c.waiters[instance] {
+		close(ch)
+	}
+	delete(c.waiters, instance)
+}
+
+// Propose atomically broadcasts this process's proposal for the instance
+// and blocks until the instance decides. It returns the decided value.
+func (c *Consensus) Propose(ctx context.Context, proto *core.Protocol, instance uint64, v []byte) ([]byte, error) {
+	if dec, ok := c.Decision(instance); ok {
+		return dec, nil
+	}
+	c.mu.Lock()
+	ch := make(chan struct{})
+	c.waiters[instance] = append(c.waiters[instance], ch)
+	c.mu.Unlock()
+
+	if _, err := proto.Broadcast(ctx, encodeProposal(instance, v)); err != nil {
+		// The broadcast may still be delivered (crash-recovery
+		// semantics); the decision wait below is what matters, but
+		// without a live protocol there is nothing to wait for.
+		return nil, fmt.Errorf("reduction: broadcast: %w", err)
+	}
+	select {
+	case <-ch:
+		dec, _ := c.Decision(instance)
+		return dec, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Decision returns the decided value of an instance, if any.
+func (c *Consensus) Decision(instance uint64) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.decisions[instance]
+	return v, ok
+}
+
+func encodeProposal(instance uint64, v []byte) []byte {
+	w := wire.NewWriter(16 + len(v))
+	w.U64(instance)
+	w.Bytes32(v)
+	return w.Bytes()
+}
+
+func decodeProposal(payload []byte) (uint64, []byte, bool) {
+	r := wire.NewReader(payload)
+	instance := r.U64()
+	v := r.BytesCopy()
+	if r.Done() != nil {
+		return 0, nil, false
+	}
+	return instance, v, true
+}

@@ -1,0 +1,131 @@
+package reduction_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/ids"
+	"repro/internal/reduction"
+)
+
+func buildCluster(n int, seed uint64) (*harness.Cluster, []*reduction.Consensus) {
+	conses := make([]*reduction.Consensus, n)
+	for i := range conses {
+		conses[i] = reduction.New()
+	}
+	c := harness.NewCluster(harness.Options{
+		N:    n,
+		Seed: seed,
+		OnDeliver: func(pid ids.ProcessID, d core.Delivery) {
+			conses[pid].Tap(d)
+		},
+	})
+	return c, conses
+}
+
+func TestConsensusFromAtomicBroadcast(t *testing.T) {
+	c, conses := buildCluster(3, 71)
+	defer c.Stop()
+	if err := c.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// All three propose concurrently to 5 instances.
+	var wg sync.WaitGroup
+	decisions := make([][][]byte, 3)
+	for p := 0; p < 3; p++ {
+		decisions[p] = make([][]byte, 5)
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for inst := uint64(0); inst < 5; inst++ {
+				v := []byte(fmt.Sprintf("p%d-inst%d", p, inst))
+				dec, err := conses[p].Propose(ctx, c.Nodes[p].Proto(), inst, v)
+				if err != nil {
+					t.Errorf("p%d propose %d: %v", p, inst, err)
+					return
+				}
+				decisions[p][inst] = dec
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	for inst := 0; inst < 5; inst++ {
+		// Uniform Agreement across the reduction.
+		for p := 1; p < 3; p++ {
+			if !bytes.Equal(decisions[0][inst], decisions[p][inst]) {
+				t.Fatalf("instance %d: p0 decided %q, p%d decided %q",
+					inst, decisions[0][inst], p, decisions[p][inst])
+			}
+		}
+		// Uniform Validity: the decision is one of the proposals.
+		valid := false
+		for p := 0; p < 3; p++ {
+			if string(decisions[0][inst]) == fmt.Sprintf("p%d-inst%d", p, inst) {
+				valid = true
+			}
+		}
+		if !valid {
+			t.Fatalf("instance %d decided a never-proposed value %q", inst, decisions[0][inst])
+		}
+	}
+}
+
+func TestProposeIsIdempotentAfterDecision(t *testing.T) {
+	c, conses := buildCluster(3, 72)
+	defer c.Stop()
+	if err := c.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	first, err := conses[0].Propose(ctx, c.Nodes[0].Proto(), 0, []byte("v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-proposing a different value returns the settled decision.
+	second, err := conses[0].Propose(ctx, c.Nodes[0].Proto(), 0, []byte("v2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("decision changed: %q -> %q", first, second)
+	}
+}
+
+func TestDecisionVisibleToNonProposers(t *testing.T) {
+	c, conses := buildCluster(3, 73)
+	defer c.Stop()
+	if err := c.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	want, err := conses[1].Propose(ctx, c.Nodes[1].Proto(), 9, []byte("only-p1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-proposers learn it via their own delivery taps.
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if got, ok := conses[2].Decision(9); ok {
+			if !bytes.Equal(got, want) {
+				t.Fatalf("p2 decided %q, want %q", got, want)
+			}
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("p2 never learned the decision")
+}

@@ -1,0 +1,134 @@
+// Package router multiplexes one transport endpoint among the protocol
+// layers of a process (failure detector, consensus, atomic broadcast). Each
+// packet carries a one-byte channel tag; handlers are registered per
+// channel before the router starts.
+package router
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/ids"
+	"repro/internal/transport"
+)
+
+// Channel tags the protocol layer a packet belongs to.
+type Channel uint8
+
+// Channel assignments. They start at 1 so a zero byte is invalid.
+const (
+	ChanFD        Channel = 1 // failure-detector heartbeats
+	ChanConsensus Channel = 2 // consensus engine messages
+	ChanCore      Channel = 3 // atomic broadcast gossip/state messages
+	ChanApp       Channel = 4 // application-level side traffic (quorum reads)
+)
+
+// Handler consumes one packet on a channel. Handlers run on the router's
+// receive goroutine and must not block indefinitely.
+type Handler func(from ids.ProcessID, payload []byte)
+
+// Router demultiplexes an endpoint. Create with New, register handlers,
+// then Start. Stop closes the endpoint and waits for the receive loop.
+type Router struct {
+	ep transport.Endpoint
+
+	mu       sync.Mutex
+	handlers map[Channel]Handler
+	started  bool
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// New creates a router over ep.
+func New(ep transport.Endpoint) *Router {
+	return &Router{ep: ep, handlers: make(map[Channel]Handler)}
+}
+
+// Handle registers the handler for ch. It must be called before Start.
+func (r *Router) Handle(ch Channel, h Handler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.handlers[ch] = h
+}
+
+// Start launches the receive loop. The loop ends when ctx is cancelled or
+// the endpoint closes.
+func (r *Router) Start(ctx context.Context) {
+	r.mu.Lock()
+	if r.started {
+		r.mu.Unlock()
+		return
+	}
+	r.started = true
+	r.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(ctx)
+	r.cancel = cancel
+	r.wg.Add(1)
+	go r.recvLoop(ctx)
+}
+
+// Stop closes the endpoint and waits for the receive loop to exit.
+func (r *Router) Stop() {
+	if r.cancel != nil {
+		r.cancel()
+	}
+	r.ep.Close()
+	r.wg.Wait()
+}
+
+func (r *Router) recvLoop(ctx context.Context) {
+	defer r.wg.Done()
+	for {
+		pkt, err := r.ep.Recv(ctx)
+		if err != nil {
+			return
+		}
+		if len(pkt.Data) < 1 {
+			continue
+		}
+		ch := Channel(pkt.Data[0])
+		r.mu.Lock()
+		h := r.handlers[ch]
+		r.mu.Unlock()
+		if h != nil {
+			h(pkt.From, pkt.Data[1:])
+		}
+	}
+}
+
+// Send transmits payload to one process on channel ch.
+func (r *Router) Send(ch Channel, to ids.ProcessID, payload []byte) {
+	buf := make([]byte, 1+len(payload))
+	buf[0] = byte(ch)
+	copy(buf[1:], payload)
+	r.ep.Send(to, buf)
+}
+
+// Multisend transmits payload to every process on channel ch.
+func (r *Router) Multisend(ch Channel, payload []byte) {
+	buf := make([]byte, 1+len(payload))
+	buf[0] = byte(ch)
+	copy(buf[1:], payload)
+	r.ep.Multisend(buf)
+}
+
+// Net is the per-channel sending interface handed to protocol layers.
+type Net interface {
+	Send(to ids.ProcessID, payload []byte)
+	Multisend(payload []byte)
+}
+
+// Bound returns a Net that sends on channel ch.
+func (r *Router) Bound(ch Channel) Net {
+	return boundNet{r: r, ch: ch}
+}
+
+type boundNet struct {
+	r  *Router
+	ch Channel
+}
+
+func (b boundNet) Send(to ids.ProcessID, payload []byte) { b.r.Send(b.ch, to, payload) }
+func (b boundNet) Multisend(payload []byte)              { b.r.Multisend(b.ch, payload) }

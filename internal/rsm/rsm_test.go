@@ -1,0 +1,191 @@
+package rsm
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/msg"
+)
+
+func deliver(s *Store, pos uint64, payload []byte) {
+	s.Apply(core.Delivery{
+		Msg: msg.Message{
+			ID:      ids.MsgID{Sender: 0, Incarnation: 1, Seq: pos + 1},
+			Payload: payload,
+		},
+		Round: pos,
+		Pos:   pos,
+	})
+}
+
+func TestPutGetDel(t *testing.T) {
+	s := NewStore()
+	deliver(s, 0, EncodePut("a", "1"))
+	v, ver, ok := s.Get("a")
+	if !ok || v != "1" || ver != 1 {
+		t.Fatalf("get: %q %d %v", v, ver, ok)
+	}
+	deliver(s, 1, EncodePut("a", "2"))
+	v, ver, _ = s.Get("a")
+	if v != "2" || ver != 2 {
+		t.Fatalf("overwrite: %q %d", v, ver)
+	}
+	deliver(s, 2, EncodeDel("a"))
+	v, ver, ok = s.Get("a")
+	if v != "" || ver != 3 || !ok {
+		t.Fatalf("del keeps versioned tombstone: %q %d %v", v, ver, ok)
+	}
+	if s.Applied() != 3 {
+		t.Fatalf("applied = %d", s.Applied())
+	}
+}
+
+func TestIdenticalSequencesConverge(t *testing.T) {
+	f := func(ops []struct {
+		Key byte
+		Val byte
+		Del bool
+	}) bool {
+		a, b := NewStore(), NewStore()
+		for i, op := range ops {
+			var payload []byte
+			if op.Del {
+				payload = EncodeDel(fmt.Sprintf("k%d", op.Key%8))
+			} else {
+				payload = EncodePut(fmt.Sprintf("k%d", op.Key%8), fmt.Sprintf("v%d", op.Val))
+			}
+			deliver(a, uint64(i), payload)
+			deliver(b, uint64(i), payload)
+		}
+		return a.Fingerprint() == b.Fingerprint()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTxCommitsWhenReadSetCurrent(t *testing.T) {
+	s := NewStore()
+	deliver(s, 0, EncodePut("x", "10"))
+	reads := s.Begin("x")
+	tx := Tx{ID: "t1", Reads: reads, Writes: map[string]string{"x": "11", "y": "1"}}
+	deliver(s, 1, EncodeTx(tx))
+	committed, known := s.Outcome("t1")
+	if !known || !committed {
+		t.Fatalf("outcome: %v %v", committed, known)
+	}
+	if v, _, _ := s.Get("x"); v != "11" {
+		t.Fatalf("x = %q", v)
+	}
+	if v, _, _ := s.Get("y"); v != "1" {
+		t.Fatalf("y = %q", v)
+	}
+	c, a := s.CommitStats()
+	if c != 1 || a != 0 {
+		t.Fatalf("stats: %d %d", c, a)
+	}
+}
+
+func TestTxAbortsOnConflict(t *testing.T) {
+	s := NewStore()
+	deliver(s, 0, EncodePut("x", "10"))
+	// Two transactions read the same version of x; the first to be
+	// ordered commits, the second aborts — on every replica alike.
+	reads1 := s.Begin("x")
+	reads2 := s.Begin("x")
+	deliver(s, 1, EncodeTx(Tx{ID: "t1", Reads: reads1, Writes: map[string]string{"x": "11"}}))
+	deliver(s, 2, EncodeTx(Tx{ID: "t2", Reads: reads2, Writes: map[string]string{"x": "99"}}))
+	if committed, _ := s.Outcome("t1"); !committed {
+		t.Fatal("t1 should commit")
+	}
+	if committed, _ := s.Outcome("t2"); committed {
+		t.Fatal("t2 should abort")
+	}
+	if v, _, _ := s.Get("x"); v != "11" {
+		t.Fatalf("x = %q, want winner's value", v)
+	}
+	c, a := s.CommitStats()
+	if c != 1 || a != 1 {
+		t.Fatalf("stats: %d %d", c, a)
+	}
+}
+
+func TestTxReadOfMissingKeyIsVersionZero(t *testing.T) {
+	s := NewStore()
+	reads := s.Begin("fresh")
+	if reads["fresh"] != 0 {
+		t.Fatalf("missing key version = %d", reads["fresh"])
+	}
+	deliver(s, 0, EncodeTx(Tx{ID: "t", Reads: reads, Writes: map[string]string{"fresh": "v"}}))
+	if committed, _ := s.Outcome("t"); !committed {
+		t.Fatal("tx on fresh key should commit")
+	}
+}
+
+func TestOutcomeUnknownBeforeDelivery(t *testing.T) {
+	s := NewStore()
+	if _, known := s.Outcome("nope"); known {
+		t.Fatal("unknown tx reported known")
+	}
+}
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	s := NewStore()
+	var delivered []msg.Message
+	for i := 0; i < 20; i++ {
+		payload := EncodePut(fmt.Sprintf("k%d", i%5), fmt.Sprintf("v%d", i))
+		delivered = append(delivered, msg.Message{
+			ID:      ids.MsgID{Sender: 0, Incarnation: 1, Seq: uint64(i + 1)},
+			Payload: payload,
+		})
+		deliver(s, uint64(i), payload)
+	}
+	// The pure fold from scratch must equal the live state.
+	snap := s.Checkpoint(nil, delivered)
+	fresh := NewStore()
+	fresh.Restore(snap)
+	if fresh.Fingerprint() != s.Fingerprint() {
+		t.Fatal("checkpoint fold diverged from live state")
+	}
+	// Incremental fold: first half, then second half on top.
+	half := s.Checkpoint(nil, delivered[:10])
+	full := s.Checkpoint(half, delivered[10:])
+	fresh2 := NewStore()
+	fresh2.Restore(full)
+	if fresh2.Fingerprint() != s.Fingerprint() {
+		t.Fatal("incremental checkpoint fold diverged")
+	}
+}
+
+func TestRestoreReplacesState(t *testing.T) {
+	s := NewStore()
+	deliver(s, 0, EncodePut("old", "x"))
+	other := NewStore()
+	deliver(other, 0, EncodePut("new", "y"))
+	other.mu.Lock()
+	snap := other.encodeLocked()
+	other.mu.Unlock()
+	s.Restore(snap)
+	if _, _, ok := s.Get("old"); ok {
+		t.Fatal("old state survived restore")
+	}
+	if v, _, _ := s.Get("new"); v != "y" {
+		t.Fatal("restored state missing")
+	}
+	if s.Fingerprint() != other.Fingerprint() {
+		t.Fatal("restore not faithful")
+	}
+}
+
+func TestMalformedPayloadIgnored(t *testing.T) {
+	s := NewStore()
+	deliver(s, 0, []byte{99})    // unknown command
+	deliver(s, 1, []byte{})      // empty
+	deliver(s, 2, []byte{1, 50}) // truncated put
+	if s.Applied() != 0 {
+		t.Fatalf("malformed payloads applied: %d", s.Applied())
+	}
+}

@@ -1,0 +1,138 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjectedCrash is returned by a Faulty store once its trigger fires. The
+// node layer treats it as a process crash, which lets tests crash a process
+// at an exact protocol step (e.g. "after logging the proposal for round k
+// but before the Consensus decides", the window §4.2 reasons about).
+var ErrInjectedCrash = errors.New("storage: injected crash")
+
+// Faulty wraps a Stable engine and fails the Nth log operation (Put or
+// Append), counting from 1. After firing, every subsequent log operation
+// also fails until Disarm is called, modelling a process that is down.
+type Faulty struct {
+	inner Stable
+
+	mu       sync.Mutex
+	failAt   int64 // 0 = disarmed
+	ops      int64
+	tripped  bool
+	onTrip   func()
+	tripOnce sync.Once
+}
+
+var _ Stable = (*Faulty)(nil)
+
+// NewFaulty wraps inner. The trigger starts disarmed.
+func NewFaulty(inner Stable) *Faulty {
+	return &Faulty{inner: inner}
+}
+
+// FailAfter arms the trigger: the n-th subsequent log operation fails.
+// onTrip, if non-nil, runs exactly once when the trigger fires (typically it
+// crashes the node).
+func (f *Faulty) FailAfter(n int64, onTrip func()) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAt = n
+	f.ops = 0
+	f.tripped = false
+	f.onTrip = onTrip
+	f.tripOnce = sync.Once{}
+}
+
+// Disarm clears the trigger and the tripped state.
+func (f *Faulty) Disarm() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAt = 0
+	f.tripped = false
+}
+
+// Tripped reports whether the trigger has fired.
+func (f *Faulty) Tripped() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tripped
+}
+
+// check counts one log operation and reports whether it must fail.
+func (f *Faulty) check() bool {
+	f.mu.Lock()
+	if f.tripped {
+		f.mu.Unlock()
+		return true
+	}
+	if f.failAt == 0 {
+		f.mu.Unlock()
+		return false
+	}
+	f.ops++
+	if f.ops < f.failAt {
+		f.mu.Unlock()
+		return false
+	}
+	f.tripped = true
+	onTrip := f.onTrip
+	once := &f.tripOnce
+	f.mu.Unlock()
+	if onTrip != nil {
+		once.Do(onTrip)
+	}
+	return true
+}
+
+// Put implements Stable.
+func (f *Faulty) Put(key string, val []byte) error {
+	if f.check() {
+		return ErrInjectedCrash
+	}
+	return f.inner.Put(key, val)
+}
+
+// Append implements Stable.
+func (f *Faulty) Append(key string, rec []byte) error {
+	if f.check() {
+		return ErrInjectedCrash
+	}
+	return f.inner.Append(key, rec)
+}
+
+// Get implements Stable.
+func (f *Faulty) Get(key string) ([]byte, bool, error) {
+	f.mu.Lock()
+	tripped := f.tripped
+	f.mu.Unlock()
+	if tripped {
+		return nil, false, ErrInjectedCrash
+	}
+	return f.inner.Get(key)
+}
+
+// Records implements Stable.
+func (f *Faulty) Records(key string) ([][]byte, error) {
+	f.mu.Lock()
+	tripped := f.tripped
+	f.mu.Unlock()
+	if tripped {
+		return nil, ErrInjectedCrash
+	}
+	return f.inner.Records(key)
+}
+
+// Delete implements Stable.
+func (f *Faulty) Delete(key string) error {
+	if f.check() {
+		return ErrInjectedCrash
+	}
+	return f.inner.Delete(key)
+}
+
+// List implements Stable.
+func (f *Faulty) List(prefix string) ([]string, error) {
+	return f.inner.List(prefix)
+}

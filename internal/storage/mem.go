@@ -1,0 +1,136 @@
+package storage
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Mem is an in-memory Stable engine. The simulation harness allocates one
+// Mem per process and keeps it across crash/recover cycles, which gives it
+// exactly the persistence semantics of stable storage while the process's
+// volatile state (everything inside the incarnation) is destroyed.
+type Mem struct {
+	mu    sync.Mutex
+	cells map[string][]byte
+	logs  map[string][][]byte
+}
+
+var _ Stable = (*Mem)(nil)
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{
+		cells: make(map[string][]byte),
+		logs:  make(map[string][][]byte),
+	}
+}
+
+// Put implements Stable.
+func (m *Mem) Put(key string, val []byte) error {
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cells[key] = cp
+	return nil
+}
+
+// Get implements Stable.
+func (m *Mem) Get(key string) ([]byte, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.cells[key]
+	if !ok {
+		return nil, false, nil
+	}
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	return cp, true, nil
+}
+
+// Append implements Stable.
+func (m *Mem) Append(key string, rec []byte) error {
+	cp := make([]byte, len(rec))
+	copy(cp, rec)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.logs[key] = append(m.logs[key], cp)
+	return nil
+}
+
+// Records implements Stable.
+func (m *Mem) Records(key string) ([][]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	recs := m.logs[key]
+	out := make([][]byte, len(recs))
+	for i, r := range recs {
+		cp := make([]byte, len(r))
+		copy(cp, r)
+		out[i] = cp
+	}
+	return out, nil
+}
+
+// Delete implements Stable.
+func (m *Mem) Delete(key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.cells, key)
+	delete(m.logs, key)
+	return nil
+}
+
+// List implements Stable.
+func (m *Mem) List(prefix string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var keys []string
+	for k := range m.cells {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	for k := range m.logs {
+		if _, dup := m.cells[k]; dup {
+			continue
+		}
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Size returns the total number of stored payload bytes (cells plus log
+// records). It is used by the log-size experiments (E3).
+func (m *Mem) Size() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	total := 0
+	for _, v := range m.cells {
+		total += len(v)
+	}
+	for _, recs := range m.logs {
+		for _, r := range recs {
+			total += len(r)
+		}
+	}
+	return total
+}
+
+// KeyCount returns the number of live cells and logs. Used by E3 to show
+// that application-level checkpoints keep the log from growing indefinitely.
+func (m *Mem) KeyCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := len(m.cells)
+	for k := range m.logs {
+		if _, dup := m.cells[k]; !dup {
+			n++
+		}
+	}
+	return n
+}

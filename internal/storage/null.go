@@ -1,0 +1,28 @@
+package storage
+
+// Null is a Stable that discards every write and remembers nothing. The
+// crash-stop baseline (internal/ctbaseline) plugs it into the consensus
+// engine: in the crash-no-recovery model processes never restart, so logging
+// buys nothing — which is exactly why the crash-recovery protocol's logging
+// is the cost being measured against it (experiments E1/E7).
+type Null struct{}
+
+var _ Stable = Null{}
+
+// Put implements Stable (discard).
+func (Null) Put(string, []byte) error { return nil }
+
+// Get implements Stable (always missing).
+func (Null) Get(string) ([]byte, bool, error) { return nil, false, nil }
+
+// Append implements Stable (discard).
+func (Null) Append(string, []byte) error { return nil }
+
+// Records implements Stable (always empty).
+func (Null) Records(string) ([][]byte, error) { return nil, nil }
+
+// Delete implements Stable (no-op).
+func (Null) Delete(string) error { return nil }
+
+// List implements Stable (always empty).
+func (Null) List(string) ([]string, error) { return nil, nil }

@@ -1,0 +1,48 @@
+// Package storage provides the stable-storage abstraction of the
+// crash-recovery model (§2.1): "The primitives log and retrieve allow an up
+// process to access its stable storage. When it crashes, a process
+// definitively loses the content of its volatile memory; the content of a
+// stable storage is not affected by crashes."
+//
+// Two engines are provided: Mem, a crash-faithful in-memory store used by
+// the simulation harness (the harness holds it outside the process
+// incarnation, so it survives crashes exactly as stable storage must), and
+// File, a file-backed store with CRC-framed append logs for real
+// deployments.
+//
+// The Accounted wrapper attributes every operation and byte to a layer
+// (consensus, broadcast, node, ...) keyed by a key prefix. That accounting
+// is how experiment E1 verifies the paper's central claim: the basic
+// broadcast protocol performs zero log operations beyond those of the
+// underlying Consensus (§4.3).
+package storage
+
+import "errors"
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("storage: closed")
+
+// Stable is the stable-storage interface. Put models the paper's "log"
+// primitive for a named cell (atomic overwrite); Get models "retrieve".
+// Append/Records model an append-only log for incremental logging (§5.5).
+//
+// Implementations must be safe for concurrent use.
+type Stable interface {
+	// Put atomically replaces the value of cell key.
+	Put(key string, val []byte) error
+	// Get returns the value of cell key, and whether the cell exists.
+	Get(key string) ([]byte, bool, error)
+	// Append appends one record to the log named key.
+	Append(key string, rec []byte) error
+	// Records returns all records of the log named key, oldest first.
+	Records(key string) ([][]byte, error)
+	// Delete removes a cell or log. Deleting a missing key is a no-op.
+	Delete(key string) error
+	// List returns all existing keys with the given prefix, sorted.
+	List(prefix string) ([]string, error)
+}
+
+// Closer is implemented by engines that hold external resources.
+type Closer interface {
+	Close() error
+}

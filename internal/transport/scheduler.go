@@ -1,0 +1,120 @@
+package transport
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// scheduler runs callbacks after a delay using a single goroutine and a
+// timer heap, so delayed delivery does not spawn one goroutine per packet.
+type scheduler struct {
+	mu      sync.Mutex
+	heap    timerHeap
+	wake    chan struct{}
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+type timerItem struct {
+	at time.Time
+	fn func()
+}
+
+type timerHeap []timerItem
+
+func (h timerHeap) Len() int            { return len(h) }
+func (h timerHeap) Less(i, j int) bool  { return h[i].at.Before(h[j].at) }
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(timerItem)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+func newScheduler() *scheduler {
+	s := &scheduler{wake: make(chan struct{}, 1)}
+	s.wg.Add(1)
+	go s.run()
+	return s
+}
+
+// after schedules fn to run after d.
+func (s *scheduler) after(d time.Duration, fn func()) {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	heap.Push(&s.heap, timerItem{at: time.Now().Add(d), fn: fn})
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// stop halts the scheduler; pending callbacks are discarded.
+func (s *scheduler) stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	s.heap = nil
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	s.wg.Wait()
+}
+
+func (s *scheduler) run() {
+	defer s.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		s.mu.Lock()
+		if s.stopped {
+			s.mu.Unlock()
+			return
+		}
+		var ready []func()
+		now := time.Now()
+		for len(s.heap) > 0 && !s.heap[0].at.After(now) {
+			it := heap.Pop(&s.heap).(timerItem)
+			ready = append(ready, it.fn)
+		}
+		var wait time.Duration = time.Hour
+		if len(s.heap) > 0 {
+			wait = time.Until(s.heap[0].at)
+			if wait < 0 {
+				wait = 0
+			}
+		}
+		s.mu.Unlock()
+
+		for _, fn := range ready {
+			fn()
+		}
+		if len(ready) > 0 {
+			continue // re-check the heap before sleeping
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-timer.C:
+		case <-s.wake:
+		}
+	}
+}

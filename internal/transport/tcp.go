@@ -1,0 +1,251 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// TCP is a socket-based Network for real deployments: every process listens
+// on one address and dials peers on demand. Delivery is best-effort — a
+// failed dial or write simply drops the packet, which is all the fair-lossy
+// contract requires (the protocol's gossip retransmits forever).
+//
+// Frames are length-prefixed: [sender i32][len u32][payload].
+type TCP struct {
+	addrs []string // index = ProcessID
+
+	mu  sync.Mutex
+	eps map[ids.ProcessID]*tcpEndpoint
+}
+
+var _ Network = (*TCP)(nil)
+
+// NewTCP creates a TCP network where process i listens on addrs[i].
+func NewTCP(addrs []string) *TCP {
+	cp := make([]string, len(addrs))
+	copy(cp, addrs)
+	return &TCP{addrs: cp, eps: make(map[ids.ProcessID]*tcpEndpoint)}
+}
+
+// N implements Network.
+func (t *TCP) N() int { return len(t.addrs) }
+
+// Attach implements Network. It binds pid's listener.
+func (t *TCP) Attach(pid ids.ProcessID) (Endpoint, error) {
+	if pid < 0 || int(pid) >= len(t.addrs) {
+		return nil, fmt.Errorf("transport: pid %v out of range", pid)
+	}
+	t.mu.Lock()
+	if _, live := t.eps[pid]; live {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", ErrDetached, pid)
+	}
+	t.mu.Unlock()
+
+	ln, err := net.Listen("tcp", t.addrs[pid])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", t.addrs[pid], err)
+	}
+	ep := &tcpEndpoint{
+		net:     t,
+		pid:     pid,
+		ln:      ln,
+		inbox:   make(chan Packet, 4096),
+		done:    make(chan struct{}),
+		conns:   make(map[ids.ProcessID]net.Conn),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	t.mu.Lock()
+	t.eps[pid] = ep
+	t.mu.Unlock()
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// Addr returns the listen address of pid (useful when using ":0" ports is
+// not possible; addresses are fixed up front).
+func (t *TCP) Addr(pid ids.ProcessID) string { return t.addrs[pid] }
+
+func (t *TCP) detach(pid ids.ProcessID, ep *tcpEndpoint) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.eps[pid] == ep {
+		delete(t.eps, pid)
+	}
+}
+
+type tcpEndpoint struct {
+	net   *TCP
+	pid   ids.ProcessID
+	ln    net.Listener
+	inbox chan Packet
+	done  chan struct{}
+
+	mu      sync.Mutex
+	conns   map[ids.ProcessID]net.Conn
+	inbound map[net.Conn]struct{}
+
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+var _ Endpoint = (*tcpEndpoint)(nil)
+
+func (e *tcpEndpoint) Local() ids.ProcessID { return e.pid }
+
+func (e *tcpEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.wg.Add(1)
+		go e.readLoop(conn)
+	}
+}
+
+func (e *tcpEndpoint) readLoop(conn net.Conn) {
+	defer e.wg.Done()
+	defer conn.Close()
+	e.mu.Lock()
+	e.inbound[conn] = struct{}{}
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.inbound, conn)
+		e.mu.Unlock()
+	}()
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		from := ids.ProcessID(int32(binary.LittleEndian.Uint32(hdr[0:4])))
+		n := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > 64<<20 {
+			return // insane frame; drop connection
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		select {
+		case e.inbox <- Packet{From: from, Data: buf}:
+		case <-e.done:
+			return
+		default:
+			// Inbox full: drop. Fair-lossy permits it.
+		}
+	}
+}
+
+// conn returns a cached or fresh connection to pid, or nil.
+func (e *tcpEndpoint) conn(to ids.ProcessID) net.Conn {
+	e.mu.Lock()
+	c := e.conns[to]
+	e.mu.Unlock()
+	if c != nil {
+		return c
+	}
+	d := net.Dialer{Timeout: 500 * time.Millisecond}
+	c, err := d.Dial("tcp", e.net.addrs[to])
+	if err != nil {
+		return nil
+	}
+	e.mu.Lock()
+	if old := e.conns[to]; old != nil {
+		e.mu.Unlock()
+		c.Close()
+		return old
+	}
+	e.conns[to] = c
+	e.mu.Unlock()
+	return c
+}
+
+func (e *tcpEndpoint) dropConn(to ids.ProcessID, c net.Conn) {
+	e.mu.Lock()
+	if e.conns[to] == c {
+		delete(e.conns, to)
+	}
+	e.mu.Unlock()
+	c.Close()
+}
+
+func (e *tcpEndpoint) Send(to ids.ProcessID, data []byte) {
+	select {
+	case <-e.done:
+		return
+	default:
+	}
+	if to == e.pid {
+		// Reliable local delivery.
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		select {
+		case e.inbox <- Packet{From: e.pid, Data: cp}:
+		default:
+		}
+		return
+	}
+	if to < 0 || int(to) >= len(e.net.addrs) {
+		return
+	}
+	c := e.conn(to)
+	if c == nil {
+		return // peer unreachable; packet lost
+	}
+	frame := make([]byte, 8+len(data))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(int32(e.pid)))
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(data)))
+	copy(frame[8:], data)
+	c.SetWriteDeadline(time.Now().Add(time.Second))
+	if _, err := c.Write(frame); err != nil {
+		e.dropConn(to, c)
+	}
+}
+
+func (e *tcpEndpoint) Multisend(data []byte) {
+	for to := 0; to < len(e.net.addrs); to++ {
+		e.Send(ids.ProcessID(to), data)
+	}
+}
+
+func (e *tcpEndpoint) Recv(ctx context.Context) (Packet, error) {
+	select {
+	case pkt := <-e.inbox:
+		return pkt, nil
+	case <-e.done:
+		return Packet{}, ErrClosed
+	case <-ctx.Done():
+		return Packet{}, ctx.Err()
+	}
+}
+
+func (e *tcpEndpoint) Close() error {
+	e.closeOnce.Do(func() {
+		close(e.done)
+		e.ln.Close()
+		e.mu.Lock()
+		for to, c := range e.conns {
+			c.Close()
+			delete(e.conns, to)
+		}
+		for c := range e.inbound {
+			c.Close() // unblocks the readLoop goroutines
+		}
+		e.mu.Unlock()
+		e.net.detach(e.pid, e)
+		e.wg.Wait()
+	})
+	return nil
+}

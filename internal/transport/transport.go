@@ -1,0 +1,59 @@
+// Package transport implements the paper's transport building block (§3.1):
+// unreliable send/multisend/receive over fair-lossy channels. "Both send and
+// multisend are unreliable: the channel can lose messages but it is assumed
+// to be fair, i.e., if a message is sent infinitely often by a process p
+// then it is received infinitely often by its receiver."
+//
+// Two implementations are provided: Mem, an in-memory network with seeded
+// loss, duplication, reordering delay and partitions (the simulation
+// substrate for every experiment), and TCP, a socket transport for real
+// deployments. Messages that arrive while the destination process is down
+// are dropped, exactly as §2.1 prescribes.
+package transport
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/ids"
+)
+
+// ErrClosed is returned by Recv after the endpoint is closed (the process
+// crashed or shut down).
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// ErrDetached is returned by Attach when the process already has a live
+// endpoint; a process has at most one incarnation at a time.
+var ErrDetached = errors.New("transport: process already attached")
+
+// Packet is one received datagram.
+type Packet struct {
+	From ids.ProcessID
+	Data []byte
+}
+
+// Endpoint is a process's handle on the network for one incarnation.
+// Send and Multisend never block and never fail: the channel is allowed to
+// lose anything. Recv blocks until a packet arrives, the context is
+// cancelled, or the endpoint is closed.
+type Endpoint interface {
+	Local() ids.ProcessID
+	// Send transmits data to one process (unreliably).
+	Send(to ids.ProcessID, data []byte)
+	// Multisend transmits data to every process including the sender
+	// (the paper's multisend macro).
+	Multisend(data []byte)
+	// Recv returns the next packet from the input buffer.
+	Recv(ctx context.Context) (Packet, error)
+	// Close detaches the process from the network; packets addressed to
+	// it are dropped until a new incarnation attaches.
+	Close() error
+}
+
+// Network creates endpoints.
+type Network interface {
+	// Attach creates the endpoint for pid's next incarnation.
+	Attach(pid ids.ProcessID) (Endpoint, error)
+	// N returns the group size.
+	N() int
+}

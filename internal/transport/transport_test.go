@@ -1,0 +1,346 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+)
+
+func recvOne(t *testing.T, ep Endpoint, timeout time.Duration) (Packet, error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return ep.Recv(ctx)
+}
+
+func TestMemDeliversPointToPoint(t *testing.T) {
+	net := NewMem(2, MemOptions{Seed: 1})
+	defer net.Close()
+	a, err := net.Attach(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Send(1, []byte("hi"))
+	pkt, err := recvOne(t, b, time.Second)
+	if err != nil || pkt.From != 0 || string(pkt.Data) != "hi" {
+		t.Fatalf("recv: %+v %v", pkt, err)
+	}
+}
+
+func TestMemMultisendIncludesSelf(t *testing.T) {
+	net := NewMem(3, MemOptions{Seed: 2})
+	defer net.Close()
+	eps := make([]Endpoint, 3)
+	for i := range eps {
+		ep, err := net.Attach(ids.ProcessID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = ep
+	}
+	eps[0].Multisend([]byte("all"))
+	for i, ep := range eps {
+		pkt, err := recvOne(t, ep, time.Second)
+		if err != nil || string(pkt.Data) != "all" {
+			t.Fatalf("ep %d: %v %v", i, pkt, err)
+		}
+	}
+}
+
+func TestMemDropsWhileDetached(t *testing.T) {
+	net := NewMem(2, MemOptions{Seed: 3})
+	defer net.Close()
+	a, _ := net.Attach(0)
+	b, _ := net.Attach(1)
+	b.Close() // p1 goes down
+
+	a.Send(1, []byte("lost"))
+	// Reattach: the message sent while down must NOT be delivered (§2.1).
+	b2, err := net.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if pkt, err := b2.Recv(ctx); err == nil {
+		t.Fatalf("message survived downtime: %+v", pkt)
+	}
+	if net.Stats().Dropped == 0 {
+		t.Fatal("drop not counted")
+	}
+}
+
+func TestMemDoubleAttachRejected(t *testing.T) {
+	net := NewMem(1, MemOptions{Seed: 4})
+	defer net.Close()
+	_, err := net.Attach(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Attach(0); !errors.Is(err, ErrDetached) {
+		t.Fatalf("want ErrDetached, got %v", err)
+	}
+}
+
+func TestMemLossIsFairNotTotal(t *testing.T) {
+	// 50% loss: over many sends, some get through and some are lost —
+	// the fair-lossy property the gossip task relies on.
+	net := NewMem(2, MemOptions{Seed: 5, Loss: 0.5})
+	defer net.Close()
+	a, _ := net.Attach(0)
+	b, _ := net.Attach(1)
+	for i := 0; i < 200; i++ {
+		a.Send(1, []byte{byte(i)})
+	}
+	received := 0
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		_, err := b.Recv(ctx)
+		cancel()
+		if err != nil {
+			break
+		}
+		received++
+	}
+	if received == 0 || received == 200 {
+		t.Fatalf("loss not fair: received %d/200", received)
+	}
+	st := net.Stats()
+	if st.Dropped == 0 || st.Delivered == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestMemSelfDeliveryIsReliable(t *testing.T) {
+	net := NewMem(1, MemOptions{Seed: 6, Loss: 0.99})
+	defer net.Close()
+	a, _ := net.Attach(0)
+	for i := 0; i < 50; i++ {
+		a.Send(0, []byte{byte(i)})
+	}
+	for i := 0; i < 50; i++ {
+		pkt, err := recvOne(t, a, time.Second)
+		if err != nil || pkt.Data[0] != byte(i) {
+			t.Fatalf("self delivery %d: %v %v", i, pkt, err)
+		}
+	}
+}
+
+func TestMemDuplication(t *testing.T) {
+	net := NewMem(2, MemOptions{Seed: 7, Dup: 1.0})
+	defer net.Close()
+	a, _ := net.Attach(0)
+	b, _ := net.Attach(1)
+	a.Send(1, []byte("twice"))
+	for i := 0; i < 2; i++ {
+		pkt, err := recvOne(t, b, time.Second)
+		if err != nil || string(pkt.Data) != "twice" {
+			t.Fatalf("copy %d: %v %v", i, pkt, err)
+		}
+	}
+}
+
+func TestMemDelayedDeliveryArrives(t *testing.T) {
+	net := NewMem(2, MemOptions{Seed: 8, MinDelay: 5 * time.Millisecond, MaxDelay: 20 * time.Millisecond})
+	defer net.Close()
+	a, _ := net.Attach(0)
+	b, _ := net.Attach(1)
+	start := time.Now()
+	a.Send(1, []byte("later"))
+	pkt, err := recvOne(t, b, time.Second)
+	if err != nil || string(pkt.Data) != "later" {
+		t.Fatalf("recv: %v %v", pkt, err)
+	}
+	if time.Since(start) < 4*time.Millisecond {
+		t.Fatal("delivery was not delayed")
+	}
+}
+
+func TestMemPartitionAndHeal(t *testing.T) {
+	net := NewMem(2, MemOptions{Seed: 9})
+	defer net.Close()
+	a, _ := net.Attach(0)
+	b, _ := net.Attach(1)
+	net.Partition([]ids.ProcessID{0}, []ids.ProcessID{1})
+	a.Send(1, []byte("blocked"))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := b.Recv(ctx); err == nil {
+		t.Fatal("message crossed the partition")
+	}
+	net.Heal()
+	a.Send(1, []byte("through"))
+	pkt, err := recvOne(t, b, time.Second)
+	if err != nil || string(pkt.Data) != "through" {
+		t.Fatalf("after heal: %v %v", pkt, err)
+	}
+}
+
+func TestMemLinkLossOverride(t *testing.T) {
+	net := NewMem(2, MemOptions{Seed: 10})
+	defer net.Close()
+	a, _ := net.Attach(0)
+	b, _ := net.Attach(1)
+	net.SetLinkLoss(0, 1, 1.0) // directed: everything 0->1 lost
+	a.Send(1, []byte("gone"))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := b.Recv(ctx); err == nil {
+		t.Fatal("message survived total link loss")
+	}
+	net.SetLinkLoss(0, 1, -1) // restore default
+	a.Send(1, []byte("back"))
+	if pkt, err := recvOne(t, b, time.Second); err != nil || string(pkt.Data) != "back" {
+		t.Fatalf("after restore: %v %v", pkt, err)
+	}
+}
+
+func TestMemRecvHonorsContext(t *testing.T) {
+	net := NewMem(1, MemOptions{Seed: 11})
+	defer net.Close()
+	a, _ := net.Attach(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := a.Recv(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline, got %v", err)
+	}
+}
+
+func TestMemRecvAfterCloseReturnsErrClosed(t *testing.T) {
+	net := NewMem(1, MemOptions{Seed: 12})
+	defer net.Close()
+	a, _ := net.Attach(0)
+	a.Close()
+	if _, err := a.Recv(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestMemSenderBufferCopied(t *testing.T) {
+	net := NewMem(2, MemOptions{Seed: 13})
+	defer net.Close()
+	a, _ := net.Attach(0)
+	b, _ := net.Attach(1)
+	buf := []byte("original")
+	a.Send(1, buf)
+	copy(buf, "MUTATED!")
+	pkt, err := recvOne(t, b, time.Second)
+	if err != nil || string(pkt.Data) != "original" {
+		t.Fatalf("buffer aliased: %q %v", pkt.Data, err)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	addrs := []string{"127.0.0.1:39471", "127.0.0.1:39472"}
+	net := NewTCP(addrs)
+	if net.N() != 2 {
+		t.Fatal("N wrong")
+	}
+	a, err := net.Attach(0)
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	defer a.Close()
+	b, err := net.Attach(1)
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	defer b.Close()
+
+	// Delivery is best-effort; retry like the gossip task would.
+	deadline := time.Now().Add(5 * time.Second)
+	var pkt Packet
+	for time.Now().Before(deadline) {
+		a.Send(1, []byte("over tcp"))
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		p, err := b.Recv(ctx)
+		cancel()
+		if err == nil {
+			pkt = p
+			break
+		}
+	}
+	if string(pkt.Data) != "over tcp" || pkt.From != 0 {
+		t.Fatalf("tcp recv: %+v", pkt)
+	}
+
+	// Self delivery.
+	a.Send(0, []byte("self"))
+	if p, err := recvOne(t, a, time.Second); err != nil || string(p.Data) != "self" {
+		t.Fatalf("self: %v %v", p, err)
+	}
+
+	// Multisend reaches both.
+	deadline = time.Now().Add(5 * time.Second)
+	got := false
+	for time.Now().Before(deadline) && !got {
+		b.Multisend([]byte("multi"))
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		p, err := a.Recv(ctx)
+		cancel()
+		if err == nil && string(p.Data) == "multi" {
+			got = true
+		}
+	}
+	if !got {
+		t.Fatal("multisend never arrived")
+	}
+}
+
+func TestTCPReattachAfterClose(t *testing.T) {
+	addrs := []string{"127.0.0.1:39481"}
+	net := NewTCP(addrs)
+	a, err := net.Attach(0)
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	a.Close()
+	a2, err := net.Attach(0)
+	if err != nil {
+		t.Fatalf("reattach: %v", err)
+	}
+	a2.Close()
+}
+
+func TestSchedulerRunsCallbacksInOrder(t *testing.T) {
+	s := newScheduler()
+	defer s.stop()
+	ch := make(chan int, 3)
+	s.after(30*time.Millisecond, func() { ch <- 3 })
+	s.after(10*time.Millisecond, func() { ch <- 1 })
+	s.after(20*time.Millisecond, func() { ch <- 2 })
+	var got []int
+	for i := 0; i < 3; i++ {
+		select {
+		case v := <-ch:
+			got = append(got, v)
+		case <-time.After(2 * time.Second):
+			t.Fatalf("timeout, got %v", got)
+		}
+	}
+	if fmt.Sprint(got) != "[1 2 3]" {
+		t.Fatalf("order: %v", got)
+	}
+}
+
+func TestSchedulerStopDiscardsPending(t *testing.T) {
+	s := newScheduler()
+	fired := make(chan struct{}, 1)
+	s.after(50*time.Millisecond, func() { fired <- struct{}{} })
+	s.stop()
+	select {
+	case <-fired:
+		t.Fatal("callback ran after stop")
+	case <-time.After(100 * time.Millisecond):
+	}
+	// after() on a stopped scheduler is a no-op, not a panic.
+	s.after(time.Millisecond, func() { fired <- struct{}{} })
+}

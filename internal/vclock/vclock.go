@@ -1,0 +1,135 @@
+// Package vclock implements the checkpoint vector clock of §5.2: "The
+// vector clock stores the sequence number of the last message delivered from
+// each process 'contained' in the checkpoint." A message belongs to a
+// delivery sequence if it appears explicitly in the suffix or is logically
+// included in the application checkpoint that initiates the sequence.
+//
+// Because message identities are qualified by the sender's incarnation (see
+// internal/ids), the clock is keyed by (sender, incarnation) pairs.
+package vclock
+
+import (
+	"sort"
+
+	"repro/internal/ids"
+	"repro/internal/wire"
+)
+
+// Key identifies one message stream: one sender incarnation.
+type Key struct {
+	Sender      ids.ProcessID
+	Incarnation uint32
+}
+
+// VC maps each stream to the highest sequence number contained. Sequence
+// numbers start at 1; a missing entry means "nothing contained".
+type VC map[Key]uint64
+
+// New returns an empty clock.
+func New() VC { return make(VC) }
+
+// Covers reports whether the clock logically contains message id.
+func (v VC) Covers(id ids.MsgID) bool {
+	return v[Key{id.Sender, id.Incarnation}] >= id.Seq
+}
+
+// Observe extends the clock to contain id (no-op if already covered).
+func (v VC) Observe(id ids.MsgID) {
+	k := Key{id.Sender, id.Incarnation}
+	if id.Seq > v[k] {
+		v[k] = id.Seq
+	}
+}
+
+// Merge folds o into v entrywise (pointwise maximum). Merge is commutative,
+// associative and idempotent.
+func (v VC) Merge(o VC) {
+	for k, s := range o {
+		if s > v[k] {
+			v[k] = s
+		}
+	}
+}
+
+// Clone returns an independent copy.
+func (v VC) Clone() VC {
+	c := make(VC, len(v))
+	for k, s := range v {
+		c[k] = s
+	}
+	return c
+}
+
+// Equal reports entrywise equality (zero entries are ignored).
+func (v VC) Equal(o VC) bool {
+	for k, s := range v {
+		if s != 0 && o[k] != s {
+			return false
+		}
+	}
+	for k, s := range o {
+		if s != 0 && v[k] != s {
+			return false
+		}
+	}
+	return true
+}
+
+// Dominates reports whether v covers everything o covers.
+func (v VC) Dominates(o VC) bool {
+	for k, s := range o {
+		if v[k] < s {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedKeys returns the keys in deterministic order (for encoding).
+func (v VC) sortedKeys() []Key {
+	keys := make([]Key, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Sender != keys[j].Sender {
+			return keys[i].Sender < keys[j].Sender
+		}
+		return keys[i].Incarnation < keys[j].Incarnation
+	})
+	return keys
+}
+
+// Encode appends the clock to w deterministically.
+func (v VC) Encode(w *wire.Writer) {
+	keys := v.sortedKeys()
+	w.U64(uint64(len(keys)))
+	for _, k := range keys {
+		w.I64(int64(k.Sender))
+		w.U64(uint64(k.Incarnation))
+		w.U64(v[k])
+	}
+}
+
+// Decode reads a clock from r.
+func Decode(r *wire.Reader) VC {
+	n := r.U64()
+	if r.Err() != nil {
+		return nil
+	}
+	capHint := n
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	v := make(VC, capHint)
+	for i := uint64(0); i < n; i++ {
+		var k Key
+		k.Sender = ids.ProcessID(r.I64())
+		k.Incarnation = uint32(r.U64())
+		v[k] = r.U64()
+		if r.Err() != nil {
+			return nil
+		}
+	}
+	return v
+}

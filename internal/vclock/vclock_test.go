@@ -1,0 +1,132 @@
+package vclock
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+	"repro/internal/wire"
+)
+
+func id(s int32, inc uint32, seq uint64) ids.MsgID {
+	return ids.MsgID{Sender: ids.ProcessID(s), Incarnation: inc, Seq: seq}
+}
+
+func TestObserveAndCovers(t *testing.T) {
+	v := New()
+	if v.Covers(id(0, 1, 1)) {
+		t.Fatal("empty clock covers something")
+	}
+	v.Observe(id(0, 1, 5))
+	if !v.Covers(id(0, 1, 5)) || !v.Covers(id(0, 1, 3)) {
+		t.Fatal("clock should cover seq <= 5")
+	}
+	if v.Covers(id(0, 1, 6)) {
+		t.Fatal("clock covers future seq")
+	}
+	if v.Covers(id(0, 2, 1)) {
+		t.Fatal("clock covers other incarnation")
+	}
+	if v.Covers(id(1, 1, 1)) {
+		t.Fatal("clock covers other sender")
+	}
+}
+
+func TestObserveIsMonotone(t *testing.T) {
+	v := New()
+	v.Observe(id(0, 1, 10))
+	v.Observe(id(0, 1, 3)) // lower: no-op
+	if !v.Covers(id(0, 1, 10)) {
+		t.Fatal("observe regressed")
+	}
+}
+
+func randVC(rng *rand.Rand) VC {
+	v := New()
+	for i := 0; i < rng.IntN(8); i++ {
+		v[Key{ids.ProcessID(rng.IntN(4)), uint32(rng.IntN(3))}] = rng.Uint64N(100) + 1
+	}
+	return v
+}
+
+// TestMergeLattice property-checks that Merge is a join: commutative,
+// associative, idempotent, and dominating.
+func TestMergeLattice(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		a, b, c := randVC(rng), randVC(rng), randVC(rng)
+
+		ab := a.Clone()
+		ab.Merge(b)
+		ba := b.Clone()
+		ba.Merge(a)
+		if !ab.Equal(ba) {
+			return false // commutativity
+		}
+		abc1 := ab.Clone()
+		abc1.Merge(c)
+		bc := b.Clone()
+		bc.Merge(c)
+		abc2 := a.Clone()
+		abc2.Merge(bc)
+		if !abc1.Equal(abc2) {
+			return false // associativity
+		}
+		aa := a.Clone()
+		aa.Merge(a)
+		if !aa.Equal(a) {
+			return false // idempotence
+		}
+		return ab.Dominates(a) && ab.Dominates(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 2))
+		v := randVC(rng)
+		w := wire.NewWriter(0)
+		v.Encode(w)
+		r := wire.NewReader(w.Bytes())
+		got := Decode(r)
+		return r.Done() == nil && got.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeIsDeterministic(t *testing.T) {
+	v := New()
+	v.Observe(id(2, 1, 9))
+	v.Observe(id(0, 3, 4))
+	v.Observe(id(0, 1, 7))
+	w1 := wire.NewWriter(0)
+	v.Encode(w1)
+	w2 := wire.NewWriter(0)
+	v.Clone().Encode(w2)
+	if string(w1.Bytes()) != string(w2.Bytes()) {
+		t.Fatal("encoding not deterministic")
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := New()
+	a.Observe(id(0, 1, 5))
+	b := New()
+	b.Observe(id(0, 1, 3))
+	if !a.Dominates(b) || b.Dominates(a) {
+		t.Fatal("dominates wrong")
+	}
+	b.Observe(id(1, 1, 1))
+	if a.Dominates(b) {
+		t.Fatal("incomparable clocks reported dominated")
+	}
+	if !a.Dominates(New()) {
+		t.Fatal("everything dominates empty")
+	}
+}

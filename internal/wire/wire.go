@@ -1,0 +1,188 @@
+// Package wire implements the compact binary codec used for every network
+// message and stable-storage record in the system.
+//
+// The encoding is deliberately simple: unsigned varints for integers,
+// length-prefixed byte strings, and a caller-supplied record tag. A Writer
+// never fails; a Reader is sticky-error so decoding code can be written as a
+// straight line and checked once at the end (the same discipline as
+// encoding/binary but allocation-conscious).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated is returned when a buffer ends before a value is complete.
+var ErrTruncated = errors.New("wire: truncated input")
+
+// ErrMalformed is returned when a value is syntactically invalid.
+var ErrMalformed = errors.New("wire: malformed input")
+
+// Writer accumulates an encoded record. The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with capacity preallocated to sizeHint bytes.
+func NewWriter(sizeHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// Bytes returns the encoded record. The returned slice aliases the Writer's
+// internal buffer; callers that retain it must not reuse the Writer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes encoded so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// U8 appends a single byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// U64 appends an unsigned varint.
+func (w *Writer) U64(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// I64 appends a signed varint (zig-zag).
+func (w *Writer) I64(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
+
+// Bytes32 appends a length-prefixed byte string.
+func (w *Writer) Bytes32(b []byte) {
+	w.U64(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.U64(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Raw appends b with no length prefix.
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// Reader decodes a record produced by Writer. It is sticky-error: after the
+// first failure every accessor returns a zero value and Err reports the
+// failure.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over b. The Reader does not copy b.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first decoding error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of undecoded bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Done returns an error if decoding failed or bytes remain unconsumed.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(r.buf)-r.off)
+	}
+	return nil
+}
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// U8 decodes a single byte.
+func (r *Reader) U8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+// Bool decodes a boolean.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// U64 decodes an unsigned varint.
+func (r *Reader) U64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// I64 decodes a signed varint.
+func (r *Reader) I64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Bytes32 decodes a length-prefixed byte string. The result aliases the
+// input buffer.
+func (r *Reader) Bytes32() []byte {
+	n := r.U64()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)-r.off) {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	b := r.buf[r.off : r.off+int(n) : r.off+int(n)]
+	r.off += int(n)
+	return b
+}
+
+// BytesCopy decodes a length-prefixed byte string into fresh storage, safe to
+// retain after the input buffer is reused.
+func (r *Reader) BytesCopy() []byte {
+	b := r.Bytes32()
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// String decodes a length-prefixed string.
+func (r *Reader) String() string {
+	return string(r.Bytes32())
+}
