@@ -16,6 +16,25 @@
 // transfer, batched broadcast, incremental logging, application
 // checkpoints).
 //
+// # Pipelining and adaptive batching
+//
+// Beyond the paper, the ordering hot path can be pipelined and batched:
+//
+//   - ProtocolOptions.PipelineDepth > 1 keeps several consensus rounds in
+//     flight at once — round k+1 is proposed while round k's decision is
+//     still outstanding. Decided batches always commit in round order, so
+//     the total order is exactly the sequential protocol's; recovery
+//     replays (or skips, via state transfer) in-flight rounds from the
+//     consensus log.
+//   - MaxBatch / MaxBatchBytes / MaxBatchDelay control adaptive batching:
+//     pending messages aggregate into one proposal until the batch is full
+//     (size triggers) or the oldest pending message has waited
+//     MaxBatchDelay (time trigger), whichever comes first.
+//
+// Combining BatchedBroadcast with PipelineDepth 4 and a small MaxBatchDelay
+// is the recommended high-throughput configuration; see the E14 experiment
+// (cmd/abcast-bench -exp E14).
+//
 // # Quickstart
 //
 //	net := abcast.NewMemNetwork(3, abcast.MemNetOptions{})
@@ -32,6 +51,7 @@ package abcast
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/consensus"
 	"repro/internal/core"
@@ -103,7 +123,8 @@ type Config struct {
 	OnRestore func(Snapshot)
 }
 
-// ProtocolOptions mirrors the §5 alternative-protocol knobs.
+// ProtocolOptions mirrors the §5 alternative-protocol knobs plus the
+// ordering hot-path options (round pipelining and adaptive batching).
 type ProtocolOptions struct {
 	// CheckpointEvery logs (k, Agreed) every so many rounds (§5.1);
 	// 0 disables checkpointing (basic protocol).
@@ -118,6 +139,25 @@ type ProtocolOptions struct {
 	IncrementalLog bool
 	// Checkpointer enables application-level checkpoints (§5.2).
 	Checkpointer Checkpointer
+
+	// PipelineDepth is the number of consensus rounds that may be in
+	// flight concurrently. 0 or 1 reproduces the paper's strictly
+	// sequential sequencer; higher depths overlap round k+1's proposal
+	// with round k's decision latency for higher throughput. Deliveries
+	// always commit in round order, so the total order is unchanged.
+	PipelineDepth int
+	// MaxBatch caps the messages aggregated into one proposal (0 = no
+	// cap).
+	MaxBatch int
+	// MaxBatchBytes caps the cumulative payload bytes aggregated into
+	// one proposal (0 = no cap); a batch at the cap is "full" and is
+	// proposed immediately.
+	MaxBatchBytes int
+	// MaxBatchDelay, when positive, holds back a non-full proposal until
+	// the oldest pending message has waited this long, trading a bounded
+	// amount of latency for bigger batches under light load (adaptive
+	// batching: the earlier of the size and time triggers wins).
+	MaxBatchDelay time.Duration
 }
 
 // Process is one group member with crash/recover lifecycle.
@@ -138,6 +178,10 @@ func NewProcess(cfg Config, st Storage, net Network) *Process {
 			BatchedBroadcast: cfg.Protocol.BatchedBroadcast,
 			IncrementalLog:   cfg.Protocol.IncrementalLog,
 			Checkpointer:     cfg.Protocol.Checkpointer,
+			PipelineDepth:    cfg.Protocol.PipelineDepth,
+			MaxBatch:         cfg.Protocol.MaxBatch,
+			MaxBatchBytes:    cfg.Protocol.MaxBatchBytes,
+			MaxBatchDelay:    cfg.Protocol.MaxBatchDelay,
 			OnDeliver:        cfg.OnDeliver,
 			OnRestore:        cfg.OnRestore,
 		},

@@ -82,3 +82,7 @@ func BenchmarkE12GossipInterval(b *testing.B) { runExperiment(b, experiments.E12
 
 // BenchmarkE13GroupSize is the group-size ablation.
 func BenchmarkE13GroupSize(b *testing.B) { runExperiment(b, experiments.E13GroupSize) }
+
+// BenchmarkE14Pipeline measures the round-pipeline + adaptive-batching
+// ordering hot path against the basic sequential protocol.
+func BenchmarkE14Pipeline(b *testing.B) { runExperiment(b, experiments.E14Pipeline) }

@@ -1,5 +1,6 @@
 // Command abcast-bench runs the reproduction experiments (E1–E10 in
-// DESIGN.md) and prints their tables. EXPERIMENTS.md is generated from its
+// DESIGN.md, plus the E11–E13 ablations and the E14 pipeline/batching
+// shootout) and prints their tables. EXPERIMENTS.md is generated from its
 // full-scale output.
 //
 // Usage:

@@ -117,8 +117,9 @@ func (e *Engine) drive(in *instance) {
 			continue
 		}
 		if !hasProp || !e.myTurn(attempt, stuck) {
-			// Learner mode: ask around for the decision, then wait.
-			e.send(ids.Nobody, message{kind: mDecideReq, k: in.k})
+			// Learner mode: ask around for the decision (and the rest
+			// of the pipeline window), then wait.
+			e.send(ids.Nobody, message{kind: mDecideReq, k: in.k, span: decideWindow})
 			stuck++
 			if !e.waitWake(ctx, in, e.backoff(fails)) {
 				return

@@ -6,7 +6,8 @@ import (
 
 // OnMessage is the router handler for the consensus channel. It runs on the
 // router's receive goroutine; every branch does at most one stable-storage
-// write and one send.
+// write and one send, except decide-request/decide-multi, which serve a
+// bounded window of decisions (decideWindow) for pipelined learners.
 func (e *Engine) OnMessage(from ids.ProcessID, payload []byte) {
 	m, err := decodeMessage(payload)
 	if err != nil {
@@ -15,6 +16,18 @@ func (e *Engine) OnMessage(from ids.ProcessID, payload []byte) {
 
 	e.mu.Lock()
 	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	if m.kind == mDecideMulti {
+		// Filtered per entry: a reply whose first instance fell under
+		// the floor may still carry decisions above it.
+		for _, d := range m.multi {
+			if d.k < e.floor {
+				continue
+			}
+			e.decideLocked(e.getLocked(d.k), d.val)
+		}
 		e.mu.Unlock()
 		return
 	}
@@ -111,13 +124,29 @@ func (e *Engine) OnMessage(from ids.ProcessID, payload []byte) {
 		e.mu.Unlock()
 
 	case mDecideReq:
+		// Collect every known decision in the learner's window
+		// [k, k+span] so one request catches a pipelined learner fully
+		// up instead of costing a round-trip per instance.
+		span := m.span
+		if span > decideWindow {
+			span = decideWindow
+		}
+		var out []decision
 		if in.hasDec {
-			v := in.decided
-			e.mu.Unlock()
-			e.send(from, message{kind: mDecide, k: m.k, val: v})
-			return
+			out = append(out, decision{k: m.k, val: in.decided})
+		}
+		for i := uint64(1); i <= span; i++ {
+			if other, ok := e.insts[m.k+i]; ok && other.hasDec {
+				out = append(out, decision{k: m.k + i, val: other.decided})
+			}
 		}
 		e.mu.Unlock()
+		switch {
+		case len(out) == 1 && out[0].k == m.k:
+			e.send(from, message{kind: mDecide, k: m.k, val: out[0].val})
+		case len(out) > 0:
+			e.send(from, message{kind: mDecideMulti, k: out[0].k, multi: out})
+		}
 
 	case mForgotten:
 		// The peer GC'd this instance under a checkpoint. If its GC

@@ -6,15 +6,30 @@ import (
 
 // Message kinds on the consensus channel.
 const (
-	mPrepare   uint8 = 1 // coordinator -> all: claim ballot b for instance k
-	mPromise   uint8 = 2 // acceptor -> coordinator: promise + accepted pair
-	mAccept    uint8 = 3 // coordinator -> all: accept (b, v)
-	mAccepted  uint8 = 4 // acceptor -> coordinator: accepted b
-	mNack      uint8 = 5 // acceptor -> coordinator: ballot refused, promised attached
-	mDecide    uint8 = 6 // anyone -> anyone: instance k decided v
-	mDecideReq uint8 = 7 // learner -> all: please resend decision of k
-	mForgotten uint8 = 8 // responder -> learner: instance k was GC'd; floor attached
+	mPrepare     uint8 = 1 // coordinator -> all: claim ballot b for instance k
+	mPromise     uint8 = 2 // acceptor -> coordinator: promise + accepted pair
+	mAccept      uint8 = 3 // coordinator -> all: accept (b, v)
+	mAccepted    uint8 = 4 // acceptor -> coordinator: accepted b
+	mNack        uint8 = 5 // acceptor -> coordinator: ballot refused, promised attached
+	mDecide      uint8 = 6 // anyone -> anyone: instance k decided v
+	mDecideReq   uint8 = 7 // learner -> all: please resend decisions of [k, k+span]
+	mForgotten   uint8 = 8 // responder -> learner: instance k was GC'd; floor attached
+	mDecideMulti uint8 = 9 // responder -> learner: batched decisions for a window
 )
+
+// decideWindow is the extra window a learner asks for with every decide
+// request, so one request covers instances [k, k+decideWindow]: with a
+// pipelined broadcast layer several instances wait concurrently, and one
+// request catching them all up saves a round-trip per instance. The
+// requester, the responder's span clamp, and the decoder's reply cap all
+// share this single constant.
+const decideWindow = 16
+
+// decision is one (instance, value) pair inside an mDecideMulti reply.
+type decision struct {
+	k   uint64
+	val []byte
+}
 
 type message struct {
 	kind uint8
@@ -26,10 +41,16 @@ type message struct {
 	val    []byte // Promise: accepted value; Accept/Decide: the value
 	// Nack/Forgotten: the acceptor's current promise / GC floor.
 	promised uint64
+	// DecideReq: how many instances past k the learner also wants (a
+	// pipelined learner asks for its whole window in one request).
+	span uint64
+	// DecideMulti: the decided instances being returned; k is the first
+	// entry's instance (so the floor check applies to a real instance).
+	multi []decision
 }
 
 func (m message) encode() []byte {
-	w := wire.NewWriter(16 + len(m.val))
+	w := wire.NewWriter(24 + len(m.val))
 	w.U8(m.kind)
 	w.U64(m.k)
 	w.U64(m.b)
@@ -37,6 +58,18 @@ func (m message) encode() []byte {
 	w.U64(m.accB)
 	w.Bytes32(m.val)
 	w.U64(m.promised)
+	// The window fields ride only on the message kinds that use them, so
+	// the hot-path ballot messages pay nothing for the learner protocol.
+	switch m.kind {
+	case mDecideReq:
+		w.U64(m.span)
+	case mDecideMulti:
+		w.U64(uint64(len(m.multi)))
+		for _, d := range m.multi {
+			w.U64(d.k)
+			w.Bytes32(d.val)
+		}
+	}
 	return w.Bytes()
 }
 
@@ -50,5 +83,20 @@ func decodeMessage(payload []byte) (message, error) {
 	m.accB = r.U64()
 	m.val = r.BytesCopy()
 	m.promised = r.U64()
+	switch m.kind {
+	case mDecideReq:
+		m.span = r.U64()
+	case mDecideMulti:
+		n := r.U64()
+		if r.Err() == nil && n > 0 {
+			if n > decideWindow+1 {
+				n = decideWindow + 1
+			}
+			m.multi = make([]decision, 0, n)
+			for i := uint64(0); i < n && r.Err() == nil; i++ {
+				m.multi = append(m.multi, decision{k: r.U64(), val: r.BytesCopy()})
+			}
+		}
+	}
 	return m, r.Done()
 }

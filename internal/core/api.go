@@ -93,6 +93,25 @@ type Config struct {
 	// MaxBatch caps the messages proposed to one Consensus instance
 	// (0 = no cap).
 	MaxBatch int
+	// MaxBatchBytes caps the cumulative payload bytes aggregated into one
+	// proposal (0 = no cap). Reaching the cap makes a batch "full", which
+	// overrides MaxBatchDelay's time trigger.
+	MaxBatchBytes int
+	// MaxBatchDelay, when positive, holds back a non-full proposal until
+	// the oldest pending unordered message has waited this long, so light
+	// load aggregates into bigger batches (adaptive batching: a proposal
+	// is submitted on the earlier of the size trigger and the time
+	// trigger). Zero proposes as soon as the round is open.
+	MaxBatchDelay time.Duration
+	// PipelineDepth is the number of consensus rounds the sequencer may
+	// keep in flight concurrently (proposed, decision pending). 0 or 1
+	// gives the paper's strictly sequential sequencer (Fig. 2); depth d
+	// lets round k+d-1 be proposed while round k's decision is still
+	// outstanding. Decided batches always commit in round order, so the
+	// delivery sequence is identical to the sequential sequencer's, and
+	// recovery replays (or truncates, via state transfer) in-flight
+	// rounds from the consensus log.
+	PipelineDepth int
 
 	// CheckpointEvery triggers the checkpoint task every so many rounds
 	// (0 disables it: basic protocol).
@@ -146,5 +165,7 @@ type Stats struct {
 	RecoveredFromCkpt   bool
 	RecoveredUnordered  int // unordered messages retrieved on recovery
 	ProposalsSubmitted  uint64
+	PipelinedProposals  uint64 // proposals submitted for rounds beyond the head
+	ProposedMessages    uint64 // messages across all submitted proposals
 	DeliveredByTransfer uint64 // messages skipped over via state adoption
 }

@@ -37,13 +37,28 @@ func (p *Protocol) sendGossip() {
 	p.mu.Lock()
 	p.lastGossip = time.Now()
 	k := p.k
+	truncated := false
 	batch := p.unordered.Slice()
 	if len(batch) > p.cfg.GossipMaxMessages {
+		// The canonical prefix may exclude freshly added messages: keep
+		// the eager buffer so the delta path still pushes them promptly.
 		batch = batch[:p.cfg.GossipMaxMessages]
+		truncated = len(p.eagerBuf) > 0
+	} else {
+		p.eagerBuf = nil // fully covered by this send
 	}
 	p.stats.GossipSent++
 	p.mu.Unlock()
 
+	p.gossipFrame(k, batch)
+	if truncated {
+		p.eagerGossip() // arms a deferred flush for the kept buffer
+	}
+}
+
+// gossipFrame encodes and multisends one gossip(k, batch) frame — the
+// shared wire format of the periodic and eager paths.
+func (p *Protocol) gossipFrame(k uint64, batch []msg.Message) {
 	w := wire.NewWriter(64)
 	w.U8(subGossip)
 	w.U64(k)
@@ -51,20 +66,58 @@ func (p *Protocol) sendGossip() {
 	p.net.Multisend(w.Bytes())
 }
 
-// eagerGossip pushes the Unordered set right after a local A-broadcast so
-// the message reaches the other sequencers without waiting for the next
-// periodic tick. Fairness only requires repetition, so extra sends are
-// always allowed; a tiny guard merely coalesces very tight submission
-// loops (it must stay well under the gossip interval, or it phase-locks
-// onto the periodic ticker and every broadcast waits a full tick).
+// eagerGossip pushes messages added since the last flush right after a
+// local A-broadcast, so they reach the other sequencers without waiting
+// for the next periodic tick. Unlike the periodic task it sends only the
+// delta — re-sending the whole Unordered set per broadcast would make the
+// hot path quadratic under load; repetition (which fairness needs) is the
+// periodic task's job. A tiny guard coalesces very tight submission loops
+// (it must stay well under the gossip interval, or it phase-locks onto the
+// periodic ticker and every broadcast waits a full tick); messages skipped
+// by the guard stay buffered for the next flush.
 func (p *Protocol) eagerGossip() {
 	p.mu.Lock()
-	recent := time.Since(p.lastGossip) < p.cfg.GossipInterval/128
-	p.mu.Unlock()
-	if recent {
+	if len(p.eagerBuf) == 0 {
+		p.mu.Unlock()
 		return
 	}
-	p.sendGossip()
+	guard := p.cfg.GossipInterval / 128
+	if since := time.Since(p.lastGossip); since < guard {
+		// Coalesce: arm a one-shot flush for when the guard expires, so
+		// buffered messages never wait for the full periodic tick (the
+		// submitters may all be blocked on them).
+		if !p.flushArmed {
+			p.flushArmed = true
+			time.AfterFunc(guard-since, func() {
+				p.mu.Lock()
+				p.flushArmed = false
+				stopped := p.stopped
+				p.mu.Unlock()
+				if !stopped {
+					p.eagerGossip()
+				}
+			})
+		}
+		p.mu.Unlock()
+		return
+	}
+	batch := p.eagerBuf
+	if len(batch) > p.cfg.GossipMaxMessages {
+		p.eagerBuf = batch[p.cfg.GossipMaxMessages:]
+		batch = batch[:p.cfg.GossipMaxMessages]
+	} else {
+		p.eagerBuf = nil
+	}
+	remainder := len(p.eagerBuf) > 0
+	k := p.k
+	p.lastGossip = time.Now()
+	p.stats.GossipSent++
+	p.mu.Unlock()
+
+	p.gossipFrame(k, batch)
+	if remainder {
+		p.eagerGossip() // arms a deferred flush for the truncated tail
+	}
 }
 
 // OnMessage is the router handler for the core channel.
@@ -100,6 +153,9 @@ func (p *Protocol) onGossip(from ids.ProcessID, r *wire.Reader) {
 		if p.unordered.Add(m) {
 			added++
 		}
+	}
+	if added > 0 {
+		p.notePendingLocked()
 	}
 	var sendState []byte
 	lagging := p.cfg.Delta > 0 && p.k > kq+p.cfg.Delta
@@ -157,16 +213,14 @@ func (p *Protocol) onState(from ids.ProcessID, r *wire.Reader) {
 	// sender garbage-collected rounds we still need (we could otherwise
 	// never terminate them through Consensus).
 	if (p.cfg.Delta > 0 && newK > p.k+p.cfg.Delta) || (p.k < floor && newK > p.k) {
-		// Seriously behind: stage the adoption and interrupt the
-		// sequencer (Fig. 3 line (e)); it restarts from the adopted
-		// state (line (f)).
+		// Seriously behind: stage the adoption and interrupt every
+		// in-flight decision wait (Fig. 3 line (e)); the pipeline
+		// restarts from the adopted state (line (f)).
 		if p.pending == nil || newK > p.pendingK {
 			p.pending = ds
 			p.pendingK = newK
 		}
-		if p.seqInterrupt != nil {
-			p.seqInterrupt()
-		}
+		p.interruptInflightLocked()
 	} else {
 		// Small de-synchronization: treat like gossip.
 		if newK > p.gossipK {

@@ -281,7 +281,7 @@ func TestOnStateInterruptsSequencer(t *testing.T) {
 	interrupted := make(chan struct{})
 	wctx, cancel := context.WithCancel(context.Background())
 	p.mu.Lock()
-	p.seqInterrupt = cancel
+	p.inflightRounds[0] = cancel
 	p.mu.Unlock()
 	go func() {
 		<-wctx.Done()

@@ -40,13 +40,24 @@ type Protocol struct {
 	seq       uint64 // local sequence numbers for MsgIDs
 	waiters   map[ids.MsgID][]chan struct{}
 
-	pending      *deliveryState // state transfer awaiting adoption
-	pendingK     uint64
-	gcFloor      uint64             // consensus instances below this were discarded
-	seqInterrupt context.CancelFunc // interrupts the sequencer's WaitDecided
+	pending  *deliveryState // state transfer awaiting adoption
+	pendingK uint64
+	gcFloor  uint64 // consensus instances below this were discarded
+
+	// Pipeline state. inflightRounds holds a cancel func per round with a
+	// live decision waiter; inflightMsgs marks unordered messages already
+	// inside an in-flight proposal (so later rounds don't re-propose
+	// them); pendingSince is the arrival time of the oldest pending (not
+	// yet proposed) message, driving the adaptive batching time trigger.
+	inflightRounds map[uint64]context.CancelFunc
+	inflightMsgs   map[ids.MsgID]uint64
+	pendingSince   time.Time
+	resCh          chan roundResult
 
 	lastStateTo map[ids.ProcessID]time.Time // state-message rate limiting
 	lastGossip  time.Time                   // eager-gossip rate limiting
+	eagerBuf    []msg.Message               // locally added messages awaiting a delta gossip
+	flushArmed  bool                        // a deferred eager-gossip flush is scheduled
 
 	stats Stats
 
@@ -64,17 +75,24 @@ type Protocol struct {
 // Register OnMessage with the router before calling Start.
 func New(cfg Config, st storage.Stable, cons consensus.API, net router.Net) *Protocol {
 	cfg.fill()
+	depth := cfg.PipelineDepth
+	if depth < 1 {
+		depth = 1
+	}
 	return &Protocol{
-		cfg:         cfg,
-		st:          st,
-		cons:        cons,
-		net:         net,
-		unordered:   msg.NewSet(),
-		ds:          newDeliveryState(),
-		waiters:     make(map[ids.MsgID][]chan struct{}),
-		lastStateTo: make(map[ids.ProcessID]time.Time),
-		wake:        make(chan struct{}, 1),
-		ckptCh:      make(chan struct{}, 1),
+		cfg:            cfg,
+		st:             st,
+		cons:           cons,
+		net:            net,
+		unordered:      msg.NewSet(),
+		ds:             newDeliveryState(),
+		waiters:        make(map[ids.MsgID][]chan struct{}),
+		lastStateTo:    make(map[ids.ProcessID]time.Time),
+		inflightRounds: make(map[uint64]context.CancelFunc),
+		inflightMsgs:   make(map[ids.MsgID]uint64),
+		resCh:          make(chan roundResult, depth+1),
+		wake:           make(chan struct{}, 1),
+		ckptCh:         make(chan struct{}, 1),
 	}
 }
 
@@ -259,6 +277,9 @@ func (p *Protocol) recoverUnordered() error {
 		}
 	}
 	p.stats.RecoveredUnordered = recovered
+	if recovered > 0 {
+		p.notePendingLocked()
+	}
 	p.mu.Unlock()
 	return nil
 }
@@ -279,6 +300,8 @@ func (p *Protocol) Broadcast(ctx context.Context, payload []byte) (ids.MsgID, er
 		Payload: append([]byte(nil), payload...),
 	}
 	p.unordered.Add(m)
+	p.eagerBuf = append(p.eagerBuf, m)
+	p.notePendingLocked()
 	p.stats.Broadcasts++
 
 	if p.cfg.BatchedBroadcast {
@@ -296,7 +319,12 @@ func (p *Protocol) Broadcast(ctx context.Context, payload []byte) (ids.MsgID, er
 		p.poke()
 		p.eagerGossip()
 		if err != nil {
-			return ids.MsgID{}, fmt.Errorf("core: log unordered: %w", err)
+			// The log write failed (the incarnation is dying), but m is
+			// already in the volatile Unordered set and may have been
+			// gossiped: like a crash inside A-broadcast, m "may or may
+			// have not been A-broadcast" — return its identity so the
+			// caller can track the outcome.
+			return m.ID, fmt.Errorf("core: log unordered: %w", err)
 		}
 		return m.ID, nil
 	}
@@ -333,6 +361,8 @@ func (p *Protocol) BroadcastAsync(payload []byte) (ids.MsgID, error) {
 		Payload: append([]byte(nil), payload...),
 	}
 	p.unordered.Add(m)
+	p.eagerBuf = append(p.eagerBuf, m)
+	p.notePendingLocked()
 	p.stats.Broadcasts++
 	p.mu.Unlock()
 	p.poke()
@@ -352,6 +382,27 @@ func (p *Protocol) commit(round uint64, result []byte) {
 	deliveries := p.ds.appendBatch(round, batch)
 	p.k = round + 1
 	p.unordered.SubtractDelivered(p.ds.contains)
+	// Messages we proposed in rounds up to this one are settled: either
+	// delivered (gone from Unordered) or lost to a competing batch, in
+	// which case they become pending again and a later round re-proposes
+	// them.
+	leftover := false
+	for id, r := range p.inflightMsgs {
+		if r <= round {
+			delete(p.inflightMsgs, id)
+			if p.unordered.Contains(id) {
+				leftover = true
+			}
+		}
+	}
+	if leftover {
+		p.notePendingLocked()
+	}
+	if p.unordered.Len() == 0 {
+		// The pool drained (possibly via remotely decided batches): a
+		// stale pendingSince would defeat the next batch's time trigger.
+		p.pendingSince = time.Time{}
+	}
 	for _, d := range deliveries {
 		p.notifyWaitersLocked(d.Msg.ID)
 	}
@@ -374,6 +425,14 @@ func (p *Protocol) commit(round uint64, result []byte) {
 		case p.ckptCh <- struct{}{}:
 		default:
 		}
+	}
+}
+
+// notePendingLocked records the arrival of a pending (not yet proposed)
+// unordered message for the adaptive batching time trigger. p.mu held.
+func (p *Protocol) notePendingLocked() {
+	if p.pendingSince.IsZero() {
+		p.pendingSince = time.Now()
 	}
 }
 

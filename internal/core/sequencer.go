@@ -2,17 +2,46 @@ package core
 
 import (
 	"context"
+	"errors"
 	"time"
 
+	"repro/internal/consensus"
 	"repro/internal/msg"
 	"repro/internal/wire"
 )
 
-// sequencerTask is the heart of the ordering protocol (Fig. 2): in round k
-// the process proposes its Unordered set to the k-th Consensus instance and
-// appends the decided batch to the Agreed queue.
+// roundResult is the outcome of one in-flight round's decision wait,
+// delivered to the sequencer by its waiter goroutine.
+type roundResult struct {
+	k   uint64
+	val []byte
+	err error
+}
+
+// depth returns the effective pipeline depth (>= 1).
+func (p *Protocol) depth() uint64 {
+	if p.cfg.PipelineDepth > 1 {
+		return uint64(p.cfg.PipelineDepth)
+	}
+	return 1
+}
+
+// sequencerTask is the heart of the ordering protocol (Fig. 2), generalized
+// into a round pipeline: up to PipelineDepth consensus rounds may be in
+// flight at once (proposed, decision pending) while decided batches commit
+// strictly in round order — so the Agreed queue every process builds is
+// identical to the sequential sequencer's. Depth 1 reproduces Fig. 2
+// exactly: propose k, wait until decided(k), commit, repeat.
+//
+// The task is an event loop: pump fills the pipeline window (restarting
+// waiters for logged proposals and submitting fresh adaptive batches),
+// commitReady drains in-order decisions, and the select waits for the next
+// decision, a wake (new messages, gossip news, staged state transfer), or
+// the adaptive-batching time trigger.
 func (p *Protocol) sequencerTask() {
 	defer p.wg.Done()
+	results := make(map[uint64][]byte) // decided out of order, pending commit
+	var cooldown time.Time             // backoff after a discarded wait
 	for {
 		if p.ctx.Err() != nil {
 			return
@@ -20,97 +49,257 @@ func (p *Protocol) sequencerTask() {
 		p.maybeAdopt()
 
 		p.mu.Lock()
-		k := p.k
+		head := p.k
 		p.mu.Unlock()
-
-		if _, ok := p.cons.Proposal(k); !ok {
-			// "wait until ((Unordered_p ≠ ∅) or (gossip-k_p > k_p))"
-			if !p.waitProposable() {
-				return
-			}
-			p.mu.Lock()
-			if p.pending != nil {
-				p.mu.Unlock()
-				continue // adopt first; the proposal would be stale
-			}
-			k = p.k
-			batch := p.unordered.Slice()
-			if p.cfg.MaxBatch > 0 && len(batch) > p.cfg.MaxBatch {
-				batch = batch[:p.cfg.MaxBatch]
-			}
-			p.stats.ProposalsSubmitted++
-			p.mu.Unlock()
-
-			w := wire.NewWriter(64)
-			msg.EncodeBatch(w, batch)
-			// "Proposed_p[k_p] ← Unordered_p; log(Proposed_p[k_p]);
-			// propose(k_p, ...)". The log is the first operation of
-			// the Consensus (§4.2) — Propose performs it.
-			if err := p.cons.Propose(k, w.Bytes()); err != nil {
-				// Below the GC floor (a state transfer adopted a
-				// higher round concurrently) or storage death.
-				continue
+		for r := range results {
+			if r < head {
+				delete(results, r) // committed or skipped by an adoption
 			}
 		}
 
-		// "wait until decided(k_p, result)" — interruptible by a state
-		// transfer (Fig. 3 line (e) terminates the sequencer task).
-		wctx, cancel := context.WithCancel(p.ctx)
-		p.mu.Lock()
-		p.seqInterrupt = cancel
-		if p.pending != nil {
-			cancel()
+		var delay time.Duration
+		if wait := time.Until(cooldown); wait > 0 {
+			delay = wait
+		} else {
+			delay = p.pump(results)
 		}
-		p.mu.Unlock()
 
-		result, err := p.cons.WaitDecided(wctx, k)
-
-		p.mu.Lock()
-		p.seqInterrupt = nil
-		p.mu.Unlock()
-		cancel()
-
-		if err != nil {
-			if p.ctx.Err() != nil {
-				return
-			}
-			// Interrupted by a state transfer, or the instance was
-			// garbage-collected by peers. Wait for an adoption (or
-			// the next gossip) rather than spinning on WaitDecided.
-			select {
-			case <-p.ctx.Done():
-				return
-			case <-p.wake:
-			case <-time.After(p.cfg.GossipInterval):
-			}
-			continue
+		if p.commitReady(results) {
+			continue // the window slid: refill it before blocking
 		}
-		p.commit(k, result)
-	}
-}
 
-// waitProposable blocks until there is something to propose, the process
-// learns it lagged behind, or a state transfer is pending. False means the
-// incarnation ended.
-func (p *Protocol) waitProposable() bool {
-	for {
-		p.mu.Lock()
-		ready := p.unordered.Len() > 0 || p.gossipK > p.k || p.pending != nil
-		p.mu.Unlock()
-		if ready {
-			return true
+		var timer *time.Timer
+		var timerC <-chan time.Time
+		if delay > 0 {
+			timer = time.NewTimer(delay)
+			timerC = timer.C
 		}
 		select {
 		case <-p.ctx.Done():
-			return false
+		case res := <-p.resCh:
+			p.handleResult(res, results, &cooldown)
 		case <-p.wake:
+			cooldown = time.Time{} // news may unblock a discarded round
+		case <-timerC:
 		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+}
+
+// handleResult absorbs one waiter outcome. Decisions park in results until
+// their turn; failures (interrupt by a state transfer, instance discarded
+// by peers) back off until the next gossip brings news or an adoption skips
+// the round.
+func (p *Protocol) handleResult(res roundResult, results map[uint64][]byte, cooldown *time.Time) {
+	p.mu.Lock()
+	delete(p.inflightRounds, res.k)
+	head := p.k
+	p.mu.Unlock()
+	if res.err != nil {
+		// Stale failures (res.k < head) were already skipped by an
+		// adoption; backing off for them would freeze fresh proposals
+		// right after the node caught up.
+		if res.k >= head && p.ctx.Err() == nil && errors.Is(res.err, consensus.ErrDiscarded) {
+			*cooldown = time.Now().Add(p.cfg.GossipInterval)
+		}
+		return
+	}
+	if res.k >= head {
+		results[res.k] = res.val
+	}
+}
+
+// commitReady commits decided rounds in order, starting at the head.
+func (p *Protocol) commitReady(results map[uint64][]byte) bool {
+	committed := false
+	for {
+		p.mu.Lock()
+		head := p.k
+		p.mu.Unlock()
+		val, ok := results[head]
+		if !ok {
+			return committed
+		}
+		delete(results, head)
+		p.commit(head, val)
+		committed = true
+	}
+}
+
+// pump fills the pipeline window [k, k+depth): rounds with a locally known
+// decision short-circuit into results, rounds with a logged proposal get a
+// decision waiter (re-proposing idempotently so a driver runs), and the
+// first open round receives a fresh proposal assembled under the adaptive
+// batching triggers. The returned duration, when positive, says how long
+// the sequencer may sleep before the time trigger ripens a held-back batch.
+func (p *Protocol) pump(results map[uint64][]byte) time.Duration {
+	depth := p.depth()
+	for {
+		p.mu.Lock()
+		if p.pending != nil {
+			p.mu.Unlock()
+			return 0 // adopt first; anything proposed now would be stale
+		}
+		head := p.k
+		var r uint64
+		slot := false
+		for r = head; r < head+depth; r++ {
+			if _, ok := results[r]; ok {
+				continue
+			}
+			if _, ok := p.inflightRounds[r]; ok {
+				continue
+			}
+			slot = true
+			break
+		}
+		p.mu.Unlock()
+		if !slot {
+			return 0 // window full: wait for a decision
+		}
+
+		if v, ok := p.cons.DecidedLocal(r); ok {
+			results[r] = v
+			continue
+		}
+		if prop, ok := p.cons.Proposal(r); ok {
+			// Logged by a previous incarnation or an interrupted wait:
+			// re-propose idempotently so a driver pushes it, then wait.
+			if err := p.cons.Propose(r, prop); err != nil {
+				return 0 // below the GC floor: an adoption will skip it
+			}
+			p.startWaiter(r)
+			continue
+		}
+
+		batch, delay, ok := p.assembleBatch(r)
+		if !ok {
+			return delay
+		}
+		w := wire.NewWriter(64)
+		msg.EncodeBatch(w, batch)
+		// "Proposed_p[k_p] ← Unordered_p; log(Proposed_p[k_p]);
+		// propose(k_p, ...)". The log is the first operation of the
+		// Consensus (§4.2) — Propose performs it.
+		if err := p.cons.Propose(r, w.Bytes()); err != nil {
+			p.unmarkRound(r)
+			return 0
+		}
+		p.startWaiter(r)
+	}
+}
+
+// assembleBatch collects the proposal for fresh round r: the pending
+// unordered messages (those not already inside an in-flight proposal),
+// truncated by MaxBatch / MaxBatchBytes. ok=false means the round must not
+// be proposed yet; a positive delay says when the time trigger ripens it.
+func (p *Protocol) assembleBatch(r uint64) (batch []msg.Message, delay time.Duration, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pending != nil || r < p.k || r >= p.k+p.depth() {
+		return nil, 0, false // the world moved while the lock was free
+	}
+	var size int
+	full, leftover := false, false
+	for _, m := range p.unordered.Slice() {
+		if _, busy := p.inflightMsgs[m.ID]; busy {
+			continue
+		}
+		if (p.cfg.MaxBatch > 0 && len(batch) >= p.cfg.MaxBatch) ||
+			(p.cfg.MaxBatchBytes > 0 && len(batch) > 0 && size+len(m.Payload) > p.cfg.MaxBatchBytes) {
+			full, leftover = true, true
+			break
+		}
+		batch = append(batch, m)
+		size += len(m.Payload)
+	}
+	if (p.cfg.MaxBatchBytes > 0 && size >= p.cfg.MaxBatchBytes) ||
+		(p.cfg.MaxBatch > 0 && len(batch) >= p.cfg.MaxBatch) {
+		full = true // at a size cap: the batch cannot grow, don't delay it
+	}
+	// behind: the group decided rounds we have not learned; propose (even
+	// an empty batch) so WaitDecided pulls the missing decisions in.
+	behind := p.gossipK > r
+	if len(batch) == 0 && !behind {
+		return nil, 0, false // nothing to order and nothing to learn
+	}
+	if len(batch) > 0 && !full && !behind && p.cfg.MaxBatchDelay > 0 {
+		if wait := p.cfg.MaxBatchDelay - time.Since(p.pendingSince); wait > 0 {
+			return nil, wait, false // hold back: let the batch grow
+		}
+	}
+	for _, m := range batch {
+		p.inflightMsgs[m.ID] = r
+	}
+	if !leftover {
+		p.pendingSince = time.Time{}
+	}
+	p.stats.ProposalsSubmitted++
+	p.stats.ProposedMessages += uint64(len(batch))
+	if r > p.k {
+		p.stats.PipelinedProposals++
+	}
+	return batch, 0, true
+}
+
+// unmarkRound releases the in-flight marks taken for round r when its
+// proposal could not be submitted.
+func (p *Protocol) unmarkRound(r uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	leftover := false
+	for id, rr := range p.inflightMsgs {
+		if rr == r {
+			delete(p.inflightMsgs, id)
+			leftover = true
+		}
+	}
+	if leftover {
+		p.notePendingLocked()
+	}
+}
+
+// startWaiter forks a goroutine waiting for round r's decision; the result
+// lands on resCh for the sequencer to commit in order. The waiter's context
+// is the per-round interrupt handle (Fig. 3 line (e) generalizes to
+// cancelling the whole window when a state transfer arrives).
+func (p *Protocol) startWaiter(r uint64) {
+	p.mu.Lock()
+	if _, ok := p.inflightRounds[r]; ok {
+		p.mu.Unlock()
+		return
+	}
+	wctx, cancel := context.WithCancel(p.ctx)
+	p.inflightRounds[r] = cancel
+	if p.pending != nil {
+		cancel() // an adoption is staged: don't outwait it
+	}
+	p.wg.Add(1)
+	p.mu.Unlock()
+	go func() {
+		defer p.wg.Done()
+		val, err := p.cons.WaitDecided(wctx, r)
+		cancel()
+		select {
+		case p.resCh <- roundResult{k: r, val: val, err: err}:
+		case <-p.ctx.Done():
+		}
+	}()
+}
+
+// interruptInflightLocked cancels every in-flight decision wait (the
+// pipelined form of Fig. 3's "terminate task sequencer"). p.mu held.
+func (p *Protocol) interruptInflightLocked() {
+	for _, cancel := range p.inflightRounds {
+		cancel()
 	}
 }
 
 // maybeAdopt applies a pending state transfer (Fig. 3's "upon receive
-// state" when p is late): the sequencer was interrupted, the state is
-// installed, rounds are skipped, and the sequencer restarts from the new
+// state" when p is late): in-flight waits were interrupted, the state is
+// installed, rounds are skipped, and the pipeline restarts from the new
 // round.
 func (p *Protocol) maybeAdopt() {
 	p.mu.Lock()
@@ -124,10 +313,17 @@ func (p *Protocol) maybeAdopt() {
 		p.mu.Unlock()
 		return // stale transfer; we caught up on our own
 	}
+	p.interruptInflightLocked()
+	clear(p.inflightMsgs)
 	oldNext := p.ds.nextPos()
 	p.ds.adopt(newDS)
 	p.k = newK
 	p.unordered.SubtractDelivered(p.ds.contains)
+	if p.unordered.Len() > 0 {
+		p.pendingSince = time.Now()
+	} else {
+		p.pendingSince = time.Time{}
+	}
 	// Release Broadcast callers whose messages the adopted state covers.
 	for id := range p.waiters {
 		if p.ds.contains(id) {

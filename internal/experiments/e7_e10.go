@@ -343,6 +343,7 @@ func All(scale Scale) ([]*Result, error) {
 		{"E7", E7VsCrashStop}, {"E8", E8FaultStorm}, {"E9", E9Reduction},
 		{"E10", E10Engines},
 		{"E11", E11FDTimeout}, {"E12", E12GossipInterval}, {"E13", E13GroupSize},
+		{"E14", E14Pipeline},
 	}
 	var out []*Result
 	for _, e := range exps {
@@ -384,6 +385,8 @@ func ByName(name string) (func(Scale) (*Result, error), bool) {
 		return E12GossipInterval, true
 	case "E13":
 		return E13GroupSize, true
+	case "E14":
+		return E14Pipeline, true
 	default:
 		return nil, false
 	}

@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is instrumenting this test
+// binary. Throughput comparisons are skipped under -race: its ~10x CPU
+// overhead starves the CPU-bound pipelined variant while leaving the
+// latency-bound baseline untouched, inverting the ratio without any
+// protocol regression.
+const raceEnabled = true

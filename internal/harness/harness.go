@@ -303,13 +303,39 @@ func (c *Cluster) VerifyAll(good ...ids.ProcessID) error {
 }
 
 // AwaitAllDelivered waits until every id in the recorder's must-deliver set
-// is delivered by all listed processes, then runs VerifyAll.
+// is delivered by all listed processes, then runs VerifyAll. The must set
+// can grow while the await is in progress (messages recovered from logs or
+// straggling in peers' Unordered sets get ordered mid-drain and enter
+// DeliveredAnywhere), so the await loops until a full pass adds nothing new
+// — otherwise VerifyAll's own recomputation would see late arrivals the
+// await never covered and report a spurious termination violation.
 func (c *Cluster) AwaitAllDelivered(ctx context.Context, good ...ids.ProcessID) error {
-	must := c.Rec.DeliveredAnywhere()
-	must = append(must, c.Rec.ReturnedBroadcasts()...)
-	for _, id := range must {
-		if err := c.AwaitDelivered(ctx, id, good...); err != nil {
-			return err
+	for {
+		must := c.Rec.DeliveredAnywhere()
+		must = append(must, c.Rec.ReturnedBroadcasts()...)
+		for _, id := range must {
+			if err := c.AwaitDelivered(ctx, id, good...); err != nil {
+				return err
+			}
+		}
+		// Quiescence: nothing new entered the must set during the pass,
+		// and no good process holds a pending message that a round could
+		// still deliver behind the verifier's back.
+		quiesced := true
+		for _, pid := range good {
+			if p := c.Nodes[pid].Proto(); p == nil || p.UnorderedLen() > 0 {
+				quiesced = false
+				break
+			}
+		}
+		again := len(c.Rec.DeliveredAnywhere()) + len(c.Rec.ReturnedBroadcasts())
+		if quiesced && again == len(must) {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("await quiescence: %w", ctx.Err())
+		case <-time.After(time.Millisecond):
 		}
 	}
 	return c.VerifyAll(good...)

@@ -1,0 +1,353 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+)
+
+// SoakOptions configures one randomized crash-recovery soak run. A soak
+// interleaves a broadcast workload with a seeded random schedule of
+// crashes, recoveries and injected storage faults over a lossy network,
+// then recovers everyone, drains, and verifies the full Atomic Broadcast
+// specification (total order, no loss of returned broadcasts, no
+// duplication) via the recorder.
+//
+// Every run is a pure function of Seed (plus the scheduler's goroutine
+// interleavings): re-running a failing seed reproduces the same fault
+// schedule. See RunSoak.
+type SoakOptions struct {
+	// Seed drives the whole schedule (also the network's loss/dup/delay
+	// pattern). Required; 0 picks the harness default.
+	Seed uint64
+	// N is the group size (default 3).
+	N int
+	// Steps is the number of fault-schedule steps (default 40).
+	Steps int
+	// Msgs is the number of broadcast attempts the workload makes across
+	// the run (default 120).
+	Msgs int
+	// Payload is the broadcast payload size in bytes (default 32).
+	Payload int
+	// MaxDown caps how many processes may be down simultaneously
+	// (default N-1, the crash-recovery model's worst survivable case for
+	// eventual progress).
+	MaxDown int
+	// Core selects the protocol variant under test (basic, pipelined,
+	// batched, checkpointing, ...).
+	Core core.Config
+	// DrainTimeout bounds the final catch-up-and-verify phase (default
+	// 60s).
+	DrainTimeout time.Duration
+}
+
+func (o *SoakOptions) fill() {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.N <= 0 {
+		o.N = 3
+	}
+	if o.Steps <= 0 {
+		o.Steps = 40
+	}
+	if o.Msgs <= 0 {
+		o.Msgs = 120
+	}
+	if o.Payload <= 0 {
+		o.Payload = 32
+	}
+	if o.MaxDown <= 0 || o.MaxDown >= o.N {
+		o.MaxDown = o.N - 1
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 60 * time.Second
+	}
+}
+
+// SoakResult summarizes what one soak run exercised.
+type SoakResult struct {
+	Crashes       int
+	Recoveries    int
+	StorageFaults int
+	Broadcasts    int // broadcast attempts that produced a message id
+	Returned      int // broadcasts whose A-broadcast returned (must deliver)
+	Delivered     int // distinct messages in the final total order
+}
+
+func (r SoakResult) String() string {
+	return fmt.Sprintf("crashes=%d recoveries=%d storage-faults=%d broadcasts=%d returned=%d delivered=%d",
+		r.Crashes, r.Recoveries, r.StorageFaults, r.Broadcasts, r.Returned, r.Delivered)
+}
+
+// soakState tracks per-process lifecycle so the schedule never starts two
+// recoveries of the same process concurrently. Recoveries run async
+// because replay legitimately blocks while a majority is down.
+type soakState struct {
+	mu         sync.Mutex
+	up         []bool
+	recovering []bool
+	// armed marks a live process with a storage fault ticking. Once the
+	// first disarm attempt consumes the flag, later observations cannot
+	// tell "never fired" from "fired, crash still in flight", so only a
+	// first-disarm-without-trip puts a process back in rotation.
+	armed []bool
+}
+
+func (s *soakState) pick(rng *rand.Rand, want func(i int) bool) (ids.ProcessID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var cands []int
+	for i := range s.up {
+		if want(i) {
+			cands = append(cands, i)
+		}
+	}
+	if len(cands) == 0 {
+		return 0, false
+	}
+	return ids.ProcessID(cands[rng.IntN(len(cands))]), true
+}
+
+func (s *soakState) downCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for i := range s.up {
+		if !s.up[i] || s.recovering[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// RunSoak executes one randomized crash-recovery soak and returns the
+// verification error, if any. The returned SoakResult is valid either way.
+func RunSoak(opts SoakOptions) (SoakResult, error) {
+	opts.fill()
+	var res SoakResult
+	rng := rand.New(rand.NewPCG(opts.Seed, opts.Seed^0x50a4_50a4_50a4_50a4))
+
+	c := NewCluster(Options{
+		N:                   opts.N,
+		Seed:                opts.Seed,
+		Net:                 DefaultLossyNet(opts.Seed),
+		Core:                opts.Core,
+		InjectFaultyStorage: true,
+	})
+	defer c.Stop()
+	if err := c.StartAll(); err != nil {
+		return res, fmt.Errorf("soak seed=%d: start: %w", opts.Seed, err)
+	}
+
+	st := &soakState{
+		up:         make([]bool, opts.N),
+		recovering: make([]bool, opts.N),
+		armed:      make([]bool, opts.N),
+	}
+	for i := range st.up {
+		st.up[i] = true
+	}
+
+	// Workload: closed-loop senders that keep broadcasting (with per-call
+	// timeouts) through the fault storm. A Broadcast that returns marks
+	// its message must-deliver; one interrupted by a crash may or may not
+	// be delivered — exactly the paper's §4.2 contract.
+	wctx, wcancel := context.WithCancel(context.Background())
+	var (
+		wg       sync.WaitGroup
+		resMu    sync.Mutex
+		sent     int
+		workSeed = opts.Seed
+	)
+	perSender := opts.Msgs / opts.N
+	for p := 0; p < opts.N; p++ {
+		wg.Add(1)
+		go func(pid ids.ProcessID, seed uint64) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewPCG(seed, uint64(pid)+1))
+			payload := make([]byte, opts.Payload)
+			for i := 0; i < perSender; i++ {
+				if wctx.Err() != nil {
+					return
+				}
+				for b := range payload {
+					payload[b] = byte(wrng.Uint64())
+				}
+				callCtx, cancel := context.WithTimeout(wctx, 250*time.Millisecond)
+				id, err := c.Broadcast(callCtx, pid, payload)
+				cancel()
+				resMu.Lock()
+				if id != (ids.MsgID{}) {
+					sent++
+				}
+				resMu.Unlock()
+				if err != nil {
+					// Down, stopped, or timed out: pause briefly so a
+					// dead process doesn't spin.
+					select {
+					case <-wctx.Done():
+						return
+					case <-time.After(time.Duration(1+wrng.IntN(5)) * time.Millisecond):
+					}
+				}
+			}
+		}(ids.ProcessID(p), workSeed)
+	}
+
+	// Fault schedule: the seeded random walk. tripWG tracks the async
+	// crash launched by every tripped storage fault, so the wind-down can
+	// wait for them deterministically instead of racing the scheduler.
+	var recWG, tripWG sync.WaitGroup
+	for step := 0; step < opts.Steps; step++ {
+		time.Sleep(time.Duration(1+rng.IntN(12)) * time.Millisecond)
+		switch rng.IntN(10) {
+		case 0, 1, 2: // crash a fully-up process (respecting MaxDown)
+			if st.downCount() >= opts.MaxDown {
+				continue
+			}
+			pid, ok := st.pick(rng, func(i int) bool {
+				return st.up[i] && !st.recovering[i]
+			})
+			if !ok {
+				continue
+			}
+			st.mu.Lock()
+			st.up[pid] = false
+			st.mu.Unlock()
+			c.Crash(pid)
+			res.Crashes++
+		case 3, 4, 5: // recover a down process (async: replay may block)
+			pid, ok := st.pick(rng, func(i int) bool {
+				return !st.up[i] && !st.recovering[i]
+			})
+			if !ok {
+				continue
+			}
+			if c.Nodes[pid].Up() {
+				// Still alive: either the armed fault never tripped, or
+				// it just fired and its async crash has not landed yet.
+				// Disarm reports which atomically; only the first
+				// disarm of a still-armed fault can prove "unscathed",
+				// so later visits conservatively leave it down-marked
+				// (the landing crash or the wind-down settles it).
+				st.mu.Lock()
+				wasArmed := st.armed[pid]
+				st.armed[pid] = false
+				st.mu.Unlock()
+				if !c.Faults[pid].Disarm() && wasArmed {
+					st.mu.Lock()
+					st.up[pid] = true
+					st.mu.Unlock()
+				}
+				continue
+			}
+			st.mu.Lock()
+			st.recovering[pid] = true
+			st.mu.Unlock()
+			recWG.Add(1)
+			go func(pid ids.ProcessID) {
+				defer recWG.Done()
+				_, err := c.Recover(pid)
+				st.mu.Lock()
+				st.recovering[pid] = false
+				st.up[pid] = err == nil
+				st.mu.Unlock()
+			}(pid)
+			res.Recoveries++
+		case 6, 7: // arm a storage fault: the Nth next log write kills it
+			if st.downCount() >= opts.MaxDown {
+				continue
+			}
+			pid, ok := st.pick(rng, func(i int) bool {
+				return st.up[i] && !st.recovering[i]
+			})
+			if !ok {
+				continue
+			}
+			st.mu.Lock()
+			st.up[pid] = false // it will die at the fault point
+			st.armed[pid] = true
+			st.mu.Unlock()
+			c.Faults[pid].FailAfter(int64(1+rng.IntN(20)), func() {
+				// Async: a synchronous Crash from inside the failing
+				// log write would deadlock on the protocol's WaitGroup.
+				tripWG.Add(1)
+				go func() {
+					defer tripWG.Done()
+					c.Crash(pid)
+				}()
+			})
+			res.StorageFaults++
+		default: // let the cluster run
+		}
+	}
+
+	// Wind down: stop the workload, finish pending recoveries, bring every
+	// process back up (good processes eventually remain permanently up),
+	// then drain and verify.
+	wcancel()
+	wg.Wait()
+	recWG.Wait()
+	// Disarm every storage fault before the final recoveries, then wait
+	// for any tripped fault's async crash so it cannot kill a process
+	// after its "final" recovery. Faulty runs onTrip under its trigger
+	// lock, so after Disarm returns every fired trip has registered with
+	// tripWG — the Wait is race-free.
+	for _, f := range c.Faults {
+		f.Disarm()
+	}
+	tripWG.Wait()
+	drainCtx, cancel := context.WithTimeout(context.Background(), opts.DrainTimeout)
+	defer cancel()
+	// Recover every down process concurrently: a lone recovery can block
+	// in replay until a majority exists, and that majority may only form
+	// once the other pending recoveries come up.
+	var finalWG sync.WaitGroup
+	for p := 0; p < opts.N; p++ {
+		pid := ids.ProcessID(p)
+		if c.Nodes[pid].Up() {
+			continue
+		}
+		finalWG.Add(1)
+		go func(pid ids.ProcessID) {
+			defer finalWG.Done()
+			for !c.Nodes[pid].Up() && drainCtx.Err() == nil {
+				if _, err := c.Recover(pid); err != nil {
+					c.Crash(pid) // tear down a half-started incarnation, retry
+					time.Sleep(5 * time.Millisecond)
+					continue
+				}
+				resMu.Lock()
+				res.Recoveries++
+				resMu.Unlock()
+			}
+		}(pid)
+	}
+	finalWG.Wait()
+	for p := 0; p < opts.N; p++ {
+		if !c.Nodes[p].Up() {
+			return res, fmt.Errorf("soak seed=%d: final recovery of p%d did not complete within DrainTimeout", opts.Seed, p)
+		}
+	}
+
+	resMu.Lock()
+	res.Broadcasts = sent
+	resMu.Unlock()
+	res.Returned = len(c.Rec.ReturnedBroadcasts())
+
+	var all []ids.ProcessID
+	for p := 0; p < opts.N; p++ {
+		all = append(all, ids.ProcessID(p))
+	}
+	if err := c.AwaitAllDelivered(drainCtx, all...); err != nil {
+		return res, fmt.Errorf("soak seed=%d: drain: %w", opts.Seed, err)
+	}
+	res.Delivered = len(c.Rec.DeliveredAnywhere())
+	return res, nil
+}

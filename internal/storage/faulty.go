@@ -17,12 +17,15 @@ var ErrInjectedCrash = errors.New("storage: injected crash")
 type Faulty struct {
 	inner Stable
 
-	mu       sync.Mutex
-	failAt   int64 // 0 = disarmed
-	ops      int64
-	tripped  bool
-	onTrip   func()
-	tripOnce sync.Once
+	mu      sync.Mutex
+	failAt  int64 // 0 = disarmed
+	ops     int64
+	tripped bool
+	onTrip  func()
+	// tripOnce is replaced (not reset in place) on every re-arm, so an
+	// in-flight trip of the previous arming keeps its own Once while a
+	// new arming starts fresh.
+	tripOnce *sync.Once
 }
 
 var _ Stable = (*Faulty)(nil)
@@ -33,8 +36,10 @@ func NewFaulty(inner Stable) *Faulty {
 }
 
 // FailAfter arms the trigger: the n-th subsequent log operation fails.
-// onTrip, if non-nil, runs exactly once when the trigger fires (typically it
-// crashes the node).
+// onTrip, if non-nil, runs exactly once when the trigger fires (typically
+// it launches a goroutine that crashes the node). It is invoked
+// synchronously inside the failing operation, under the trigger lock, so
+// it must not invoke storage operations itself.
 func (f *Faulty) FailAfter(n int64, onTrip func()) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -42,15 +47,20 @@ func (f *Faulty) FailAfter(n int64, onTrip func()) {
 	f.ops = 0
 	f.tripped = false
 	f.onTrip = onTrip
-	f.tripOnce = sync.Once{}
+	f.tripOnce = new(sync.Once)
 }
 
-// Disarm clears the trigger and the tripped state.
-func (f *Faulty) Disarm() {
+// Disarm clears the trigger and the tripped state. It reports whether the
+// trigger had already fired — read and reset under one lock, so callers
+// can atomically distinguish "survived unarmed" from "a trip (and its
+// onTrip) already happened".
+func (f *Faulty) Disarm() bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	fired := f.tripped
 	f.failAt = 0
 	f.tripped = false
+	return fired
 }
 
 // Tripped reports whether the trigger has fired.
@@ -77,12 +87,14 @@ func (f *Faulty) check() bool {
 		return false
 	}
 	f.tripped = true
-	onTrip := f.onTrip
-	once := &f.tripOnce
-	f.mu.Unlock()
-	if onTrip != nil {
-		once.Do(onTrip)
+	// Run the callback under the trigger lock so arming, tripping and
+	// disarming serialize: after Disarm returns, any fired trip has
+	// already completed its onTrip (no notification can race past a
+	// disarm). onTrip must therefore not invoke storage operations.
+	if f.onTrip != nil && f.tripOnce != nil {
+		f.tripOnce.Do(f.onTrip)
 	}
+	f.mu.Unlock()
 	return true
 }
 
