@@ -105,7 +105,7 @@ func (e *Engine) drive(in *instance) {
 			return
 		}
 		e.mu.Lock()
-		if in.hasDec || in.gone || in.wasForgot {
+		if in.hasDec || in.decPending || in.gone || in.wasForgot {
 			e.mu.Unlock()
 			return
 		}
@@ -248,9 +248,13 @@ func (e *Engine) runBallot(ctx context.Context, in *instance, attempt uint64) (d
 			return false, higher
 		}
 		if len(in.accepts) >= Quorum(e.cfg.N) {
-			// Chosen: decide and tell everyone.
+			// Chosen: decide and tell everyone. Announcing before our
+			// own decision cell is durable is safe — the value is
+			// chosen by the quorum's durable acceptor cells; locally,
+			// hasDec (and so WaitDecided/commit) flips only when the
+			// cell's completion fires.
 			e.decideLocked(in, v)
-			dec := in.hasDec
+			dec := in.hasDec || in.decPending
 			e.mu.Unlock()
 			if dec {
 				e.send(ids.Nobody, message{kind: mDecide, k: in.k, val: v})
@@ -267,7 +271,7 @@ func (e *Engine) runBallot(ctx context.Context, in *instance, attempt uint64) (d
 func (e *Engine) isDecided(in *instance) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return in.hasDec
+	return in.hasDec || in.decPending
 }
 
 // waitDeadline waits for a poke or the deadline; false means give up this

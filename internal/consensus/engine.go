@@ -45,9 +45,12 @@ func parseKey(key string) (kind byte, k uint64, ok bool) {
 type instance struct {
 	k uint64
 
-	// proposer state
-	proposal []byte
-	hasProp  bool
+	// proposer state. propPending marks an asynchronous proposal write in
+	// flight: the value is issued to stable storage but not yet durable,
+	// so drivers may only act as learners until hasProp flips.
+	proposal    []byte
+	hasProp     bool
+	propPending bool
 
 	// acceptor state (logged before every reply)
 	promised uint64
@@ -55,10 +58,15 @@ type instance struct {
 	accV     []byte
 	hasAcc   bool
 
-	// learner state
-	decided []byte
-	hasDec  bool
-	done    chan struct{} // closed when decided
+	// learner state. decPending marks the decision cell's asynchronous
+	// write in flight: the chosen value may be announced to peers (its
+	// safety rests on the quorum's durable acceptor cells), but hasDec —
+	// and with it WaitDecided and the commit path — only flips once the
+	// cell is durable.
+	decided    []byte
+	hasDec     bool
+	decPending bool
+	done       chan struct{} // closed when decided
 	// forgotten is closed when a peer reports it garbage-collected this
 	// instance (mForgotten): the decision may be unrecoverable through
 	// Consensus, so waiters fall back to the broadcast layer's state
@@ -117,6 +125,11 @@ func (in *instance) wake() {
 type Engine struct {
 	cfg Config
 	st  storage.Stable
+	// ast is the asynchronous view of st: the ordering hot path issues
+	// its persists through it and acts on each completion, so on a
+	// group-commit engine all concurrent rounds share one fsync.
+	// Synchronous engines resolve completions eagerly (storage.Async).
+	ast storage.AsyncStable
 	net router.Net
 	fd  Suspector // may be nil (tests); then every process may drive
 
@@ -142,6 +155,7 @@ func New(cfg Config, st storage.Stable, net router.Net, det Suspector) (*Engine,
 	e := &Engine{
 		cfg:   cfg,
 		st:    st,
+		ast:   storage.Async(st),
 		net:   net,
 		fd:    det,
 		rng:   rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xa5a5a5a5deadbeef)),
@@ -241,7 +255,7 @@ func (e *Engine) Propose(k uint64, v []byte) error {
 	if in.hasDec {
 		return nil
 	}
-	if in.hasProp {
+	if in.hasProp || in.propPending {
 		// P4: despite crashes and re-executions, the value proposed to
 		// instance k never changes. A different v is a caller bug in
 		// the basic protocol; keep the original.
@@ -254,14 +268,39 @@ func (e *Engine) Propose(k uint64, v []byte) error {
 	}
 	// "A process proposes by logging its initial value on stable
 	// storage; this is the only logging required by our basic version of
-	// the protocol" (§3.2). The write happens before anything else.
+	// the protocol" (§3.2). The write is issued before anything else;
+	// coordination starts only once it is durable. On a group-commit
+	// engine the proposals of all pipelined rounds coalesce into one
+	// fsync; synchronous engines resolve inline, preserving the original
+	// propose-then-return contract (including surfacing the error).
 	cp := make([]byte, len(v))
 	copy(cp, v)
-	if err := e.st.Put(propKey(k), cp); err != nil {
-		return fmt.Errorf("consensus: log proposal %d: %w", k, err)
+	in.propPending = true
+	c := e.ast.PutAsync(propKey(k), cp)
+	if err, done := c.Poll(); done {
+		in.propPending = false
+		if err != nil {
+			return fmt.Errorf("consensus: log proposal %d: %w", k, err)
+		}
+		in.proposal = cp
+		in.hasProp = true
+		e.startDriverLocked(in)
+		return nil
 	}
-	in.proposal = cp
-	in.hasProp = true
+	c.OnDone(func(err error) {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		in.propPending = false
+		if err != nil {
+			return // dying incarnation: never act on the unlogged proposal
+		}
+		in.proposal = cp
+		in.hasProp = true
+		e.startDriverLocked(in)
+		in.wake()
+	})
+	// Until the proposal is durable the instance may still be pushed as a
+	// learner (drive() coordinates only when hasProp is set).
 	e.startDriverLocked(in)
 	return nil
 }
@@ -350,11 +389,23 @@ func (e *Engine) DiscardBelow(k uint64) error {
 	}
 	e.mu.Unlock()
 
+	// Issue all the deletes asynchronously, then wait: on a group-commit
+	// engine the whole discard shares a handful of fsyncs instead of
+	// paying one per cell (3 cells x potentially hundreds of instances
+	// per checkpoint).
+	type victimDel struct {
+		k uint64
+		c *storage.Completion
+	}
+	dels := make([]victimDel, 0, 3*len(victims))
 	for _, kk := range victims {
 		for _, key := range []string{propKey(kk), accKey(kk), decKey(kk)} {
-			if err := e.st.Delete(key); err != nil {
-				return fmt.Errorf("consensus: discard %d: %w", kk, err)
-			}
+			dels = append(dels, victimDel{kk, e.ast.DeleteAsync(key)})
+		}
+	}
+	for _, d := range dels {
+		if err := d.c.Wait(); err != nil {
+			return fmt.Errorf("consensus: discard %d: %w", d.k, err)
 		}
 	}
 	return nil
@@ -383,26 +434,74 @@ func (e *Engine) MaxKnown() (uint64, bool) {
 	return maxK, found
 }
 
-// logAcceptorLocked forces the acceptor cell to stable storage. e.mu held.
-func (e *Engine) logAcceptorLocked(in *instance) error {
+// logAcceptorLocked issues the acceptor cell to stable storage and returns
+// the completion. The caller must not send the reply the cell protects
+// before the completion resolves (replyWhenDurable). Because the write is
+// enqueued under e.mu, concurrent acceptor updates of the same instance
+// reach the log in volatile-state order. e.mu held.
+func (e *Engine) logAcceptorLocked(in *instance) *storage.Completion {
 	w := wire.NewWriter(24 + len(in.accV))
 	w.U64(in.promised)
 	w.Bool(in.hasAcc)
 	w.U64(in.accB)
 	w.Bytes32(in.accV)
-	return e.st.Put(accKey(in.k), w.Bytes())
+	return e.ast.PutAsync(accKey(in.k), w.Bytes())
 }
 
-// decideLocked records a decision: log first, then announce. e.mu held.
+// replyWhenDurable transmits reply to one peer once the log write covering
+// it is durable — the §2.1 discipline: volatile state may move early, but
+// the process only *acts* (here: promises/accepts on the wire) after the
+// completion fires. A failed write means a dying incarnation: stay silent,
+// exactly like a crash between the log call and the send.
+func (e *Engine) replyWhenDurable(c *storage.Completion, to ids.ProcessID, reply message) {
+	if err, done := c.Poll(); done {
+		if err == nil {
+			e.send(to, reply)
+		}
+		return
+	}
+	c.OnDone(func(err error) {
+		if err == nil {
+			e.send(to, reply)
+		}
+	})
+}
+
+// decideLocked records a decision: the cell write is issued immediately,
+// but hasDec (which gates WaitDecided and the broadcast layer's commit)
+// only flips when it is durable. e.mu held.
 func (e *Engine) decideLocked(in *instance, v []byte) {
-	if in.hasDec {
+	if in.hasDec || in.decPending {
 		return
 	}
 	cp := make([]byte, len(v))
 	copy(cp, v)
-	if err := e.st.Put(decKey(in.k), cp); err != nil {
-		// Stable storage failed (injected crash): the incarnation is
-		// dying; do not expose an unlogged decision.
+	in.decPending = true
+	c := e.ast.PutAsync(decKey(in.k), cp)
+	if err, done := c.Poll(); done {
+		in.decPending = false
+		if err != nil {
+			// Stable storage failed (injected crash): the incarnation
+			// is dying; do not expose an unlogged decision.
+			return
+		}
+		e.installDecisionLocked(in, cp)
+		return
+	}
+	c.OnDone(func(err error) {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		in.decPending = false
+		if err != nil {
+			return
+		}
+		e.installDecisionLocked(in, cp)
+	})
+}
+
+// installDecisionLocked exposes a durable decision. e.mu held.
+func (e *Engine) installDecisionLocked(in *instance, cp []byte) {
+	if in.hasDec {
 		return
 	}
 	in.decided = cp

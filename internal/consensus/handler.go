@@ -5,9 +5,12 @@ import (
 )
 
 // OnMessage is the router handler for the consensus channel. It runs on the
-// router's receive goroutine; every branch does at most one stable-storage
+// router's receive goroutine; every branch issues at most one stable-storage
 // write and one send, except decide-request/decide-multi, which serve a
-// bounded window of decisions (decideWindow) for pipelined learners.
+// bounded window of decisions (decideWindow) for pipelined learners. Writes
+// are issued asynchronously and the dependent send fires on the completion,
+// so the receive goroutine never blocks on an fsync and the writes of all
+// in-flight instances coalesce into shared group commits.
 func (e *Engine) OnMessage(from ids.ProcessID, payload []byte) {
 	m, err := decodeMessage(payload)
 	if err != nil {
@@ -54,10 +57,6 @@ func (e *Engine) OnMessage(from ids.ProcessID, payload []byte) {
 		}
 		if m.b > in.promised {
 			in.promised = m.b
-			if err := e.logAcceptorLocked(in); err != nil {
-				e.mu.Unlock()
-				return // dying incarnation: stay silent
-			}
 			reply := message{
 				kind:   mPromise,
 				k:      m.k,
@@ -66,8 +65,12 @@ func (e *Engine) OnMessage(from ids.ProcessID, payload []byte) {
 				accB:   in.accB,
 				val:    in.accV,
 			}
+			// Issue the acceptor cell (under e.mu, so cells reach the
+			// log in promise order) and promise on the wire only once
+			// it is durable — concurrent instances share the fsync.
+			c := e.logAcceptorLocked(in)
 			e.mu.Unlock()
-			e.send(from, reply)
+			e.replyWhenDurable(c, from, reply)
 			return
 		}
 		promised := in.promised
@@ -86,12 +89,9 @@ func (e *Engine) OnMessage(from ids.ProcessID, payload []byte) {
 			in.accB = m.b
 			in.accV = m.val
 			in.hasAcc = true
-			if err := e.logAcceptorLocked(in); err != nil {
-				e.mu.Unlock()
-				return
-			}
+			c := e.logAcceptorLocked(in)
 			e.mu.Unlock()
-			e.send(from, message{kind: mAccepted, k: m.k, b: m.b})
+			e.replyWhenDurable(c, from, message{kind: mAccepted, k: m.k, b: m.b})
 			return
 		}
 		promised := in.promised

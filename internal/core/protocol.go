@@ -29,6 +29,11 @@ const (
 type Protocol struct {
 	cfg  Config
 	st   storage.Stable
+	// ast is the asynchronous view of st: Broadcast's unordered-log write
+	// is issued through it and awaited outside the protocol lock, so all
+	// concurrent Broadcast callers share one group commit on engines that
+	// support it (storage.WAL); synchronous engines resolve eagerly.
+	ast  storage.AsyncStable
 	cons consensus.API
 	net  router.Net
 
@@ -82,6 +87,7 @@ func New(cfg Config, st storage.Stable, cons consensus.API, net router.Net) *Pro
 	return &Protocol{
 		cfg:            cfg,
 		st:             st,
+		ast:            storage.Async(st),
 		cons:           cons,
 		net:            net,
 		unordered:      msg.NewSet(),
@@ -305,20 +311,26 @@ func (p *Protocol) Broadcast(ctx context.Context, payload []byte) (ids.MsgID, er
 	p.stats.Broadcasts++
 
 	if p.cfg.BatchedBroadcast {
-		var err error
+		// Issue the Unordered log write under the lock (so records hit
+		// the log in Unordered-set order) but wait for durability outside
+		// it: on a group-commit engine every concurrent Broadcast shares
+		// one fsync, and the sequencer/gossip may already work on m in
+		// the meantime — safe, because until Broadcast returns, m "may
+		// or may have not been A-broadcast" (§4.2).
+		var c *storage.Completion
 		if p.cfg.IncrementalLog {
 			w := wire.NewWriter(16 + len(m.Payload))
 			m.Encode(w)
-			err = p.st.Append(keyUnordLog, w.Bytes())
+			c = p.ast.AppendAsync(keyUnordLog, w.Bytes())
 		} else {
 			w := wire.NewWriter(64)
 			p.unordered.Encode(w)
-			err = p.st.Put(keyUnord, w.Bytes())
+			c = p.ast.PutAsync(keyUnord, w.Bytes())
 		}
 		p.mu.Unlock()
 		p.poke()
 		p.eagerGossip()
-		if err != nil {
+		if err := c.Wait(); err != nil {
 			// The log write failed (the incarnation is dying), but m is
 			// already in the volatile Unordered set and may have been
 			// gossiped: like a crash inside A-broadcast, m "may or may

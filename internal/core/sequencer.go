@@ -182,7 +182,12 @@ func (p *Protocol) pump(results map[uint64][]byte) time.Duration {
 		msg.EncodeBatch(w, batch)
 		// "Proposed_p[k_p] ← Unordered_p; log(Proposed_p[k_p]);
 		// propose(k_p, ...)". The log is the first operation of the
-		// Consensus (§4.2) — Propose performs it.
+		// Consensus (§4.2) — Propose issues it. On a group-commit engine
+		// the write is asynchronous: Propose returns once it is issued,
+		// the engine coordinates only after it is durable, and the
+		// proposal logs of all PipelineDepth in-flight rounds share one
+		// fsync. The decision wait below resolves only on a durable
+		// decision, so the commit path still never acts ahead of the log.
 		if err := p.cons.Propose(r, w.Bytes()); err != nil {
 			p.unmarkRound(r)
 			return 0

@@ -343,7 +343,7 @@ func All(scale Scale) ([]*Result, error) {
 		{"E7", E7VsCrashStop}, {"E8", E8FaultStorm}, {"E9", E9Reduction},
 		{"E10", E10Engines},
 		{"E11", E11FDTimeout}, {"E12", E12GossipInterval}, {"E13", E13GroupSize},
-		{"E14", E14Pipeline},
+		{"E14", E14Pipeline}, {"E15", E15Storage},
 	}
 	var out []*Result
 	for _, e := range exps {
@@ -387,6 +387,8 @@ func ByName(name string) (func(Scale) (*Result, error), bool) {
 		return E13GroupSize, true
 	case "E14":
 		return E14Pipeline, true
+	case "E15":
+		return E15Storage, true
 	default:
 		return nil, false
 	}

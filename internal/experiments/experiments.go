@@ -1,8 +1,10 @@
 // Package experiments implements the reproduction suite: one function per
 // experiment in DESIGN.md §3 (E1–E10), each quantifying a claim of the
-// paper and returning a printable table, plus the E11–E13 ablations and
-// the E14 round-pipeline/adaptive-batching shootout. cmd/abcast-bench runs
-// them all; bench_test.go wraps them as Go benchmarks.
+// paper and returning a printable table, plus the E11–E13 ablations, the
+// E14 round-pipeline/adaptive-batching shootout (simulated LAN and TCP
+// loopback), and the E15 group-commit WAL storage comparison.
+// cmd/abcast-bench runs them all; bench_test.go wraps them as Go
+// benchmarks.
 //
 // The paper is a protocol paper without quantitative tables, so the
 // experiments measure the claims it states qualitatively: minimal logging

@@ -35,6 +35,15 @@ type Options struct {
 	// InjectFaultyStorage wraps each store in a storage.Faulty trigger
 	// reachable via Cluster.Faulty.
 	InjectFaultyStorage bool
+	// NewStore, when set, supplies each process's stable-storage engine
+	// (default storage.NewMem). It is still wrapped in the Accounted
+	// (and optionally Faulty) layers; engines implementing
+	// storage.Closer are closed by Cluster.Stop.
+	NewStore func(ids.ProcessID) storage.Stable
+	// Transport, when set, replaces the simulated in-memory network
+	// (e.g. a TCP loopback cluster); Net is then ignored and
+	// Cluster.Net is nil.
+	Transport transport.Network
 	// OnDeliver/OnRestore, when set, are chained after the recorder's
 	// callbacks for each process (application hooks).
 	OnDeliver func(ids.ProcessID, core.Delivery)
@@ -85,12 +94,14 @@ func DefaultLossyNet(seed uint64) transport.MemOptions {
 // Cluster is a group of processes over one simulated network.
 type Cluster struct {
 	Opts   Options
-	Net    *transport.Mem
+	Net    *transport.Mem // nil when Options.Transport overrides it
 	Nodes  []*node.Node
 	Stores []*storage.Accounted
 	Faults []*storage.Faulty // non-nil only with InjectFaultyStorage
 	Rec    *check.Recorder
 
+	net    transport.Network
+	inners []storage.Stable // engines from NewStore (closed by Stop)
 	ctx    context.Context
 	cancel context.CancelFunc
 }
@@ -100,13 +111,23 @@ func NewCluster(opts Options) *Cluster {
 	opts.fill()
 	c := &Cluster{
 		Opts: opts,
-		Net:  transport.NewMem(opts.N, opts.Net),
 		Rec:  check.NewRecorder(opts.N),
+	}
+	if opts.Transport != nil {
+		c.net = opts.Transport
+	} else {
+		c.Net = transport.NewMem(opts.N, opts.Net)
+		c.net = c.Net
 	}
 	c.ctx, c.cancel = context.WithCancel(context.Background())
 	for p := 0; p < opts.N; p++ {
 		pid := ids.ProcessID(p)
-		acct := storage.NewAccounted(storage.NewMem())
+		var inner storage.Stable = storage.NewMem()
+		if opts.NewStore != nil {
+			inner = opts.NewStore(pid)
+			c.inners = append(c.inners, inner)
+		}
+		acct := storage.NewAccounted(inner)
 		c.Stores = append(c.Stores, acct)
 		var st storage.Stable = acct
 		if opts.InjectFaultyStorage {
@@ -144,7 +165,7 @@ func NewCluster(opts Options) *Cluster {
 			Consensus: opts.Consensus,
 			FD:        opts.FD,
 			App:       appHook,
-		}, st, c.Net)
+		}, st, c.net)
 		c.Nodes = append(c.Nodes, n)
 	}
 	return c
@@ -182,13 +203,20 @@ func (c *Cluster) Recover(pid ids.ProcessID) (time.Duration, error) {
 	return time.Since(start), err
 }
 
-// Stop tears the whole cluster down.
+// Stop tears the whole cluster down, closing any engines NewStore opened.
 func (c *Cluster) Stop() {
 	for _, n := range c.Nodes {
 		n.Crash()
 	}
 	c.cancel()
-	c.Net.Close()
+	if c.Net != nil {
+		c.Net.Close()
+	}
+	for _, st := range c.inners {
+		if cl, ok := st.(storage.Closer); ok {
+			cl.Close()
+		}
+	}
 }
 
 // Broadcast submits a payload at pid, records it, and (basic protocol)

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ids"
+	"repro/internal/storage"
 )
 
 // SoakOptions configures one randomized crash-recovery soak run. A soak
@@ -41,6 +42,11 @@ type SoakOptions struct {
 	// Core selects the protocol variant under test (basic, pipelined,
 	// batched, checkpointing, ...).
 	Core core.Config
+	// NewStore, when set, supplies each process's stable-storage engine
+	// (default in-memory). The soak's storage-fault injection sits on
+	// top of it either way, so a WAL-backed soak exercises injected
+	// crashes over the group-commit pipeline.
+	NewStore func(ids.ProcessID) storage.Stable
 	// DrainTimeout bounds the final catch-up-and-verify phase (default
 	// 60s).
 	DrainTimeout time.Duration
@@ -139,6 +145,7 @@ func RunSoak(opts SoakOptions) (SoakResult, error) {
 		Net:                 DefaultLossyNet(opts.Seed),
 		Core:                opts.Core,
 		InjectFaultyStorage: true,
+		NewStore:            opts.NewStore,
 	})
 	defer c.Stop()
 	if err := c.StartAll(); err != nil {

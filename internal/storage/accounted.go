@@ -44,7 +44,10 @@ type Accounted struct {
 	layers map[string]*LayerStats
 }
 
-var _ Stable = (*Accounted)(nil)
+var (
+	_ Stable      = (*Accounted)(nil)
+	_ AsyncStable = (*Accounted)(nil)
+)
 
 // NewAccounted wraps inner with per-layer accounting.
 func NewAccounted(inner Stable) *Accounted {
@@ -81,6 +84,48 @@ func (a *Accounted) Put(key string, val []byte) error {
 		st.PutBytes += int64(len(val))
 	})
 	return a.inner.Put(key, val)
+}
+
+// PutAsync implements AsyncStable, forwarding to the inner engine's
+// asynchronous pipeline when it has one (accounting at issue time).
+func (a *Accounted) PutAsync(key string, val []byte) *Completion {
+	a.bump(key, func(st *LayerStats) {
+		st.PutOps++
+		st.PutBytes += int64(len(val))
+	})
+	if as, ok := a.inner.(AsyncStable); ok {
+		return as.PutAsync(key, val)
+	}
+	return completed(a.inner.Put(key, val))
+}
+
+// AppendAsync implements AsyncStable.
+func (a *Accounted) AppendAsync(key string, rec []byte) *Completion {
+	a.bump(key, func(st *LayerStats) {
+		st.AppendOps++
+		st.AppendBytes += int64(len(rec))
+	})
+	if as, ok := a.inner.(AsyncStable); ok {
+		return as.AppendAsync(key, rec)
+	}
+	return completed(a.inner.Append(key, rec))
+}
+
+// DeleteAsync implements AsyncStable.
+func (a *Accounted) DeleteAsync(key string) *Completion {
+	a.bump(key, func(st *LayerStats) { st.DeleteOps++ })
+	if as, ok := a.inner.(AsyncStable); ok {
+		return as.DeleteAsync(key)
+	}
+	return completed(a.inner.Delete(key))
+}
+
+// Sync implements AsyncStable (barrier on the inner pipeline).
+func (a *Accounted) Sync() error {
+	if as, ok := a.inner.(AsyncStable); ok {
+		return as.Sync()
+	}
+	return nil
 }
 
 // Get implements Stable.

@@ -28,7 +28,10 @@ type Faulty struct {
 	tripOnce *sync.Once
 }
 
-var _ Stable = (*Faulty)(nil)
+var (
+	_ Stable      = (*Faulty)(nil)
+	_ AsyncStable = (*Faulty)(nil)
+)
 
 // NewFaulty wraps inner. The trigger starts disarmed.
 func NewFaulty(inner Stable) *Faulty {
@@ -112,6 +115,57 @@ func (f *Faulty) Append(key string, rec []byte) error {
 		return ErrInjectedCrash
 	}
 	return f.inner.Append(key, rec)
+}
+
+// PutAsync implements AsyncStable. The trigger is checked at issue time —
+// an injected crash fails the operation before it reaches the inner
+// engine, exactly like the synchronous path.
+func (f *Faulty) PutAsync(key string, val []byte) *Completion {
+	if f.check() {
+		return completed(ErrInjectedCrash)
+	}
+	if as, ok := f.inner.(AsyncStable); ok {
+		return as.PutAsync(key, val)
+	}
+	return completed(f.inner.Put(key, val))
+}
+
+// AppendAsync implements AsyncStable.
+func (f *Faulty) AppendAsync(key string, rec []byte) *Completion {
+	if f.check() {
+		return completed(ErrInjectedCrash)
+	}
+	if as, ok := f.inner.(AsyncStable); ok {
+		return as.AppendAsync(key, rec)
+	}
+	return completed(f.inner.Append(key, rec))
+}
+
+// DeleteAsync implements AsyncStable (a log operation: it advances the
+// trigger, like Delete).
+func (f *Faulty) DeleteAsync(key string) *Completion {
+	if f.check() {
+		return completed(ErrInjectedCrash)
+	}
+	if as, ok := f.inner.(AsyncStable); ok {
+		return as.DeleteAsync(key)
+	}
+	return completed(f.inner.Delete(key))
+}
+
+// Sync implements AsyncStable. The barrier itself is not a log operation,
+// so it does not advance the trigger; a tripped store still fails it.
+func (f *Faulty) Sync() error {
+	f.mu.Lock()
+	tripped := f.tripped
+	f.mu.Unlock()
+	if tripped {
+		return ErrInjectedCrash
+	}
+	if as, ok := f.inner.(AsyncStable); ok {
+		return as.Sync()
+	}
+	return nil
 }
 
 // Get implements Stable.

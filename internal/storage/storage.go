@@ -4,17 +4,48 @@
 // definitively loses the content of its volatile memory; the content of a
 // stable storage is not affected by crashes."
 //
-// Two engines are provided: Mem, a crash-faithful in-memory store used by
-// the simulation harness (the harness holds it outside the process
-// incarnation, so it survives crashes exactly as stable storage must), and
-// File, a file-backed store with CRC-framed append logs for real
-// deployments.
+// Three engines are provided: Mem, a crash-faithful in-memory store used
+// by the simulation harness (the harness holds it outside the process
+// incarnation, so it survives crashes exactly as stable storage must);
+// File, a file-per-key store with CRC-framed append logs that fsyncs every
+// record when opened with syncWrites; and WAL, a group-commit write-ahead
+// log (one segmented append-only file, an in-memory index, torn-tail
+// recovery) that coalesces all concurrent writes into one fsync.
+//
+// # Durability policy
+//
+// The paper's crash-recovery model (§2.1, §5.5) requires that logged state
+// be durable before the process acts on it (sends the message the log
+// protects, delivers the decision) — NOT one fsync per log call. That gap
+// is the group-commit engine's opportunity:
+//
+//   - File with syncWrites: every Put/Append fsyncs before returning.
+//     One fsync per record — maximal latency, the E15 baseline.
+//   - WAL: a record is durable once the fsync covering its commit group
+//     completes. A group closes when SyncEvery records are pending or the
+//     oldest has waited MaxSyncDelay, whichever is first. Synchronous
+//     Put/Append still block until that fsync, so the Stable contract
+//     ("returned => durable") is identical to File's — concurrent callers
+//     just share the fsync. The asynchronous API (AsyncStable: PutAsync /
+//     AppendAsync returning a Completion, plus a Sync barrier) lets the
+//     protocol hot path issue every persist of a pipelined round window
+//     up front and act on each as its completion fires, amortizing one
+//     fsync across the whole window.
+//
+// At every SyncEvery/MaxSyncDelay setting the guarantee after a crash is
+// the same: the durable prefix contains exactly the operations whose
+// completions resolved (or synchronous calls that returned), and a torn
+// tail from a crash mid-group is discarded on recovery — safe because
+// nothing ever acted on those records. The knobs only trade the latency
+// of reaching the durability point against fsyncs per record.
 //
 // The Accounted wrapper attributes every operation and byte to a layer
 // (consensus, broadcast, node, ...) keyed by a key prefix. That accounting
 // is how experiment E1 verifies the paper's central claim: the basic
 // broadcast protocol performs zero log operations beyond those of the
-// underlying Consensus (§4.3).
+// underlying Consensus (§4.3). Accounted and Faulty forward the
+// asynchronous API to the engine they wrap, so the fault-injection and
+// accounting harnesses compose with the WAL unchanged.
 package storage
 
 import "errors"

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 // engines returns a fresh instance of every Stable implementation.
@@ -18,9 +19,15 @@ func engines(t *testing.T) map[string]Stable {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { fileStore.Close() })
+	walStore, err := OpenWAL(t.TempDir(), WALOptions{SyncEvery: 4, MaxSyncDelay: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { walStore.Close() })
 	return map[string]Stable{
 		"mem":  NewMem(),
 		"file": fileStore,
+		"wal":  walStore,
 	}
 }
 

@@ -1,0 +1,632 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WAL is the group-commit write-ahead-log engine: a single segmented
+// append-only file per store (not per key), CRC-framed records, an
+// in-memory index of cells and logs, and a committer that coalesces all
+// concurrent Put/Append calls into one write + one fsync.
+//
+// # Durability policy
+//
+// Every mutation (Put, Append, Delete) becomes one framed record in the
+// current segment. Records are made durable in groups: the committer
+// flushes + fsyncs when SyncEvery records are pending or when the oldest
+// pending record has waited MaxSyncDelay, whichever comes first (a Sync
+// barrier or Close flushes immediately). A synchronous Put/Append blocks
+// until the fsync that covers its record, so the Stable contract
+// ("returned => durable") is unchanged — concurrent callers simply share
+// one fsync, which is the classic group-commit discipline. PutAsync /
+// AppendAsync return a Completion that resolves at the same point,
+// letting a caller issue many writes and pay one fsync for the lot.
+//
+// Reads (Get/Records/List) are served from the in-memory index and
+// therefore see issued-but-not-yet-durable writes of this same WAL
+// instance (read-your-writes). After a crash, reopening replays only the
+// durable prefix: a torn tail (partial group at the moment of the crash)
+// is detected by the CRC framing and truncated, exactly the recovery
+// discipline of §5.5 — which is safe because no operation covering those
+// records ever completed, so no process acted on them.
+//
+// # Failure model
+//
+// A write or fsync error poisons the engine: the failed group and every
+// later operation resolve with the error. This mirrors a dying
+// incarnation — the caller must crash and recover from the durable
+// prefix.
+type WAL struct {
+	dir  string
+	opts WALOptions
+
+	mu     sync.Mutex
+	cells  map[string][]byte
+	logs   map[string][][]byte
+	queue  []*walOp
+	oldest time.Time // arrival of queue[0]
+	urgent bool      // a barrier (or Close) demands an immediate flush
+	closed bool
+	failed error // first IO error; poisons all later operations
+
+	// Committer-owned (no lock needed: single goroutine).
+	seg     *os.File
+	segSeq  int
+	segSize int64
+
+	kick    chan struct{} // wakes the committer (capacity 1)
+	closeCh chan struct{}
+	// notify carries flushed groups, in order, to the dispatcher that
+	// resolves their completions — off the committer goroutine so a slow
+	// completion callback cannot stall the next fsync.
+	notify      chan []*walOp
+	commitDone  chan struct{}
+	displDone   chan struct{}
+	syncCount   atomic.Int64
+	groupCount  atomic.Int64
+	recordCount atomic.Int64
+}
+
+// WALOptions tunes the group-commit policy.
+type WALOptions struct {
+	// SyncEvery is the pending-record count that forces a flush (size
+	// trigger; default 64).
+	SyncEvery int
+	// MaxSyncDelay bounds how long a record may wait for its group (time
+	// trigger). The default, 0, is natural batching: the committer
+	// flushes as soon as it is free, so each fsync coalesces exactly
+	// what queued while the previous one ran. A positive delay holds
+	// groups open longer — fewer, larger fsyncs at the cost of commit
+	// latency (worthwhile on slow disks).
+	MaxSyncDelay time.Duration
+	// SegmentBytes is the segment-roll threshold (default 64 MiB).
+	SegmentBytes int64
+	// NoSync skips fsync entirely (throughput ceiling / tests). Records
+	// are still written; durability is whatever the OS page cache gives.
+	NoSync bool
+}
+
+func (o *WALOptions) fill() {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 64
+	}
+	if o.MaxSyncDelay < 0 {
+		o.MaxSyncDelay = 0
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+}
+
+var (
+	_ Stable      = (*WAL)(nil)
+	_ AsyncStable = (*WAL)(nil)
+	_ Closer      = (*WAL)(nil)
+)
+
+// walOp is one queued mutation: the framed record plus its completion.
+// A barrier has a nil buf.
+type walOp struct {
+	buf []byte
+	c   *Completion
+	err error
+}
+
+// Record ops.
+const (
+	walPut byte = iota + 1
+	walAppend
+	walDelete
+)
+
+func encodeWALRec(op byte, key string, val []byte) []byte {
+	b := make([]byte, 1+4+len(key)+len(val))
+	b[0] = op
+	binary.LittleEndian.PutUint32(b[1:5], uint32(len(key)))
+	copy(b[5:], key)
+	copy(b[5+len(key):], val)
+	return b
+}
+
+func decodeWALRec(b []byte) (op byte, key string, val []byte, ok bool) {
+	if len(b) < 5 {
+		return 0, "", nil, false
+	}
+	n := binary.LittleEndian.Uint32(b[1:5])
+	if uint32(len(b)-5) < n {
+		return 0, "", nil, false
+	}
+	return b[0], string(b[5 : 5+n]), b[5+n:], true
+}
+
+func segName(seq int) string { return fmt.Sprintf("wal-%08d.log", seq) }
+
+// OpenWAL opens (creating if needed) a WAL store rooted at dir and replays
+// the durable record stream into the in-memory index. A torn frame in the
+// last segment truncates the segment there (anything at or past the first
+// torn frame of the tail segment was never covered by a completed fsync —
+// an fsync persists the whole file — so no operation over it ever
+// completed); a torn frame in an earlier segment is corruption and fails
+// the open.
+func OpenWAL(dir string, opts WALOptions) (*WAL, error) {
+	opts.fill()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: wal dir: %w", err)
+	}
+	w := &WAL{
+		dir:        dir,
+		opts:       opts,
+		cells:      make(map[string][]byte),
+		logs:       make(map[string][][]byte),
+		kick:       make(chan struct{}, 1),
+		closeCh:    make(chan struct{}),
+		notify:     make(chan []*walOp, 128),
+		commitDone: make(chan struct{}),
+		displDone:  make(chan struct{}),
+	}
+	if err := w.replay(); err != nil {
+		return nil, err
+	}
+	go w.commitLoop()
+	go w.dispatchLoop()
+	return w, nil
+}
+
+// replay rebuilds the index from the segments and opens the tail segment
+// for appending.
+func (w *WAL) replay() error {
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return fmt.Errorf("storage: wal list: %w", err)
+	}
+	var seqs []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		var seq int
+		if _, err := fmt.Sscanf(name, "wal-%08d.log", &seq); err != nil {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Ints(seqs)
+
+	for i, seq := range seqs {
+		path := filepath.Join(w.dir, segName(seq))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("storage: wal read %s: %w", path, err)
+		}
+		b := data
+		for len(b) > 0 {
+			rec, rest, ok := unframe(b)
+			if !ok {
+				// Torn frame: fine at the very tail of the last
+				// segment (crash mid-group-commit; nothing covering
+				// these bytes ever completed), corruption anywhere
+				// else.
+				if i != len(seqs)-1 {
+					return fmt.Errorf("storage: wal segment %s: torn frame mid-stream", path)
+				}
+				off := int64(len(data) - len(b))
+				if err := os.Truncate(path, off); err != nil {
+					return fmt.Errorf("storage: wal truncate torn tail: %w", err)
+				}
+				break
+			}
+			w.applyRec(rec)
+			b = rest
+		}
+	}
+
+	w.segSeq = 1
+	if n := len(seqs); n > 0 {
+		w.segSeq = seqs[n-1]
+	}
+	path := filepath.Join(w.dir, segName(w.segSeq))
+	seg, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: wal open segment: %w", err)
+	}
+	st, err := seg.Stat()
+	if err != nil {
+		seg.Close()
+		return fmt.Errorf("storage: wal stat segment: %w", err)
+	}
+	// Make the segment's directory entry durable before any record in it
+	// is acknowledged: an fsynced file that the directory forgot on power
+	// loss would silently drop acknowledged records.
+	if err := syncDirEntry(w.dir); err != nil {
+		seg.Close()
+		return err
+	}
+	w.seg = seg
+	w.segSize = st.Size()
+	return nil
+}
+
+// syncDirEntry fsyncs a directory so freshly created file entries survive
+// power loss.
+func syncDirEntry(dir string) error {
+	dh, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("storage: wal open dir: %w", err)
+	}
+	defer dh.Close()
+	if err := dh.Sync(); err != nil {
+		return fmt.Errorf("storage: wal fsync dir: %w", err)
+	}
+	return nil
+}
+
+// applyRec replays one durable record into the index.
+func (w *WAL) applyRec(rec []byte) {
+	op, key, val, ok := decodeWALRec(rec)
+	if !ok {
+		return // framed but malformed: skip (forward compatibility)
+	}
+	switch op {
+	case walPut:
+		cp := make([]byte, len(val))
+		copy(cp, val)
+		w.cells[key] = cp
+	case walAppend:
+		cp := make([]byte, len(val))
+		copy(cp, val)
+		w.logs[key] = append(w.logs[key], cp)
+	case walDelete:
+		delete(w.cells, key)
+		delete(w.logs, key)
+	}
+}
+
+// enqueueLocked queues one framed record. w.mu held.
+func (w *WAL) enqueueLocked(buf []byte) *Completion {
+	op := &walOp{buf: buf, c: newCompletion()}
+	if len(w.queue) == 0 {
+		w.oldest = time.Now()
+	}
+	w.queue = append(w.queue, op)
+	return op.c
+}
+
+func (w *WAL) wakeCommitter() {
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+}
+
+// PutAsync implements AsyncStable: the index is updated immediately
+// (read-your-writes), durability resolves with the group's fsync.
+func (w *WAL) PutAsync(key string, val []byte) *Completion {
+	w.mu.Lock()
+	if c, bad := w.unusableLocked(); bad {
+		w.mu.Unlock()
+		return c
+	}
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	w.cells[key] = cp
+	c := w.enqueueLocked(frame(encodeWALRec(walPut, key, val)))
+	w.mu.Unlock()
+	w.wakeCommitter()
+	return c
+}
+
+// AppendAsync implements AsyncStable.
+func (w *WAL) AppendAsync(key string, rec []byte) *Completion {
+	w.mu.Lock()
+	if c, bad := w.unusableLocked(); bad {
+		w.mu.Unlock()
+		return c
+	}
+	cp := make([]byte, len(rec))
+	copy(cp, rec)
+	w.logs[key] = append(w.logs[key], cp)
+	c := w.enqueueLocked(frame(encodeWALRec(walAppend, key, rec)))
+	w.mu.Unlock()
+	w.wakeCommitter()
+	return c
+}
+
+// unusableLocked returns a resolved error completion when the engine can
+// no longer accept writes. w.mu held.
+func (w *WAL) unusableLocked() (*Completion, bool) {
+	if w.closed {
+		return completed(ErrClosed), true
+	}
+	if w.failed != nil {
+		return completed(w.failed), true
+	}
+	return nil, false
+}
+
+// Put implements Stable: PutAsync + wait, so concurrent synchronous
+// callers share one fsync.
+func (w *WAL) Put(key string, val []byte) error {
+	return w.PutAsync(key, val).Wait()
+}
+
+// Append implements Stable.
+func (w *WAL) Append(key string, rec []byte) error {
+	return w.AppendAsync(key, rec).Wait()
+}
+
+// DeleteAsync implements AsyncStable. Deletions are logged records too, so
+// they survive recovery.
+func (w *WAL) DeleteAsync(key string) *Completion {
+	w.mu.Lock()
+	if c, bad := w.unusableLocked(); bad {
+		w.mu.Unlock()
+		return c
+	}
+	delete(w.cells, key)
+	delete(w.logs, key)
+	c := w.enqueueLocked(frame(encodeWALRec(walDelete, key, nil)))
+	w.mu.Unlock()
+	w.wakeCommitter()
+	return c
+}
+
+// Delete implements Stable.
+func (w *WAL) Delete(key string) error {
+	return w.DeleteAsync(key).Wait()
+}
+
+// Sync implements AsyncStable: a barrier that returns once every write
+// issued before it is durable.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	if c, bad := w.unusableLocked(); bad {
+		w.mu.Unlock()
+		return c.Wait()
+	}
+	c := w.enqueueLocked(nil)
+	w.urgent = true
+	w.mu.Unlock()
+	w.wakeCommitter()
+	return c.Wait()
+}
+
+// Get implements Stable (from the index).
+func (w *WAL) Get(key string) ([]byte, bool, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil, false, ErrClosed
+	}
+	v, ok := w.cells[key]
+	if !ok {
+		return nil, false, nil
+	}
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	return cp, true, nil
+}
+
+// Records implements Stable (from the index).
+func (w *WAL) Records(key string) ([][]byte, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil, ErrClosed
+	}
+	recs := w.logs[key]
+	out := make([][]byte, len(recs))
+	for i, r := range recs {
+		cp := make([]byte, len(r))
+		copy(cp, r)
+		out[i] = cp
+	}
+	return out, nil
+}
+
+// List implements Stable (from the index).
+func (w *WAL) List(prefix string) ([]string, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil, ErrClosed
+	}
+	var keys []string
+	for k := range w.cells {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	for k := range w.logs {
+		if _, dup := w.cells[k]; dup {
+			continue
+		}
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Close implements Closer: flushes the queue, stops the pipeline, closes
+// the segment. Pending completions resolve before Close returns.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	close(w.closeCh)
+	w.wakeCommitter()
+	<-w.commitDone
+	<-w.displDone
+	err := w.seg.Close()
+	w.seg = nil
+	return err
+}
+
+// SetGroupCommit adjusts the durability policy at runtime (the
+// abcast.ProtocolOptions SyncEvery/MaxSyncDelay knobs route here).
+func (w *WAL) SetGroupCommit(syncEvery int, maxSyncDelay time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if syncEvery > 0 {
+		w.opts.SyncEvery = syncEvery
+	}
+	if maxSyncDelay >= 0 {
+		w.opts.MaxSyncDelay = maxSyncDelay
+	}
+}
+
+// SyncCount returns the number of fsyncs issued (observability; E15
+// reports fsyncs/msg to show the amortization).
+func (w *WAL) SyncCount() int64 { return w.syncCount.Load() }
+
+// GroupCount returns the number of commit groups flushed.
+func (w *WAL) GroupCount() int64 { return w.groupCount.Load() }
+
+// RecordCount returns the number of records written.
+func (w *WAL) RecordCount() int64 { return w.recordCount.Load() }
+
+// commitLoop is the group-commit engine: it waits for work, optionally
+// holds the group open to let it grow (size/time triggers, mirroring the
+// protocol's adaptive batching), then writes the whole group with one
+// write and one fsync and hands it to the dispatcher.
+func (w *WAL) commitLoop() {
+	defer close(w.commitDone)
+	for {
+		w.mu.Lock()
+		for len(w.queue) == 0 && !w.closed {
+			w.mu.Unlock()
+			select {
+			case <-w.kick:
+			case <-w.closeCh:
+			}
+			w.mu.Lock()
+		}
+		if len(w.queue) == 0 && w.closed {
+			w.mu.Unlock()
+			close(w.notify)
+			return
+		}
+		// Hold the group open under light load: flush on SyncEvery
+		// pending records, the oldest record aging past MaxSyncDelay, a
+		// barrier, or shutdown — whichever comes first.
+		if !w.closed && !w.urgent && w.opts.MaxSyncDelay > 0 && len(w.queue) < w.opts.SyncEvery {
+			wait := w.opts.MaxSyncDelay - time.Since(w.oldest)
+			if wait > 0 {
+				w.mu.Unlock()
+				timer := time.NewTimer(wait)
+				select {
+				case <-w.kick:
+				case <-w.closeCh:
+				case <-timer.C:
+				}
+				timer.Stop()
+				continue
+			}
+		}
+		batch := w.queue
+		w.queue = nil
+		w.urgent = false
+		err := w.failed
+		w.mu.Unlock()
+
+		if err == nil {
+			err = w.writeGroup(batch)
+			if err != nil {
+				w.mu.Lock()
+				if w.failed == nil {
+					w.failed = err
+				}
+				w.mu.Unlock()
+			}
+		}
+		for _, op := range batch {
+			op.err = err
+		}
+		w.notify <- batch
+	}
+}
+
+// writeGroup writes one group to the current segment (rolling it first if
+// the group would overflow) and fsyncs once. Committer goroutine only.
+func (w *WAL) writeGroup(batch []*walOp) error {
+	var n, recs int
+	for _, op := range batch {
+		if op.buf != nil {
+			n += len(op.buf)
+			recs++
+		}
+	}
+	if recs == 0 {
+		return nil // pure barrier: all prior groups already synced
+	}
+	if w.segSize > 0 && w.segSize+int64(n) > w.opts.SegmentBytes {
+		if err := w.rollSegment(); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 0, n)
+	for _, op := range batch {
+		buf = append(buf, op.buf...)
+	}
+	if _, err := w.seg.Write(buf); err != nil {
+		return fmt.Errorf("storage: wal write: %w", err)
+	}
+	w.segSize += int64(len(buf))
+	if !w.opts.NoSync {
+		if err := w.seg.Sync(); err != nil {
+			return fmt.Errorf("storage: wal fsync: %w", err)
+		}
+		w.syncCount.Add(1)
+	}
+	w.groupCount.Add(1)
+	w.recordCount.Add(int64(recs))
+	return nil
+}
+
+// rollSegment closes the current (fully synced) segment and starts the
+// next one. Committer goroutine only.
+func (w *WAL) rollSegment() error {
+	if err := w.seg.Close(); err != nil {
+		return fmt.Errorf("storage: wal roll: %w", err)
+	}
+	w.segSeq++
+	seg, err := os.OpenFile(filepath.Join(w.dir, segName(w.segSeq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: wal roll open: %w", err)
+	}
+	// The records fsynced into this segment are only as durable as its
+	// directory entry.
+	if err := syncDirEntry(w.dir); err != nil {
+		seg.Close()
+		return err
+	}
+	w.seg = seg
+	w.segSize = 0
+	return nil
+}
+
+// dispatchLoop resolves completions in group order, off the committer
+// goroutine so callbacks (which may send network messages or take protocol
+// locks) cannot stall the next fsync.
+func (w *WAL) dispatchLoop() {
+	defer close(w.displDone)
+	for batch := range w.notify {
+		for _, op := range batch {
+			op.c.complete(op.err)
+		}
+	}
+}
