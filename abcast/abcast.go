@@ -46,6 +46,18 @@
 // completes, as the paper's crash-recovery model requires (§2.1, §5.5);
 // see the E15 experiment for the throughput margin.
 //
+// # Sharded multi-group ordering
+//
+// Past the single sequencer's ceiling (PipelineDepth x MaxBatch messages
+// per consensus round trip), Sharded runs G independent ordering groups —
+// the paper's protocol instantiated G times — behind one API, one
+// multiplexed connection set (NewShardedNetwork) and one shared store
+// whose group-commit fsyncs all groups share. Keys are placed on groups
+// by a deterministic consistent-hash Router (or explicitly); each group
+// delivers its own total order, and Merged computes an optional
+// deterministic global interleave. See the README's "Sharding" section
+// for ordering guarantees and caveats, and experiment E16 for scaling.
+//
 // # Quickstart
 //
 //	net := abcast.NewMemNetwork(3, abcast.MemNetOptions{})
@@ -195,6 +207,32 @@ type groupCommitter interface {
 	SetGroupCommit(syncEvery int, maxSyncDelay time.Duration)
 }
 
+// coreConfig maps the public protocol options onto the core layer's
+// config. NewProcess and NewSharded both build their per-node configs
+// from it, so a new ProtocolOptions knob wired here reaches sharded and
+// unsharded deployments alike.
+func (o ProtocolOptions) coreConfig() core.Config {
+	return core.Config{
+		CheckpointEvery:  o.CheckpointEvery,
+		Delta:            o.Delta,
+		BatchedBroadcast: o.BatchedBroadcast,
+		IncrementalLog:   o.IncrementalLog,
+		Checkpointer:     o.Checkpointer,
+		PipelineDepth:    o.PipelineDepth,
+		MaxBatch:         o.MaxBatch,
+		MaxBatchBytes:    o.MaxBatchBytes,
+		MaxBatchDelay:    o.MaxBatchDelay,
+	}
+}
+
+// applyGroupCommit applies the options' storage durability policy to st
+// when st is a group-commit engine and a policy is set.
+func (o ProtocolOptions) applyGroupCommit(st Storage) {
+	if gc, ok := st.(groupCommitter); ok && (o.SyncEvery > 0 || o.MaxSyncDelay > 0) {
+		gc.SetGroupCommit(o.SyncEvery, o.MaxSyncDelay)
+	}
+}
+
 // NewProcess builds a process over the given stable storage and network.
 // The same Storage must be passed again after a crash for recovery to work;
 // the same Network must be shared by the whole group.
@@ -205,25 +243,14 @@ type groupCommitter interface {
 // both halves of the pipeline: how messages batch into rounds and how the
 // rounds' log records batch into fsyncs.
 func NewProcess(cfg Config, st Storage, net Network) *Process {
-	if gc, ok := st.(groupCommitter); ok && (cfg.Protocol.SyncEvery > 0 || cfg.Protocol.MaxSyncDelay > 0) {
-		gc.SetGroupCommit(cfg.Protocol.SyncEvery, cfg.Protocol.MaxSyncDelay)
-	}
+	cfg.Protocol.applyGroupCommit(st)
+	coreCfg := cfg.Protocol.coreConfig()
+	coreCfg.OnDeliver = cfg.OnDeliver
+	coreCfg.OnRestore = cfg.OnRestore
 	nodeCfg := node.Config{
-		PID: cfg.PID,
-		N:   cfg.N,
-		Core: core.Config{
-			CheckpointEvery:  cfg.Protocol.CheckpointEvery,
-			Delta:            cfg.Protocol.Delta,
-			BatchedBroadcast: cfg.Protocol.BatchedBroadcast,
-			IncrementalLog:   cfg.Protocol.IncrementalLog,
-			Checkpointer:     cfg.Protocol.Checkpointer,
-			PipelineDepth:    cfg.Protocol.PipelineDepth,
-			MaxBatch:         cfg.Protocol.MaxBatch,
-			MaxBatchBytes:    cfg.Protocol.MaxBatchBytes,
-			MaxBatchDelay:    cfg.Protocol.MaxBatchDelay,
-			OnDeliver:        cfg.OnDeliver,
-			OnRestore:        cfg.OnRestore,
-		},
+		PID:       cfg.PID,
+		N:         cfg.N,
+		Core:      coreCfg,
 		Consensus: consensus.Config{Policy: cfg.Policy},
 		FD:        fd.Options{},
 	}

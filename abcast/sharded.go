@@ -1,0 +1,413 @@
+package abcast
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/consensus"
+	"repro/internal/fd"
+	"repro/internal/group"
+	"repro/internal/ids"
+	"repro/internal/node"
+	"repro/internal/storage"
+)
+
+// GroupID identifies one ordering group of a sharded process (0..G-1).
+type GroupID = ids.GroupID
+
+// Router places broadcast keys onto ordering groups; see NewHashRouter.
+type Router = group.Router
+
+// RouterFunc adapts a function as a Router (explicit custom placement).
+type RouterFunc = group.RouterFunc
+
+// NewHashRouter returns the default deterministic consistent-hash router:
+// every process maps a key to the same group without coordination, and
+// regrowing the group count moves only ~1/G of the keyspace.
+func NewHashRouter(groups int) Router { return group.NewHashRouter(groups) }
+
+// NewRoundRobinRouter spreads keys evenly regardless of content (placement
+// is per-router-instance, not cluster-deterministic).
+func NewRoundRobinRouter(groups int) Router { return group.NewRoundRobinRouter(groups) }
+
+// ShardedNetwork multiplexes one Network among G ordering groups: frames
+// are tagged with their GroupID and demultiplexed to the owning group, so
+// all groups share one connection set. Like the Network it wraps, one
+// ShardedNetwork is shared by every process of the cluster.
+type ShardedNetwork = group.Mux
+
+// NewShardedNetwork wraps net for groups ordering groups.
+func NewShardedNetwork(net Network, groups int) *ShardedNetwork {
+	return group.NewMux(net, groups)
+}
+
+// ShardedConfig assembles one sharded process: G independent ordering
+// groups behind one API, one transport connection set, and one stable
+// store.
+type ShardedConfig struct {
+	// PID and N identify the process within the static group; they are
+	// shared by every ordering group (each group is the same Π).
+	PID ProcessID
+	N   int
+
+	// Protocol and Policy configure every group identically (groups are
+	// interchangeable shards, not heterogeneous deployments).
+	Protocol ProtocolOptions
+	Policy   ConsensusPolicy
+
+	// Router places Broadcast keys onto groups; nil defaults to the
+	// deterministic consistent-hash router. Keys that must be mutually
+	// ordered must route to the same group.
+	Router Router
+
+	// GroupStore, when set, supplies each group's stable storage and the
+	// store argument of NewSharded may be nil. The default carves group
+	// g's storage out of the shared store as the "g<g>/" namespace
+	// (storage.Prefixed), so on a group-commit WAL engine all groups
+	// share fsyncs. A per-group-store deployment (one WAL per group,
+	// separate fsync streams) is the main use of the hook; experiment E16
+	// measures the difference.
+	GroupStore func(GroupID) Storage
+
+	// OnDeliver receives every A-delivered message of every group, tagged
+	// with its owning group (Delivery.Group). Within a group, calls are
+	// ordered; across groups they interleave arbitrarily — use Merged for
+	// one deterministic global sequence.
+	OnDeliver func(Delivery)
+	// OnRestore is invoked when group g adopts a checkpoint or state
+	// transfer instead of replaying.
+	OnRestore func(GroupID, Snapshot)
+}
+
+// Sharded is a process running G independent ordering groups — the paper's
+// protocol instantiated G times — behind one API. Each group delivers its
+// own total order with the full Atomic Broadcast guarantees; across groups
+// there is no ordering unless the merged sequence is consumed. Start,
+// Crash and recovery act on the whole process: a crash loses every group's
+// volatile state at once, exactly like an unsharded crash.
+type Sharded struct {
+	cfg    ShardedConfig
+	groups int
+	router Router
+	shared Storage // nil when every group store came from the hook
+	stores []Storage
+	nodes  []*node.Node
+
+	mu sync.Mutex
+	up bool
+}
+
+// NewSharded builds a sharded process over the given stable store and
+// sharded network. st is the process's one shared store (each group runs
+// in its own namespace of it); it may be nil when cfg.GroupStore supplies
+// per-group stores. The same store(s) must be passed again after a crash
+// for recovery, and the same ShardedNetwork must be shared by the whole
+// cluster.
+//
+// As with NewProcess, a group-commit durability policy in cfg.Protocol
+// (SyncEvery / MaxSyncDelay) is applied to every distinct engine in use —
+// once to a shared store, per group with a GroupStore hook.
+func NewSharded(cfg ShardedConfig, st Storage, net *ShardedNetwork) (*Sharded, error) {
+	groups := net.Groups()
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("abcast: sharded config needs N > 0")
+	}
+	if st == nil && cfg.GroupStore == nil {
+		return nil, fmt.Errorf("abcast: sharded process needs a shared store or a GroupStore hook")
+	}
+	if st != nil && cfg.GroupStore != nil {
+		// Ambiguous: nothing would write through st, but Stats would
+		// read its sync counter and the durability policy would arm its
+		// group-commit timer. Refuse rather than misreport.
+		return nil, fmt.Errorf("abcast: pass either a shared store or a GroupStore hook, not both")
+	}
+	s := &Sharded{
+		cfg:    cfg,
+		groups: groups,
+		router: cfg.Router,
+		shared: st,
+		stores: make([]Storage, groups),
+		nodes:  make([]*node.Node, groups),
+	}
+	if s.router == nil {
+		s.router = group.NewHashRouter(groups)
+	}
+	if st != nil {
+		cfg.Protocol.applyGroupCommit(st)
+	}
+	for g := 0; g < groups; g++ {
+		gid := GroupID(g)
+		var gst Storage
+		if cfg.GroupStore != nil {
+			gst = cfg.GroupStore(gid)
+			if gst == nil {
+				return nil, fmt.Errorf("abcast: GroupStore returned nil for group %v", gid)
+			}
+			cfg.Protocol.applyGroupCommit(gst)
+		} else {
+			gst = storage.NewPrefixed(st, group.StoreNamespace(gid))
+		}
+		s.stores[g] = gst
+
+		coreCfg := cfg.Protocol.coreConfig()
+		coreCfg.OnDeliver = cfg.OnDeliver
+		if restore := cfg.OnRestore; restore != nil {
+			coreCfg.OnRestore = func(sn Snapshot) { restore(gid, sn) }
+		}
+		s.nodes[g] = node.New(node.Config{
+			PID:       cfg.PID,
+			N:         cfg.N,
+			Group:     gid,
+			Core:      coreCfg,
+			Consensus: consensus.Config{Policy: cfg.Policy},
+			FD:        fd.Options{},
+		}, gst, net.Net(gid))
+	}
+	return s, nil
+}
+
+// Groups returns the number of ordering groups.
+func (s *Sharded) Groups() int { return s.groups }
+
+// Start boots every group concurrently (initialization or recovery) and
+// blocks until all replay phases complete. On any failure every group is
+// crashed again, so the process is either fully up or fully down.
+func (s *Sharded) Start(ctx context.Context) error {
+	s.mu.Lock()
+	if s.up {
+		s.mu.Unlock()
+		return fmt.Errorf("abcast: sharded process %v already up", s.cfg.PID)
+	}
+	s.up = true
+	s.mu.Unlock()
+
+	errs := make([]error, s.groups)
+	var wg sync.WaitGroup
+	for g, n := range s.nodes {
+		wg.Add(1)
+		go func(g int, n *node.Node) {
+			defer wg.Done()
+			errs[g] = n.Start(ctx)
+		}(g, n)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			s.Crash()
+			return fmt.Errorf("abcast: sharded group %d: %w", g, err)
+		}
+	}
+	return nil
+}
+
+// Crash kills every group of the process, losing all volatile state; the
+// stable store(s) survive. Call Start to recover.
+func (s *Sharded) Crash() {
+	s.mu.Lock()
+	s.up = false
+	s.mu.Unlock()
+	for _, n := range s.nodes {
+		n.Crash()
+	}
+}
+
+// Up reports whether every group of the process is running.
+func (s *Sharded) Up() bool {
+	for _, n := range s.nodes {
+		if !n.Up() {
+			return false
+		}
+	}
+	return len(s.nodes) > 0
+}
+
+// Route returns the group the configured Router places key on.
+func (s *Sharded) Route(key []byte) GroupID { return s.router.Route(key) }
+
+// Broadcast routes key to its group and A-broadcasts payload there. It
+// returns the owning group and the message identity (unique within that
+// group). A custom Router that places the key outside [0, Groups) is an
+// error, not a panic.
+func (s *Sharded) Broadcast(ctx context.Context, key, payload []byte) (GroupID, MsgID, error) {
+	g := s.router.Route(key)
+	if s.checkGroup(g) != nil {
+		return g, MsgID{}, fmt.Errorf("abcast: router returned out-of-range group %v (groups=%d)", g, s.groups)
+	}
+	id, err := s.nodes[g].Broadcast(ctx, payload)
+	return g, id, err
+}
+
+// BroadcastTo A-broadcasts payload on an explicitly chosen group.
+func (s *Sharded) BroadcastTo(ctx context.Context, g GroupID, payload []byte) (MsgID, error) {
+	if err := s.checkGroup(g); err != nil {
+		return MsgID{}, err
+	}
+	return s.nodes[g].Broadcast(ctx, payload)
+}
+
+// BroadcastToAsync submits payload on group g without waiting for
+// ordering (open-loop load generation).
+func (s *Sharded) BroadcastToAsync(g GroupID, payload []byte) (MsgID, error) {
+	if err := s.checkGroup(g); err != nil {
+		return MsgID{}, err
+	}
+	p := s.nodes[g].Proto()
+	if p == nil {
+		return MsgID{}, node.ErrDown
+	}
+	return p.BroadcastAsync(payload)
+}
+
+func (s *Sharded) checkGroup(g GroupID) error {
+	if g < 0 || int(g) >= s.groups {
+		return fmt.Errorf("abcast: group %v out of range [0,%d)", g, s.groups)
+	}
+	return nil
+}
+
+// Delivered reports whether id is in group g's delivery sequence.
+func (s *Sharded) Delivered(g GroupID, id MsgID) bool {
+	if s.checkGroup(g) != nil {
+		return false
+	}
+	p := s.nodes[g].Proto()
+	return p != nil && p.Delivered(id)
+}
+
+// Sequence returns group g's A-deliver-sequence (base snapshot plus
+// explicit suffix).
+func (s *Sharded) Sequence(g GroupID) (Snapshot, []Delivery) {
+	if s.checkGroup(g) != nil {
+		return Snapshot{}, nil
+	}
+	p := s.nodes[g].Proto()
+	if p == nil {
+		return Snapshot{}, nil
+	}
+	return p.Sequence()
+}
+
+// Round returns group g's round counter (its next Consensus instance).
+func (s *Sharded) Round(g GroupID) uint64 {
+	if s.checkGroup(g) != nil {
+		return 0
+	}
+	p := s.nodes[g].Proto()
+	if p == nil {
+		return 0
+	}
+	return p.Round()
+}
+
+// UnorderedLen returns the size of group g's Unordered set
+// (observability: a non-empty set means ordering work is pending).
+func (s *Sharded) UnorderedLen(g GroupID) int {
+	if s.checkGroup(g) != nil {
+		return 0
+	}
+	p := s.nodes[g].Proto()
+	if p == nil {
+		return 0
+	}
+	return p.UnorderedLen()
+}
+
+// Merged returns the deterministic cross-group interleave of this
+// process's delivery sequences: rounds in increasing number, groups in
+// increasing GroupID within a round. Any two processes' merges agree on
+// their common prefix, so the result is one global total order over all
+// groups, each Delivery tagged with its owning Group ((Group, Msg.ID) is
+// the global identity — MsgIDs are unique only per group). rounds is the
+// merge frontier (cross-group rounds fully decided
+// here); ok is false when a group's checkpointing folded rounds below the
+// frontier away (merged-mode deployments should run without
+// CheckpointEvery/Delta — see the README's sharding caveats).
+func (s *Sharded) Merged() (merged []Delivery, rounds uint64, ok bool) {
+	seqs := make([]group.Sequence, 0, s.groups)
+	for g, n := range s.nodes {
+		p := n.Proto()
+		if p == nil {
+			return nil, 0, false
+		}
+		// Round is read before Sequence: between the two reads more
+		// rounds may commit, which only under-reports the frontier —
+		// never claims a round the sequence does not yet cover.
+		rounds := p.Round()
+		base, suffix := p.Sequence()
+		seqs = append(seqs, group.Sequence{
+			Group:      GroupID(g),
+			Base:       base,
+			Deliveries: suffix,
+			Rounds:     rounds,
+		})
+	}
+	return group.Merge(seqs)
+}
+
+// syncCounter is implemented by engines that count their fsyncs
+// (storage.WAL); the stats rollup uses it to report shared-WAL syncs once.
+type syncCounter interface {
+	SyncCount() int64
+}
+
+// ShardedStats is the cross-group stats rollup of one sharded process.
+type ShardedStats struct {
+	// PerGroup holds each group's protocol counters, indexed by GroupID.
+	PerGroup []Stats
+	// Total is the field-wise aggregation over all groups (sums;
+	// RecoveredFromCkpt is OR-ed).
+	Total Stats
+	// WALSyncs counts the fsyncs of the underlying group-commit
+	// engine(s), without double-counting: a store shared by all groups
+	// is read once, per-group stores are summed. 0 when no engine in
+	// use exposes a sync count.
+	WALSyncs int64
+}
+
+// Stats returns the per-group and rolled-up counters of the live process.
+func (s *Sharded) Stats() ShardedStats {
+	st := ShardedStats{PerGroup: make([]Stats, s.groups)}
+	for g, n := range s.nodes {
+		p := n.Proto()
+		if p == nil {
+			continue
+		}
+		st.PerGroup[g] = p.Stats()
+		addStats(&st.Total, st.PerGroup[g])
+	}
+	if sc, ok := s.shared.(syncCounter); ok {
+		// One engine under every group: its fsyncs are shared, count
+		// them exactly once.
+		st.WALSyncs = sc.SyncCount()
+	} else if s.cfg.GroupStore != nil {
+		seen := make(map[syncCounter]bool)
+		for _, gst := range s.stores {
+			if sc, ok := gst.(syncCounter); ok && !seen[sc] {
+				seen[sc] = true
+				st.WALSyncs += sc.SyncCount()
+			}
+		}
+	}
+	return st
+}
+
+// addStats accumulates o into t field-wise.
+func addStats(t *Stats, o Stats) {
+	t.Rounds += o.Rounds
+	t.EmptyRounds += o.EmptyRounds
+	t.Delivered += o.Delivered
+	t.Broadcasts += o.Broadcasts
+	t.GossipSent += o.GossipSent
+	t.GossipReceived += o.GossipReceived
+	t.StateSent += o.StateSent
+	t.StateAdopted += o.StateAdopted
+	t.Checkpoints += o.Checkpoints
+	t.ReplayedRounds += o.ReplayedRounds
+	t.RecoveredFromCkpt = t.RecoveredFromCkpt || o.RecoveredFromCkpt
+	t.RecoveredUnordered += o.RecoveredUnordered
+	t.ProposalsSubmitted += o.ProposalsSubmitted
+	t.PipelinedProposals += o.PipelinedProposals
+	t.ProposedMessages += o.ProposedMessages
+	t.DeliveredByTransfer += o.DeliveredByTransfer
+}

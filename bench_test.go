@@ -86,3 +86,11 @@ func BenchmarkE13GroupSize(b *testing.B) { runExperiment(b, experiments.E13Group
 // BenchmarkE14Pipeline measures the round-pipeline + adaptive-batching
 // ordering hot path against the basic sequential protocol.
 func BenchmarkE14Pipeline(b *testing.B) { runExperiment(b, experiments.E14Pipeline) }
+
+// BenchmarkE15Storage measures the group-commit WAL against sync-per-write
+// File storage at equal durability.
+func BenchmarkE15Storage(b *testing.B) { runExperiment(b, experiments.E15Storage) }
+
+// BenchmarkE16Sharding measures sharded multi-group ordering throughput
+// versus group count (one sequencer per group over a shared substrate).
+func BenchmarkE16Sharding(b *testing.B) { runExperiment(b, experiments.E16Sharding) }

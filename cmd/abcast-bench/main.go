@@ -1,9 +1,9 @@
 // Command abcast-bench runs the reproduction experiments (E1–E10 in
 // DESIGN.md, plus the E11–E13 ablations, the E14 pipeline/batching
-// shootout over both the simulated LAN and a TCP loopback transport, and
-// the E15 group-commit-WAL-versus-sync-per-write storage comparison) and
-// prints their tables. EXPERIMENTS.md is generated from its full-scale
-// output.
+// shootout over both the simulated LAN and a TCP loopback transport, the
+// E15 group-commit-WAL-versus-sync-per-write storage comparison, and the
+// E16 sharded multi-group ordering scaling study) and prints their
+// tables. EXPERIMENTS.md is generated from its full-scale output.
 //
 // Usage:
 //

@@ -39,9 +39,13 @@ var ErrStopped = errors.New("core: protocol stopped")
 // Delivery is one A-delivered message with its agreed global position.
 // Round is the Consensus instance that ordered the message; Pos is the
 // message's index in the single total order (identical at every process —
-// the checker verifies this).
+// the checker verifies this). Group identifies the ordering group that
+// delivered the message (always 0 unless the process runs sharded
+// multi-group ordering), so one shared OnDeliver handler can serve every
+// group of a sharded process.
 type Delivery struct {
 	Msg   msg.Message
+	Group ids.GroupID
 	Round uint64
 	Pos   uint64
 }
@@ -84,6 +88,13 @@ type Config struct {
 	// Incarnation qualifies locally generated message identities so they
 	// never repeat across crashes. The node layer logs it.
 	Incarnation uint32
+	// Group identifies the ordering group this protocol instance belongs
+	// to when the process runs sharded multi-group ordering. It does not
+	// change the protocol — each group is an independent instance of the
+	// paper's algorithm — it only tags outgoing Deliveries so shared
+	// handlers can tell groups apart. 0 (the default) is the sole group
+	// of an unsharded deployment.
+	Group ids.GroupID
 
 	// GossipInterval is the period of the gossip task (default 20ms).
 	GossipInterval time.Duration

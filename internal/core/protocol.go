@@ -27,8 +27,8 @@ const (
 // Create it with New, then Start (which runs the recovery procedure), then
 // use Broadcast and the delivery APIs. Stop ends the incarnation.
 type Protocol struct {
-	cfg  Config
-	st   storage.Stable
+	cfg Config
+	st  storage.Stable
 	// ast is the asynchronous view of st: Broadcast's unordered-log write
 	// is issued through it and awaited outside the protocol lock, so all
 	// concurrent Broadcast callers share one group commit on engines that
@@ -175,7 +175,7 @@ func (p *Protocol) recover() error {
 		p.gcFloor = k
 		p.stats.RecoveredFromCkpt = true
 		base := ds.snapshotBase()
-		redeliver := ds.deliveries()
+		redeliver := p.tagGroup(ds.deliveries())
 		restoreCb := p.cfg.OnRestore
 		deliverCb := p.cfg.OnDeliver
 		p.mu.Unlock()
@@ -391,7 +391,7 @@ func (p *Protocol) commit(round uint64, result []byte) {
 	batch := msg.DecodeBatch(r)
 
 	p.mu.Lock()
-	deliveries := p.ds.appendBatch(round, batch)
+	deliveries := p.tagGroup(p.ds.appendBatch(round, batch))
 	p.k = round + 1
 	p.unordered.SubtractDelivered(p.ds.contains)
 	// Messages we proposed in rounds up to this one are settled: either
@@ -438,6 +438,17 @@ func (p *Protocol) commit(round uint64, result []byte) {
 		default:
 		}
 	}
+}
+
+// tagGroup stamps the protocol's owning group on deliveries about to
+// leave the core (OnDeliver callbacks, Sequence). Every emission path
+// must pass through it — a sharded process's shared handler keys on
+// Delivery.Group to tell its groups apart.
+func (p *Protocol) tagGroup(ds []Delivery) []Delivery {
+	for i := range ds {
+		ds[i].Group = p.cfg.Group
+	}
+	return ds
 }
 
 // notePendingLocked records the arrival of a pending (not yet proposed)
@@ -487,7 +498,7 @@ func (p *Protocol) Delivered(id ids.MsgID) bool {
 func (p *Protocol) Sequence() (Snapshot, []Delivery) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.ds.snapshotBase(), p.ds.deliveries()
+	return p.ds.snapshotBase(), p.tagGroup(p.ds.deliveries())
 }
 
 // UnorderedLen returns the size of the Unordered set (observability).

@@ -340,7 +340,7 @@ func (p *Protocol) maybeAdopt() {
 		p.stats.DeliveredByTransfer += next - oldNext
 	}
 	base := p.ds.snapshotBase()
-	suffix := p.ds.deliveries()
+	suffix := p.tagGroup(p.ds.deliveries())
 	restoreCb := p.cfg.OnRestore
 	deliverCb := p.cfg.OnDeliver
 	w := wire.NewWriter(256)

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestShardedBeatsSingleGroup is the scaling-regression guard for sharded
+// multi-group ordering (E16's acceptance claim): on the delayed-LAN
+// configuration with bounded proposals, 4 ordering groups must sustain at
+// least 1.8x the combined throughput of a single group. The measured
+// margin is ~2.5-3x at quick scale, so 1.8x only trips when sharding
+// genuinely stops helping — e.g. the multiplexer serializes groups again,
+// or a shared lock couples the sequencers.
+//
+// One retry absorbs scheduler noise, mirroring the E14/E15 guards. The
+// test skips in -short mode so CI runs it exactly once, in its dedicated
+// step.
+func TestShardedBeatsSingleGroup(t *testing.T) {
+	if raceEnabled {
+		t.Skip("throughput comparison is not meaningful under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("perf guard: runs in its own CI step (and in full local runs)")
+	}
+
+	ratio := func(attempt int) float64 {
+		t.Helper()
+		seed := 16500 + uint64(attempt)*100
+		single, err := ShardedThroughput(Quick, seed, 1, ShardedCore(), nil)
+		if err != nil {
+			t.Fatalf("G=1 run: %v", err)
+		}
+		quad, err := ShardedThroughput(Quick, seed+1, 4, ShardedCore(), nil)
+		if err != nil {
+			t.Fatalf("G=4 run: %v", err)
+		}
+		t.Logf("G=1 %.0f msgs/s, G=4 %.0f msgs/s", single.MsgsPerSec, quad.MsgsPerSec)
+		return quad.MsgsPerSec / single.MsgsPerSec
+	}
+	r := ratio(0)
+	t.Logf("sharded G=4 / G=1 = %.2fx", r)
+	if r < 1.8 {
+		r = ratio(1)
+		t.Logf("retry: sharded G=4 / G=1 = %.2fx", r)
+	}
+	if r < 1.8 {
+		t.Fatalf("4-group throughput only %.2fx of single-group (want >= 1.8x)", r)
+	}
+}

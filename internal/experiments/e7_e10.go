@@ -343,7 +343,7 @@ func All(scale Scale) ([]*Result, error) {
 		{"E7", E7VsCrashStop}, {"E8", E8FaultStorm}, {"E9", E9Reduction},
 		{"E10", E10Engines},
 		{"E11", E11FDTimeout}, {"E12", E12GossipInterval}, {"E13", E13GroupSize},
-		{"E14", E14Pipeline}, {"E15", E15Storage},
+		{"E14", E14Pipeline}, {"E15", E15Storage}, {"E16", E16Sharding},
 	}
 	var out []*Result
 	for _, e := range exps {
@@ -389,6 +389,8 @@ func ByName(name string) (func(Scale) (*Result, error), bool) {
 		return E14Pipeline, true
 	case "E15":
 		return E15Storage, true
+	case "E16":
+		return E16Sharding, true
 	default:
 		return nil, false
 	}

@@ -51,7 +51,7 @@ func TestE2ReplayGrowsWithoutCheckpoint(t *testing.T) {
 }
 
 func TestByNameKnowsAllExperiments(t *testing.T) {
-	for _, name := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"} {
+	for _, name := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"} {
 		if _, ok := ByName(name); !ok {
 			t.Fatalf("experiment %s unknown", name)
 		}

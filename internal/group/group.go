@@ -1,0 +1,49 @@
+// Package group implements sharded multi-group ordering: one process hosts
+// G independent instances of the paper's Atomic Broadcast protocol — the
+// ordering groups — behind a single transport connection set and a single
+// stable store.
+//
+// The paper's protocol (§3–§5) is defined per static group Π: nothing in it
+// couples one group's Consensus instances, gossip, or delivery sequence to
+// another's. Running many groups side by side is therefore the sanctioned
+// way to scale the last global serialization point — the sequencer — the
+// same way round pipelining scaled the rounds within one sequencer: G
+// groups order G batches concurrently, and total throughput grows with G
+// until the shared substrate (fsync bandwidth, NIC) saturates.
+//
+// The package provides the three shared-substrate pieces:
+//
+//   - Mux multiplexes one transport.Network among the groups of each
+//     process: every frame is tagged with its GroupID and demultiplexed to
+//     the owning group's virtual endpoint, so G groups share one Mem/TCP
+//     connection set instead of multiplying sockets by G.
+//   - Router places broadcast keys onto groups (consistent hashing by
+//     default, round-robin or custom placement as alternatives).
+//   - Merge computes the optional deterministic cross-group interleave for
+//     clients that need one global sequence over all groups.
+//
+// Storage sharing is the storage.Prefixed wrapper's job: each group runs
+// over its own namespace of the process's one store, so on a group-commit
+// WAL the groups' persists coalesce into the same fsyncs.
+//
+// # Ordering guarantees
+//
+// Each group delivers its own total order with the full Atomic Broadcast
+// guarantees. Across groups there is no causality and no total order unless
+// the deterministic merge is used: two messages routed to different groups
+// may be delivered in either relative order at different processes. Clients
+// that need cross-message ordering must either route the related keys to
+// the same group (the Router's job) or consume the merged sequence.
+package group
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+)
+
+// StoreNamespace returns the canonical storage namespace of group g on a
+// shared per-process store (used with storage.NewPrefixed).
+func StoreNamespace(g ids.GroupID) string {
+	return fmt.Sprintf("g%d", g)
+}

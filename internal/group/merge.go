@@ -1,0 +1,108 @@
+package group
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+)
+
+// Sequence is one group's delivery sequence as input to Merge: the base
+// snapshot and explicit suffix from the protocol's A-deliver-sequence()
+// plus the group's round counter (the next Consensus instance, i.e. the
+// number of completed rounds).
+type Sequence struct {
+	Group      ids.GroupID
+	Base       core.Snapshot
+	Deliveries []core.Delivery
+	Rounds     uint64
+}
+
+// Merge computes the deterministic cross-group interleave: rounds are
+// walked in increasing number and, within one round number, groups in
+// increasing GroupID; each group contributes the messages its round
+// delivered, in their agreed order. The result is a pure function of the
+// per-group sequences, so any two processes' merges agree on their common
+// prefix — per-group total order lifts to one global total order. Each
+// output Delivery carries its owning Sequence's Group (MsgIDs are unique
+// only per group, so (Group, Msg.ID) is the global identity).
+//
+// Only complete rounds merge deterministically: a round k enters the
+// output once every group has decided round k, so the merged prefix covers
+// rounds [0, min over groups of Rounds). The returned rounds value is that
+// frontier. Liveness caveat: the frontier only advances while every group
+// keeps deciding rounds, so merged-mode deployments should route traffic
+// to all groups (or accept that an idle group pins the merge).
+//
+// ok is false when some group's base snapshot has folded rounds below the
+// frontier into a checkpoint (Base.Rounds > 0): the interleave of those
+// rounds is no longer reconstructible from the suffix, so clients that
+// consume the merged sequence must run the groups without application
+// checkpointing (see the README's sharding caveats).
+func Merge(seqs []Sequence) (merged []core.Delivery, rounds uint64, ok bool) {
+	if len(seqs) == 0 {
+		return nil, 0, true
+	}
+	sorted := make([]Sequence, len(seqs))
+	copy(sorted, seqs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Group < sorted[j].Group })
+
+	rounds = sorted[0].Rounds
+	for _, s := range sorted[1:] {
+		if s.Rounds < rounds {
+			rounds = s.Rounds
+		}
+	}
+	ok = true
+	for _, s := range sorted {
+		if s.Base.Rounds > 0 && rounds > 0 {
+			ok = false // rounds [0, Base.Rounds) were folded away
+		}
+	}
+	if !ok || rounds == 0 {
+		return nil, rounds, ok
+	}
+
+	// Bucket each group's suffix by round, stamping the owning group (the
+	// Sequence is authoritative, covering hand-built inputs). Suffixes are
+	// already in delivery order, so per-round buckets keep the agreed
+	// order.
+	type bucket struct {
+		group ids.GroupID
+		byRnd map[uint64][]core.Delivery
+	}
+	buckets := make([]bucket, 0, len(sorted))
+	for _, s := range sorted {
+		b := bucket{group: s.Group, byRnd: make(map[uint64][]core.Delivery)}
+		for _, d := range s.Deliveries {
+			if d.Round < rounds {
+				d.Group = s.Group
+				b.byRnd[d.Round] = append(b.byRnd[d.Round], d)
+			}
+		}
+		buckets = append(buckets, b)
+	}
+	for k := uint64(0); k < rounds; k++ {
+		for _, b := range buckets {
+			merged = append(merged, b.byRnd[k]...)
+		}
+	}
+	return merged, rounds, true
+}
+
+// VerifyMergePrefix checks that two merged sequences agree on their common
+// prefix (the determinism property Merge guarantees for sequences taken
+// from processes of one cluster). It returns the first disagreeing index,
+// or -1 when one is a prefix of the other.
+func VerifyMergePrefix(a, b []core.Delivery) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i].Group != b[i].Group || a[i].Msg.ID != b[i].Msg.ID {
+			return i
+		}
+	}
+	return -1
+}

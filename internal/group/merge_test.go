@@ -1,0 +1,99 @@
+package group
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/msg"
+)
+
+func mkDel(g ids.GroupID, sender ids.ProcessID, seq, round uint64) core.Delivery {
+	return core.Delivery{
+		Msg:   msg.Message{ID: ids.MsgID{Sender: sender, Incarnation: 1, Seq: seq}},
+		Group: g,
+		Round: round,
+	}
+}
+
+func TestMergeRoundInterleave(t *testing.T) {
+	// g0 decided rounds 0,1,2 (round 1 empty); g1 decided rounds 0,1.
+	g0 := Sequence{
+		Group:      0,
+		Deliveries: []core.Delivery{mkDel(0, 0, 1, 0), mkDel(0, 1, 1, 0), mkDel(0, 0, 2, 2)},
+		Rounds:     3,
+	}
+	g1 := Sequence{
+		Group:      1,
+		Deliveries: []core.Delivery{mkDel(1, 0, 1, 0), mkDel(1, 2, 1, 1)},
+		Rounds:     2,
+	}
+	merged, rounds, ok := Merge([]Sequence{g1, g0}) // order must not matter
+	if !ok {
+		t.Fatal("merge not ok")
+	}
+	if rounds != 2 {
+		t.Fatalf("frontier = %d; want 2 (g1 has only decided 2 rounds)", rounds)
+	}
+	// Round 0: g0's two, then g1's one; round 1: only g1's. g0's round-2
+	// delivery is beyond the frontier.
+	want := []struct {
+		g   ids.GroupID
+		seq uint64
+	}{{0, 1}, {0, 1}, {1, 1}, {1, 1}}
+	if len(merged) != len(want) {
+		t.Fatalf("merged %d deliveries; want %d (%v)", len(merged), len(want), merged)
+	}
+	for i, w := range want {
+		if merged[i].Group != w.g {
+			t.Fatalf("merged[%d].Group = %v; want %v", i, merged[i].Group, w.g)
+		}
+	}
+	if merged[0].Msg.ID.Sender != 0 || merged[1].Msg.ID.Sender != 1 {
+		t.Fatalf("round 0 of g0 out of order: %v", merged[:2])
+	}
+}
+
+// TestMergeDeterministicPrefix: merges computed from two processes at
+// different frontiers agree on the common prefix.
+func TestMergeDeterministicPrefix(t *testing.T) {
+	// Process A saw fewer rounds of g1 than process B.
+	g0 := Sequence{Group: 0, Deliveries: []core.Delivery{mkDel(0, 0, 1, 0), mkDel(0, 0, 2, 1)}, Rounds: 2}
+	g1Short := Sequence{Group: 1, Deliveries: []core.Delivery{mkDel(1, 1, 1, 0)}, Rounds: 1}
+	g1Long := Sequence{Group: 1, Deliveries: []core.Delivery{mkDel(1, 1, 1, 0), mkDel(1, 1, 2, 1)}, Rounds: 2}
+
+	a, _, ok := Merge([]Sequence{g0, g1Short})
+	if !ok {
+		t.Fatal("merge a not ok")
+	}
+	b, _, ok := Merge([]Sequence{g0, g1Long})
+	if !ok {
+		t.Fatal("merge b not ok")
+	}
+	if len(a) >= len(b) {
+		t.Fatalf("expected a shorter than b: %d vs %d", len(a), len(b))
+	}
+	if i := VerifyMergePrefix(a, b); i >= 0 {
+		t.Fatalf("merges disagree at %d", i)
+	}
+	// And a genuine disagreement is caught.
+	bad := append([]core.Delivery(nil), a...)
+	bad[0].Group = 9
+	if i := VerifyMergePrefix(bad, b); i != 0 {
+		t.Fatalf("VerifyMergePrefix missed the disagreement: %d", i)
+	}
+}
+
+// TestMergeRefusesFoldedPrefix: a base checkpoint hides rounds, so the
+// merge must signal that it cannot reconstruct the interleave.
+func TestMergeRefusesFoldedPrefix(t *testing.T) {
+	g0 := Sequence{Group: 0, Base: core.Snapshot{Rounds: 2}, Deliveries: []core.Delivery{mkDel(0, 0, 3, 2)}, Rounds: 3}
+	g1 := Sequence{Group: 1, Deliveries: []core.Delivery{mkDel(1, 1, 1, 0)}, Rounds: 3}
+	if _, _, ok := Merge([]Sequence{g0, g1}); ok {
+		t.Fatal("merge accepted a folded prefix")
+	}
+	// With a zero frontier there is nothing to merge, folded or not.
+	if _, rounds, ok := Merge([]Sequence{g0, {Group: 1, Rounds: 0}}); !ok || rounds != 0 {
+		t.Fatalf("zero frontier should be ok/empty, got rounds=%d ok=%v", rounds, ok)
+	}
+}

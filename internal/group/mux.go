@@ -1,0 +1,266 @@
+package group
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ids"
+	"repro/internal/transport"
+)
+
+// tagLen is the per-frame group tag: a little-endian u16 GroupID. 2 bytes
+// of overhead buys 65536 groups per connection set.
+const tagLen = 2
+
+// MuxStats counts multiplexer-level events (observability and tests).
+type MuxStats struct {
+	Tagged           int64 // frames sent through a virtual endpoint
+	Demuxed          int64 // frames delivered to a virtual endpoint
+	DroppedMalformed int64 // frames too short to carry a group tag
+	DroppedUnknown   int64 // tag outside [0, Groups)
+	DroppedDetached  int64 // owning group down (its endpoint detached)
+	DroppedOverrun   int64 // virtual inbox full
+}
+
+// Mux multiplexes one transport.Network among G ordering groups: Net(g)
+// is a virtual Network for group g whose endpoints tag every outgoing
+// frame with g and receive exactly the frames tagged g. All groups of one
+// process share one real endpoint — one listener and one connection per
+// peer on TCP, one inbox on Mem — attached when the process's first group
+// attaches and closed when its last group detaches.
+//
+// Crash semantics are preserved per group: frames addressed to a detached
+// group are dropped (§2.1 — messages that arrive while the process is
+// down are lost), even while other groups of the same process are up.
+//
+// The Mux is shared by the whole cluster, exactly like the Network it
+// wraps.
+type Mux struct {
+	inner  transport.Network
+	groups int
+
+	mu    sync.Mutex
+	procs map[ids.ProcessID]*procMux
+
+	tagged, demuxed, malformed, unknown, detached, overrun atomic.Int64
+}
+
+// NewMux wraps inner for groups ordering groups.
+func NewMux(inner transport.Network, groups int) *Mux {
+	if groups < 1 {
+		groups = 1
+	}
+	return &Mux{
+		inner:  inner,
+		groups: groups,
+		procs:  make(map[ids.ProcessID]*procMux),
+	}
+}
+
+// Groups returns the number of ordering groups the mux serves.
+func (m *Mux) Groups() int { return m.groups }
+
+// Inner returns the wrapped network.
+func (m *Mux) Inner() transport.Network { return m.inner }
+
+// Stats returns a snapshot of the multiplexer counters.
+func (m *Mux) Stats() MuxStats {
+	return MuxStats{
+		Tagged:           m.tagged.Load(),
+		Demuxed:          m.demuxed.Load(),
+		DroppedMalformed: m.malformed.Load(),
+		DroppedUnknown:   m.unknown.Load(),
+		DroppedDetached:  m.detached.Load(),
+		DroppedOverrun:   m.overrun.Load(),
+	}
+}
+
+// Net returns the virtual Network of group g. Each group's node attaches
+// to its own virtual network exactly as an unsharded node attaches to the
+// real one.
+func (m *Mux) Net(g ids.GroupID) transport.Network {
+	return groupNet{m: m, g: g}
+}
+
+type groupNet struct {
+	m *Mux
+	g ids.GroupID
+}
+
+var _ transport.Network = groupNet{}
+
+func (n groupNet) N() int { return n.m.inner.N() }
+
+func (n groupNet) Attach(pid ids.ProcessID) (transport.Endpoint, error) {
+	return n.m.attach(n.g, pid)
+}
+
+// procMux is one process's shared real endpoint plus the registry of its
+// live virtual endpoints, keyed by group.
+type procMux struct {
+	m   *Mux
+	pid ids.ProcessID
+	ep  transport.Endpoint
+
+	mu   sync.Mutex
+	veps map[ids.GroupID]*muxEndpoint
+}
+
+func (m *Mux) attach(g ids.GroupID, pid ids.ProcessID) (transport.Endpoint, error) {
+	if g < 0 || int(g) >= m.groups {
+		return nil, fmt.Errorf("group: gid %v out of range [0,%d)", g, m.groups)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pm := m.procs[pid]
+	if pm == nil {
+		ep, err := m.inner.Attach(pid)
+		if err != nil {
+			return nil, err
+		}
+		pm = &procMux{m: m, pid: pid, ep: ep, veps: make(map[ids.GroupID]*muxEndpoint)}
+		m.procs[pid] = pm
+		go pm.recvLoop()
+	}
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	if pm.veps[g] != nil {
+		return nil, fmt.Errorf("%w: %v group %v", transport.ErrDetached, pid, g)
+	}
+	vep := &muxEndpoint{
+		pm:    pm,
+		g:     g,
+		inbox: make(chan transport.Packet, 4096),
+		done:  make(chan struct{}),
+	}
+	pm.veps[g] = vep
+	return vep, nil
+}
+
+// recvLoop demultiplexes the real endpoint's packets to the owning group's
+// virtual inbox. It exits when the real endpoint closes (last group
+// detached, or the inner network shut down).
+func (pm *procMux) recvLoop() {
+	for {
+		pkt, err := pm.ep.Recv(context.Background())
+		if err != nil {
+			return
+		}
+		if len(pkt.Data) < tagLen {
+			pm.m.malformed.Add(1)
+			continue
+		}
+		g := ids.GroupID(binary.LittleEndian.Uint16(pkt.Data))
+		if int(g) >= pm.m.groups {
+			pm.m.unknown.Add(1)
+			continue
+		}
+		pm.mu.Lock()
+		vep := pm.veps[g]
+		pm.mu.Unlock()
+		if vep == nil {
+			// The group is down at this process: its packets are lost,
+			// exactly as §2.1 prescribes for a down process.
+			pm.m.detached.Add(1)
+			continue
+		}
+		select {
+		case vep.inbox <- transport.Packet{From: pkt.From, Data: pkt.Data[tagLen:]}:
+			pm.m.demuxed.Add(1)
+		default:
+			pm.m.overrun.Add(1) // buffer overrun; fair-lossy permits it
+		}
+	}
+}
+
+// detach removes group g's virtual endpoint; when it was the last one the
+// shared real endpoint closes too (and the recvLoop exits). The real close
+// completes before detach returns, so a full process crash (all groups
+// closed) leaves the pid immediately re-attachable.
+func (pm *procMux) detach(g ids.GroupID, vep *muxEndpoint) {
+	m := pm.m
+	m.mu.Lock()
+	pm.mu.Lock()
+	if pm.veps[g] != vep {
+		pm.mu.Unlock()
+		m.mu.Unlock()
+		return
+	}
+	delete(pm.veps, g)
+	last := len(pm.veps) == 0
+	if last && m.procs[pm.pid] == pm {
+		delete(m.procs, pm.pid)
+	}
+	pm.mu.Unlock()
+	if last {
+		// Holding m.mu serializes the real close against a concurrent
+		// re-attach of the same pid (the close path never takes m.mu
+		// again, so this cannot deadlock).
+		pm.ep.Close()
+	}
+	m.mu.Unlock()
+}
+
+// muxEndpoint is group g's virtual endpoint at one process: Send/Multisend
+// tag frames, Recv reads the demultiplexed inbox.
+type muxEndpoint struct {
+	pm    *procMux
+	g     ids.GroupID
+	inbox chan transport.Packet
+	done  chan struct{}
+
+	closeOnce sync.Once
+}
+
+var _ transport.Endpoint = (*muxEndpoint)(nil)
+
+func (e *muxEndpoint) Local() ids.ProcessID { return e.pm.pid }
+
+func (e *muxEndpoint) tag(data []byte) []byte {
+	buf := make([]byte, tagLen+len(data))
+	binary.LittleEndian.PutUint16(buf, uint16(e.g))
+	copy(buf[tagLen:], data)
+	return buf
+}
+
+func (e *muxEndpoint) Send(to ids.ProcessID, data []byte) {
+	select {
+	case <-e.done:
+		return // closed endpoints transmit nothing
+	default:
+	}
+	e.pm.m.tagged.Add(1)
+	e.pm.ep.Send(to, e.tag(data))
+}
+
+func (e *muxEndpoint) Multisend(data []byte) {
+	select {
+	case <-e.done:
+		return
+	default:
+	}
+	e.pm.m.tagged.Add(1)
+	e.pm.ep.Multisend(e.tag(data))
+}
+
+func (e *muxEndpoint) Recv(ctx context.Context) (transport.Packet, error) {
+	select {
+	case pkt := <-e.inbox:
+		return pkt, nil
+	case <-e.done:
+		return transport.Packet{}, transport.ErrClosed
+	case <-ctx.Done():
+		return transport.Packet{}, ctx.Err()
+	}
+}
+
+func (e *muxEndpoint) Close() error {
+	e.closeOnce.Do(func() {
+		close(e.done)
+		e.pm.detach(e.g, e)
+	})
+	return nil
+}

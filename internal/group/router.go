@@ -1,0 +1,117 @@
+package group
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/ids"
+)
+
+// Router places a broadcast key onto the ordering group that will
+// serialize it. Placement is a pure load-balancing/affinity decision —
+// safety never depends on it — but two properties matter:
+//
+//   - keys that must be mutually ordered must map to the same group
+//     (within a group the full total order holds; across groups it does
+//     not, unless the merged sequence is consumed);
+//   - a deterministic router (Hash) gives every process the same
+//     placement, so any replica can route a key without coordination.
+//
+// Route must be safe for concurrent use.
+type Router interface {
+	Route(key []byte) ids.GroupID
+}
+
+// RouterFunc adapts a function to the Router interface (explicit custom
+// placement).
+type RouterFunc func(key []byte) ids.GroupID
+
+// Route implements Router.
+func (f RouterFunc) Route(key []byte) ids.GroupID { return f(key) }
+
+// hashRouter is a consistent-hash ring: each group owns vnodesPerGroup
+// points on a 64-bit ring and a key belongs to the group owning the first
+// point at or after the key's hash. Placement is a pure function of (key,
+// groups) — identical at every process — and adding or removing a group
+// moves only ~1/G of the keyspace, which keeps key→group affinity stable
+// across resharding.
+type hashRouter struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	group ids.GroupID
+}
+
+const vnodesPerGroup = 160
+
+// NewHashRouter returns the default deterministic consistent-hash router
+// over groups ordering groups.
+func NewHashRouter(groups int) Router {
+	if groups < 1 {
+		groups = 1
+	}
+	points := make([]ringPoint, 0, groups*vnodesPerGroup)
+	for g := 0; g < groups; g++ {
+		for v := 0; v < vnodesPerGroup; v++ {
+			points = append(points, ringPoint{
+				hash:  hash64(fmt.Appendf(nil, "g%d/v%d", g, v)),
+				group: ids.GroupID(g),
+			})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].hash < points[j].hash })
+	return &hashRouter{points: points}
+}
+
+func hash64(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer: FNV alone disperses the short,
+// near-identical vnode labels poorly around the ring (clustered points
+// starve groups); a strong bit-mix restores uniformity.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Route implements Router.
+func (r *hashRouter) Route(key []byte) ids.GroupID {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around the ring
+	}
+	return r.points[i].group
+}
+
+// roundRobinRouter spreads keys evenly regardless of content. Placement is
+// NOT deterministic across processes (each router instance has its own
+// counter), so it suits workloads with no cross-key ordering needs.
+type roundRobinRouter struct {
+	groups uint64
+	next   atomic.Uint64
+}
+
+// NewRoundRobinRouter returns a router that cycles through the groups.
+func NewRoundRobinRouter(groups int) Router {
+	if groups < 1 {
+		groups = 1
+	}
+	return &roundRobinRouter{groups: uint64(groups)}
+}
+
+// Route implements Router; the key is ignored.
+func (r *roundRobinRouter) Route([]byte) ids.GroupID {
+	return ids.GroupID((r.next.Add(1) - 1) % r.groups)
+}

@@ -1,0 +1,74 @@
+package group
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ids"
+)
+
+func TestHashRouterDeterministicAndBalanced(t *testing.T) {
+	const groups = 4
+	r1 := NewHashRouter(groups)
+	r2 := NewHashRouter(groups) // a second process's router
+	counts := make(map[ids.GroupID]int)
+	for i := 0; i < 4000; i++ {
+		key := fmt.Appendf(nil, "key-%d", i)
+		g := r1.Route(key)
+		if g < 0 || int(g) >= groups {
+			t.Fatalf("route out of range: %v", g)
+		}
+		if g2 := r2.Route(key); g2 != g {
+			t.Fatalf("routers disagree on %q: %v vs %v", key, g, g2)
+		}
+		if g2 := r1.Route(key); g2 != g {
+			t.Fatalf("router unstable on %q: %v vs %v", key, g, g2)
+		}
+		counts[g]++
+	}
+	for g := ids.GroupID(0); int(g) < groups; g++ {
+		if counts[g] < 4000/groups/4 {
+			t.Fatalf("group %v starved: %v", g, counts)
+		}
+	}
+}
+
+// TestHashRouterAffinityUnderResharding: growing the ring from G to G+1
+// groups must keep most keys in place (the consistent-hashing property
+// that distinguishes the ring from hash-mod-G).
+func TestHashRouterAffinityUnderResharding(t *testing.T) {
+	const n = 4000
+	r4 := NewHashRouter(4)
+	r5 := NewHashRouter(5)
+	moved := 0
+	for i := 0; i < n; i++ {
+		key := fmt.Appendf(nil, "key-%d", i)
+		if r4.Route(key) != r5.Route(key) {
+			moved++
+		}
+	}
+	// Ideal is 1/5 of keys; mod-hashing moves ~4/5. Allow generous slack.
+	if moved > n/2 {
+		t.Fatalf("resharding 4->5 moved %d/%d keys (consistent hashing should move ~%d)", moved, n, n/5)
+	}
+}
+
+func TestRoundRobinRouterCycles(t *testing.T) {
+	r := NewRoundRobinRouter(3)
+	counts := make(map[ids.GroupID]int)
+	for i := 0; i < 9; i++ {
+		counts[r.Route(nil)]++
+	}
+	for g := ids.GroupID(0); g < 3; g++ {
+		if counts[g] != 3 {
+			t.Fatalf("uneven round robin: %v", counts)
+		}
+	}
+}
+
+func TestRouterFunc(t *testing.T) {
+	r := RouterFunc(func(key []byte) ids.GroupID { return ids.GroupID(len(key)) })
+	if got := r.Route([]byte("ab")); got != 2 {
+		t.Fatalf("RouterFunc = %v; want 2", got)
+	}
+}

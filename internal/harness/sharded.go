@@ -1,0 +1,466 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/group"
+	"repro/internal/ids"
+	"repro/internal/node"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// ShardedOptions configures a ShardedCluster: N processes, each hosting
+// Groups independent ordering groups over one multiplexed network and one
+// shared per-process store.
+type ShardedOptions struct {
+	N      int
+	Groups int
+	Seed   uint64
+	Net    transport.MemOptions
+	// Consensus policy/timing (PID/N/Seed filled per process and group).
+	Consensus consensus.Config
+	// Core protocol options, applied to every group (PID/N/Group/
+	// Incarnation and the recorder callbacks are filled per node).
+	Core core.Config
+	FD   fd.Options
+	// InjectFaultyStorage wraps each process's shared store in a
+	// storage.Faulty trigger — below the group namespaces, so one fault
+	// takes the whole process down, like a real disk failure.
+	InjectFaultyStorage bool
+	// NewStore, when set, supplies each process's shared stable-storage
+	// engine (default storage.NewMem): all groups of the process run in
+	// namespaces of it, so a group-commit engine coalesces their fsyncs.
+	NewStore func(ids.ProcessID) storage.Stable
+	// GroupStore, when set, overrides the shared store entirely: each
+	// (process, group) pair gets its own engine — the per-group-store
+	// deployment E16 compares against. Engines implementing
+	// storage.Closer are closed by Stop.
+	GroupStore func(ids.ProcessID, ids.GroupID) storage.Stable
+	// Transport, when set, replaces the simulated in-memory network
+	// (e.g. TCP loopback); Net is then ignored and Cluster.Net is nil.
+	Transport transport.Network
+}
+
+func (o *ShardedOptions) fill() {
+	if o.N <= 0 {
+		o.N = 3
+	}
+	if o.Groups <= 0 {
+		o.Groups = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Net.Seed == 0 {
+		o.Net.Seed = o.Seed
+	}
+	if o.Consensus.RetryMin <= 0 {
+		o.Consensus.RetryMin = 3 * time.Millisecond
+	}
+	if o.Consensus.RetryMax <= 0 {
+		o.Consensus.RetryMax = 50 * time.Millisecond
+	}
+	if o.Core.GossipInterval <= 0 {
+		o.Core.GossipInterval = 10 * time.Millisecond
+	}
+	if o.FD.Heartbeat <= 0 {
+		o.FD.Heartbeat = 5 * time.Millisecond
+	}
+	if o.FD.Timeout <= 0 {
+		o.FD.Timeout = 30 * time.Millisecond
+	}
+}
+
+// ShardedCluster is N processes x G ordering groups over one multiplexed
+// network. Group g's nodes across all processes form one instance of the
+// paper's protocol, verified by its own recorder; crash and recovery act
+// on whole processes (all groups at once), as they would in production.
+type ShardedCluster struct {
+	Opts ShardedOptions
+	Net  *transport.Mem // nil when Options.Transport overrides it
+	Mux  *group.Mux
+	// Nodes[pid][gid] is group gid's node at process pid.
+	Nodes [][]*node.Node
+	// Stores[pid][gid] is the per-group accounted view over the process's
+	// shared engine (true layer names: the group namespace sits below).
+	Stores [][]*storage.Accounted
+	// Faults[pid] is the process-level fault trigger (shared-store mode
+	// with InjectFaultyStorage only).
+	Faults []*storage.Faulty
+	// Recs[gid] is group gid's safety recorder.
+	Recs []*check.Recorder
+
+	net    transport.Network
+	inners []storage.Stable // engines to close on Stop
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// NewShardedCluster builds (but does not start) a sharded cluster.
+func NewShardedCluster(opts ShardedOptions) *ShardedCluster {
+	opts.fill()
+	c := &ShardedCluster{Opts: opts}
+	if opts.Transport != nil {
+		c.net = opts.Transport
+	} else {
+		c.Net = transport.NewMem(opts.N, opts.Net)
+		c.net = c.Net
+	}
+	c.Mux = group.NewMux(c.net, opts.Groups)
+	for g := 0; g < opts.Groups; g++ {
+		c.Recs = append(c.Recs, check.NewRecorder(opts.N))
+	}
+	c.ctx, c.cancel = context.WithCancel(context.Background())
+
+	for p := 0; p < opts.N; p++ {
+		pid := ids.ProcessID(p)
+		// The process's shared engine, with the optional process-level
+		// fault trigger below every group namespace.
+		var shared storage.Stable
+		if opts.GroupStore == nil {
+			if opts.NewStore != nil {
+				shared = opts.NewStore(pid)
+				c.inners = append(c.inners, shared)
+			} else {
+				shared = storage.NewMem()
+			}
+			if opts.InjectFaultyStorage {
+				f := storage.NewFaulty(shared)
+				c.Faults = append(c.Faults, f)
+				shared = f
+			}
+		} else if opts.InjectFaultyStorage {
+			panic("harness: InjectFaultyStorage requires the shared-store mode (no GroupStore hook)")
+		}
+
+		var nodes []*node.Node
+		var stores []*storage.Accounted
+		for g := 0; g < opts.Groups; g++ {
+			gid := ids.GroupID(g)
+			var engine storage.Stable
+			if opts.GroupStore != nil {
+				engine = opts.GroupStore(pid, gid)
+				c.inners = append(c.inners, engine)
+			} else {
+				engine = storage.NewPrefixed(shared, group.StoreNamespace(gid))
+			}
+			acct := storage.NewAccounted(engine)
+			stores = append(stores, acct)
+
+			coreCfg := opts.Core
+			deliver := c.Recs[g].OnDeliver(pid)
+			restore := c.Recs[g].OnRestore(pid)
+			coreCfg.OnDeliver = func(d core.Delivery) { deliver(d) }
+			coreCfg.OnRestore = func(s core.Snapshot) { restore(s) }
+			nodes = append(nodes, node.New(node.Config{
+				PID:       pid,
+				N:         opts.N,
+				Group:     gid,
+				Core:      coreCfg,
+				Consensus: opts.Consensus,
+				FD:        opts.FD,
+			}, acct, c.Mux.Net(gid)))
+		}
+		c.Nodes = append(c.Nodes, nodes)
+		c.Stores = append(c.Stores, stores)
+	}
+	return c
+}
+
+// StartAll boots every process.
+func (c *ShardedCluster) StartAll() error {
+	for p := 0; p < c.Opts.N; p++ {
+		if err := c.Start(ids.ProcessID(p)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Start boots process pid: every group starts concurrently (their replay
+// phases are independent) and Start returns when all are up. On any
+// failure the whole process is crashed again — a sharded process is either
+// fully up or fully down.
+func (c *ShardedCluster) Start(pid ids.ProcessID) error {
+	for g := range c.Recs {
+		c.Recs[g].StartSession(pid)
+	}
+	if c.Faults != nil {
+		c.Faults[pid].Disarm()
+	}
+	errs := make([]error, c.Opts.Groups)
+	var wg sync.WaitGroup
+	for g, n := range c.Nodes[pid] {
+		wg.Add(1)
+		go func(g int, n *node.Node) {
+			defer wg.Done()
+			errs[g] = n.Start(c.ctx)
+		}(g, n)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			c.Crash(pid)
+			return fmt.Errorf("sharded start p%v g%d: %w", pid, g, err)
+		}
+	}
+	return nil
+}
+
+// Crash kills process pid: every group's volatile state is lost at once.
+func (c *ShardedCluster) Crash(pid ids.ProcessID) {
+	for _, n := range c.Nodes[pid] {
+		n.Crash()
+	}
+}
+
+// Recover restarts process pid and returns once every group's replay
+// completes.
+func (c *ShardedCluster) Recover(pid ids.ProcessID) (time.Duration, error) {
+	start := time.Now()
+	err := c.Start(pid)
+	return time.Since(start), err
+}
+
+// Up reports whether every group of process pid is running.
+func (c *ShardedCluster) Up(pid ids.ProcessID) bool {
+	for _, n := range c.Nodes[pid] {
+		if !n.Up() {
+			return false
+		}
+	}
+	return true
+}
+
+// Stop tears the whole cluster down, closing any engines the store hooks
+// opened.
+func (c *ShardedCluster) Stop() {
+	for p := range c.Nodes {
+		c.Crash(ids.ProcessID(p))
+	}
+	c.cancel()
+	if c.Net != nil {
+		c.Net.Close()
+	}
+	for _, st := range c.inners {
+		if cl, ok := st.(storage.Closer); ok {
+			cl.Close()
+		}
+	}
+}
+
+// Broadcast submits a payload on group g at process pid, records it with
+// the group's recorder, and waits until it is ordered (basic A-broadcast
+// semantics).
+func (c *ShardedCluster) Broadcast(ctx context.Context, pid ids.ProcessID, g ids.GroupID, payload []byte) (ids.MsgID, error) {
+	p := c.Nodes[pid][g].Proto()
+	if p == nil {
+		return ids.MsgID{}, node.ErrDown
+	}
+	id, err := p.Broadcast(ctx, payload)
+	if id != (ids.MsgID{}) {
+		c.Recs[g].RecordBroadcast(id, payload)
+	}
+	if err == nil {
+		c.Recs[g].MarkReturned(id)
+	}
+	return id, err
+}
+
+// AwaitDelivered blocks until every listed process has delivered id in
+// group g.
+func (c *ShardedCluster) AwaitDelivered(ctx context.Context, g ids.GroupID, id ids.MsgID, pids ...ids.ProcessID) error {
+	for {
+		all := true
+		for _, pid := range pids {
+			p := c.Nodes[pid][g].Proto()
+			if p == nil || !p.Delivered(id) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("await %v g%v: %w", id, g, ctx.Err())
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// VerifyAll runs every group's safety checks plus Termination for the
+// given good processes (which must be fully up).
+func (c *ShardedCluster) VerifyAll(good ...ids.ProcessID) error {
+	for g, rec := range c.Recs {
+		gid := ids.GroupID(g)
+		if err := rec.Verify(); err != nil {
+			return fmt.Errorf("group %v: %w", gid, err)
+		}
+		must := rec.DeliveredAnywhere()
+		must = append(must, rec.ReturnedBroadcasts()...)
+		finals := make([]check.Final, 0, len(good))
+		for _, pid := range good {
+			p := c.Nodes[pid][gid].Proto()
+			if p == nil {
+				return fmt.Errorf("group %v: good process p%d is down", gid, pid)
+			}
+			base, suffix := p.Sequence()
+			finals = append(finals, check.NewFinal(pid, base, suffix))
+		}
+		if err := check.VerifyTermination(must, finals); err != nil {
+			return fmt.Errorf("group %v: %w", gid, err)
+		}
+	}
+	return nil
+}
+
+// AwaitAllDelivered waits until every group's must-deliver set is
+// delivered by all listed processes and all groups quiesce, then runs
+// VerifyAll (see Cluster.AwaitAllDelivered for the quiescence rationale).
+func (c *ShardedCluster) AwaitAllDelivered(ctx context.Context, good ...ids.ProcessID) error {
+	for {
+		total := 0
+		for g, rec := range c.Recs {
+			must := rec.DeliveredAnywhere()
+			must = append(must, rec.ReturnedBroadcasts()...)
+			total += len(must)
+			for _, id := range must {
+				if err := c.AwaitDelivered(ctx, ids.GroupID(g), id, good...); err != nil {
+					return err
+				}
+			}
+		}
+		quiesced := true
+	outer:
+		for _, pid := range good {
+			for _, n := range c.Nodes[pid] {
+				if p := n.Proto(); p == nil || p.UnorderedLen() > 0 {
+					quiesced = false
+					break outer
+				}
+			}
+		}
+		again := 0
+		for _, rec := range c.Recs {
+			again += len(rec.DeliveredAnywhere()) + len(rec.ReturnedBroadcasts())
+		}
+		if quiesced && again == total {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("await sharded quiescence: %w", ctx.Err())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return c.VerifyAll(good...)
+}
+
+// MergedAt computes process pid's deterministic cross-group merge.
+func (c *ShardedCluster) MergedAt(pid ids.ProcessID) (merged []core.Delivery, rounds uint64, ok bool) {
+	seqs := make([]group.Sequence, 0, c.Opts.Groups)
+	for g, n := range c.Nodes[pid] {
+		p := n.Proto()
+		if p == nil {
+			return nil, 0, false
+		}
+		r := p.Round() // read before Sequence: under-reports, never over
+		base, suffix := p.Sequence()
+		seqs = append(seqs, group.Sequence{
+			Group:      ids.GroupID(g),
+			Base:       base,
+			Deliveries: suffix,
+			Rounds:     r,
+		})
+	}
+	return group.Merge(seqs)
+}
+
+// VerifyMergeDeterminism checks that the merged sequences of all listed
+// processes agree on their common prefixes.
+func (c *ShardedCluster) VerifyMergeDeterminism(pids ...ids.ProcessID) error {
+	merges := make([][]core.Delivery, 0, len(pids))
+	for _, pid := range pids {
+		m, _, ok := c.MergedAt(pid)
+		if !ok {
+			return fmt.Errorf("merge at p%v not reconstructible (checkpointed prefix?)", pid)
+		}
+		merges = append(merges, m)
+	}
+	for i := 1; i < len(merges); i++ {
+		if at := group.VerifyMergePrefix(merges[0], merges[i]); at >= 0 {
+			return fmt.Errorf("merged sequences of p%v and p%v disagree at index %d",
+				pids[0], pids[i], at)
+		}
+	}
+	return nil
+}
+
+// LayerTotals rolls the per-group accounted stats of process pid up by
+// layer name ("cons", "abcast", "node", ...): group namespaces sit below
+// the accounting, so the per-layer attribution stays truthful and summing
+// across groups double-counts nothing (each group's ops are its own; the
+// shared engine's fsyncs are not per-group state and are read from the
+// engine once — see Cluster/E16).
+func (c *ShardedCluster) LayerTotals(pid ids.ProcessID) map[string]storage.LayerStats {
+	out := make(map[string]storage.LayerStats)
+	for _, acct := range c.Stores[pid] {
+		for name, st := range acct.Layers() {
+			cur := out[name]
+			cur.Add(st)
+			out[name] = cur
+		}
+	}
+	return out
+}
+
+// SharedSyncCount returns the fsync count of process pid's shared engine
+// (0 when the engine does not expose one or per-group stores are in use).
+// One number per process — the whole point of the shared WAL is that every
+// group's records ride the same fsyncs, so summing anything per group
+// would double-count.
+func (c *ShardedCluster) SharedSyncCount(pid ids.ProcessID) int64 {
+	if c.Opts.GroupStore != nil {
+		var total int64
+		seen := make(map[storage.Stable]bool)
+		for g := range c.Stores[pid] {
+			eng := c.Stores[pid][g].Inner()
+			if seen[eng] {
+				continue
+			}
+			seen[eng] = true
+			if sc, ok := eng.(interface{ SyncCount() int64 }); ok {
+				total += sc.SyncCount()
+			}
+		}
+		return total
+	}
+	if len(c.Stores[pid]) == 0 {
+		return 0
+	}
+	// Walk below the first group's namespace to the shared engine.
+	eng := c.Stores[pid][0].Inner()
+	for {
+		switch e := eng.(type) {
+		case *storage.Prefixed:
+			eng = e.Inner()
+		case *storage.Faulty:
+			eng = e.Inner()
+		default:
+			if sc, ok := eng.(interface{ SyncCount() int64 }); ok {
+				return sc.SyncCount()
+			}
+			return 0
+		}
+	}
+}

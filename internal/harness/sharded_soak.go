@@ -1,0 +1,174 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/storage"
+)
+
+// ShardedSoakOptions configures one randomized crash-recovery soak over a
+// sharded multi-group cluster: the seeded schedule (shared with RunSoak)
+// crashes and recovers whole processes (every group at once) and arms
+// process-level storage faults below the group namespaces, while
+// closed-loop senders spread the broadcast workload over every group. The
+// final verification is per group — each group must satisfy the full
+// Atomic Broadcast specification — plus the cross-group merge determinism
+// check.
+type ShardedSoakOptions struct {
+	// Seed drives the whole schedule. Required; 0 picks the default.
+	Seed uint64
+	// N is the process count (default 3); Groups the ordering-group count
+	// (default 2).
+	N      int
+	Groups int
+	// Steps is the number of fault-schedule steps (default 40).
+	Steps int
+	// Msgs is the number of broadcast attempts across the run (default
+	// 120), spread round-robin over the groups.
+	Msgs int
+	// Payload is the broadcast payload size in bytes (default 32).
+	Payload int
+	// MaxDown caps how many processes may be down simultaneously
+	// (default N-1).
+	MaxDown int
+	// Core selects the protocol variant under test. Checkpointing and
+	// state transfer must stay off (the merge determinism check needs
+	// the full per-group suffixes); RunShardedSoak rejects them.
+	Core core.Config
+	// NewStore, when set, supplies each process's shared engine (all
+	// groups in namespaces of it); default in-memory.
+	NewStore func(ids.ProcessID) storage.Stable
+	// DrainTimeout bounds the final catch-up-and-verify phase (default
+	// 60s).
+	DrainTimeout time.Duration
+}
+
+func (o *ShardedSoakOptions) fill() {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.N <= 0 {
+		o.N = 3
+	}
+	if o.Groups <= 0 {
+		o.Groups = 2
+	}
+	if o.Steps <= 0 {
+		o.Steps = 40
+	}
+	if o.Msgs <= 0 {
+		o.Msgs = 120
+	}
+	if o.Payload <= 0 {
+		o.Payload = 32
+	}
+	if o.MaxDown <= 0 || o.MaxDown >= o.N {
+		o.MaxDown = o.N - 1
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 60 * time.Second
+	}
+}
+
+// ShardedSoakResult summarizes what one sharded soak run exercised.
+type ShardedSoakResult struct {
+	Crashes       int
+	Recoveries    int
+	StorageFaults int
+	Broadcasts    int
+	Returned      int // across all groups
+	Delivered     int // distinct messages across all groups' final orders
+	MergedRounds  uint64
+}
+
+func (r ShardedSoakResult) String() string {
+	return fmt.Sprintf("crashes=%d recoveries=%d storage-faults=%d broadcasts=%d returned=%d delivered=%d merged-rounds=%d",
+		r.Crashes, r.Recoveries, r.StorageFaults, r.Broadcasts, r.Returned, r.Delivered, r.MergedRounds)
+}
+
+// shardedTarget adapts a ShardedCluster to the soak engine: crash and
+// recovery act on whole processes, and the workload walks the groups
+// round-robin (offset per sender) so every group sees traffic — merge
+// liveness needs every group to keep deciding rounds.
+type shardedTarget struct{ c *ShardedCluster }
+
+func (t shardedTarget) Crash(pid ids.ProcessID) { t.c.Crash(pid) }
+func (t shardedTarget) Recover(pid ids.ProcessID) (time.Duration, error) {
+	return t.c.Recover(pid)
+}
+func (t shardedTarget) ProcessUp(pid ids.ProcessID) bool        { return t.c.Up(pid) }
+func (t shardedTarget) Fault(pid ids.ProcessID) *storage.Faulty { return t.c.Faults[pid] }
+func (t shardedTarget) Broadcast(ctx context.Context, pid ids.ProcessID, msgIndex int, payload []byte) (ids.MsgID, error) {
+	g := ids.GroupID((msgIndex + int(pid)) % t.c.Opts.Groups)
+	return t.c.Broadcast(ctx, pid, g, payload)
+}
+
+// RunShardedSoak executes one randomized sharded crash-recovery soak and
+// returns the verification error, if any. Every run is a pure function of
+// Seed (plus goroutine interleavings), like RunSoak.
+func RunShardedSoak(opts ShardedSoakOptions) (ShardedSoakResult, error) {
+	opts.fill()
+	var res ShardedSoakResult
+	if opts.Core.CheckpointEvery > 0 || opts.Core.Delta > 0 || opts.Core.Checkpointer != nil {
+		return res, fmt.Errorf("sharded soak: checkpointing/state transfer fold the delivered prefix away, which breaks the merge determinism check — run those variants through RunSoak")
+	}
+
+	c := NewShardedCluster(ShardedOptions{
+		N:                   opts.N,
+		Groups:              opts.Groups,
+		Seed:                opts.Seed,
+		Net:                 DefaultLossyNet(opts.Seed),
+		Core:                opts.Core,
+		InjectFaultyStorage: true,
+		NewStore:            opts.NewStore,
+	})
+	defer c.Stop()
+	if err := c.StartAll(); err != nil {
+		return res, fmt.Errorf("sharded soak seed=%d: start: %w", opts.Seed, err)
+	}
+
+	counts, drainCtx, cancel, err := runSoakSchedule(soakSchedule{
+		seed:         opts.Seed,
+		n:            opts.N,
+		steps:        opts.Steps,
+		msgs:         opts.Msgs,
+		payload:      opts.Payload,
+		maxDown:      opts.MaxDown,
+		drainTimeout: opts.DrainTimeout,
+	}, shardedTarget{c})
+	res = ShardedSoakResult{
+		Crashes:       counts.crashes,
+		Recoveries:    counts.recoveries,
+		StorageFaults: counts.storageFaults,
+		Broadcasts:    counts.broadcasts,
+	}
+	if err != nil {
+		return res, fmt.Errorf("sharded soak seed=%d: %w", opts.Seed, err)
+	}
+	defer cancel()
+	for _, rec := range c.Recs {
+		res.Returned += len(rec.ReturnedBroadcasts())
+	}
+
+	var all []ids.ProcessID
+	for p := 0; p < opts.N; p++ {
+		all = append(all, ids.ProcessID(p))
+	}
+	if err := c.AwaitAllDelivered(drainCtx, all...); err != nil {
+		return res, fmt.Errorf("sharded soak seed=%d: drain: %w", opts.Seed, err)
+	}
+	for _, rec := range c.Recs {
+		res.Delivered += len(rec.DeliveredAnywhere())
+	}
+	if err := c.VerifyMergeDeterminism(all...); err != nil {
+		return res, fmt.Errorf("sharded soak seed=%d: %w", opts.Seed, err)
+	}
+	if _, rounds, ok := c.MergedAt(0); ok {
+		res.MergedRounds = rounds
+	}
+	return res, nil
+}

@@ -132,30 +132,53 @@ func (s *soakState) downCount() int {
 	return n
 }
 
-// RunSoak executes one randomized crash-recovery soak and returns the
-// verification error, if any. The returned SoakResult is valid either way.
-func RunSoak(opts SoakOptions) (SoakResult, error) {
-	opts.fill()
-	var res SoakResult
-	rng := rand.New(rand.NewPCG(opts.Seed, opts.Seed^0x50a4_50a4_50a4_50a4))
+// soakTarget abstracts the cluster under soak — a single-group Cluster or
+// a ShardedCluster — behind the whole-process operations the schedule
+// acts on. Crash must be idempotent (crashing a down or half-down process
+// finishes the job); Broadcast receives the workload's message index so a
+// sharded target can spread messages over its groups.
+type soakTarget interface {
+	Crash(pid ids.ProcessID)
+	Recover(pid ids.ProcessID) (time.Duration, error)
+	ProcessUp(pid ids.ProcessID) bool
+	Fault(pid ids.ProcessID) *storage.Faulty
+	Broadcast(ctx context.Context, pid ids.ProcessID, msgIndex int, payload []byte) (ids.MsgID, error)
+}
 
-	c := NewCluster(Options{
-		N:                   opts.N,
-		Seed:                opts.Seed,
-		Net:                 DefaultLossyNet(opts.Seed),
-		Core:                opts.Core,
-		InjectFaultyStorage: true,
-		NewStore:            opts.NewStore,
-	})
-	defer c.Stop()
-	if err := c.StartAll(); err != nil {
-		return res, fmt.Errorf("soak seed=%d: start: %w", opts.Seed, err)
-	}
+// soakSchedule holds the shape parameters shared by every soak flavor.
+type soakSchedule struct {
+	seed         uint64
+	n            int
+	steps        int
+	msgs         int
+	payload      int
+	maxDown      int
+	drainTimeout time.Duration
+}
+
+// soakCounts is what the schedule engine observed.
+type soakCounts struct {
+	crashes       int
+	recoveries    int
+	storageFaults int
+	broadcasts    int // attempts that produced a message id
+}
+
+// runSoakSchedule is the soak engine shared by RunSoak and
+// RunShardedSoak: it drives the closed-loop broadcast workload and the
+// seeded random walk of crashes, async recoveries and armed storage
+// faults against the target, then winds down — stopping the workload,
+// waiting out in-flight recoveries and fault trips, and recovering every
+// process (retrying within drainTimeout). The caller drains and verifies
+// afterwards; the drain context is returned so it covers both phases.
+func runSoakSchedule(sch soakSchedule, t soakTarget) (soakCounts, context.Context, context.CancelFunc, error) {
+	var res soakCounts
+	rng := rand.New(rand.NewPCG(sch.seed, sch.seed^0x50a4_50a4_50a4_50a4))
 
 	st := &soakState{
-		up:         make([]bool, opts.N),
-		recovering: make([]bool, opts.N),
-		armed:      make([]bool, opts.N),
+		up:         make([]bool, sch.n),
+		recovering: make([]bool, sch.n),
+		armed:      make([]bool, sch.n),
 	}
 	for i := range st.up {
 		st.up[i] = true
@@ -167,18 +190,17 @@ func RunSoak(opts SoakOptions) (SoakResult, error) {
 	// be delivered — exactly the paper's §4.2 contract.
 	wctx, wcancel := context.WithCancel(context.Background())
 	var (
-		wg       sync.WaitGroup
-		resMu    sync.Mutex
-		sent     int
-		workSeed = opts.Seed
+		wg    sync.WaitGroup
+		resMu sync.Mutex
+		sent  int
 	)
-	perSender := opts.Msgs / opts.N
-	for p := 0; p < opts.N; p++ {
+	perSender := sch.msgs / sch.n
+	for p := 0; p < sch.n; p++ {
 		wg.Add(1)
 		go func(pid ids.ProcessID, seed uint64) {
 			defer wg.Done()
 			wrng := rand.New(rand.NewPCG(seed, uint64(pid)+1))
-			payload := make([]byte, opts.Payload)
+			payload := make([]byte, sch.payload)
 			for i := 0; i < perSender; i++ {
 				if wctx.Err() != nil {
 					return
@@ -187,7 +209,7 @@ func RunSoak(opts SoakOptions) (SoakResult, error) {
 					payload[b] = byte(wrng.Uint64())
 				}
 				callCtx, cancel := context.WithTimeout(wctx, 250*time.Millisecond)
-				id, err := c.Broadcast(callCtx, pid, payload)
+				id, err := t.Broadcast(callCtx, pid, i, payload)
 				cancel()
 				resMu.Lock()
 				if id != (ids.MsgID{}) {
@@ -204,18 +226,18 @@ func RunSoak(opts SoakOptions) (SoakResult, error) {
 					}
 				}
 			}
-		}(ids.ProcessID(p), workSeed)
+		}(ids.ProcessID(p), sch.seed)
 	}
 
 	// Fault schedule: the seeded random walk. tripWG tracks the async
 	// crash launched by every tripped storage fault, so the wind-down can
 	// wait for them deterministically instead of racing the scheduler.
 	var recWG, tripWG sync.WaitGroup
-	for step := 0; step < opts.Steps; step++ {
+	for step := 0; step < sch.steps; step++ {
 		time.Sleep(time.Duration(1+rng.IntN(12)) * time.Millisecond)
 		switch rng.IntN(10) {
-		case 0, 1, 2: // crash a fully-up process (respecting MaxDown)
-			if st.downCount() >= opts.MaxDown {
+		case 0, 1, 2: // crash a fully-up process (respecting maxDown)
+			if st.downCount() >= sch.maxDown {
 				continue
 			}
 			pid, ok := st.pick(rng, func(i int) bool {
@@ -227,8 +249,8 @@ func RunSoak(opts SoakOptions) (SoakResult, error) {
 			st.mu.Lock()
 			st.up[pid] = false
 			st.mu.Unlock()
-			c.Crash(pid)
-			res.Crashes++
+			t.Crash(pid)
+			res.crashes++
 		case 3, 4, 5: // recover a down process (async: replay may block)
 			pid, ok := st.pick(rng, func(i int) bool {
 				return !st.up[i] && !st.recovering[i]
@@ -236,7 +258,7 @@ func RunSoak(opts SoakOptions) (SoakResult, error) {
 			if !ok {
 				continue
 			}
-			if c.Nodes[pid].Up() {
+			if t.ProcessUp(pid) {
 				// Still alive: either the armed fault never tripped, or
 				// it just fired and its async crash has not landed yet.
 				// Disarm reports which atomically; only the first
@@ -247,28 +269,32 @@ func RunSoak(opts SoakOptions) (SoakResult, error) {
 				wasArmed := st.armed[pid]
 				st.armed[pid] = false
 				st.mu.Unlock()
-				if !c.Faults[pid].Disarm() && wasArmed {
+				if !t.Fault(pid).Disarm() && wasArmed {
 					st.mu.Lock()
 					st.up[pid] = true
 					st.mu.Unlock()
 				}
 				continue
 			}
+			// A tripped fault's async crash may have landed only
+			// partially (a sharded process crashes per group); finish it
+			// so Recover starts from a fully-down process.
+			t.Crash(pid)
 			st.mu.Lock()
 			st.recovering[pid] = true
 			st.mu.Unlock()
 			recWG.Add(1)
 			go func(pid ids.ProcessID) {
 				defer recWG.Done()
-				_, err := c.Recover(pid)
+				_, err := t.Recover(pid)
 				st.mu.Lock()
 				st.recovering[pid] = false
 				st.up[pid] = err == nil
 				st.mu.Unlock()
 			}(pid)
-			res.Recoveries++
+			res.recoveries++
 		case 6, 7: // arm a storage fault: the Nth next log write kills it
-			if st.downCount() >= opts.MaxDown {
+			if st.downCount() >= sch.maxDown {
 				continue
 			}
 			pid, ok := st.pick(rng, func(i int) bool {
@@ -281,23 +307,22 @@ func RunSoak(opts SoakOptions) (SoakResult, error) {
 			st.up[pid] = false // it will die at the fault point
 			st.armed[pid] = true
 			st.mu.Unlock()
-			c.Faults[pid].FailAfter(int64(1+rng.IntN(20)), func() {
+			t.Fault(pid).FailAfter(int64(1+rng.IntN(20)), func() {
 				// Async: a synchronous Crash from inside the failing
 				// log write would deadlock on the protocol's WaitGroup.
 				tripWG.Add(1)
 				go func() {
 					defer tripWG.Done()
-					c.Crash(pid)
+					t.Crash(pid)
 				}()
 			})
-			res.StorageFaults++
+			res.storageFaults++
 		default: // let the cluster run
 		}
 	}
 
 	// Wind down: stop the workload, finish pending recoveries, bring every
-	// process back up (good processes eventually remain permanently up),
-	// then drain and verify.
+	// process back up (good processes eventually remain permanently up).
 	wcancel()
 	wg.Wait()
 	recWG.Wait()
@@ -306,46 +331,99 @@ func RunSoak(opts SoakOptions) (SoakResult, error) {
 	// after its "final" recovery. Faulty runs onTrip under its trigger
 	// lock, so after Disarm returns every fired trip has registered with
 	// tripWG — the Wait is race-free.
-	for _, f := range c.Faults {
-		f.Disarm()
+	for p := 0; p < sch.n; p++ {
+		t.Fault(ids.ProcessID(p)).Disarm()
 	}
 	tripWG.Wait()
-	drainCtx, cancel := context.WithTimeout(context.Background(), opts.DrainTimeout)
-	defer cancel()
+	drainCtx, cancel := context.WithTimeout(context.Background(), sch.drainTimeout)
 	// Recover every down process concurrently: a lone recovery can block
 	// in replay until a majority exists, and that majority may only form
 	// once the other pending recoveries come up.
 	var finalWG sync.WaitGroup
-	for p := 0; p < opts.N; p++ {
+	for p := 0; p < sch.n; p++ {
 		pid := ids.ProcessID(p)
-		if c.Nodes[pid].Up() {
+		if t.ProcessUp(pid) {
 			continue
 		}
 		finalWG.Add(1)
 		go func(pid ids.ProcessID) {
 			defer finalWG.Done()
-			for !c.Nodes[pid].Up() && drainCtx.Err() == nil {
-				if _, err := c.Recover(pid); err != nil {
-					c.Crash(pid) // tear down a half-started incarnation, retry
+			for !t.ProcessUp(pid) && drainCtx.Err() == nil {
+				t.Crash(pid) // tear down a half-started incarnation, retry
+				if _, err := t.Recover(pid); err != nil {
 					time.Sleep(5 * time.Millisecond)
 					continue
 				}
 				resMu.Lock()
-				res.Recoveries++
+				res.recoveries++
 				resMu.Unlock()
 			}
 		}(pid)
 	}
 	finalWG.Wait()
-	for p := 0; p < opts.N; p++ {
-		if !c.Nodes[p].Up() {
-			return res, fmt.Errorf("soak seed=%d: final recovery of p%d did not complete within DrainTimeout", opts.Seed, p)
+	for p := 0; p < sch.n; p++ {
+		if !t.ProcessUp(ids.ProcessID(p)) {
+			cancel()
+			return res, nil, nil, fmt.Errorf("final recovery of p%d did not complete within DrainTimeout", p)
 		}
 	}
-
 	resMu.Lock()
-	res.Broadcasts = sent
+	res.broadcasts = sent
 	resMu.Unlock()
+	return res, drainCtx, cancel, nil
+}
+
+// clusterTarget adapts the single-group Cluster to the soak engine.
+type clusterTarget struct{ c *Cluster }
+
+func (t clusterTarget) Crash(pid ids.ProcessID) { t.c.Crash(pid) }
+func (t clusterTarget) Recover(pid ids.ProcessID) (time.Duration, error) {
+	return t.c.Recover(pid)
+}
+func (t clusterTarget) ProcessUp(pid ids.ProcessID) bool        { return t.c.Nodes[pid].Up() }
+func (t clusterTarget) Fault(pid ids.ProcessID) *storage.Faulty { return t.c.Faults[pid] }
+func (t clusterTarget) Broadcast(ctx context.Context, pid ids.ProcessID, _ int, payload []byte) (ids.MsgID, error) {
+	return t.c.Broadcast(ctx, pid, payload)
+}
+
+// RunSoak executes one randomized crash-recovery soak and returns the
+// verification error, if any. The returned SoakResult is valid either way.
+func RunSoak(opts SoakOptions) (SoakResult, error) {
+	opts.fill()
+	var res SoakResult
+
+	c := NewCluster(Options{
+		N:                   opts.N,
+		Seed:                opts.Seed,
+		Net:                 DefaultLossyNet(opts.Seed),
+		Core:                opts.Core,
+		InjectFaultyStorage: true,
+		NewStore:            opts.NewStore,
+	})
+	defer c.Stop()
+	if err := c.StartAll(); err != nil {
+		return res, fmt.Errorf("soak seed=%d: start: %w", opts.Seed, err)
+	}
+
+	counts, drainCtx, cancel, err := runSoakSchedule(soakSchedule{
+		seed:         opts.Seed,
+		n:            opts.N,
+		steps:        opts.Steps,
+		msgs:         opts.Msgs,
+		payload:      opts.Payload,
+		maxDown:      opts.MaxDown,
+		drainTimeout: opts.DrainTimeout,
+	}, clusterTarget{c})
+	res = SoakResult{
+		Crashes:       counts.crashes,
+		Recoveries:    counts.recoveries,
+		StorageFaults: counts.storageFaults,
+		Broadcasts:    counts.broadcasts,
+	}
+	if err != nil {
+		return res, fmt.Errorf("soak seed=%d: %w", opts.Seed, err)
+	}
+	defer cancel()
 	res.Returned = len(c.Rec.ReturnedBroadcasts())
 
 	var all []ids.ProcessID

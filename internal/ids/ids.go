@@ -24,6 +24,21 @@ type ProcessID int32
 // Nobody is the zero-value "no process" sentinel. Valid processes are >= 0.
 const Nobody ProcessID = -1
 
+// GroupID identifies one independent ordering group when a process runs
+// several of them side by side (sharded multi-group ordering). The paper's
+// protocol is defined per group: each group is its own static group Π with
+// its own Consensus instances, total order and message identities. Group 0
+// is the only group of an unsharded deployment.
+//
+// A MsgID is unique within its group (the per-group protocol instance owns
+// its own sequence counters and incarnation log), so anything that spans
+// groups — the deterministic cross-group merge, client bookkeeping — must
+// key on the (GroupID, MsgID) pair.
+type GroupID int32
+
+// String implements fmt.Stringer.
+func (g GroupID) String() string { return "g" + strconv.Itoa(int(g)) }
+
 // String implements fmt.Stringer.
 func (p ProcessID) String() string {
 	if p == Nobody {

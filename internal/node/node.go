@@ -32,11 +32,16 @@ var ErrDown = errors.New("node: process is down")
 
 const keyEpoch = "node/epoch"
 
-// Config assembles the per-layer configurations. PID, N and incarnation
-// numbers are filled in by the node.
+// Config assembles the per-layer configurations. PID, N, Group and
+// incarnation numbers are filled into the layer configs by the node
+// (Core.Group in particular is overwritten with Config.Group — set the
+// group here, not on the core config).
 type Config struct {
-	PID       ids.ProcessID
-	N         int
+	PID ids.ProcessID
+	N   int
+	// Group tags this node's ordering group in a sharded multi-group
+	// deployment (see internal/group); 0 for an unsharded process.
+	Group     ids.GroupID
 	Core      core.Config
 	Consensus consensus.Config
 	FD        fd.Options
@@ -113,6 +118,7 @@ func (n *Node) Start(ctx context.Context) error {
 	pcfg.PID = n.cfg.PID
 	pcfg.N = n.cfg.N
 	pcfg.Incarnation = epoch
+	pcfg.Group = n.cfg.Group
 	proto := core.New(pcfg, n.store, eng, rt.Bound(router.ChanCore))
 
 	rt.Handle(router.ChanFD, det.OnMessage)

@@ -38,6 +38,9 @@ func NewFaulty(inner Stable) *Faulty {
 	return &Faulty{inner: inner}
 }
 
+// Inner returns the wrapped engine.
+func (f *Faulty) Inner() Stable { return f.inner }
+
 // FailAfter arms the trigger: the n-th subsequent log operation fails.
 // onTrip, if non-nil, runs exactly once when the trigger fires (typically
 // it launches a goroutine that crashes the node). It is invoked

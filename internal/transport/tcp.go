@@ -12,6 +12,12 @@ import (
 	"repro/internal/ids"
 )
 
+// MaxFrame caps one frame's payload; a peer announcing a larger frame is
+// treated as corrupt or hostile and its connection is dropped (the length
+// prefix would otherwise let one bad frame command an arbitrary
+// allocation).
+const MaxFrame = 64 << 20
+
 // TCP is a socket-based Network for real deployments: every process listens
 // on one address and dials peers on demand. Delivery is best-effort — a
 // failed dial or write simply drops the packet, which is all the fair-lossy
@@ -131,8 +137,8 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 		}
 		from := ids.ProcessID(int32(binary.LittleEndian.Uint32(hdr[0:4])))
 		n := binary.LittleEndian.Uint32(hdr[4:8])
-		if n > 64<<20 {
-			return // insane frame; drop connection
+		if n > MaxFrame {
+			return // oversized frame; drop connection
 		}
 		buf := make([]byte, n)
 		if _, err := io.ReadFull(conn, buf); err != nil {
