@@ -58,6 +58,18 @@
 // deterministic global interleave. See the README's "Sharding" section
 // for ordering guarantees and caveats, and experiment E16 for scaling.
 //
+// # Shared process services
+//
+// A sharded process's background costs do not scale with G: one
+// process-level failure detector serves every group through per-group
+// facades (the paper's liveness oracle is per process, §3.5 — the groups
+// of a process crash and recover together), DigestGossip replaces
+// periodic full-payload gossip with message-ID digests plus pull-based
+// repair, and NewShardedNetworkOpts coalesces small frames from all
+// groups into single transport writes (the network twin of the WAL's
+// group-commit). Experiment E17 measures the background cost vs G; the
+// README's "Performance tuning" section covers the knobs.
+//
 // # Quickstart
 //
 //	net := abcast.NewMemNetwork(3, abcast.MemNetOptions{})
@@ -116,6 +128,12 @@ type Storage = storage.Stable
 // ConsensusPolicy selects the consensus engine's coordinator style.
 type ConsensusPolicy = consensus.Policy
 
+// FDOptions tunes the failure detector's heartbeat interval and suspicion
+// timeout. Lower values suspect (and hand off coordination) faster at the
+// cost of more background traffic and a higher false-suspicion risk on a
+// jittery network.
+type FDOptions = fd.Options
+
 // Consensus coordinator policies: PolicyLeader follows an Ω leader hint
 // (ACT-style [1]); PolicyRotating rotates coordinators (HMR-style [11]).
 const (
@@ -137,6 +155,9 @@ type Config struct {
 	// Policy selects the consensus coordinator policy (default
 	// PolicyLeader).
 	Policy ConsensusPolicy
+
+	// FD tunes the failure detector (zero values use library defaults).
+	FD FDOptions
 
 	// OnDeliver receives every A-delivered message in order (including
 	// re-deliveries during recovery replay).
@@ -162,6 +183,23 @@ type ProtocolOptions struct {
 	IncrementalLog bool
 	// Checkpointer enables application-level checkpoints (§5.2).
 	Checkpointer Checkpointer
+
+	// GossipInterval is the period of the background gossip task (zero
+	// uses the library default, 20ms). Gossip repetition is what makes
+	// dissemination fair-lossy-proof; shorter intervals spread messages
+	// and round news faster at more background traffic.
+	GossipInterval time.Duration
+	// GossipMaxMessages caps the unordered messages advertised per gossip
+	// frame (zero uses the default, 512). Larger Unordered backlogs are
+	// covered by rotating the window across ticks.
+	GossipMaxMessages int
+	// DigestGossip switches the periodic gossip from full payloads to
+	// message-ID digests with pull-based repair: steady-state background
+	// bandwidth drops from O(|Unordered| * payload bytes) to
+	// O(|Unordered|) IDs, while the eager delta push and recovery
+	// catch-up keep working unchanged. See the README's performance
+	// tuning section and experiment E17.
+	DigestGossip bool
 
 	// PipelineDepth is the number of consensus rounds that may be in
 	// flight concurrently. 0 or 1 reproduces the paper's strictly
@@ -213,15 +251,18 @@ type groupCommitter interface {
 // unsharded deployments alike.
 func (o ProtocolOptions) coreConfig() core.Config {
 	return core.Config{
-		CheckpointEvery:  o.CheckpointEvery,
-		Delta:            o.Delta,
-		BatchedBroadcast: o.BatchedBroadcast,
-		IncrementalLog:   o.IncrementalLog,
-		Checkpointer:     o.Checkpointer,
-		PipelineDepth:    o.PipelineDepth,
-		MaxBatch:         o.MaxBatch,
-		MaxBatchBytes:    o.MaxBatchBytes,
-		MaxBatchDelay:    o.MaxBatchDelay,
+		CheckpointEvery:   o.CheckpointEvery,
+		Delta:             o.Delta,
+		BatchedBroadcast:  o.BatchedBroadcast,
+		IncrementalLog:    o.IncrementalLog,
+		Checkpointer:      o.Checkpointer,
+		GossipInterval:    o.GossipInterval,
+		GossipMaxMessages: o.GossipMaxMessages,
+		DigestGossip:      o.DigestGossip,
+		PipelineDepth:     o.PipelineDepth,
+		MaxBatch:          o.MaxBatch,
+		MaxBatchBytes:     o.MaxBatchBytes,
+		MaxBatchDelay:     o.MaxBatchDelay,
 	}
 }
 
@@ -252,7 +293,7 @@ func NewProcess(cfg Config, st Storage, net Network) *Process {
 		N:         cfg.N,
 		Core:      coreCfg,
 		Consensus: consensus.Config{Policy: cfg.Policy},
-		FD:        fd.Options{},
+		FD:        cfg.FD,
 	}
 	return &Process{n: node.New(nodeCfg, st, net)}
 }

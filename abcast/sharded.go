@@ -37,9 +37,23 @@ func NewRoundRobinRouter(groups int) Router { return group.NewRoundRobinRouter(g
 // ShardedNetwork is shared by every process of the cluster.
 type ShardedNetwork = group.Mux
 
-// NewShardedNetwork wraps net for groups ordering groups.
+// ShardedNetOptions tunes the sharded network's write-coalescing pipeline:
+// with FlushDelay > 0, small frames submitted by any of a process's groups
+// within the delay window are packed into one length-delimited transport
+// write (flushed earlier once FlushBytes are queued) — the network twin of
+// the WAL's group-commit triggers.
+type ShardedNetOptions = group.MuxOptions
+
+// NewShardedNetwork wraps net for groups ordering groups, without write
+// coalescing.
 func NewShardedNetwork(net Network, groups int) *ShardedNetwork {
 	return group.NewMux(net, groups)
+}
+
+// NewShardedNetworkOpts wraps net for groups ordering groups with the
+// given coalescing policy.
+func NewShardedNetworkOpts(net Network, groups int, opts ShardedNetOptions) *ShardedNetwork {
+	return group.NewMuxOpts(net, groups, opts)
 }
 
 // ShardedConfig assembles one sharded process: G independent ordering
@@ -55,6 +69,13 @@ type ShardedConfig struct {
 	// interchangeable shards, not heterogeneous deployments).
 	Protocol ProtocolOptions
 	Policy   ConsensusPolicy
+
+	// FD tunes the process-level failure detector shared by every group:
+	// a sharded process sends ONE heartbeat stream per peer, whatever G
+	// is, because the paper's liveness oracle is per process (§3.5) and
+	// all groups of a process crash and recover together. Zero values use
+	// the library defaults.
+	FD FDOptions
 
 	// Router places Broadcast keys onto groups; nil defaults to the
 	// deterministic consistent-hash router. Keys that must be mutually
@@ -90,12 +111,14 @@ type Sharded struct {
 	cfg    ShardedConfig
 	groups int
 	router Router
+	net    *ShardedNetwork
 	shared Storage // nil when every group store came from the hook
 	stores []Storage
 	nodes  []*node.Node
 
-	mu sync.Mutex
-	up bool
+	mu  sync.Mutex
+	up  bool
+	sfd *node.SharedFD // live process-level failure detector (nil when down)
 }
 
 // NewSharded builds a sharded process over the given stable store and
@@ -126,6 +149,7 @@ func NewSharded(cfg ShardedConfig, st Storage, net *ShardedNetwork) (*Sharded, e
 		cfg:    cfg,
 		groups: groups,
 		router: cfg.Router,
+		net:    net,
 		shared: st,
 		stores: make([]Storage, groups),
 		nodes:  make([]*node.Node, groups),
@@ -161,18 +185,48 @@ func NewSharded(cfg ShardedConfig, st Storage, net *ShardedNetwork) (*Sharded, e
 			Group:     gid,
 			Core:      coreCfg,
 			Consensus: consensus.Config{Policy: cfg.Policy},
-			FD:        fd.Options{},
+			FD:        cfg.FD,
+			// Every group's consensus engine reads the one process-level
+			// detector through its own facade; the group nodes send no
+			// heartbeats of their own.
+			SharedFD: func() fd.API { return s.fdView(gid) },
 		}, gst, net.Net(gid))
 	}
 	return s, nil
 }
 
+// fdView returns group g's facade over the live shared detector. Group
+// nodes only start after Start boots the detector, so a nil here means a
+// torn-down process — return an inert facade rather than nil so a racing
+// start cannot panic (it will be crashed anyway).
+func (s *Sharded) fdView(g GroupID) fd.API {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sfd == nil {
+		return fd.InertView(s.cfg.PID, s.cfg.N, s.cfg.FD, g)
+	}
+	return s.sfd.View(g)
+}
+
+// epochStore returns the store holding the process-level incarnation
+// counter: the shared store, or — in a per-group-store deployment — group
+// 0's store (the cell's key is namespaced so it cannot collide with the
+// group's own state).
+func (s *Sharded) epochStore() Storage {
+	if s.shared != nil {
+		return s.shared
+	}
+	return s.stores[0]
+}
+
 // Groups returns the number of ordering groups.
 func (s *Sharded) Groups() int { return s.groups }
 
-// Start boots every group concurrently (initialization or recovery) and
-// blocks until all replay phases complete. On any failure every group is
-// crashed again, so the process is either fully up or fully down.
+// Start boots the process (initialization or recovery): it logs the
+// process-level epoch, starts the shared failure detector, then boots
+// every group concurrently and blocks until all replay phases complete.
+// On any failure every group is crashed again, so the process is either
+// fully up or fully down.
 func (s *Sharded) Start(ctx context.Context) error {
 	s.mu.Lock()
 	if s.up {
@@ -180,6 +234,23 @@ func (s *Sharded) Start(ctx context.Context) error {
 		return fmt.Errorf("abcast: sharded process %v already up", s.cfg.PID)
 	}
 	s.up = true
+	s.mu.Unlock()
+
+	// The process-level liveness service comes up first so every group's
+	// consensus engine starts against a live oracle: one epoch log write
+	// and one heartbeat stream for the whole process.
+	epoch, err := node.NextProcEpoch(s.epochStore())
+	if err != nil {
+		s.Crash()
+		return fmt.Errorf("abcast: sharded process %v: %w", s.cfg.PID, err)
+	}
+	sfd, err := node.StartSharedFD(ctx, s.cfg.PID, s.cfg.N, epoch, s.cfg.FD, s.net.ProcNet())
+	if err != nil {
+		s.Crash()
+		return fmt.Errorf("abcast: sharded process %v: %w", s.cfg.PID, err)
+	}
+	s.mu.Lock()
+	s.sfd = sfd
 	s.mu.Unlock()
 
 	errs := make([]error, s.groups)
@@ -201,14 +272,20 @@ func (s *Sharded) Start(ctx context.Context) error {
 	return nil
 }
 
-// Crash kills every group of the process, losing all volatile state; the
-// stable store(s) survive. Call Start to recover.
+// Crash kills every group of the process (and the shared failure
+// detector), losing all volatile state; the stable store(s) survive. Call
+// Start to recover.
 func (s *Sharded) Crash() {
 	s.mu.Lock()
 	s.up = false
+	sfd := s.sfd
+	s.sfd = nil
 	s.mu.Unlock()
 	for _, n := range s.nodes {
 		n.Crash()
+	}
+	if sfd != nil {
+		sfd.Stop()
 	}
 }
 
@@ -224,6 +301,18 @@ func (s *Sharded) Up() bool {
 
 // Route returns the group the configured Router places key on.
 func (s *Sharded) Route(key []byte) GroupID { return s.router.Route(key) }
+
+// FD returns the live process-level failure-detector view shared by every
+// group (nil when the process is down). All groups' facades read the same
+// state, so one query answers for the whole process.
+func (s *Sharded) FD() fd.API {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sfd == nil {
+		return nil
+	}
+	return s.sfd.Detector()
+}
 
 // Broadcast routes key to its group and A-broadcasts payload there. It
 // returns the owning group and the message identity (unique within that
@@ -400,6 +489,9 @@ func addStats(t *Stats, o Stats) {
 	t.Broadcasts += o.Broadcasts
 	t.GossipSent += o.GossipSent
 	t.GossipReceived += o.GossipReceived
+	t.DigestsSent += o.DigestsSent
+	t.PullsSent += o.PullsSent
+	t.PullsServed += o.PullsServed
 	t.StateSent += o.StateSent
 	t.StateAdopted += o.StateAdopted
 	t.Checkpoints += o.Checkpoints

@@ -1,9 +1,10 @@
 // Command abcast-bench runs the reproduction experiments (E1–E10 in
 // DESIGN.md, plus the E11–E13 ablations, the E14 pipeline/batching
 // shootout over both the simulated LAN and a TCP loopback transport, the
-// E15 group-commit-WAL-versus-sync-per-write storage comparison, and the
-// E16 sharded multi-group ordering scaling study) and prints their
-// tables. EXPERIMENTS.md is generated from its full-scale output.
+// E15 group-commit-WAL-versus-sync-per-write storage comparison, the E16
+// sharded multi-group ordering scaling study, and the E17 shared-process-
+// services background-cost study) and prints their tables. EXPERIMENTS.md
+// is generated from its full-scale output.
 //
 // Usage:
 //

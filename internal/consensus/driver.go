@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/wire"
 )
 
 // startDriverLocked launches the per-instance driver goroutine if it is not
@@ -298,12 +299,16 @@ func (e *Engine) phaseTimeout() time.Duration {
 	return e.cfg.RetryMax
 }
 
-// send transmits to one process, or to all when to is Nobody.
+// send transmits to one process, or to all when to is Nobody. The encode
+// buffer is pooled: Send/Multisend copy before returning at every
+// transport layer, so it is released right after the call.
 func (e *Engine) send(to ids.ProcessID, m message) {
-	buf := m.encode()
+	w := wire.GetWriter(24 + len(m.val))
+	m.encodeTo(w)
 	if to == ids.Nobody {
-		e.net.Multisend(buf)
-		return
+		e.net.Multisend(w.Bytes())
+	} else {
+		e.net.Send(to, w.Bytes())
 	}
-	e.net.Send(to, buf)
+	wire.PutWriter(w)
 }

@@ -49,8 +49,10 @@ type message struct {
 	multi []decision
 }
 
-func (m message) encode() []byte {
-	w := wire.NewWriter(24 + len(m.val))
+// encodeTo appends the message to w (a pooled writer on the send path:
+// every transport layer copies synchronously, so the buffer is reusable
+// the moment the send call returns).
+func (m message) encodeTo(w *wire.Writer) {
 	w.U8(m.kind)
 	w.U64(m.k)
 	w.U64(m.b)
@@ -70,6 +72,12 @@ func (m message) encode() []byte {
 			w.Bytes32(d.val)
 		}
 	}
+}
+
+// encode allocates a standalone encoding (tests and retained buffers).
+func (m message) encode() []byte {
+	w := wire.NewWriter(24 + len(m.val))
+	m.encodeTo(w)
 	return w.Bytes()
 }
 

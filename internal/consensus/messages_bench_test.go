@@ -1,0 +1,55 @@
+package consensus
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// BenchmarkMessageEncode covers the hottest consensus wire paths — the
+// ballot messages every round exchanges O(n) times. With the pooled
+// writer (encodeTo + wire.GetWriter) the steady-state send path stops
+// allocating a buffer per message.
+func BenchmarkMessageEncode(b *testing.B) {
+	val := make([]byte, 256)
+	msgs := map[string]message{
+		"prepare":  {kind: mPrepare, k: 42, b: 7},
+		"promise":  {kind: mPromise, k: 42, b: 7, hasAcc: true, accB: 3, val: val},
+		"accept":   {kind: mAccept, k: 42, b: 7, val: val},
+		"accepted": {kind: mAccepted, k: 42, b: 7},
+		"decide":   {kind: mDecide, k: 42, val: val},
+	}
+	for name, m := range msgs {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w := wire.GetWriter(24 + len(m.val))
+				m.encodeTo(w)
+				if w.Len() == 0 {
+					b.Fatal("empty encode")
+				}
+				wire.PutWriter(w)
+			}
+		})
+	}
+}
+
+// BenchmarkMessageDecode measures the receive path of the same messages.
+func BenchmarkMessageDecode(b *testing.B) {
+	val := make([]byte, 256)
+	msgs := map[string]message{
+		"prepare": {kind: mPrepare, k: 42, b: 7},
+		"accept":  {kind: mAccept, k: 42, b: 7, val: val},
+	}
+	for name, m := range msgs {
+		buf := m.encode()
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := decodeMessage(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

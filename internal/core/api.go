@@ -100,7 +100,16 @@ type Config struct {
 	GossipInterval time.Duration
 	// GossipMaxMessages caps the unordered messages piggybacked on one
 	// gossip (default 512); fairness only needs repetition, not size.
+	// When the Unordered set is larger, successive ticks rotate the
+	// window so every message is advertised within a few ticks.
 	GossipMaxMessages int
+	// DigestGossip makes the periodic gossip task advertise message IDs
+	// instead of shipping full payloads: receivers pull only the payloads
+	// they miss (anti-entropy). The eager delta push and the recovery
+	// round-discovery of §4.2 are unchanged; steady-state gossip
+	// bandwidth drops from O(|Unordered| * payload) to O(|Unordered|)
+	// IDs. Off by default (the paper's full-payload gossip).
+	DigestGossip bool
 	// MaxBatch caps the messages proposed to one Consensus instance
 	// (0 = no cap).
 	MaxBatch int
@@ -169,6 +178,9 @@ type Stats struct {
 	Broadcasts          uint64 // local A-broadcast invocations
 	GossipSent          uint64
 	GossipReceived      uint64
+	DigestsSent         uint64 // periodic gossips sent as ID digests
+	PullsSent           uint64 // pull requests sent for missing payloads
+	PullsServed         uint64 // pull requests answered with payloads
 	StateSent           uint64 // state messages sent (we were ahead)
 	StateAdopted        uint64 // state transfers adopted (we were behind)
 	Checkpoints         uint64

@@ -10,8 +10,10 @@ import (
 
 // Core-channel message subtypes.
 const (
-	subGossip uint8 = 1 // gossip(k_p, Unordered_p)
+	subGossip uint8 = 1 // gossip(k_p, Unordered_p) — full payloads
 	subState  uint8 = 2 // state(k_p - 1, Agreed_p)
+	subDigest uint8 = 3 // gossip(k_p, IDs of Unordered_p) — anti-entropy digest
+	subPull   uint8 = 4 // pull(IDs): please send these messages' payloads
 )
 
 // gossipTask periodically multisends gossip(k_p, Unordered_p): it
@@ -33,37 +35,92 @@ func (p *Protocol) gossipTask() {
 	}
 }
 
+// sendGossip emits one periodic gossip frame. With DigestGossip the frame
+// carries (k_p, message IDs) — a few bytes per unordered message instead
+// of its payload; receivers pull only what they miss (see onDigest). The
+// round-discovery half of gossip (§4.2 — "discover the most up-to-date
+// round") rides k_p in both formats, so recovery catch-up is untouched;
+// payload dissemination to processes that missed the eager push happens
+// through the pull exchange (digest mode) or the full frame (classic
+// mode).
+//
+// When the Unordered set exceeds GossipMaxMessages the window ROTATES
+// across ticks (gossipCursor): a fixed canonical-prefix truncation would
+// starve every message past the cut for as long as the set stays large —
+// fairness needs repetition of *all* of Unordered, not its head.
 func (p *Protocol) sendGossip() {
 	p.mu.Lock()
 	p.lastGossip = time.Now()
 	k := p.k
-	truncated := false
-	batch := p.unordered.Slice()
-	if len(batch) > p.cfg.GossipMaxMessages {
-		// The canonical prefix may exclude freshly added messages: keep
-		// the eager buffer so the delta path still pushes them promptly.
-		batch = batch[:p.cfg.GossipMaxMessages]
-		truncated = len(p.eagerBuf) > 0
+	snap := p.unordered.Slice()
+	max := p.cfg.GossipMaxMessages
+	digest := p.cfg.DigestGossip
+	var batch []msg.Message
+	if len(snap) > max {
+		start := p.gossipCursor % len(snap)
+		batch = make([]msg.Message, 0, max)
+		for i := 0; i < max; i++ {
+			batch = append(batch, snap[(start+i)%len(snap)])
+		}
+		p.gossipCursor = (start + max) % len(snap)
 	} else {
-		p.eagerBuf = nil // fully covered by this send
+		batch = snap
+		p.gossipCursor = 0
+		if !digest {
+			// Every pending eager payload just shipped in this frame. A
+			// digest ships only IDs, so in digest mode the buffer is
+			// never "covered" here — the eager path still owes peers the
+			// payload push.
+			p.eagerBuf = nil
+		}
 	}
+	// Messages the frame did not carry as payloads (past the rotating
+	// window, or advertised only by ID): keep the eager buffer armed so
+	// the delta path pushes them promptly.
+	pending := len(p.eagerBuf) > 0
 	p.stats.GossipSent++
+	if digest {
+		p.stats.DigestsSent++
+	}
 	p.mu.Unlock()
 
-	p.gossipFrame(k, batch)
-	if truncated {
+	if digest {
+		p.digestFrame(k, batch)
+	} else {
+		p.gossipFrame(k, batch, ids.Nobody)
+	}
+	if pending {
 		p.eagerGossip() // arms a deferred flush for the kept buffer
 	}
 }
 
-// gossipFrame encodes and multisends one gossip(k, batch) frame — the
-// shared wire format of the periodic and eager paths.
-func (p *Protocol) gossipFrame(k uint64, batch []msg.Message) {
-	w := wire.NewWriter(64)
+// gossipFrame encodes one gossip(k, batch) full-payload frame — the shared
+// wire format of the periodic (classic mode), eager, and pull-reply paths
+// — and multisends it (to == ids.Nobody) or sends it to one peer.
+func (p *Protocol) gossipFrame(k uint64, batch []msg.Message, to ids.ProcessID) {
+	w := wire.GetWriter(64)
 	w.U8(subGossip)
 	w.U64(k)
 	msg.EncodeBatch(w, batch)
+	if to == ids.Nobody {
+		p.net.Multisend(w.Bytes())
+	} else {
+		p.net.Send(to, w.Bytes())
+	}
+	wire.PutWriter(w)
+}
+
+// digestFrame encodes and multisends one digest(k, IDs) frame.
+func (p *Protocol) digestFrame(k uint64, batch []msg.Message) {
+	w := wire.GetWriter(64)
+	w.U8(subDigest)
+	w.U64(k)
+	w.U64(uint64(len(batch)))
+	for _, m := range batch {
+		msg.EncodeID(w, m.ID)
+	}
 	p.net.Multisend(w.Bytes())
+	wire.PutWriter(w)
 }
 
 // eagerGossip pushes messages added since the last flush right after a
@@ -71,10 +128,13 @@ func (p *Protocol) gossipFrame(k uint64, batch []msg.Message) {
 // for the next periodic tick. Unlike the periodic task it sends only the
 // delta — re-sending the whole Unordered set per broadcast would make the
 // hot path quadratic under load; repetition (which fairness needs) is the
-// periodic task's job. A tiny guard coalesces very tight submission loops
-// (it must stay well under the gossip interval, or it phase-locks onto the
-// periodic ticker and every broadcast waits a full tick); messages skipped
-// by the guard stay buffered for the next flush.
+// periodic task's job. It always ships full payloads, including in digest
+// mode: the delta is exactly the data peers cannot have yet, so an
+// ID-only frame would only add a pull round-trip. A tiny guard coalesces
+// very tight submission loops (it must stay well under the gossip
+// interval, or it phase-locks onto the periodic ticker and every broadcast
+// waits a full tick); messages skipped by the guard stay buffered for the
+// next flush.
 func (p *Protocol) eagerGossip() {
 	p.mu.Lock()
 	if len(p.eagerBuf) == 0 {
@@ -114,7 +174,7 @@ func (p *Protocol) eagerGossip() {
 	p.stats.GossipSent++
 	p.mu.Unlock()
 
-	p.gossipFrame(k, batch)
+	p.gossipFrame(k, batch, ids.Nobody)
 	if remainder {
 		p.eagerGossip() // arms a deferred flush for the truncated tail
 	}
@@ -131,33 +191,19 @@ func (p *Protocol) OnMessage(from ids.ProcessID, payload []byte) {
 		p.onGossip(from, r)
 	case subState:
 		p.onState(from, r)
+	case subDigest:
+		p.onDigest(from, r)
+	case subPull:
+		p.onPull(from, r)
 	}
 }
 
-// onGossip merges the sender's Unordered set and compares round numbers
-// ("upon receive gossip(k_q, U_q)", Fig. 2 / Fig. 3 line (d)).
-func (p *Protocol) onGossip(from ids.ProcessID, r *wire.Reader) {
-	kq := r.U64()
-	batch := msg.DecodeBatch(r)
-	if r.Err() != nil {
-		return
-	}
-
-	p.mu.Lock()
-	p.stats.GossipReceived++
-	added := 0
-	for _, m := range batch {
-		if p.ds.contains(m.ID) {
-			continue
-		}
-		if p.unordered.Add(m) {
-			added++
-		}
-	}
-	if added > 0 {
-		p.notePendingLocked()
-	}
-	var sendState []byte
+// noteRoundLocked implements the round-comparison half of "upon receive
+// gossip(k_q, U_q)" shared by the full-payload and digest paths: remember
+// a more up-to-date round, or ship state to a peer that lagged beyond Δ or
+// fell under our GC floor. It returns the encoded state message to send
+// (nil if none) — the caller transmits it outside the lock. p.mu held.
+func (p *Protocol) noteRoundLocked(from ids.ProcessID, kq uint64) (sendState []byte) {
 	lagging := p.cfg.Delta > 0 && p.k > kq+p.cfg.Delta
 	// A peer below our GC floor can never learn those rounds through
 	// Consensus again (we discarded them, Fig. 4 line (c)); only a state
@@ -185,6 +231,33 @@ func (p *Protocol) onGossip(from ids.ProcessID, r *wire.Reader) {
 			p.stats.StateSent++
 		}
 	}
+	return sendState
+}
+
+// onGossip merges the sender's Unordered set and compares round numbers
+// ("upon receive gossip(k_q, U_q)", Fig. 2 / Fig. 3 line (d)).
+func (p *Protocol) onGossip(from ids.ProcessID, r *wire.Reader) {
+	kq := r.U64()
+	batch := msg.DecodeBatch(r)
+	if r.Err() != nil {
+		return
+	}
+
+	p.mu.Lock()
+	p.stats.GossipReceived++
+	added := 0
+	for _, m := range batch {
+		if p.ds.contains(m.ID) {
+			continue
+		}
+		if p.unordered.Add(m) {
+			added++
+		}
+	}
+	if added > 0 {
+		p.notePendingLocked()
+	}
+	sendState := p.noteRoundLocked(from, kq)
 	wakeNeeded := added > 0 || kq > p.k
 	p.mu.Unlock()
 
@@ -193,6 +266,100 @@ func (p *Protocol) onGossip(from ids.ProcessID, r *wire.Reader) {
 	}
 	if sendState != nil {
 		p.net.Send(from, sendState)
+	}
+}
+
+// onDigest handles an ID-only gossip frame: the round comparison is
+// identical to onGossip, and for every advertised message this process
+// neither holds nor has delivered it sends one pull request back — the
+// payloads then arrive as a unicast full-payload gossip frame (onPull).
+// This is the anti-entropy loop: steady-state bandwidth is O(|Unordered|)
+// IDs, and a process that missed the eager push (loss, or it was down)
+// recovers exactly the payloads it misses.
+func (p *Protocol) onDigest(from ids.ProcessID, r *wire.Reader) {
+	kq := r.U64()
+	idList := msg.DecodeIDs(r)
+	if r.Err() != nil {
+		return
+	}
+
+	p.mu.Lock()
+	p.stats.GossipReceived++
+	now := time.Now()
+	var missing []ids.MsgID
+	for _, id := range idList {
+		if p.unordered.Contains(id) || p.ds.contains(id) {
+			continue
+		}
+		// Pull dedup: every peer advertises the same backlog within one
+		// interval, so without it one missing message would draw a pull
+		// to each of the N-1 senders and N-1 full-payload replies. One
+		// pull per message per interval bounds the repair traffic; if
+		// the reply is lost, the next interval's digests retry.
+		if t, ok := p.lastPull[id]; ok && now.Sub(t) < p.cfg.GossipInterval {
+			continue
+		}
+		p.lastPull[id] = now
+		missing = append(missing, id)
+	}
+	if len(p.lastPull) > 8192 {
+		for id, t := range p.lastPull {
+			if now.Sub(t) >= p.cfg.GossipInterval {
+				delete(p.lastPull, id)
+			}
+		}
+	}
+	sendState := p.noteRoundLocked(from, kq)
+	if len(missing) > 0 {
+		p.stats.PullsSent++
+	}
+	wakeNeeded := kq > p.k
+	p.mu.Unlock()
+
+	if wakeNeeded {
+		p.poke()
+	}
+	if len(missing) > 0 && from != p.cfg.PID {
+		w := wire.GetWriter(64)
+		w.U8(subPull)
+		msg.EncodeIDs(w, missing)
+		p.net.Send(from, w.Bytes())
+		wire.PutWriter(w)
+	}
+	if sendState != nil {
+		p.net.Send(from, sendState)
+	}
+}
+
+// onPull serves a pull request: the requested messages still in Unordered
+// go back as one unicast full-payload gossip frame (the digest protocol's
+// payload fallback). Messages already ordered here are omitted — the
+// requester learns them through Consensus or a state transfer, never as
+// unordered payloads it might re-propose.
+func (p *Protocol) onPull(from ids.ProcessID, r *wire.Reader) {
+	idList := msg.DecodeIDs(r)
+	if r.Err() != nil || len(idList) == 0 || from == p.cfg.PID {
+		return
+	}
+
+	p.mu.Lock()
+	batch := make([]msg.Message, 0, len(idList))
+	for _, id := range idList {
+		if len(batch) >= p.cfg.GossipMaxMessages {
+			break // the next digest tick re-advertises the rest
+		}
+		if m, ok := p.unordered.Get(id); ok {
+			batch = append(batch, m)
+		}
+	}
+	k := p.k
+	if len(batch) > 0 {
+		p.stats.PullsServed++
+	}
+	p.mu.Unlock()
+
+	if len(batch) > 0 {
+		p.gossipFrame(k, batch, from)
 	}
 }
 

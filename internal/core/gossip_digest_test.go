@@ -1,0 +1,435 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/wire"
+)
+
+// addUnordered injects messages straight into the Unordered set, as if
+// they had arrived by gossip — in particular, without ever touching the
+// eager buffer (the ISSUE's "never eager-pushed" stale case).
+func addUnordered(p *Protocol, ms ...msg.Message) {
+	p.mu.Lock()
+	for _, mm := range ms {
+		p.unordered.Add(mm)
+	}
+	p.mu.Unlock()
+}
+
+// decodeFrame splits one captured core-channel frame into its subtype and
+// payload reader.
+func decodeFrame(t *testing.T, frame []byte) (uint8, *wire.Reader) {
+	t.Helper()
+	if len(frame) < 1 {
+		t.Fatal("empty frame")
+	}
+	r := wire.NewReader(frame)
+	return r.U8(), r
+}
+
+// frameIDs returns the message IDs advertised by one gossip or digest
+// frame.
+func frameIDs(t *testing.T, frame []byte) []ids.MsgID {
+	t.Helper()
+	sub, r := decodeFrame(t, frame)
+	r.U64() // k
+	switch sub {
+	case subGossip:
+		batch := msg.DecodeBatch(r)
+		out := make([]ids.MsgID, 0, len(batch))
+		for _, mm := range batch {
+			out = append(out, mm.ID)
+		}
+		return out
+	case subDigest:
+		return msg.DecodeIDs(r)
+	default:
+		t.Fatalf("unexpected subtype %d", sub)
+		return nil
+	}
+}
+
+// TestGossipRotationCoversWholeSet is the truncation-starvation
+// regression: with GossipMaxMessages below the Unordered size, successive
+// periodic ticks must rotate the window so every message — including the
+// ones past the truncation point, which a fixed canonical-prefix cut
+// would starve for as long as the set stays large — is advertised within
+// ceil(len/max) ticks. Verified for both the classic full-payload frames
+// and the digest frames.
+func TestGossipRotationCoversWholeSet(t *testing.T) {
+	for _, digest := range []bool{false, true} {
+		name := "full"
+		if digest {
+			name = "digest"
+		}
+		t.Run(name, func(t *testing.T) {
+			p, net, _ := newTestProtocol(Config{GossipMaxMessages: 2, DigestGossip: digest})
+			var all []msg.Message
+			for seq := uint64(1); seq <= 6; seq++ {
+				all = append(all, m(1, 1, seq))
+			}
+			addUnordered(p, all...)
+
+			seen := make(map[ids.MsgID]bool)
+			for tick := 0; tick < 3; tick++ {
+				p.sendGossip()
+			}
+			net.mu.Lock()
+			frames := append([][]byte(nil), net.multi...)
+			net.mu.Unlock()
+			for _, frame := range frames {
+				if got := frameIDs(t, frame); len(got) > 2 {
+					t.Fatalf("frame advertised %d messages, cap is 2", len(got))
+				} else {
+					for _, id := range got {
+						seen[id] = true
+					}
+				}
+			}
+			for _, mm := range all {
+				if !seen[mm.ID] {
+					t.Fatalf("message %v past the truncation point never advertised in 3 ticks", mm.ID)
+				}
+			}
+		})
+	}
+}
+
+// TestGossipRotationReachesPeer drives the same scenario end to end at
+// the handler level: messages that were never eager-pushed sit in p0's
+// Unordered set past the truncation point; after enough rotated ticks
+// relayed to a second process, the peer holds every one of them.
+func TestGossipRotationReachesPeer(t *testing.T) {
+	a, netA, _ := newTestProtocol(Config{GossipMaxMessages: 2})
+	b, _, _ := newTestProtocol(Config{GossipMaxMessages: 2})
+	var all []msg.Message
+	for seq := uint64(1); seq <= 5; seq++ {
+		all = append(all, m(1, 1, seq))
+	}
+	addUnordered(a, all...)
+
+	for tick := 0; tick < 3; tick++ {
+		a.sendGossip()
+	}
+	netA.mu.Lock()
+	frames := append([][]byte(nil), netA.multi...)
+	netA.mu.Unlock()
+	for _, frame := range frames {
+		b.OnMessage(0, frame)
+	}
+	for _, mm := range all {
+		if !b.unorderedHas(mm.ID) {
+			t.Fatalf("peer missing %v after rotated gossip", mm.ID)
+		}
+	}
+}
+
+// TestDigestGossipSendsIDsNotPayloads: digest mode's periodic frame
+// carries the IDs and round number but none of the payload bytes.
+func TestDigestGossipSendsIDsNotPayloads(t *testing.T) {
+	p, net, _ := newTestProtocol(Config{DigestGossip: true})
+	big := m(1, 1, 1)
+	big.Payload = make([]byte, 4096)
+	addUnordered(p, big)
+
+	p.sendGossip()
+	net.mu.Lock()
+	frames := append([][]byte(nil), net.multi...)
+	net.mu.Unlock()
+	if len(frames) != 1 {
+		t.Fatalf("%d frames", len(frames))
+	}
+	sub, _ := decodeFrame(t, frames[0])
+	if sub != subDigest {
+		t.Fatalf("subtype %d, want digest", sub)
+	}
+	if len(frames[0]) > 64 {
+		t.Fatalf("digest frame is %dB for one 4KiB message — payload leaked", len(frames[0]))
+	}
+	if got := frameIDs(t, frames[0]); len(got) != 1 || got[0] != big.ID {
+		t.Fatalf("digest IDs = %v", got)
+	}
+	if st := p.Stats(); st.DigestsSent != 1 {
+		t.Fatalf("DigestsSent = %d", st.DigestsSent)
+	}
+}
+
+// TestOnDigestPullsOnlyMissing: a digest listing known, delivered and
+// unknown messages triggers one pull naming exactly the unknown ones.
+func TestOnDigestPullsOnlyMissing(t *testing.T) {
+	p, net, _ := newTestProtocol(Config{DigestGossip: true})
+	known := m(1, 1, 1)
+	delivered := m(1, 1, 2)
+	missing := m(1, 1, 3)
+	addUnordered(p, known)
+	p.mu.Lock()
+	p.ds.appendBatch(0, []msg.Message{delivered})
+	p.mu.Unlock()
+
+	w := wire.NewWriter(64)
+	w.U8(subDigest)
+	w.U64(0)
+	msg.EncodeIDs(w, []ids.MsgID{known.ID, delivered.ID, missing.ID})
+	p.OnMessage(1, w.Bytes())
+
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	if len(net.sent) != 1 || net.to[0] != 1 {
+		t.Fatalf("pull sends: %d (to %v)", len(net.sent), net.to)
+	}
+	sub, r := decodeFrame(t, net.sent[0])
+	if sub != subPull {
+		t.Fatalf("subtype %d, want pull", sub)
+	}
+	got := msg.DecodeIDs(r)
+	if len(got) != 1 || got[0] != missing.ID {
+		t.Fatalf("pulled %v, want just %v", got, missing.ID)
+	}
+}
+
+// TestOnDigestNoPullWhenNothingMissing: a fully known digest generates no
+// traffic.
+func TestOnDigestNoPullWhenNothingMissing(t *testing.T) {
+	p, net, _ := newTestProtocol(Config{DigestGossip: true})
+	known := m(1, 1, 1)
+	addUnordered(p, known)
+	w := wire.NewWriter(64)
+	w.U8(subDigest)
+	w.U64(0)
+	msg.EncodeIDs(w, []ids.MsgID{known.ID})
+	p.OnMessage(1, w.Bytes())
+	if net.sends() != 0 {
+		t.Fatal("pull sent for fully known digest")
+	}
+}
+
+// TestOnPullServesUnorderedPayloads: a pull request is answered with one
+// unicast full-payload gossip frame holding the requested messages still
+// in Unordered; already-ordered or unknown IDs are omitted.
+func TestOnPullServesUnorderedPayloads(t *testing.T) {
+	p, net, _ := newTestProtocol(Config{DigestGossip: true})
+	held := m(1, 1, 1)
+	ordered := m(1, 1, 2)
+	addUnordered(p, held)
+	p.mu.Lock()
+	p.ds.appendBatch(0, []msg.Message{ordered})
+	p.mu.Unlock()
+
+	w := wire.NewWriter(64)
+	w.U8(subPull)
+	msg.EncodeIDs(w, []ids.MsgID{held.ID, ordered.ID, m(9, 9, 9).ID})
+	p.OnMessage(1, w.Bytes())
+
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	if len(net.sent) != 1 || net.to[0] != 1 {
+		t.Fatalf("pull reply sends: %d", len(net.sent))
+	}
+	sub, r := decodeFrame(t, net.sent[0])
+	if sub != subGossip {
+		t.Fatalf("subtype %d, want gossip", sub)
+	}
+	r.U64() // k
+	batch := msg.DecodeBatch(r)
+	if len(batch) != 1 || !batch[0].Equal(held) {
+		t.Fatalf("served %v, want just %v", batch, held)
+	}
+	if st := p.Stats(); st.PullsServed != 1 {
+		t.Fatalf("PullsServed = %d", st.PullsServed)
+	}
+}
+
+// TestDigestAntiEntropyRoundTrip relays the full digest → pull → payload
+// exchange between two handler-level protocols: the receiver ends up
+// holding every message the sender advertised, so a process that missed
+// every eager push (it was down, §2.1) still converges — the recovery
+// catch-up fallback.
+func TestDigestAntiEntropyRoundTrip(t *testing.T) {
+	a, netA, _ := newTestProtocol(Config{DigestGossip: true})
+	b, netB, _ := newTestProtocol(Config{DigestGossip: true})
+	var all []msg.Message
+	for seq := uint64(1); seq <= 4; seq++ {
+		mm := m(1, 1, seq)
+		mm.Payload = []byte{byte(seq), 0xAB}
+		all = append(all, mm)
+	}
+	addUnordered(a, all...)
+
+	// Both test protocols are PID 0, so each sees the other as peer 1.
+	// a's periodic digest reaches b...
+	a.sendGossip()
+	netA.mu.Lock()
+	digests := append([][]byte(nil), netA.multi...)
+	netA.mu.Unlock()
+	for _, f := range digests {
+		b.OnMessage(1, f)
+	}
+	// ...b pulls what it misses from a...
+	netB.mu.Lock()
+	pulls := append([][]byte(nil), netB.sent...)
+	netB.mu.Unlock()
+	if len(pulls) == 0 {
+		t.Fatal("no pull emitted")
+	}
+	for _, f := range pulls {
+		a.OnMessage(1, f)
+	}
+	// ...and a's unicast payload reply fills b's Unordered set.
+	netA.mu.Lock()
+	replies := append([][]byte(nil), netA.sent...)
+	netA.mu.Unlock()
+	if len(replies) == 0 {
+		t.Fatal("no pull reply emitted")
+	}
+	for _, f := range replies {
+		b.OnMessage(1, f)
+	}
+	for _, mm := range all {
+		if !b.unorderedHas(mm.ID) {
+			t.Fatalf("receiver missing %v after anti-entropy round trip", mm.ID)
+		}
+	}
+	if st := b.Stats(); st.PullsSent != 1 {
+		t.Fatalf("PullsSent = %d", st.PullsSent)
+	}
+}
+
+// TestOnDigestTracksAheadRound: the round-discovery half of §4.2 works
+// identically through digests.
+func TestOnDigestTracksAheadRound(t *testing.T) {
+	p, _, _ := newTestProtocol(Config{DigestGossip: true})
+	w := wire.NewWriter(16)
+	w.U8(subDigest)
+	w.U64(7)
+	msg.EncodeIDs(w, nil)
+	p.OnMessage(1, w.Bytes())
+	p.mu.Lock()
+	gk := p.gossipK
+	p.mu.Unlock()
+	if gk != 7 {
+		t.Fatalf("gossipK = %d", gk)
+	}
+}
+
+// TestOnDigestSendsStateWhenPeerLags: the Δ / GC-floor state-transfer
+// trigger fires on digests exactly as it does on full gossip.
+func TestOnDigestSendsStateWhenPeerLags(t *testing.T) {
+	p, net, _ := newTestProtocol(Config{DigestGossip: true, Delta: 3})
+	p.mu.Lock()
+	p.k = 10
+	p.mu.Unlock()
+	w := wire.NewWriter(16)
+	w.U8(subDigest)
+	w.U64(2) // peer at round 2: 10 > 2+3
+	msg.EncodeIDs(w, nil)
+	p.OnMessage(1, w.Bytes())
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	if len(net.sent) != 1 {
+		t.Fatalf("state sends = %d", len(net.sent))
+	}
+	if sub, _ := decodeFrame(t, net.sent[0]); sub != subState {
+		t.Fatalf("subtype %d, want state", sub)
+	}
+}
+
+// TestOnPullIgnoresGarbage: malformed pulls and digests have no effect.
+func TestOnPullIgnoresGarbage(t *testing.T) {
+	p, net, _ := newTestProtocol(Config{DigestGossip: true})
+	p.OnMessage(1, []byte{subPull})
+	p.OnMessage(1, []byte{subPull, 0xff})
+	p.OnMessage(1, []byte{subDigest})
+	p.OnMessage(1, []byte{subDigest, 0xff, 0xff})
+	if net.sends() != 0 {
+		t.Fatal("garbage produced traffic")
+	}
+}
+
+// TestDigestTickKeepsEagerBuffer: a periodic digest ships only IDs, so it
+// must NOT clear the eager buffer — the payload push the buffer owes
+// peers still happens (as a full-payload delta frame) right after the
+// guard window. In classic mode the same tick ships the payloads and may
+// clear the buffer.
+func TestDigestTickKeepsEagerBuffer(t *testing.T) {
+	p, net, _ := newTestProtocol(Config{DigestGossip: true})
+	mm := m(0, 1, 1)
+	p.mu.Lock()
+	p.unordered.Add(mm)
+	p.eagerBuf = append(p.eagerBuf, mm)
+	p.mu.Unlock()
+
+	p.sendGossip() // digest tick: IDs only
+	p.mu.Lock()
+	kept := len(p.eagerBuf) > 0 || p.flushArmed
+	p.mu.Unlock()
+	if !kept {
+		t.Fatal("digest tick cancelled the pending eager payload push")
+	}
+	// The deferred eager flush (armed behind the guard window) must ship
+	// the payload as a full-payload frame shortly after.
+	deadline := time.Now().Add(time.Second)
+	ok := false
+	for time.Now().Before(deadline) && !ok {
+		net.mu.Lock()
+		for _, f := range net.multi {
+			if len(f) > 0 && f[0] == subGossip {
+				r := wire.NewReader(f[1:])
+				r.U64() // k
+				batch := msg.DecodeBatch(r)
+				if len(batch) == 1 && batch[0].Equal(mm) {
+					ok = true
+				}
+			}
+		}
+		net.mu.Unlock()
+		if !ok {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if !ok {
+		t.Fatal("eager payload push never happened after the digest tick")
+	}
+
+	// Classic mode: a covering tick clears the buffer (the payloads just
+	// shipped).
+	pc, _, _ := newTestProtocol(Config{})
+	pc.mu.Lock()
+	pc.unordered.Add(mm)
+	pc.eagerBuf = append(pc.eagerBuf, mm)
+	pc.mu.Unlock()
+	pc.sendGossip()
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if len(pc.eagerBuf) != 0 {
+		t.Fatal("classic covering tick did not clear the eager buffer")
+	}
+}
+
+// TestOnDigestDedupsPullsAcrossPeers: within one gossip interval, digests
+// from several peers advertising the same missing message draw exactly
+// one pull — without the dedup, every advertiser would be pulled and
+// would answer with a redundant full-payload reply.
+func TestOnDigestDedupsPullsAcrossPeers(t *testing.T) {
+	p, net, _ := newTestProtocol(Config{DigestGossip: true, GossipInterval: time.Hour})
+	missing := m(1, 1, 7)
+	frame := func() []byte {
+		w := wire.NewWriter(32)
+		w.U8(subDigest)
+		w.U64(0)
+		msg.EncodeIDs(w, []ids.MsgID{missing.ID})
+		return w.Bytes()
+	}
+	p.OnMessage(1, frame())
+	p.OnMessage(2, frame())
+	p.OnMessage(1, frame())
+	if got := net.sends(); got != 1 {
+		t.Fatalf("%d pulls for one missing message (want 1)", got)
+	}
+	if st := p.Stats(); st.PullsSent != 1 {
+		t.Fatalf("PullsSent = %d", st.PullsSent)
+	}
+}

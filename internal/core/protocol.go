@@ -59,10 +59,12 @@ type Protocol struct {
 	pendingSince   time.Time
 	resCh          chan roundResult
 
-	lastStateTo map[ids.ProcessID]time.Time // state-message rate limiting
-	lastGossip  time.Time                   // eager-gossip rate limiting
-	eagerBuf    []msg.Message               // locally added messages awaiting a delta gossip
-	flushArmed  bool                        // a deferred eager-gossip flush is scheduled
+	lastStateTo  map[ids.ProcessID]time.Time // state-message rate limiting
+	lastGossip   time.Time                   // eager-gossip rate limiting
+	eagerBuf     []msg.Message               // locally added messages awaiting a delta gossip
+	flushArmed   bool                        // a deferred eager-gossip flush is scheduled
+	gossipCursor int                         // rotating window start for truncated gossip
+	lastPull     map[ids.MsgID]time.Time     // pull dedup: all peers advertise the same IDs
 
 	stats Stats
 
@@ -94,6 +96,7 @@ func New(cfg Config, st storage.Stable, cons consensus.API, net router.Net) *Pro
 		ds:             newDeliveryState(),
 		waiters:        make(map[ids.MsgID][]chan struct{}),
 		lastStateTo:    make(map[ids.ProcessID]time.Time),
+		lastPull:       make(map[ids.MsgID]time.Time),
 		inflightRounds: make(map[uint64]context.CancelFunc),
 		inflightMsgs:   make(map[ids.MsgID]uint64),
 		resCh:          make(chan roundResult, depth+1),

@@ -178,7 +178,8 @@ func (p *Protocol) pump(results map[uint64][]byte) time.Duration {
 		if !ok {
 			return delay
 		}
-		w := wire.NewWriter(64)
+		// Pooled: Propose copies the proposal before logging it.
+		w := wire.GetWriter(64)
 		msg.EncodeBatch(w, batch)
 		// "Proposed_p[k_p] ← Unordered_p; log(Proposed_p[k_p]);
 		// propose(k_p, ...)". The log is the first operation of the
@@ -188,7 +189,9 @@ func (p *Protocol) pump(results map[uint64][]byte) time.Duration {
 		// proposal logs of all PipelineDepth in-flight rounds share one
 		// fsync. The decision wait below resolves only on a durable
 		// decision, so the commit path still never acts ahead of the log.
-		if err := p.cons.Propose(r, w.Bytes()); err != nil {
+		err := p.cons.Propose(r, w.Bytes())
+		wire.PutWriter(w)
+		if err != nil {
 			p.unmarkRound(r)
 			return 0
 		}

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/group"
+	"repro/internal/harness"
+	"repro/internal/ids"
+	"repro/internal/transport"
+)
+
+// E17 measures the fixed background cost of a sharded process versus its
+// group count. PR 3 made G groups share one connection set and one WAL,
+// but every group still paid its own control-plane overhead: G heartbeat
+// streams per peer (the paper's liveness oracle is per PROCESS, §3.5 — a
+// process's groups crash together, so G-1 of those streams answer a
+// question already answered), G full-payload gossip re-sends per
+// interval, and one transport write per small frame. E17 quantifies the
+// three fixes of this PR: the shared process-level failure detector, the
+// ID-digest anti-entropy gossip, and the write-coalescing mux — the
+// background cost drops from O(G·N) messages/sec toward O(N), and
+// throughput at G=8 is unchanged (the control plane was overhead, not
+// capacity).
+
+// countingNet wraps a Network and counts transport-level writes and bytes
+// on the send side — below the mux, so coalesced batches count as the one
+// write they actually are. A Multisend counts as N writes: every
+// implementation in this module fans it out per destination.
+type countingNet struct {
+	inner  transport.Network
+	writes atomic.Int64
+	bytes  atomic.Int64
+}
+
+func newCountingNet(inner transport.Network) *countingNet {
+	return &countingNet{inner: inner}
+}
+
+func (c *countingNet) N() int { return c.inner.N() }
+
+func (c *countingNet) Attach(pid ids.ProcessID) (transport.Endpoint, error) {
+	ep, err := c.inner.Attach(pid)
+	if err != nil {
+		return nil, err
+	}
+	return &countingEndpoint{Endpoint: ep, net: c}, nil
+}
+
+// snapshot returns the cumulative (writes, bytes) counters.
+func (c *countingNet) snapshot() (int64, int64) {
+	return c.writes.Load(), c.bytes.Load()
+}
+
+type countingEndpoint struct {
+	transport.Endpoint
+	net *countingNet
+}
+
+func (e *countingEndpoint) Send(to ids.ProcessID, data []byte) {
+	e.net.writes.Add(1)
+	e.net.bytes.Add(int64(len(data)))
+	e.Endpoint.Send(to, data)
+}
+
+func (e *countingEndpoint) Multisend(data []byte) {
+	n := int64(e.net.N())
+	e.net.writes.Add(n)
+	e.net.bytes.Add(n * int64(len(data)))
+	e.Endpoint.Multisend(data)
+}
+
+// e17FD is the failure-detector timing used by every E17 variant — both
+// modes run identical Heartbeat/Timeout, so the suspicion latency is
+// equal by construction and the message-rate comparison is apples to
+// apples.
+func e17FD() fd.Options {
+	return fd.Options{Heartbeat: 5 * time.Millisecond, Timeout: 30 * time.Millisecond}
+}
+
+// e17Core returns the per-group protocol config: the E16 hot path plus an
+// explicit gossip interval (the background cost under test).
+func e17Core(shared bool) core.Config {
+	cfg := ShardedCore()
+	cfg.GossipInterval = 10 * time.Millisecond
+	cfg.DigestGossip = shared
+	return cfg
+}
+
+// e17Custom returns the harness customization of one mode: the legacy
+// per-group control plane, or the shared one (process-level FD, digest
+// gossip via e17Core, coalescing mux).
+func e17Custom(shared bool, cn *countingNet) func(*harness.ShardedOptions) {
+	return func(o *harness.ShardedOptions) {
+		o.FD = e17FD()
+		if cn != nil {
+			o.Transport = cn
+		}
+		if shared {
+			o.Mux = group.MuxOptions{FlushDelay: 500 * time.Microsecond}
+		} else {
+			o.PerGroupFD = true
+		}
+	}
+}
+
+// BackgroundMetrics is one E17 background measurement.
+type BackgroundMetrics struct {
+	Groups      int
+	MsgsPerSec  float64 // transport-level writes/sec, cluster-wide
+	BytesPerSec float64
+}
+
+// BackgroundTraffic boots an idle 3-process sharded cluster (after a tiny
+// warmup workload, so every group has ordered something and reached
+// steady state) and measures the transport-level background write rate
+// over a fixed window: heartbeats plus periodic gossip, through whatever
+// control plane the mode selects. mkNet builds the underlying transport
+// (mem or TCP loopback).
+func BackgroundTraffic(scale Scale, seed uint64, groups int, shared bool, mkNet func() transport.Network) (BackgroundMetrics, error) {
+	var bm BackgroundMetrics
+	cn := newCountingNet(mkNet())
+	opts := harness.ShardedOptions{
+		N:      3,
+		Groups: groups,
+		Seed:   seed,
+		Core:   e17Core(shared),
+	}
+	e17Custom(shared, cn)(&opts)
+	c := harness.NewShardedCluster(opts)
+	defer c.Stop()
+	if err := c.StartAll(); err != nil {
+		return bm, err
+	}
+	cx, cancel := ctx()
+	defer cancel()
+
+	// Warmup: one ordered message per group, everywhere.
+	for g := 0; g < groups; g++ {
+		if _, err := c.Broadcast(cx, 0, ids.GroupID(g), []byte("warmup")); err != nil {
+			return bm, err
+		}
+	}
+	time.Sleep(50 * time.Millisecond) // settle into the idle steady state
+
+	window := time.Duration(scale.pick(400, 1500)) * time.Millisecond
+	w0, b0 := cn.snapshot()
+	time.Sleep(window)
+	w1, b1 := cn.snapshot()
+	bm = BackgroundMetrics{
+		Groups:      groups,
+		MsgsPerSec:  float64(w1-w0) / window.Seconds(),
+		BytesPerSec: float64(b1-b0) / window.Seconds(),
+	}
+	return bm, nil
+}
+
+// E17SharedServices tabulates the background message and byte rates of
+// the legacy per-group control plane versus the shared one, across group
+// counts and transports, plus an end-to-end throughput check at G=8.
+func E17SharedServices(scale Scale) (*Result, error) {
+	table := harness.NewTable(
+		"E17 — per-group vs shared process services: idle background traffic (n=3) and G=8 throughput",
+		"variant", "transport", "groups", "bg msgs/s", "bg KB/s", "reduction")
+	res := &Result{Table: table}
+
+	memNet := func() transport.Network { return transport.NewMem(3, transport.MemOptions{Seed: 99}) }
+	tcpNet := func() transport.Network {
+		addrs, err := freeLoopbackAddrs(3)
+		if err != nil {
+			panic(fmt.Sprintf("E17: reserve loopback addrs: %v", err))
+		}
+		return transport.NewTCP(addrs)
+	}
+
+	groupsList := []int{1, 4, 8, 16}
+	legacy := make(map[int]float64)
+	for i, g := range groupsList {
+		bm, err := BackgroundTraffic(scale, 17000+uint64(i), g, false, memNet)
+		if err != nil {
+			return nil, fmt.Errorf("E17 legacy G=%d: %w", g, err)
+		}
+		legacy[g] = bm.MsgsPerSec
+		table.Add("per-group services", "mem", g, bm.MsgsPerSec, bm.BytesPerSec/1024, "-")
+	}
+	for i, g := range groupsList {
+		bm, err := BackgroundTraffic(scale, 17100+uint64(i), g, true, memNet)
+		if err != nil {
+			return nil, fmt.Errorf("E17 shared G=%d: %w", g, err)
+		}
+		red := "-"
+		if l := legacy[g]; l > 0 && bm.MsgsPerSec > 0 {
+			red = fmt.Sprintf("%.1fx", l/bm.MsgsPerSec)
+		}
+		table.Add("shared fd+digest+coalesce", "mem", g, bm.MsgsPerSec, bm.BytesPerSec/1024, red)
+	}
+	// One TCP loopback pair at G=8: real sockets, same shape of win.
+	tl, err := BackgroundTraffic(scale, 17200, 8, false, tcpNet)
+	if err != nil {
+		return nil, fmt.Errorf("E17 legacy tcp: %w", err)
+	}
+	table.Add("per-group services", "tcp loopback", 8, tl.MsgsPerSec, tl.BytesPerSec/1024, "-")
+	ts, err := BackgroundTraffic(scale, 17201, 8, true, tcpNet)
+	if err != nil {
+		return nil, fmt.Errorf("E17 shared tcp: %w", err)
+	}
+	red := "-"
+	if tl.MsgsPerSec > 0 && ts.MsgsPerSec > 0 {
+		red = fmt.Sprintf("%.1fx", tl.MsgsPerSec/ts.MsgsPerSec)
+	}
+	table.Add("shared fd+digest+coalesce", "tcp loopback", 8, ts.MsgsPerSec, ts.BytesPerSec/1024, red)
+
+	// Throughput at G=8: the shared control plane must not cost ordering
+	// capacity (it should help, if anything — fewer wakeups and writes).
+	thrLegacy, err := ShardedThroughput(scale, 17300, 8, e17Core(false), e17Custom(false, nil))
+	if err != nil {
+		return nil, fmt.Errorf("E17 throughput legacy: %w", err)
+	}
+	thrShared, err := ShardedThroughput(scale, 17301, 8, e17Core(true), e17Custom(true, nil))
+	if err != nil {
+		return nil, fmt.Errorf("E17 throughput shared: %w", err)
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("G=8 ordering throughput: per-group services %.0f msgs/s, shared services %.0f msgs/s (%.2fx)",
+			thrLegacy.MsgsPerSec, thrShared.MsgsPerSec, thrShared.MsgsPerSec/thrLegacy.MsgsPerSec),
+		"background cost: per-group services pay G heartbeat streams per peer + G full-payload gossips per interval; shared services pay 1 heartbeat stream (the oracle is per process, §3.5), ID digests, and coalesced writes",
+		"suspicion latency is identical by construction: both modes run the same Heartbeat/Timeout",
+		"acceptance: >= 2x fewer background msgs/s at G=8 (TestSharedServicesCutBackgroundTraffic)")
+	return res, nil
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// TestSharedServicesCutBackgroundTraffic is the background-cost regression
+// guard for the shared process services (E17's acceptance claim): at G=8
+// with identical failure-detector timing — so equal suspicion latency —
+// the shared control plane (one process-level detector, digest gossip,
+// write-coalescing mux) must produce at least 2x fewer background
+// transport writes per second than the legacy per-group services. The
+// measured margin is well above 2x (G heartbeat streams collapse to one
+// and coalescing batches the rest), so the guard only trips when a group
+// starts paying per-group fixed costs again.
+//
+// One retry absorbs scheduler noise, mirroring the E14/E15/E16 guards.
+func TestSharedServicesCutBackgroundTraffic(t *testing.T) {
+	if raceEnabled {
+		t.Skip("rate comparison is not meaningful under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("perf guard: runs in its own CI step (and in full local runs)")
+	}
+
+	mkNet := func() transport.Network { return transport.NewMem(3, transport.MemOptions{Seed: 1}) }
+	ratio := func(attempt int) float64 {
+		t.Helper()
+		seed := 17500 + uint64(attempt)*10
+		legacy, err := BackgroundTraffic(Quick, seed, 8, false, mkNet)
+		if err != nil {
+			t.Fatalf("legacy run: %v", err)
+		}
+		shared, err := BackgroundTraffic(Quick, seed+1, 8, true, mkNet)
+		if err != nil {
+			t.Fatalf("shared run: %v", err)
+		}
+		t.Logf("G=8 background: per-group %.0f msgs/s (%.1f KB/s), shared %.0f msgs/s (%.1f KB/s)",
+			legacy.MsgsPerSec, legacy.BytesPerSec/1024, shared.MsgsPerSec, shared.BytesPerSec/1024)
+		if shared.MsgsPerSec <= 0 {
+			t.Fatal("shared mode produced no background traffic at all (heartbeats dead?)")
+		}
+		return legacy.MsgsPerSec / shared.MsgsPerSec
+	}
+	r := ratio(0)
+	t.Logf("background msgs/s reduction: %.2fx", r)
+	if r < 2 {
+		r = ratio(1)
+		t.Logf("retry: background msgs/s reduction: %.2fx", r)
+	}
+	if r < 2 {
+		t.Fatalf("shared services cut background traffic only %.2fx (want >= 2x)", r)
+	}
+}

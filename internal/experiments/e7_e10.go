@@ -344,6 +344,7 @@ func All(scale Scale) ([]*Result, error) {
 		{"E10", E10Engines},
 		{"E11", E11FDTimeout}, {"E12", E12GossipInterval}, {"E13", E13GroupSize},
 		{"E14", E14Pipeline}, {"E15", E15Storage}, {"E16", E16Sharding},
+		{"E17", E17SharedServices},
 	}
 	var out []*Result
 	for _, e := range exps {
@@ -391,6 +392,8 @@ func ByName(name string) (func(Scale) (*Result, error), bool) {
 		return E15Storage, true
 	case "E16":
 		return E16Sharding, true
+	case "E17":
+		return E17SharedServices, true
 	default:
 		return nil, false
 	}

@@ -7,6 +7,14 @@
 //
 // Per the paper's claim C2, the atomic broadcast layer never touches this
 // package; only the consensus engine does (§3.5).
+//
+// The detector's scope is one *process incarnation*, not one ordering
+// group: §3.5's liveness oracle answers "is process q alive at epoch e",
+// which is the same question for every group a sharded process hosts
+// (groups of one process crash and recover together). A sharded deployment
+// therefore runs ONE Detector per process and hands each group's consensus
+// engine a View facade — G heartbeat streams per peer collapse to one,
+// with identical suspicion output.
 package fd
 
 import (
@@ -37,10 +45,20 @@ func (o *Options) fill() {
 	}
 }
 
-// View is the detector's knowledge of one process.
-type View struct {
-	Trusted bool
-	Epoch   uint32 // highest incarnation observed
+// API is the detector interface the rest of the stack programs against —
+// satisfied by both a Detector and a per-group View over a shared one. It
+// is a superset of consensus.Suspector.
+type API interface {
+	// Suspects reports whether p is currently suspected.
+	Suspects(p ids.ProcessID) bool
+	// Leader returns the Ω-style eventual-leader hint.
+	Leader() ids.ProcessID
+	// Trusted returns the processes currently not suspected, in pid order.
+	Trusted() []ids.ProcessID
+	// Epoch returns the highest incarnation observed for p.
+	Epoch(p ids.ProcessID) uint32
+	// SelfEpoch returns the observing incarnation's own epoch.
+	SelfEpoch() uint32
 }
 
 // Detector is a heartbeat failure detector for one process incarnation.
@@ -58,6 +76,8 @@ type Detector struct {
 
 	wg sync.WaitGroup
 }
+
+var _ API = (*Detector)(nil)
 
 // New creates a detector for process pid (of n) running incarnation epoch.
 // net must be bound to the FD channel.
@@ -105,9 +125,10 @@ func (d *Detector) Start(ctx context.Context) {
 func (d *Detector) Stop() { d.wg.Wait() }
 
 func (d *Detector) beat() {
-	w := wire.NewWriter(8)
+	w := wire.GetWriter(8)
 	w.U64(uint64(d.epoch))
 	d.net.Multisend(w.Bytes())
+	wire.PutWriter(w)
 }
 
 // OnMessage is the router handler for FD heartbeats.
@@ -174,3 +195,50 @@ func (d *Detector) Epoch(p ids.ProcessID) uint32 {
 
 // SelfEpoch returns this incarnation's epoch.
 func (d *Detector) SelfEpoch() uint32 { return d.epoch }
+
+// View is one ordering group's facade over a process-level Detector shared
+// by every group of a sharded process. All facades of one process expose
+// the same suspicions and epochs — correct per §3.5, because the groups of
+// one process share its crash/recovery lifecycle: a process that recovers
+// at a higher epoch is re-trusted by every group's facade at once. The
+// Group tag exists purely for observability (logs, tests).
+type View struct {
+	d     *Detector
+	group ids.GroupID
+}
+
+var _ API = View{}
+
+// View returns group g's facade over the shared detector.
+func (d *Detector) View(g ids.GroupID) View { return View{d: d, group: g} }
+
+// InertView returns a facade over a detector that was never started and
+// never hears a heartbeat: it trusts everyone (the never-heard grace rule)
+// and reports epoch 0. Owners of a shared detector hand it out in the
+// window where no live detector exists (process torn down or still
+// booting) so a racing reader gets a safe, never-nil oracle instead of a
+// crash.
+func InertView(pid ids.ProcessID, n int, opts Options, g ids.GroupID) View {
+	return New(pid, n, 0, opts, nil).View(g)
+}
+
+// Group returns the ordering group this facade was handed to.
+func (v View) Group() ids.GroupID { return v.group }
+
+// Detector returns the shared process-level detector behind the facade.
+func (v View) Detector() *Detector { return v.d }
+
+// Suspects implements API.
+func (v View) Suspects(p ids.ProcessID) bool { return v.d.Suspects(p) }
+
+// Leader implements API.
+func (v View) Leader() ids.ProcessID { return v.d.Leader() }
+
+// Trusted implements API.
+func (v View) Trusted() []ids.ProcessID { return v.d.Trusted() }
+
+// Epoch implements API.
+func (v View) Epoch(p ids.ProcessID) uint32 { return v.d.Epoch(p) }
+
+// SelfEpoch implements API.
+func (v View) SelfEpoch() uint32 { return v.d.SelfEpoch() }

@@ -178,3 +178,65 @@ func TestTrustedListOverRealNetwork(t *testing.T) {
 	}
 	t.Fatalf("detectors never converged: trusted=%v", dets[0].Trusted())
 }
+
+// TestSharedViewsReTrustRecoveredEpoch is the shared-FD recovery contract:
+// all group facades of one process-level detector expose the same
+// suspicion flip when a peer crashes, and when the peer recovers with a
+// higher epoch every facade re-trusts it at that new epoch at once —
+// per-group crash semantics are preserved precisely because the groups of
+// a process share its lifecycle.
+func TestSharedViewsReTrustRecoveredEpoch(t *testing.T) {
+	d := New(0, 3, 1, Options{Heartbeat: 5 * time.Millisecond, Timeout: 20 * time.Millisecond}, &fakeNet{})
+	now := time.Unix(1000, 0)
+	d.SetClock(func() time.Time { return now })
+
+	views := []View{d.View(0), d.View(1), d.View(2)}
+	for g, v := range views {
+		if v.Group() != ids.GroupID(g) {
+			t.Fatalf("view %d tagged %v", g, v.Group())
+		}
+	}
+
+	// p1 alive at epoch 2: every facade trusts it and reads the epoch.
+	hb := wire.NewWriter(4)
+	hb.U64(2)
+	d.OnMessage(1, hb.Bytes())
+	for g, v := range views {
+		if v.Suspects(1) || v.Epoch(1) != 2 {
+			t.Fatalf("g%d: fresh peer suspected or epoch=%d", g, v.Epoch(1))
+		}
+	}
+
+	// p1 crashes (silence beyond the timeout): every facade flips at once.
+	now = now.Add(50 * time.Millisecond)
+	for g, v := range views {
+		if !v.Suspects(1) {
+			t.Fatalf("g%d: crashed peer not suspected", g)
+		}
+	}
+
+	// p1 recovers and heartbeats at epoch 3: every facade re-trusts it at
+	// the new epoch.
+	hb2 := wire.NewWriter(4)
+	hb2.U64(3)
+	d.OnMessage(1, hb2.Bytes())
+	for g, v := range views {
+		if v.Suspects(1) {
+			t.Fatalf("g%d: recovered peer still suspected", g)
+		}
+		if v.Epoch(1) != 3 {
+			t.Fatalf("g%d: epoch after recovery = %d, want 3", g, v.Epoch(1))
+		}
+	}
+
+	// The facades share leader/trusted/self-epoch output with the
+	// detector itself.
+	for g, v := range views {
+		if v.Leader() != d.Leader() || v.SelfEpoch() != d.SelfEpoch() {
+			t.Fatalf("g%d: facade output diverged from the detector", g)
+		}
+		if len(v.Trusted()) != len(d.Trusted()) {
+			t.Fatalf("g%d: trusted list diverged", g)
+		}
+	}
+}

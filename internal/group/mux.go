@@ -6,23 +6,66 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/ids"
 	"repro/internal/transport"
 )
 
-// tagLen is the per-frame group tag: a little-endian u16 GroupID. 2 bytes
-// of overhead buys 65536 groups per connection set.
+// tagLen is the per-frame tag: a little-endian u16. 2 bytes of overhead
+// buys 65534 groups per connection set plus the reserved lanes below.
 const tagLen = 2
+
+// Reserved frame tags above the group range.
+const (
+	// procTag marks the process-level lane: one virtual network shared by
+	// process-scoped services (the shared failure detector) rather than by
+	// one ordering group. It is refcounted with the group endpoints, so a
+	// whole-process crash closes it like any group endpoint.
+	procTag uint16 = 0xFFFF
+	// coalTag marks a coalesced frame: a batch of length-delimited tagged
+	// frames packed into one transport write by the write-coalescing mux.
+	coalTag uint16 = 0xFFFE
+	// maxGroups is the highest usable group count (tags below the
+	// reserved lanes).
+	maxGroups = int(coalTag)
+)
+
+// MuxOptions tunes the mux's write-coalescing pipeline — the network twin
+// of the storage engine's group-commit triggers (SyncEvery/MaxSyncDelay)
+// and the proposal batching triggers (MaxBatch/MaxBatchDelay): small
+// frames submitted concurrently by different groups of one process are
+// packed into one length-delimited transport write.
+type MuxOptions struct {
+	// FlushDelay enables coalescing when positive: a queued frame waits at
+	// most this long before its batch is written out. Zero disables
+	// coalescing (every frame is its own transport write).
+	FlushDelay time.Duration
+	// FlushBytes flushes a destination's queue as soon as it holds this
+	// many bytes (default 16KiB when coalescing is enabled). It must stay
+	// well under transport.MaxFrame.
+	FlushBytes int
+}
+
+func (o *MuxOptions) fill() {
+	if o.FlushDelay > 0 && o.FlushBytes <= 0 {
+		o.FlushBytes = 16 << 10
+	}
+}
+
+// enabled reports whether the options turn coalescing on.
+func (o MuxOptions) enabled() bool { return o.FlushDelay > 0 }
 
 // MuxStats counts multiplexer-level events (observability and tests).
 type MuxStats struct {
 	Tagged           int64 // frames sent through a virtual endpoint
 	Demuxed          int64 // frames delivered to a virtual endpoint
 	DroppedMalformed int64 // frames too short to carry a group tag
-	DroppedUnknown   int64 // tag outside [0, Groups)
+	DroppedUnknown   int64 // tag outside [0, Groups) and not a reserved lane
 	DroppedDetached  int64 // owning group down (its endpoint detached)
 	DroppedOverrun   int64 // virtual inbox full
+	CoalescedWrites  int64 // transport writes that carried >= 2 frames
+	CoalescedFrames  int64 // frames that rode a coalesced write
 }
 
 // Mux multiplexes one transport.Network among G ordering groups: Net(g)
@@ -30,32 +73,52 @@ type MuxStats struct {
 // frame with g and receive exactly the frames tagged g. All groups of one
 // process share one real endpoint — one listener and one connection per
 // peer on TCP, one inbox on Mem — attached when the process's first group
-// attaches and closed when its last group detaches.
+// attaches and closed when its last group detaches. ProcNet is one more
+// virtual lane of the same endpoint for process-scoped services (the
+// shared failure detector).
 //
 // Crash semantics are preserved per group: frames addressed to a detached
 // group are dropped (§2.1 — messages that arrive while the process is
 // down are lost), even while other groups of the same process are up.
+//
+// With coalescing enabled (NewMuxOpts), small frames submitted by any of
+// the process's groups within FlushDelay of each other are packed into one
+// length-delimited transport write — G groups' gossip, heartbeats and
+// ballot messages cost one syscall-sized write instead of G.
 //
 // The Mux is shared by the whole cluster, exactly like the Network it
 // wraps.
 type Mux struct {
 	inner  transport.Network
 	groups int
+	opts   MuxOptions
 
 	mu    sync.Mutex
 	procs map[ids.ProcessID]*procMux
 
 	tagged, demuxed, malformed, unknown, detached, overrun atomic.Int64
+	coalWrites, coalFrames                                 atomic.Int64
 }
 
-// NewMux wraps inner for groups ordering groups.
+// NewMux wraps inner for groups ordering groups, without write coalescing.
 func NewMux(inner transport.Network, groups int) *Mux {
+	return NewMuxOpts(inner, groups, MuxOptions{})
+}
+
+// NewMuxOpts wraps inner for groups ordering groups with the given
+// coalescing policy.
+func NewMuxOpts(inner transport.Network, groups int, opts MuxOptions) *Mux {
 	if groups < 1 {
 		groups = 1
 	}
+	if groups > maxGroups {
+		groups = maxGroups
+	}
+	opts.fill()
 	return &Mux{
 		inner:  inner,
 		groups: groups,
+		opts:   opts,
 		procs:  make(map[ids.ProcessID]*procMux),
 	}
 }
@@ -75,6 +138,8 @@ func (m *Mux) Stats() MuxStats {
 		DroppedUnknown:   m.unknown.Load(),
 		DroppedDetached:  m.detached.Load(),
 		DroppedOverrun:   m.overrun.Load(),
+		CoalescedWrites:  m.coalWrites.Load(),
+		CoalescedFrames:  m.coalFrames.Load(),
 	}
 }
 
@@ -95,24 +160,44 @@ var _ transport.Network = groupNet{}
 func (n groupNet) N() int { return n.m.inner.N() }
 
 func (n groupNet) Attach(pid ids.ProcessID) (transport.Endpoint, error) {
-	return n.m.attach(n.g, pid)
+	if n.g < 0 || int(n.g) >= n.m.groups {
+		return nil, fmt.Errorf("group: gid %v out of range [0,%d)", n.g, n.m.groups)
+	}
+	return n.m.attach(uint16(n.g), pid)
+}
+
+// ProcNet returns the process-level virtual Network: the lane shared by
+// process-scoped services of a sharded process (one shared failure
+// detector instead of one per group). It shares the real endpoint with the
+// group lanes — attaching it does not open new connections, and a
+// whole-process crash (all lanes closed) drops its frames exactly like a
+// group's.
+func (m *Mux) ProcNet() transport.Network { return procNet{m: m} }
+
+type procNet struct{ m *Mux }
+
+var _ transport.Network = procNet{}
+
+func (n procNet) N() int { return n.m.inner.N() }
+
+func (n procNet) Attach(pid ids.ProcessID) (transport.Endpoint, error) {
+	return n.m.attach(procTag, pid)
 }
 
 // procMux is one process's shared real endpoint plus the registry of its
-// live virtual endpoints, keyed by group.
+// live virtual endpoints, keyed by frame tag (group id or the proc lane).
 type procMux struct {
 	m   *Mux
 	pid ids.ProcessID
 	ep  transport.Endpoint
 
 	mu   sync.Mutex
-	veps map[ids.GroupID]*muxEndpoint
+	veps map[uint16]*muxEndpoint
+
+	coal *coalescer // nil when coalescing is disabled
 }
 
-func (m *Mux) attach(g ids.GroupID, pid ids.ProcessID) (transport.Endpoint, error) {
-	if g < 0 || int(g) >= m.groups {
-		return nil, fmt.Errorf("group: gid %v out of range [0,%d)", g, m.groups)
-	}
+func (m *Mux) attach(tag uint16, pid ids.ProcessID) (transport.Endpoint, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	pm := m.procs[pid]
@@ -121,28 +206,31 @@ func (m *Mux) attach(g ids.GroupID, pid ids.ProcessID) (transport.Endpoint, erro
 		if err != nil {
 			return nil, err
 		}
-		pm = &procMux{m: m, pid: pid, ep: ep, veps: make(map[ids.GroupID]*muxEndpoint)}
+		pm = &procMux{m: m, pid: pid, ep: ep, veps: make(map[uint16]*muxEndpoint)}
+		if m.opts.enabled() {
+			pm.coal = newCoalescer(pm, m.opts)
+		}
 		m.procs[pid] = pm
 		go pm.recvLoop()
 	}
 	pm.mu.Lock()
 	defer pm.mu.Unlock()
-	if pm.veps[g] != nil {
-		return nil, fmt.Errorf("%w: %v group %v", transport.ErrDetached, pid, g)
+	if pm.veps[tag] != nil {
+		return nil, fmt.Errorf("%w: %v lane %#x", transport.ErrDetached, pid, tag)
 	}
 	vep := &muxEndpoint{
 		pm:    pm,
-		g:     g,
+		tag:   tag,
 		inbox: make(chan transport.Packet, 4096),
 		done:  make(chan struct{}),
 	}
-	pm.veps[g] = vep
+	pm.veps[tag] = vep
 	return vep, nil
 }
 
-// recvLoop demultiplexes the real endpoint's packets to the owning group's
-// virtual inbox. It exits when the real endpoint closes (last group
-// detached, or the inner network shut down).
+// recvLoop demultiplexes the real endpoint's packets to the owning lane's
+// virtual inbox, unpacking coalesced frames. It exits when the real
+// endpoint closes (last lane detached, or the inner network shut down).
 func (pm *procMux) recvLoop() {
 	for {
 		pkt, err := pm.ep.Recv(context.Background())
@@ -153,43 +241,95 @@ func (pm *procMux) recvLoop() {
 			pm.m.malformed.Add(1)
 			continue
 		}
-		g := ids.GroupID(binary.LittleEndian.Uint16(pkt.Data))
-		if int(g) >= pm.m.groups {
-			pm.m.unknown.Add(1)
+		tag := binary.LittleEndian.Uint16(pkt.Data)
+		if tag == coalTag {
+			pm.splitCoalesced(pkt.From, pkt.Data[tagLen:])
 			continue
 		}
-		pm.mu.Lock()
-		vep := pm.veps[g]
-		pm.mu.Unlock()
-		if vep == nil {
-			// The group is down at this process: its packets are lost,
-			// exactly as §2.1 prescribes for a down process.
-			pm.m.detached.Add(1)
-			continue
-		}
-		select {
-		case vep.inbox <- transport.Packet{From: pkt.From, Data: pkt.Data[tagLen:]}:
-			pm.m.demuxed.Add(1)
-		default:
-			pm.m.overrun.Add(1) // buffer overrun; fair-lossy permits it
-		}
+		pm.dispatch(pkt.From, tag, pkt.Data[tagLen:])
 	}
 }
 
-// detach removes group g's virtual endpoint; when it was the last one the
+// splitCoalesced unpacks a batched write: a sequence of uvarint-length-
+// prefixed tagged frames. Nested coalescing is rejected as malformed.
+func (pm *procMux) splitCoalesced(from ids.ProcessID, rest []byte) {
+	for len(rest) > 0 {
+		n, sz := binary.Uvarint(rest)
+		if sz <= 0 || n > uint64(len(rest)-sz) {
+			pm.m.malformed.Add(1)
+			return
+		}
+		frame := rest[sz : sz+int(n)]
+		rest = rest[sz+int(n):]
+		if len(frame) < tagLen {
+			pm.m.malformed.Add(1)
+			continue
+		}
+		tag := binary.LittleEndian.Uint16(frame)
+		if tag == coalTag {
+			pm.m.malformed.Add(1)
+			continue
+		}
+		pm.dispatch(from, tag, frame[tagLen:])
+	}
+}
+
+// dispatch routes one demultiplexed frame to its lane's inbox.
+func (pm *procMux) dispatch(from ids.ProcessID, tag uint16, payload []byte) {
+	if tag != procTag && int(tag) >= pm.m.groups {
+		pm.m.unknown.Add(1)
+		return
+	}
+	pm.mu.Lock()
+	vep := pm.veps[tag]
+	pm.mu.Unlock()
+	if vep == nil {
+		// The lane is down at this process: its packets are lost,
+		// exactly as §2.1 prescribes for a down process.
+		pm.m.detached.Add(1)
+		return
+	}
+	select {
+	case vep.inbox <- transport.Packet{From: from, Data: payload}:
+		pm.m.demuxed.Add(1)
+	default:
+		pm.m.overrun.Add(1) // buffer overrun; fair-lossy permits it
+	}
+}
+
+// send transmits one tagged frame, through the coalescer when enabled.
+func (pm *procMux) send(to ids.ProcessID, frame []byte) {
+	if pm.coal != nil {
+		pm.coal.submit(to, frame)
+		return
+	}
+	pm.ep.Send(to, frame)
+}
+
+// multisend transmits one tagged frame to every process, through the
+// coalescer when enabled.
+func (pm *procMux) multisend(frame []byte) {
+	if pm.coal != nil {
+		pm.coal.submit(ids.Nobody, frame)
+		return
+	}
+	pm.ep.Multisend(frame)
+}
+
+// detach removes the lane's virtual endpoint; when it was the last one the
 // shared real endpoint closes too (and the recvLoop exits). The real close
-// completes before detach returns, so a full process crash (all groups
+// completes before detach returns, so a full process crash (all lanes
 // closed) leaves the pid immediately re-attachable.
-func (pm *procMux) detach(g ids.GroupID, vep *muxEndpoint) {
+func (pm *procMux) detach(tag uint16, vep *muxEndpoint) {
 	m := pm.m
 	m.mu.Lock()
 	pm.mu.Lock()
-	if pm.veps[g] != vep {
+	if pm.veps[tag] != vep {
 		pm.mu.Unlock()
 		m.mu.Unlock()
 		return
 	}
-	delete(pm.veps, g)
+	delete(pm.veps, tag)
 	last := len(pm.veps) == 0
 	if last && m.procs[pm.pid] == pm {
 		delete(m.procs, pm.pid)
@@ -198,17 +338,21 @@ func (pm *procMux) detach(g ids.GroupID, vep *muxEndpoint) {
 	if last {
 		// Holding m.mu serializes the real close against a concurrent
 		// re-attach of the same pid (the close path never takes m.mu
-		// again, so this cannot deadlock).
+		// again, so this cannot deadlock). Pending coalesced frames are
+		// dropped — a crash loses in-flight traffic, as §2.1 permits.
+		if pm.coal != nil {
+			pm.coal.close()
+		}
 		pm.ep.Close()
 	}
 	m.mu.Unlock()
 }
 
-// muxEndpoint is group g's virtual endpoint at one process: Send/Multisend
+// muxEndpoint is one lane's virtual endpoint at one process: Send/Multisend
 // tag frames, Recv reads the demultiplexed inbox.
 type muxEndpoint struct {
 	pm    *procMux
-	g     ids.GroupID
+	tag   uint16
 	inbox chan transport.Packet
 	done  chan struct{}
 
@@ -219,9 +363,9 @@ var _ transport.Endpoint = (*muxEndpoint)(nil)
 
 func (e *muxEndpoint) Local() ids.ProcessID { return e.pm.pid }
 
-func (e *muxEndpoint) tag(data []byte) []byte {
+func (e *muxEndpoint) tagFrame(data []byte) []byte {
 	buf := make([]byte, tagLen+len(data))
-	binary.LittleEndian.PutUint16(buf, uint16(e.g))
+	binary.LittleEndian.PutUint16(buf, e.tag)
 	copy(buf[tagLen:], data)
 	return buf
 }
@@ -233,7 +377,7 @@ func (e *muxEndpoint) Send(to ids.ProcessID, data []byte) {
 	default:
 	}
 	e.pm.m.tagged.Add(1)
-	e.pm.ep.Send(to, e.tag(data))
+	e.pm.send(to, e.tagFrame(data))
 }
 
 func (e *muxEndpoint) Multisend(data []byte) {
@@ -243,7 +387,7 @@ func (e *muxEndpoint) Multisend(data []byte) {
 	default:
 	}
 	e.pm.m.tagged.Add(1)
-	e.pm.ep.Multisend(e.tag(data))
+	e.pm.multisend(e.tagFrame(data))
 }
 
 func (e *muxEndpoint) Recv(ctx context.Context) (transport.Packet, error) {
@@ -260,7 +404,139 @@ func (e *muxEndpoint) Recv(ctx context.Context) (transport.Packet, error) {
 func (e *muxEndpoint) Close() error {
 	e.closeOnce.Do(func() {
 		close(e.done)
-		e.pm.detach(e.g, e)
+		e.pm.detach(e.tag, e)
 	})
 	return nil
+}
+
+// coalescer packs the frames all lanes of one process submit within a
+// FlushDelay window into single transport writes: one per-destination queue
+// for unicast frames, one queue for multisends. A queue flushes as soon as
+// it holds FlushBytes (size trigger) or when the shared timer fires (delay
+// trigger) — the same two-trigger shape as proposal batching and the WAL's
+// group commit. Frames inside one coalesced write keep their submission
+// order, but writes themselves may reorder (a size-trigger flush can
+// overtake a timer flush already past the lock, and unicast/multisend
+// queues are independent) — reordering the fair-lossy transport contract
+// already permits and every protocol layer tolerates. Do not build
+// anything on cross-write FIFO here.
+type coalescer struct {
+	pm   *procMux
+	opts MuxOptions
+
+	mu         sync.Mutex
+	uni        map[ids.ProcessID]*sendQueue
+	multi      sendQueue
+	timerArmed bool
+	closed     bool
+}
+
+type sendQueue struct {
+	frames [][]byte
+	bytes  int
+}
+
+func (q *sendQueue) take() [][]byte {
+	frames := q.frames
+	q.frames = nil
+	q.bytes = 0
+	return frames
+}
+
+func newCoalescer(pm *procMux, opts MuxOptions) *coalescer {
+	return &coalescer{pm: pm, opts: opts, uni: make(map[ids.ProcessID]*sendQueue)}
+}
+
+// submit queues one tagged frame for to (ids.Nobody = multisend) and
+// applies the flush triggers.
+func (c *coalescer) submit(to ids.ProcessID, frame []byte) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	q := &c.multi
+	if to != ids.Nobody {
+		q = c.uni[to]
+		if q == nil {
+			q = &sendQueue{}
+			c.uni[to] = q
+		}
+	}
+	q.frames = append(q.frames, frame)
+	q.bytes += len(frame)
+	if q.bytes >= c.opts.FlushBytes {
+		frames := q.take()
+		c.mu.Unlock()
+		c.write(to, frames)
+		return
+	}
+	if !c.timerArmed {
+		c.timerArmed = true
+		time.AfterFunc(c.opts.FlushDelay, c.onTimer)
+	}
+	c.mu.Unlock()
+}
+
+// onTimer flushes every queue when the delay trigger fires.
+func (c *coalescer) onTimer() {
+	type flush struct {
+		to     ids.ProcessID
+		frames [][]byte
+	}
+	var out []flush
+	c.mu.Lock()
+	c.timerArmed = false
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	for to, q := range c.uni {
+		if len(q.frames) > 0 {
+			out = append(out, flush{to, q.take()})
+		}
+	}
+	if len(c.multi.frames) > 0 {
+		out = append(out, flush{ids.Nobody, c.multi.take()})
+	}
+	c.mu.Unlock()
+	for _, f := range out {
+		c.write(f.to, f.frames)
+	}
+}
+
+// write performs one transport write for the batch: a lone frame goes out
+// as-is, several are packed into a coalesced frame.
+func (c *coalescer) write(to ids.ProcessID, frames [][]byte) {
+	var out []byte
+	if len(frames) == 1 {
+		out = frames[0]
+	} else {
+		size := tagLen
+		for _, f := range frames {
+			size += binary.MaxVarintLen32 + len(f)
+		}
+		out = make([]byte, tagLen, size)
+		binary.LittleEndian.PutUint16(out, coalTag)
+		for _, f := range frames {
+			out = binary.AppendUvarint(out, uint64(len(f)))
+			out = append(out, f...)
+		}
+		c.pm.m.coalWrites.Add(1)
+		c.pm.m.coalFrames.Add(int64(len(frames)))
+	}
+	if to == ids.Nobody {
+		c.pm.ep.Multisend(out)
+		return
+	}
+	c.pm.ep.Send(to, out)
+}
+
+// close drops all pending frames; further submissions are ignored.
+func (c *coalescer) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	c.uni = make(map[ids.ProcessID]*sendQueue)
+	c.multi = sendQueue{}
 }

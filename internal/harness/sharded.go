@@ -31,6 +31,13 @@ type ShardedOptions struct {
 	// Incarnation and the recorder callbacks are filled per node).
 	Core core.Config
 	FD   fd.Options
+	// PerGroupFD reverts to the legacy wiring where every group runs its
+	// own failure detector (G heartbeat streams per peer instead of one).
+	// The default is the shared process-level detector; the flag exists
+	// for the E17 background-traffic baseline.
+	PerGroupFD bool
+	// Mux tunes the multiplexer's write coalescing (zero = no coalescing).
+	Mux group.MuxOptions
 	// InjectFaultyStorage wraps each process's shared store in a
 	// storage.Faulty trigger — below the group namespaces, so one fault
 	// takes the whole process down, like a real disk failure.
@@ -98,10 +105,14 @@ type ShardedCluster struct {
 	// Recs[gid] is group gid's safety recorder.
 	Recs []*check.Recorder
 
-	net    transport.Network
-	inners []storage.Stable // engines to close on Stop
-	ctx    context.Context
-	cancel context.CancelFunc
+	net         transport.Network
+	inners      []storage.Stable // engines to close on Stop
+	epochStores []storage.Stable // per process: holds the proc-epoch cell
+	ctx         context.Context
+	cancel      context.CancelFunc
+
+	fdMu sync.Mutex
+	fds  []*node.SharedFD // per process; nil when down or PerGroupFD
 }
 
 // NewShardedCluster builds (but does not start) a sharded cluster.
@@ -114,10 +125,11 @@ func NewShardedCluster(opts ShardedOptions) *ShardedCluster {
 		c.Net = transport.NewMem(opts.N, opts.Net)
 		c.net = c.Net
 	}
-	c.Mux = group.NewMux(c.net, opts.Groups)
+	c.Mux = group.NewMuxOpts(c.net, opts.Groups, opts.Mux)
 	for g := 0; g < opts.Groups; g++ {
 		c.Recs = append(c.Recs, check.NewRecorder(opts.N))
 	}
+	c.fds = make([]*node.SharedFD, opts.N)
 	c.ctx, c.cancel = context.WithCancel(context.Background())
 
 	for p := 0; p < opts.N; p++ {
@@ -154,25 +166,61 @@ func NewShardedCluster(opts ShardedOptions) *ShardedCluster {
 			}
 			acct := storage.NewAccounted(engine)
 			stores = append(stores, acct)
+			if g == 0 && shared == nil {
+				// Per-group-store mode: the proc-epoch cell lives in group
+				// 0's engine (its key is namespaced; no collision).
+				c.epochStores = append(c.epochStores, acct)
+			}
 
 			coreCfg := opts.Core
 			deliver := c.Recs[g].OnDeliver(pid)
 			restore := c.Recs[g].OnRestore(pid)
 			coreCfg.OnDeliver = func(d core.Delivery) { deliver(d) }
 			coreCfg.OnRestore = func(s core.Snapshot) { restore(s) }
-			nodes = append(nodes, node.New(node.Config{
+			ncfg := node.Config{
 				PID:       pid,
 				N:         opts.N,
 				Group:     gid,
 				Core:      coreCfg,
 				Consensus: opts.Consensus,
 				FD:        opts.FD,
-			}, acct, c.Mux.Net(gid)))
+			}
+			if !opts.PerGroupFD {
+				ncfg.SharedFD = func() fd.API { return c.fdView(pid, gid) }
+			}
+			nodes = append(nodes, node.New(ncfg, acct, c.Mux.Net(gid)))
+		}
+		if shared != nil {
+			// The proc-epoch cell rides the shared engine, below the
+			// fault trigger: an armed storage fault kills the whole
+			// process's recovery, epoch log included.
+			c.epochStores = append(c.epochStores, shared)
 		}
 		c.Nodes = append(c.Nodes, nodes)
 		c.Stores = append(c.Stores, stores)
 	}
 	return c
+}
+
+// fdView returns group gid's facade over process pid's live shared
+// detector. During the window where no detector is up (the process is
+// down or mid-teardown) it returns an inert facade; the node reading it
+// is being crashed anyway.
+func (c *ShardedCluster) fdView(pid ids.ProcessID, gid ids.GroupID) fd.API {
+	c.fdMu.Lock()
+	defer c.fdMu.Unlock()
+	if c.fds[pid] == nil {
+		return fd.InertView(pid, c.Opts.N, c.Opts.FD, gid)
+	}
+	return c.fds[pid].View(gid)
+}
+
+// FD returns process pid's live shared failure detector (nil when the
+// process is down or the cluster runs PerGroupFD).
+func (c *ShardedCluster) FD(pid ids.ProcessID) *node.SharedFD {
+	c.fdMu.Lock()
+	defer c.fdMu.Unlock()
+	return c.fds[pid]
 }
 
 // StartAll boots every process.
@@ -185,16 +233,30 @@ func (c *ShardedCluster) StartAll() error {
 	return nil
 }
 
-// Start boots process pid: every group starts concurrently (their replay
-// phases are independent) and Start returns when all are up. On any
-// failure the whole process is crashed again — a sharded process is either
-// fully up or fully down.
+// Start boots process pid: the shared failure detector comes up first
+// (one proc-epoch log write, one heartbeat stream), then every group
+// starts concurrently (their replay phases are independent) and Start
+// returns when all are up. On any failure the whole process is crashed
+// again — a sharded process is either fully up or fully down.
 func (c *ShardedCluster) Start(pid ids.ProcessID) error {
 	for g := range c.Recs {
 		c.Recs[g].StartSession(pid)
 	}
 	if c.Faults != nil {
 		c.Faults[pid].Disarm()
+	}
+	if !c.Opts.PerGroupFD {
+		epoch, err := node.NextProcEpoch(c.epochStores[pid])
+		if err != nil {
+			return fmt.Errorf("sharded start p%v: %w", pid, err)
+		}
+		sfd, err := node.StartSharedFD(c.ctx, pid, c.Opts.N, epoch, c.Opts.FD, c.Mux.ProcNet())
+		if err != nil {
+			return fmt.Errorf("sharded start p%v: %w", pid, err)
+		}
+		c.fdMu.Lock()
+		c.fds[pid] = sfd
+		c.fdMu.Unlock()
 	}
 	errs := make([]error, c.Opts.Groups)
 	var wg sync.WaitGroup
@@ -215,10 +277,18 @@ func (c *ShardedCluster) Start(pid ids.ProcessID) error {
 	return nil
 }
 
-// Crash kills process pid: every group's volatile state is lost at once.
+// Crash kills process pid: every group's volatile state is lost at once,
+// and the shared failure detector stops with them.
 func (c *ShardedCluster) Crash(pid ids.ProcessID) {
 	for _, n := range c.Nodes[pid] {
 		n.Crash()
+	}
+	c.fdMu.Lock()
+	sfd := c.fds[pid]
+	c.fds[pid] = nil
+	c.fdMu.Unlock()
+	if sfd != nil {
+		sfd.Stop()
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/group"
 	"repro/internal/ids"
 	"repro/internal/storage"
 )
@@ -39,6 +40,9 @@ type ShardedSoakOptions struct {
 	// state transfer must stay off (the merge determinism check needs
 	// the full per-group suffixes); RunShardedSoak rejects them.
 	Core core.Config
+	// Mux tunes the multiplexer's write coalescing (zero = none), so the
+	// soak can exercise the coalesced data plane under crash/recovery.
+	Mux group.MuxOptions
 	// NewStore, when set, supplies each process's shared engine (all
 	// groups in namespaces of it); default in-memory.
 	NewStore func(ids.ProcessID) storage.Stable
@@ -123,6 +127,7 @@ func RunShardedSoak(opts ShardedSoakOptions) (ShardedSoakResult, error) {
 		Seed:                opts.Seed,
 		Net:                 DefaultLossyNet(opts.Seed),
 		Core:                opts.Core,
+		Mux:                 opts.Mux,
 		InjectFaultyStorage: true,
 		NewStore:            opts.NewStore,
 	})
@@ -170,5 +175,52 @@ func RunShardedSoak(opts ShardedSoakOptions) (ShardedSoakResult, error) {
 	if _, rounds, ok := c.MergedAt(0); ok {
 		res.MergedRounds = rounds
 	}
+	if err := awaitSharedFDConvergence(drainCtx, c, all); err != nil {
+		return res, fmt.Errorf("sharded soak seed=%d: %w", opts.Seed, err)
+	}
 	return res, nil
+}
+
+// awaitSharedFDConvergence asserts the shared-FD recovery contract after
+// every process came back up: each process's one detector must re-trust
+// every peer at that peer's CURRENT process-level epoch — a crashed and
+// recovered process advertises a higher epoch and all groups' facades see
+// the re-trust at once (they read the same detector). Heartbeats are
+// periodic, so the check polls until the views converge.
+func awaitSharedFDConvergence(ctx context.Context, c *ShardedCluster, all []ids.ProcessID) error {
+	for {
+		converged := true
+		var detail string
+		for _, p := range all {
+			fdP := c.FD(p)
+			if fdP == nil {
+				return fmt.Errorf("shared fd: p%v has no detector while up", p)
+			}
+			for _, q := range all {
+				fdQ := c.FD(q)
+				if fdQ == nil {
+					return fmt.Errorf("shared fd: p%v has no detector while up", q)
+				}
+				want := fdQ.Detector().SelfEpoch()
+				// Every group's facade reads the shared state; check one
+				// per group to pin the facade path itself.
+				for g := 0; g < c.Opts.Groups; g++ {
+					v := fdP.View(ids.GroupID(g))
+					if v.Epoch(q) != want || v.Suspects(q) {
+						converged = false
+						detail = fmt.Sprintf("p%v g%d sees p%v at epoch %d (want %d), suspected=%v",
+							p, g, q, v.Epoch(q), want, v.Suspects(q))
+					}
+				}
+			}
+		}
+		if converged {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("shared fd never converged: %s: %w", detail, ctx.Err())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
 }

@@ -7,25 +7,33 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/group"
 	"repro/internal/ids"
 	"repro/internal/storage"
 )
 
 // soakVariants are the protocol configurations the randomized soak guards:
-// the paper's basic protocol and the high-throughput pipelined + adaptively
-// batched + checkpointing + state-transfer stack.
+// the paper's basic protocol, the high-throughput pipelined + adaptively
+// batched + checkpointing + state-transfer stack, and the same stack over
+// digest anti-entropy gossip (IDs + pull-based repair instead of full
+// payload re-sends — dissemination, recovery catch-up and the state
+// transfer must all still hold under crashes and loss).
 func soakVariants() map[string]core.Config {
+	pipelined := core.Config{
+		PipelineDepth:    4,
+		BatchedBroadcast: true,
+		IncrementalLog:   true,
+		MaxBatchBytes:    4 << 10,
+		MaxBatchDelay:    300 * time.Microsecond,
+		CheckpointEvery:  8,
+		Delta:            12,
+	}
+	digest := pipelined
+	digest.DigestGossip = true
 	return map[string]core.Config{
-		"basic": {},
-		"pipelined": {
-			PipelineDepth:    4,
-			BatchedBroadcast: true,
-			IncrementalLog:   true,
-			MaxBatchBytes:    4 << 10,
-			MaxBatchDelay:    300 * time.Microsecond,
-			CheckpointEvery:  8,
-			Delta:            12,
-		},
+		"basic":     {},
+		"pipelined": pipelined,
+		"digest":    digest,
 	}
 }
 
@@ -111,7 +119,12 @@ func TestSoakSeedsWAL(t *testing.T) {
 // kills every group's write path at once) under a lossy network, while the
 // workload spreads broadcasts over every group. Verification is per group
 // — each group's total order must satisfy the full specification — plus
-// cross-group merge determinism.
+// cross-group merge determinism and shared-FD re-trust at recovered
+// epochs (RunShardedSoak's awaitSharedFDConvergence).
+//
+// The cluster runs the full shared-substrate stack under test: shared
+// process-level failure detector (the harness default), digest
+// anti-entropy gossip, and the write-coalescing mux.
 //
 // Reproduce a failing seed like the other soaks:
 //
@@ -125,6 +138,7 @@ func TestSoakSeedsSharded(t *testing.T) {
 		IncrementalLog:   true,
 		MaxBatchBytes:    4 << 10,
 		MaxBatchDelay:    300 * time.Microsecond,
+		DigestGossip:     true,
 	}
 	for _, seed := range []uint64{11, 47} {
 		t.Run(fmt.Sprintf("seed=%d/sharded-wal", seed), func(t *testing.T) {
@@ -135,6 +149,7 @@ func TestSoakSeedsSharded(t *testing.T) {
 				N:      3,
 				Groups: 3,
 				Core:   cfg,
+				Mux:    group.MuxOptions{FlushDelay: 200 * time.Microsecond},
 				NewStore: func(pid ids.ProcessID) storage.Stable {
 					w, werr := storage.OpenWAL(
 						filepath.Join(dir, fmt.Sprintf("p%d", pid)),

@@ -34,20 +34,62 @@ func (m Message) String() string {
 
 // Encode appends the message to w.
 func (m Message) Encode(w *wire.Writer) {
-	w.I64(int64(m.ID.Sender))
-	w.U64(uint64(m.ID.Incarnation))
-	w.U64(m.ID.Seq)
+	EncodeID(w, m.ID)
 	w.Bytes32(m.Payload)
 }
 
 // DecodeMessage reads one message from r, copying the payload.
 func DecodeMessage(r *wire.Reader) Message {
 	var m Message
-	m.ID.Sender = ids.ProcessID(r.I64())
-	m.ID.Incarnation = uint32(r.U64())
-	m.ID.Seq = r.U64()
+	m.ID = DecodeID(r)
 	m.Payload = r.BytesCopy()
 	return m
+}
+
+// EncodeID appends just a message identity to w — the unit of the
+// digest-gossip wire format, which ships IDs (a few bytes) instead of
+// payloads.
+func EncodeID(w *wire.Writer, id ids.MsgID) {
+	w.I64(int64(id.Sender))
+	w.U64(uint64(id.Incarnation))
+	w.U64(id.Seq)
+}
+
+// DecodeID reads one message identity from r.
+func DecodeID(r *wire.Reader) ids.MsgID {
+	var id ids.MsgID
+	id.Sender = ids.ProcessID(r.I64())
+	id.Incarnation = uint32(r.U64())
+	id.Seq = r.U64()
+	return id
+}
+
+// EncodeIDs encodes a count-prefixed list of message identities.
+func EncodeIDs(w *wire.Writer, idList []ids.MsgID) {
+	w.U64(uint64(len(idList)))
+	for _, id := range idList {
+		EncodeID(w, id)
+	}
+}
+
+// DecodeIDs decodes a count-prefixed list of message identities.
+func DecodeIDs(r *wire.Reader) []ids.MsgID {
+	n := r.U64()
+	if r.Err() != nil {
+		return nil
+	}
+	capHint := n
+	if capHint > 4096 {
+		capHint = 4096 // n is attacker-controlled
+	}
+	out := make([]ids.MsgID, 0, capHint)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, DecodeID(r))
+		if r.Err() != nil {
+			return nil
+		}
+	}
+	return out
 }
 
 // SortCanonical sorts ms in place by the predetermined deterministic rule

@@ -9,6 +9,11 @@ import (
 // identity. The zero value is not ready to use; call NewSet.
 type Set struct {
 	byID map[ids.MsgID]Message
+	// sorted caches the canonical snapshot handed out by Slice. Every
+	// mutation invalidates it; between mutations the gossip and proposal
+	// paths (which call Slice once per tick/round) share one sorted slice
+	// instead of re-sorting the whole set each time.
+	sorted []Message
 }
 
 // NewSet returns an empty set.
@@ -23,6 +28,7 @@ func (s *Set) Add(m Message) bool {
 		return false
 	}
 	s.byID[m.ID] = m
+	s.sorted = nil
 	return true
 }
 
@@ -39,7 +45,11 @@ func (s *Set) AddAll(ms []Message) int {
 
 // Remove deletes the message with the given id, if present.
 func (s *Set) Remove(id ids.MsgID) {
+	if _, ok := s.byID[id]; !ok {
+		return
+	}
 	delete(s.byID, id)
+	s.sorted = nil
 }
 
 // Contains reports whether a message with the given id is present.
@@ -48,18 +58,29 @@ func (s *Set) Contains(id ids.MsgID) bool {
 	return ok
 }
 
+// Get returns the message with the given id, if present.
+func (s *Set) Get(id ids.MsgID) (Message, bool) {
+	m, ok := s.byID[id]
+	return m, ok
+}
+
 // Len returns the number of messages in the set.
 func (s *Set) Len() int { return len(s.byID) }
 
-// Slice returns the messages in canonical order. The slice is fresh; the
-// payloads are shared.
+// Slice returns the messages in canonical order. The slice is a shared
+// snapshot, valid until the next mutation: callers must treat it as
+// read-only (sub-slicing and iteration are fine; append/sort are not).
+// Payloads are shared.
 func (s *Set) Slice() []Message {
-	out := make([]Message, 0, len(s.byID))
-	for _, m := range s.byID {
-		out = append(out, m)
+	if s.sorted == nil {
+		out := make([]Message, 0, len(s.byID))
+		for _, m := range s.byID {
+			out = append(out, m)
+		}
+		SortCanonical(out)
+		s.sorted = out
 	}
-	SortCanonical(out)
-	return out
+	return s.sorted
 }
 
 // Clone returns an independent copy of the set (payloads shared).
@@ -77,6 +98,7 @@ func (s *Set) SubtractDelivered(contains func(ids.MsgID) bool) {
 	for id := range s.byID {
 		if contains(id) {
 			delete(s.byID, id)
+			s.sorted = nil
 		}
 	}
 }

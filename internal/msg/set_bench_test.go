@@ -1,0 +1,94 @@
+package msg
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ids"
+)
+
+// BenchmarkSetSlice measures the canonical-snapshot path the gossip and
+// proposal ticks hit once per interval: with the cached snapshot, repeated
+// Slice calls between mutations are allocation-free instead of re-sorting
+// (and re-allocating) the whole Unordered set every time.
+func BenchmarkSetSlice(b *testing.B) {
+	for _, n := range []int{64, 512, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := NewSet()
+			for i := 0; i < n; i++ {
+				s.Add(mk(0, 1, uint64(i+1), "payload"))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if len(s.Slice()) != n {
+					b.Fatal("bad slice")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSetSliceInvalidated is the worst case: every iteration mutates
+// the set, so every Slice re-sorts. This is the pre-cache behavior for
+// comparison.
+func BenchmarkSetSliceInvalidated(b *testing.B) {
+	const n = 512
+	s := NewSet()
+	for i := 0; i < n; i++ {
+		s.Add(mk(0, 1, uint64(i+1), "payload"))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := mk(0, 1, uint64(i%n+1), "payload")
+		s.Remove(id.ID)
+		s.Add(id)
+		if len(s.Slice()) != n {
+			b.Fatal("bad slice")
+		}
+	}
+}
+
+// TestSetSliceCacheInvalidation pins the snapshot contract: Slice is stable
+// (same contents) across calls, and every mutation path — Add, Remove,
+// SubtractDelivered — refreshes it.
+func TestSetSliceCacheInvalidation(t *testing.T) {
+	s := NewSet()
+	s.Add(mk(0, 1, 1, "a"))
+	s.Add(mk(1, 1, 1, "b"))
+	first := s.Slice()
+	if len(first) != 2 {
+		t.Fatalf("len = %d", len(first))
+	}
+
+	// No mutation: the same snapshot is reused.
+	again := s.Slice()
+	if &first[0] != &again[0] {
+		t.Fatal("unmutated set rebuilt its snapshot")
+	}
+	// Add of a duplicate is a no-op and must not invalidate.
+	s.Add(mk(0, 1, 1, "a"))
+	if dup := s.Slice(); &dup[0] != &first[0] {
+		t.Fatal("duplicate Add invalidated the snapshot")
+	}
+	// Remove of a missing id is a no-op and must not invalidate.
+	s.Remove(mk(9, 9, 9, "x").ID)
+	if miss := s.Slice(); &miss[0] != &first[0] {
+		t.Fatal("no-op Remove invalidated the snapshot")
+	}
+
+	s.Add(mk(2, 1, 1, "c"))
+	if got := s.Slice(); len(got) != 3 {
+		t.Fatalf("after Add: len = %d", len(got))
+	}
+	s.Remove(mk(1, 1, 1, "b").ID)
+	if got := s.Slice(); len(got) != 2 {
+		t.Fatalf("after Remove: len = %d", len(got))
+	}
+	s.SubtractDelivered(func(id ids.MsgID) bool { return id.Sender == 0 })
+	got := s.Slice()
+	if len(got) != 1 || got[0].ID.Sender != 2 {
+		t.Fatalf("after SubtractDelivered: %v", got)
+	}
+}

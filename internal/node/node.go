@@ -24,7 +24,6 @@ import (
 	"repro/internal/router"
 	"repro/internal/storage"
 	"repro/internal/transport"
-	"repro/internal/wire"
 )
 
 // ErrDown is returned by operations that need a live incarnation.
@@ -45,6 +44,13 @@ type Config struct {
 	Core      core.Config
 	Consensus consensus.Config
 	FD        fd.Options
+	// SharedFD, when set, is called at every incarnation start and must
+	// return the process-level failure-detector facade this node's
+	// consensus engine should use (see SharedFD / StartSharedFD). The node
+	// then runs no detector of its own: it sends no heartbeats and ignores
+	// the FD channel — the process-level service owns both. Nil keeps the
+	// classic one-detector-per-node wiring.
+	SharedFD func() fd.API
 	// App, when set, is called at every incarnation start with the
 	// app-channel network binding; the returned handler (if non-nil)
 	// receives app-channel packets (e.g. quorum reads).
@@ -67,7 +73,8 @@ type incarnation struct {
 	epoch  uint32
 	cancel context.CancelFunc
 	rt     *router.Router
-	det    *fd.Detector
+	det    fd.API       // own detector or the shared process-level facade
+	own    *fd.Detector // non-nil only when this node runs its own detector
 	eng    *consensus.Engine
 	proto  *core.Protocol
 }
@@ -100,7 +107,17 @@ func (n *Node) Start(ctx context.Context) error {
 	}
 	rt := router.New(ep)
 
-	det := fd.New(n.cfg.PID, n.cfg.N, epoch, n.cfg.FD, rt.Bound(router.ChanFD))
+	// The liveness oracle: this node's own detector, or a facade over the
+	// process-level one shared by every group of a sharded process (then
+	// this node sends no heartbeats at all).
+	var det fd.API
+	var own *fd.Detector
+	if n.cfg.SharedFD != nil {
+		det = n.cfg.SharedFD()
+	} else {
+		own = fd.New(n.cfg.PID, n.cfg.N, epoch, n.cfg.FD, rt.Bound(router.ChanFD))
+		det = own
+	}
 
 	ccfg := n.cfg.Consensus
 	ccfg.PID = n.cfg.PID
@@ -121,7 +138,9 @@ func (n *Node) Start(ctx context.Context) error {
 	pcfg.Group = n.cfg.Group
 	proto := core.New(pcfg, n.store, eng, rt.Bound(router.ChanCore))
 
-	rt.Handle(router.ChanFD, det.OnMessage)
+	if own != nil {
+		rt.Handle(router.ChanFD, own.OnMessage)
+	}
 	rt.Handle(router.ChanConsensus, eng.OnMessage)
 	rt.Handle(router.ChanCore, proto.OnMessage)
 	if n.cfg.App != nil {
@@ -136,6 +155,7 @@ func (n *Node) Start(ctx context.Context) error {
 		cancel: cancel,
 		rt:     rt,
 		det:    det,
+		own:    own,
 		eng:    eng,
 		proto:  proto,
 	}
@@ -144,7 +164,9 @@ func (n *Node) Start(ctx context.Context) error {
 	n.mu.Unlock()
 
 	rt.Start(ictx)
-	det.Start(ictx)
+	if own != nil {
+		own.Start(ictx)
+	}
 	eng.Start(ictx)
 	if err := proto.Start(ictx); err != nil {
 		// Recovery was aborted (crash during replay or storage death).
@@ -157,20 +179,9 @@ func (n *Node) Start(ctx context.Context) error {
 // nextEpoch increments and logs the incarnation counter — the single
 // node-layer log write per recovery.
 func (n *Node) nextEpoch() (uint32, error) {
-	epoch := uint32(1)
-	if raw, ok, err := n.store.Get(keyEpoch); err != nil {
-		return 0, fmt.Errorf("node %v: read epoch: %w", n.cfg.PID, err)
-	} else if ok {
-		r := wire.NewReader(raw)
-		epoch = uint32(r.U64()) + 1
-		if r.Done() != nil {
-			return 0, fmt.Errorf("node %v: corrupt epoch cell", n.cfg.PID)
-		}
-	}
-	w := wire.NewWriter(8)
-	w.U64(uint64(epoch))
-	if err := n.store.Put(keyEpoch, w.Bytes()); err != nil {
-		return 0, fmt.Errorf("node %v: log epoch: %w", n.cfg.PID, err)
+	epoch, err := nextEpochCell(n.store, keyEpoch, "node")
+	if err != nil {
+		return 0, fmt.Errorf("node %v: %w", n.cfg.PID, err)
 	}
 	return epoch, nil
 }
@@ -189,7 +200,9 @@ func (n *Node) Crash() {
 	inc.rt.Stop() // closes the endpoint: packets now dropped
 	inc.proto.Stop()
 	inc.eng.Stop()
-	inc.det.Stop()
+	if inc.own != nil {
+		inc.own.Stop() // a shared detector outlives the group node
+	}
 }
 
 // Up reports whether the process currently has a live incarnation.
@@ -229,8 +242,10 @@ func (n *Node) Engine() *consensus.Engine {
 	return n.inc.eng
 }
 
-// Detector returns the live failure detector, or nil if the node is down.
-func (n *Node) Detector() *fd.Detector {
+// Detector returns the live failure-detector view (the node's own
+// detector, or its facade over the shared process-level one), or nil if
+// the node is down.
+func (n *Node) Detector() fd.API {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.inc == nil {

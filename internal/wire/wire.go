@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // ErrTruncated is returned when a buffer ends before a value is complete.
@@ -28,6 +29,42 @@ type Writer struct {
 // NewWriter returns a Writer with capacity preallocated to sizeHint bytes.
 func NewWriter(sizeHint int) *Writer {
 	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// Reset empties the Writer for reuse, keeping its allocated capacity. Any
+// previously returned Bytes() slice is invalidated.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// writerPool recycles Writers across encode calls on the hot paths
+// (heartbeats, gossip frames, consensus ballot messages): steady-state
+// sends stop allocating a fresh buffer per message.
+var writerPool = sync.Pool{New: func() any { return &Writer{} }}
+
+// poolMaxCap bounds the capacity of buffers kept in the pool; one huge
+// record (a state transfer, a recovery batch) must not pin its buffer
+// forever.
+const poolMaxCap = 64 << 10
+
+// GetWriter returns an empty pooled Writer with at least sizeHint capacity.
+// Release it with PutWriter once the encoded bytes have been fully consumed
+// — every transport layer in this module copies synchronously on Send, so
+// releasing right after the send call is safe.
+func GetWriter(sizeHint int) *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	if cap(w.buf) < sizeHint {
+		w.buf = make([]byte, 0, sizeHint)
+	}
+	return w
+}
+
+// PutWriter returns w to the pool. The caller must not touch w (or any
+// slice previously obtained from w.Bytes()) afterwards.
+func PutWriter(w *Writer) {
+	if cap(w.buf) > poolMaxCap {
+		return // oversized one-off: let the GC have it
+	}
+	writerPool.Put(w)
 }
 
 // Bytes returns the encoded record. The returned slice aliases the Writer's
