@@ -58,6 +58,22 @@
 // deterministic global interleave. See the README's "Sharding" section
 // for ordering guarantees and caveats, and experiment E16 for scaling.
 //
+// # Log lifecycle
+//
+// Long-lived deployments keep their state bounded end to end. In merged
+// mode, ShardedConfig.MergedDelivery gates every group's checkpoint fold
+// by the process-wide merge frontier, so application checkpointing
+// (§5.2) now composes with the cross-group merge; Sharded.MergeCursor
+// streams the global sequence online and incrementally where Merged
+// recomputes it per call. On disk, WALOptions.CompactFactor enables
+// background segment compaction: the WAL rewrites its live state into a
+// fresh segment (group-committed before the old segments are unlinked,
+// so every crash point replays to the same index) and reclaims the dead
+// records that checkpointing leaves behind. Experiment E18 measures
+// both; the README's "Log lifecycle" section covers the caveats (an
+// idle group pins the merge frontier and, with MergedDelivery, the
+// checkpoint reclamation behind it).
+//
 // # Shared process services
 //
 // A sharded process's background costs do not scale with G: one

@@ -91,6 +91,19 @@ type ShardedConfig struct {
 	// measures the difference.
 	GroupStore func(GroupID) Storage
 
+	// MergedDelivery declares that this process consumes the merged
+	// cross-group sequence (Merged or MergeCursor) and makes application
+	// checkpointing compose with it: every group's checkpoint folds only
+	// rounds below the process-wide merge frontier (the highest round
+	// every group has committed), so per-round delivery metadata survives
+	// until the merge has passed it and the interleave stays
+	// reconstructible across checkpoints and recoveries. Liveness caveat:
+	// an idle group pins the merge frontier, which then also pins every
+	// group's checkpoint reclamation — merged-mode deployments must route
+	// traffic to all groups. Leave it false when only per-group orders
+	// are consumed, so checkpoints fold eagerly.
+	MergedDelivery bool
+
 	// OnDeliver receives every A-delivered message of every group, tagged
 	// with its owning group (Delivery.Group). Within a group, calls are
 	// ordered; across groups they interleave arbitrarily — use Merged for
@@ -115,6 +128,7 @@ type Sharded struct {
 	shared Storage // nil when every group store came from the hook
 	stores []Storage
 	nodes  []*node.Node
+	stream *group.Stream // per-round fan-out driving Merged/MergeCursor
 
 	mu  sync.Mutex
 	up  bool
@@ -153,6 +167,7 @@ func NewSharded(cfg ShardedConfig, st Storage, net *ShardedNetwork) (*Sharded, e
 		shared: st,
 		stores: make([]Storage, groups),
 		nodes:  make([]*node.Node, groups),
+		stream: group.NewStream(groups),
 	}
 	if s.router == nil {
 		s.router = group.NewHashRouter(groups)
@@ -178,6 +193,16 @@ func NewSharded(cfg ShardedConfig, st Storage, net *ShardedNetwork) (*Sharded, e
 		coreCfg.OnDeliver = cfg.OnDeliver
 		if restore := cfg.OnRestore; restore != nil {
 			coreCfg.OnRestore = func(sn Snapshot) { restore(gid, sn) }
+		}
+		// Every group feeds the process's per-round stream (it also
+		// tracks the decided counters Merged and MergeCursor use); the
+		// merge floor gates checkpoint folds only when the merged
+		// sequence is declared consumed, so an idle group cannot pin
+		// reclamation of processes that never merge.
+		coreCfg.OnRound = s.stream.NoteRound
+		coreCfg.OnRoundSkip = s.stream.NoteSkip
+		if cfg.MergedDelivery {
+			coreCfg.MergeFloor = s.stream.Frontier
 		}
 		s.nodes[g] = node.New(node.Config{
 			PID:       cfg.PID,
@@ -377,6 +402,24 @@ func (s *Sharded) Sequence(g GroupID) (Snapshot, []Delivery) {
 	return p.Sequence()
 }
 
+// CheckpointNow forces one checkpoint on every group of the process
+// (Fig. 4 lines (b)/(c)), the sharded counterpart of
+// Process.CheckpointNow. With MergedDelivery set, each group's fold
+// stops at the process-wide merge frontier, so forcing checkpoints never
+// destroys rounds a merge consumer still needs.
+func (s *Sharded) CheckpointNow() error {
+	for g, n := range s.nodes {
+		p := n.Proto()
+		if p == nil {
+			return fmt.Errorf("abcast: group %d is down", g)
+		}
+		if err := p.CheckpointNow(); err != nil {
+			return fmt.Errorf("abcast: checkpoint group %d: %w", g, err)
+		}
+	}
+	return nil
+}
+
 // Round returns group g's round counter (its next Consensus instance).
 func (s *Sharded) Round(g GroupID) uint64 {
 	if s.checkGroup(g) != nil {
@@ -405,19 +448,34 @@ func (s *Sharded) UnorderedLen(g GroupID) int {
 // Merged returns the deterministic cross-group interleave of this
 // process's delivery sequences: rounds in increasing number, groups in
 // increasing GroupID within a round. Any two processes' merges agree on
-// their common prefix, so the result is one global total order over all
+// the rounds both cover, so the result is one global total order over all
 // groups, each Delivery tagged with its owning Group ((Group, Msg.ID) is
-// the global identity — MsgIDs are unique only per group). rounds is the
-// merge frontier (cross-group rounds fully decided
-// here); ok is false when a group's checkpointing folded rounds below the
-// frontier away (merged-mode deployments should run without
-// CheckpointEvery/Delta — see the README's sharding caveats).
-func (s *Sharded) Merged() (merged []Delivery, rounds uint64, ok bool) {
+// the global identity — MsgIDs are unique only per group).
+//
+// The output covers rounds [from, rounds): rounds is the merge frontier
+// (rounds every group has decided here), from the highest round
+// checkpointing has folded into a base snapshot. With MergedDelivery set,
+// folds stop at the merge frontier, so successive Merged calls (and any
+// MergeCursor) always see a contiguous sequence across checkpoints; the
+// folded prefix itself is represented by the groups' base snapshots
+// (Sequence). ok is false only while the process is down. For online
+// consumption without the per-call recompute, use MergeCursor.
+func (s *Sharded) Merged() (merged []Delivery, from, rounds uint64, ok bool) {
+	seqs, err := s.sequences()
+	if err != nil {
+		return nil, 0, 0, false
+	}
+	merged, from, rounds = group.Merge(seqs)
+	return merged, from, rounds, true
+}
+
+// sequences snapshots every group's delivery sequence (Merge input).
+func (s *Sharded) sequences() ([]group.Sequence, error) {
 	seqs := make([]group.Sequence, 0, s.groups)
 	for g, n := range s.nodes {
 		p := n.Proto()
 		if p == nil {
-			return nil, 0, false
+			return nil, fmt.Errorf("abcast: group %d is down", g)
 		}
 		// Round is read before Sequence: between the two reads more
 		// rounds may commit, which only under-reports the frontier —
@@ -431,8 +489,41 @@ func (s *Sharded) Merged() (merged []Delivery, rounds uint64, ok bool) {
 			Rounds:     rounds,
 		})
 	}
-	return group.Merge(seqs)
+	return seqs, nil
 }
+
+// MergeCursor is a streaming subscription to the merged cross-group
+// sequence: per-group round frontiers plus a buffer of complete rounds,
+// advanced as groups commit. Drain it with Next; see Sharded.MergeCursor.
+type MergeCursor = group.Cursor
+
+// MergeCursor subscribes a streaming cursor to this process's merged
+// cross-group sequence. The cursor's Next output begins at the current
+// merge base (everything older is represented by the groups' base
+// snapshots) and is byte-identical to what batch Merged computes from
+// that base on — delivered online and incrementally instead of recomputed
+// per call. Each round advances in O(groups log groups); a Next poll that
+// finds no new complete round allocates nothing.
+//
+// The cursor keeps working across crash/recovery of this process's groups
+// (recovery replay deduplicates), but a Δ-triggered state transfer that
+// skips rounds leaves it permanently lagged (ErrMergeCursorLagged from
+// Next) — resynchronize by adopting the base snapshots and resubscribing.
+// Processes running checkpointing in merged mode should set
+// ShardedConfig.MergedDelivery so checkpoint folds never outrun the
+// merge. Close the cursor when done to stop buffering.
+func (s *Sharded) MergeCursor() (*MergeCursor, error) {
+	return s.stream.Subscribe(s.sequences)
+}
+
+// MergeFrontier returns the process-wide merge frontier: the highest
+// round every group of this process has committed, i.e. how far Merged /
+// MergeCursor output can extend right now.
+func (s *Sharded) MergeFrontier() uint64 { return s.stream.Frontier() }
+
+// ErrMergeCursorLagged is returned by MergeCursor.Next after a state
+// transfer skipped rounds the cursor never saw; resubscribe to recover.
+var ErrMergeCursorLagged = group.ErrCursorLagged
 
 // syncCounter is implemented by engines that count their fsyncs
 // (storage.WAL); the stats rollup uses it to report shared-WAL syncs once.

@@ -2,9 +2,11 @@
 // DESIGN.md, plus the E11–E13 ablations, the E14 pipeline/batching
 // shootout over both the simulated LAN and a TCP loopback transport, the
 // E15 group-commit-WAL-versus-sync-per-write storage comparison, the E16
-// sharded multi-group ordering scaling study, and the E17 shared-process-
-// services background-cost study) and prints their tables. EXPERIMENTS.md
-// is generated from its full-scale output.
+// sharded multi-group ordering scaling study, the E17 shared-process-
+// services background-cost study, and the E18 log-lifecycle study —
+// bounded state under churn and streaming-versus-batch merge latency)
+// and prints their tables. EXPERIMENTS.md is generated from its
+// full-scale output.
 //
 // Usage:
 //

@@ -171,14 +171,14 @@ func run() error {
 			return fmt.Errorf("replica %d state diverged from replica 0", pid)
 		}
 	}
-	merged0, rounds, ok := replicas[0].proc.Merged()
+	merged0, _, rounds, ok := replicas[0].proc.Merged()
 	if !ok {
-		return fmt.Errorf("merge not reconstructible")
+		return fmt.Errorf("merge unavailable")
 	}
 	for pid := 1; pid < n; pid++ {
-		m, _, ok := replicas[pid].proc.Merged()
+		m, _, _, ok := replicas[pid].proc.Merged()
 		if !ok {
-			return fmt.Errorf("merge not reconstructible at %d", pid)
+			return fmt.Errorf("merge unavailable at %d", pid)
 		}
 		short := merged0
 		if len(m) < len(short) {

@@ -60,7 +60,12 @@ type Snapshot struct {
 	// VC is the checkpoint vector clock.
 	VC vclock.VC
 	// Rounds is the number of Consensus instances folded into the
-	// snapshot (the next round to replay is exactly Rounds).
+	// snapshot. Without a merge floor every delivered round is folded, so
+	// the next round to replay is exactly Rounds; under a merge floor
+	// (Config.MergeFloor) the fold may stop short of the round counter and
+	// the suffix retains the explicitly delivered rounds in
+	// [Rounds, k) — the checkpoint cell's own round counter, not
+	// Snapshot.Rounds, is where replay resumes.
 	Rounds uint64
 	// Pos is the number of messages logically contained (the global
 	// position of the first suffix message).
@@ -149,6 +154,18 @@ type Config struct {
 	// delivered prefix with application checkpoints (§5.2).
 	Checkpointer Checkpointer
 
+	// MergeFloor, when set, bounds how far a checkpoint may fold the
+	// delivered prefix: CheckpointNow folds only rounds strictly below
+	// min(k, MergeFloor()). A sharded process that consumes the merged
+	// cross-group sequence sets it to the process-wide merge frontier
+	// (group.Stream.Frontier), so per-round delivery metadata survives
+	// until every group of the process has passed the round — which is
+	// what makes application checkpointing compose with merged-mode
+	// sharding. Nil folds everything below k (the paper's §5.2 behavior).
+	// The hook is called under the protocol lock and must not call back
+	// into the Protocol.
+	MergeFloor func() uint64
+
 	// OnDeliver, when set, is invoked in delivery order for every
 	// A-delivered message (including re-deliveries during the replay
 	// phase, which reconstruct the application state in the basic
@@ -158,6 +175,24 @@ type Config struct {
 	// checkpoint or a state transfer instead of replaying: the
 	// application must reset itself to the snapshot.
 	OnRestore func(Snapshot)
+	// OnRound, when set, is invoked after every committed Consensus
+	// round, in round order, with the round's (possibly empty) batch of
+	// new deliveries — the per-round structure a streaming cross-group
+	// merge consumes (group.Stream.NoteRound). Unlike OnDeliver it also
+	// fires for empty rounds, so a merge frontier can advance past them.
+	// Re-commits during the recovery replay phase fire again (consumers
+	// deduplicate by round number); rounds skipped by a state-transfer
+	// adoption do not fire at all — OnRoundSkip reports the jump instead.
+	// The slice is shared and must not be mutated.
+	OnRound func(g ids.GroupID, round uint64, deliveries []Delivery)
+	// OnRoundSkip, when set, is invoked when a state-transfer adoption
+	// (§5.3, including the GC-forced transfer a recovering process
+	// receives when it fell below a peer's collection floor) moves the
+	// round counter to nextRound without committing the rounds in
+	// between: their per-round structure was folded away at the sender
+	// and will never reach OnRound. Streaming merge consumers use it to
+	// detect that a cursor can no longer be fed (group.Stream.NoteSkip).
+	OnRoundSkip func(g ids.GroupID, nextRound uint64)
 }
 
 func (c *Config) fill() {

@@ -27,14 +27,27 @@ func (p *Protocol) checkpointTask() {
 // a chosen moment; the periodic task calls it too.
 func (p *Protocol) CheckpointNow() error {
 	p.mu.Lock()
-	if p.cfg.Checkpointer != nil && len(p.ds.suffix) > 0 {
-		// (b) Agreed_p ← (A-checkpoint(Agreed_p), VC(Agreed_p)): the
-		// application folds the delivered suffix into its state; the
-		// checkpoint vector clock replaces the explicit messages.
-		app := p.cfg.Checkpointer.Checkpoint(p.ds.base.App, p.ds.suffixMessages())
-		p.ds.fold(app, p.k)
+	if p.cfg.Checkpointer != nil {
+		// The fold floor: everything delivered, unless a merge floor
+		// retains the per-round structure of rounds the process-wide
+		// merge frontier has not yet passed.
+		floor := p.k
+		if p.cfg.MergeFloor != nil {
+			if f := p.cfg.MergeFloor(); f < floor {
+				floor = f
+			}
+		}
+		if cut := p.ds.cutBelow(floor); cut > 0 {
+			// (b) Agreed_p ← (A-checkpoint(Agreed_p), VC(Agreed_p)): the
+			// application folds the delivered prefix below the floor into
+			// its state; the checkpoint vector clock replaces the explicit
+			// messages.
+			app := p.cfg.Checkpointer.Checkpoint(p.ds.base.App, p.ds.suffixMessagesPrefix(cut))
+			p.ds.foldPrefix(app, cut, floor)
+		}
 	}
-	w := wire.NewWriter(256)
+	w := wire.GetWriter(256)
+	defer wire.PutWriter(w)
 	w.U64(p.k)
 	p.ds.encode(w)
 	k := p.k
@@ -44,13 +57,16 @@ func (p *Protocol) CheckpointNow() error {
 	// Broadcast appends under, so no record is lost.
 	var compactErr error
 	if p.cfg.BatchedBroadcast && p.cfg.IncrementalLog {
-		uw := wire.NewWriter(64)
+		uw := wire.GetWriter(64)
 		p.unordered.Encode(uw)
+		// Put copies synchronously on every engine, so the buffer can go
+		// back to the pool as soon as the call returns.
 		if err := p.st.Put(keyUnord, uw.Bytes()); err != nil {
 			compactErr = err
 		} else if err := p.st.Delete(keyUnordLog); err != nil {
 			compactErr = err
 		}
+		wire.PutWriter(uw)
 	}
 	p.mu.Unlock()
 

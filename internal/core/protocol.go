@@ -428,12 +428,20 @@ func (p *Protocol) commit(round uint64, result []byte) {
 	p.stats.Delivered += uint64(len(deliveries))
 	ckptDue := p.cfg.CheckpointEvery > 0 && p.k%uint64(p.cfg.CheckpointEvery) == 0
 	deliverCb := p.cfg.OnDeliver
+	roundCb := p.cfg.OnRound
 	p.mu.Unlock()
 
 	if deliverCb != nil {
 		for _, d := range deliveries {
 			deliverCb(d)
 		}
+	}
+	if roundCb != nil {
+		// After OnDeliver (per-message consumers stay ahead of per-round
+		// ones) and before the checkpoint trigger, so a merge frontier
+		// driven by these events has seen every round a checkpoint
+		// triggered here may fold under.
+		roundCb(p.cfg.Group, round, deliveries)
 	}
 	if ckptDue {
 		select {

@@ -346,7 +346,9 @@ func (p *Protocol) maybeAdopt() {
 	suffix := p.tagGroup(p.ds.deliveries())
 	restoreCb := p.cfg.OnRestore
 	deliverCb := p.cfg.OnDeliver
-	w := wire.NewWriter(256)
+	skipCb := p.cfg.OnRoundSkip
+	w := wire.GetWriter(256)
+	defer wire.PutWriter(w)
 	w.U64(p.k)
 	p.ds.encode(w)
 	ckptBytes := w.Bytes()
@@ -359,6 +361,11 @@ func (p *Protocol) maybeAdopt() {
 		for _, d := range suffix {
 			deliverCb(d)
 		}
+	}
+	if skipCb != nil {
+		// The adoption jumped the round counter: rounds never committed
+		// here will never reach OnRound.
+		skipCb(p.cfg.Group, newK)
 	}
 
 	// Persist the adopted state as a checkpoint so a crash right after

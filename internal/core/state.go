@@ -75,27 +75,61 @@ func (d *deliveryState) deliveries() []Delivery {
 	return out
 }
 
-// suffixMessages returns the suffix messages in delivery order.
-func (d *deliveryState) suffixMessages() []msg.Message {
-	out := make([]msg.Message, len(d.suffix))
-	for i, e := range d.suffix {
-		out[i] = e.m
+// suffixMessagesPrefix returns the first cut suffix messages in delivery
+// order (cut as computed by cutBelow).
+func (d *deliveryState) suffixMessagesPrefix(cut int) []msg.Message {
+	out := make([]msg.Message, cut)
+	for i := 0; i < cut; i++ {
+		out[i] = d.suffix[i].m
 	}
 	return out
 }
 
-// fold replaces the delivered prefix with a checkpoint: the base absorbs the
-// suffix (vector clock + position) and adopts the given application state.
-// rounds is the next round number at the time of the fold.
+// cutBelow returns the length of the suffix prefix whose rounds are below
+// floor.
+func (d *deliveryState) cutBelow(floor uint64) int {
+	cut := 0
+	for cut < len(d.suffix) && d.suffix[cut].round < floor {
+		cut++
+	}
+	return cut
+}
+
+// fold replaces the whole delivered prefix with a checkpoint: the base
+// absorbs the suffix (vector clock + position) and adopts the given
+// application state. rounds is the next round number at the time of the
+// fold (all suffix rounds are below it).
 func (d *deliveryState) fold(app []byte, rounds uint64) {
-	for _, e := range d.suffix {
+	d.foldBelow(app, rounds)
+}
+
+// foldBelow folds only the suffix entries of rounds below floor into the
+// base — the merge-floor generalization of fold: entries of rounds at or
+// above floor keep their explicit per-round form so a cross-group merge
+// (batch or streaming) can still reconstruct their interleave. app is the
+// application state containing every folded message.
+func (d *deliveryState) foldBelow(app []byte, floor uint64) {
+	d.foldPrefix(app, d.cutBelow(floor), floor)
+}
+
+// foldPrefix is foldBelow with the suffix cut point already computed
+// (CheckpointNow scans the suffix once and reuses it).
+func (d *deliveryState) foldPrefix(app []byte, cut int, floor uint64) {
+	for _, e := range d.suffix[:cut] {
 		d.base.VC.Observe(e.m.ID)
 	}
-	d.base.Pos += uint64(len(d.suffix))
-	d.base.Rounds = rounds
+	d.base.Pos += uint64(cut)
+	if floor > d.base.Rounds {
+		d.base.Rounds = floor
+	}
 	d.base.App = app
-	d.suffix = nil
-	d.index = make(map[ids.MsgID]int)
+	rest := d.suffix[cut:]
+	d.suffix = make([]suffixEntry, len(rest))
+	copy(d.suffix, rest)
+	d.index = make(map[ids.MsgID]int, len(rest))
+	for i, e := range d.suffix {
+		d.index[e.m.ID] = i
+	}
 }
 
 // adopt replaces the whole state with another process's (state transfer,

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestLifecycleBoundsState is the bounded-state regression guard for the
+// log lifecycle (E18's acceptance claim): under the same churn workload,
+//
+//   - merged-mode application checkpointing must fold the delivered
+//     prefix — the retained suffix stays a small fraction of the
+//     no-checkpoint run's (which retains everything), and
+//   - background segment compaction must bound the WAL's disk usage —
+//     the compacted run's on-disk bytes stay well below the
+//     non-compacted checkpointing run's, with at least one cycle
+//     completed.
+//
+// Functional correctness of the folds and the compactor under faults is
+// covered by TestSoakSeedsSharded's ckpt variant and the
+// internal/storage crash tests; this guard pins the resource claim.
+func TestLifecycleBoundsState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf guard: runs in its own CI step (and in full local runs)")
+	}
+	noCkpt, err := LifecycleChurn(Quick, 18100, 0, 0)
+	if err != nil {
+		t.Fatalf("no-ckpt run: %v", err)
+	}
+	compacted, err := LifecycleChurn(Quick, 18101, 8, 3)
+	if err != nil {
+		t.Fatalf("ckpt+compact run: %v", err)
+	}
+	t.Logf("no-ckpt: suffix=%d disk=%dKiB; ckpt+compact: suffix=%d folded=%d disk=%dKiB live=%dKiB cycles=%d",
+		noCkpt.SuffixEntries, noCkpt.WALDisk/1024,
+		compacted.SuffixEntries, compacted.FoldedRounds, compacted.WALDisk/1024, compacted.WALLive/1024, compacted.Compactions)
+
+	if compacted.FoldedRounds == 0 {
+		t.Fatal("merged-mode checkpointing never folded a round")
+	}
+	if compacted.SuffixEntries*4 > noCkpt.SuffixEntries {
+		t.Fatalf("checkpointing retained %d suffix entries; want < 1/4 of the unfolded %d",
+			compacted.SuffixEntries, noCkpt.SuffixEntries)
+	}
+	if compacted.Compactions == 0 {
+		t.Fatal("background compaction never triggered under churn")
+	}
+	if compacted.WALDisk*2 > noCkpt.WALDisk {
+		t.Fatalf("compacted WAL holds %d bytes; want < 1/2 of the uncompacted %d",
+			compacted.WALDisk, noCkpt.WALDisk)
+	}
+}
+
+// TestMergeLatencyCursorBeatsBatch guards the streaming cursor's point:
+// consuming the merged sequence must not cost O(history) per poll. At a
+// modest history depth the cursor's per-round advance must beat one batch
+// recompute by a wide margin (the gap grows linearly with history).
+func TestMergeLatencyCursorBeatsBatch(t *testing.T) {
+	if raceEnabled {
+		t.Skip("latency comparison is not meaningful under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("perf guard: runs in its own CI step (and in full local runs)")
+	}
+	mm, err := MergeLatency(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("history=%d rounds: batch %v/call, cursor %v/round", mm.Rounds, mm.BatchPerCall, mm.CursorPerRnd)
+	if mm.CursorPerRnd*10 > mm.BatchPerCall {
+		t.Fatalf("cursor advance (%v/round) is not >=10x cheaper than a batch recompute (%v/call) at %d rounds",
+			mm.CursorPerRnd, mm.BatchPerCall, mm.Rounds)
+	}
+}

@@ -345,6 +345,7 @@ func All(scale Scale) ([]*Result, error) {
 		{"E11", E11FDTimeout}, {"E12", E12GossipInterval}, {"E13", E13GroupSize},
 		{"E14", E14Pipeline}, {"E15", E15Storage}, {"E16", E16Sharding},
 		{"E17", E17SharedServices},
+		{"E18", E18LogLifecycle},
 	}
 	var out []*Result
 	for _, e := range exps {
@@ -394,6 +395,8 @@ func ByName(name string) (func(Scale) (*Result, error), bool) {
 		return E16Sharding, true
 	case "E17":
 		return E17SharedServices, true
+	case "E18":
+		return E18LogLifecycle, true
 	default:
 		return nil, false
 	}

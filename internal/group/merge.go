@@ -22,26 +22,34 @@ type Sequence struct {
 // walked in increasing number and, within one round number, groups in
 // increasing GroupID; each group contributes the messages its round
 // delivered, in their agreed order. The result is a pure function of the
-// per-group sequences, so any two processes' merges agree on their common
-// prefix — per-group total order lifts to one global total order. Each
-// output Delivery carries its owning Sequence's Group (MsgIDs are unique
-// only per group, so (Group, Msg.ID) is the global identity).
+// per-group sequences, so any two processes' merges agree on the rounds
+// they both cover — per-group total order lifts to one global total order.
+// Each output Delivery carries its owning Sequence's Group (MsgIDs are
+// unique only per group, so (Group, Msg.ID) is the global identity).
 //
-// Only complete rounds merge deterministically: a round k enters the
-// output once every group has decided round k, so the merged prefix covers
-// rounds [0, min over groups of Rounds). The returned rounds value is that
-// frontier. Liveness caveat: the frontier only advances while every group
-// keeps deciding rounds, so merged-mode deployments should route traffic
-// to all groups (or accept that an idle group pins the merge).
+// The merged output covers the round range [from, rounds):
 //
-// ok is false when some group's base snapshot has folded rounds below the
-// frontier into a checkpoint (Base.Rounds > 0): the interleave of those
-// rounds is no longer reconstructible from the suffix, so clients that
-// consume the merged sequence must run the groups without application
-// checkpointing (see the README's sharding caveats).
-func Merge(seqs []Sequence) (merged []core.Delivery, rounds uint64, ok bool) {
+//   - rounds is the merge frontier: a round k enters the output once every
+//     group has decided round k, so the frontier is the minimum of the
+//     per-group round counters. Liveness caveat: the frontier only
+//     advances while every group keeps deciding rounds, so merged-mode
+//     deployments should route traffic to all groups (or accept that an
+//     idle group pins the merge).
+//   - from is the merge base: the highest round any group's checkpointing
+//     has folded into its base snapshot (Base.Rounds). Rounds below it are
+//     no longer reconstructible from the suffixes — under the merge-floor
+//     discipline (core.Config.MergeFloor driven by a Stream) every folded
+//     round has already passed the process-wide merge frontier, so a
+//     consumer that followed the sequence (a Cursor, or repeated Merge
+//     calls) has already seen them. With checkpointing off, from is 0 and
+//     the output is the complete global sequence.
+//
+// To compare merges taken at different processes (whose checkpoint floors
+// may differ), trim both to their common base with TrimBelowRound before
+// applying VerifyMergePrefix.
+func Merge(seqs []Sequence) (merged []core.Delivery, from, rounds uint64) {
 	if len(seqs) == 0 {
-		return nil, 0, true
+		return nil, 0, 0
 	}
 	sorted := make([]Sequence, len(seqs))
 	copy(sorted, seqs)
@@ -53,14 +61,9 @@ func Merge(seqs []Sequence) (merged []core.Delivery, rounds uint64, ok bool) {
 			rounds = s.Rounds
 		}
 	}
-	ok = true
-	for _, s := range sorted {
-		if s.Base.Rounds > 0 && rounds > 0 {
-			ok = false // rounds [0, Base.Rounds) were folded away
-		}
-	}
-	if !ok || rounds == 0 {
-		return nil, rounds, ok
+	from = MergeBase(seqs)
+	if from >= rounds {
+		return nil, from, rounds
 	}
 
 	// Bucket each group's suffix by round, stamping the owning group (the
@@ -75,25 +78,50 @@ func Merge(seqs []Sequence) (merged []core.Delivery, rounds uint64, ok bool) {
 	for _, s := range sorted {
 		b := bucket{group: s.Group, byRnd: make(map[uint64][]core.Delivery)}
 		for _, d := range s.Deliveries {
-			if d.Round < rounds {
+			if d.Round >= from && d.Round < rounds {
 				d.Group = s.Group
 				b.byRnd[d.Round] = append(b.byRnd[d.Round], d)
 			}
 		}
 		buckets = append(buckets, b)
 	}
-	for k := uint64(0); k < rounds; k++ {
+	for k := from; k < rounds; k++ {
 		for _, b := range buckets {
 			merged = append(merged, b.byRnd[k]...)
 		}
 	}
-	return merged, rounds, true
+	return merged, from, rounds
+}
+
+// MergeBase returns the lowest round a batch merge of seqs can
+// reconstruct: the maximum over the groups' folded-prefix heights
+// (Base.Rounds). 0 when no group has checkpointed.
+func MergeBase(seqs []Sequence) uint64 {
+	var base uint64
+	for _, s := range seqs {
+		if s.Base.Rounds > base {
+			base = s.Base.Rounds
+		}
+	}
+	return base
+}
+
+// TrimBelowRound drops the leading deliveries of a merged sequence whose
+// Round is below round, aligning merges whose bases differ (deliveries in
+// a merged sequence are ordered by round).
+func TrimBelowRound(m []core.Delivery, round uint64) []core.Delivery {
+	i := 0
+	for i < len(m) && m[i].Round < round {
+		i++
+	}
+	return m[i:]
 }
 
 // VerifyMergePrefix checks that two merged sequences agree on their common
 // prefix (the determinism property Merge guarantees for sequences taken
-// from processes of one cluster). It returns the first disagreeing index,
-// or -1 when one is a prefix of the other.
+// from processes of one cluster, once aligned to a common base with
+// TrimBelowRound). It returns the first disagreeing index, or -1 when one
+// is a prefix of the other.
 func VerifyMergePrefix(a, b []core.Delivery) int {
 	n := len(a)
 	if len(b) < n {

@@ -28,9 +28,9 @@ func TestMergeRoundInterleave(t *testing.T) {
 		Deliveries: []core.Delivery{mkDel(1, 0, 1, 0), mkDel(1, 2, 1, 1)},
 		Rounds:     2,
 	}
-	merged, rounds, ok := Merge([]Sequence{g1, g0}) // order must not matter
-	if !ok {
-		t.Fatal("merge not ok")
+	merged, from, rounds := Merge([]Sequence{g1, g0}) // order must not matter
+	if from != 0 {
+		t.Fatalf("from = %d; want 0 (nothing folded)", from)
 	}
 	if rounds != 2 {
 		t.Fatalf("frontier = %d; want 2 (g1 has only decided 2 rounds)", rounds)
@@ -62,14 +62,8 @@ func TestMergeDeterministicPrefix(t *testing.T) {
 	g1Short := Sequence{Group: 1, Deliveries: []core.Delivery{mkDel(1, 1, 1, 0)}, Rounds: 1}
 	g1Long := Sequence{Group: 1, Deliveries: []core.Delivery{mkDel(1, 1, 1, 0), mkDel(1, 1, 2, 1)}, Rounds: 2}
 
-	a, _, ok := Merge([]Sequence{g0, g1Short})
-	if !ok {
-		t.Fatal("merge a not ok")
-	}
-	b, _, ok := Merge([]Sequence{g0, g1Long})
-	if !ok {
-		t.Fatal("merge b not ok")
-	}
+	a, _, _ := Merge([]Sequence{g0, g1Short})
+	b, _, _ := Merge([]Sequence{g0, g1Long})
 	if len(a) >= len(b) {
 		t.Fatalf("expected a shorter than b: %d vs %d", len(a), len(b))
 	}
@@ -84,16 +78,30 @@ func TestMergeDeterministicPrefix(t *testing.T) {
 	}
 }
 
-// TestMergeRefusesFoldedPrefix: a base checkpoint hides rounds, so the
-// merge must signal that it cannot reconstruct the interleave.
-func TestMergeRefusesFoldedPrefix(t *testing.T) {
+// TestMergeFoldedPrefix: a base checkpoint hides rounds below it; the
+// merge reports the fold as its base and reconstructs only [from, rounds).
+func TestMergeFoldedPrefix(t *testing.T) {
 	g0 := Sequence{Group: 0, Base: core.Snapshot{Rounds: 2}, Deliveries: []core.Delivery{mkDel(0, 0, 3, 2)}, Rounds: 3}
-	g1 := Sequence{Group: 1, Deliveries: []core.Delivery{mkDel(1, 1, 1, 0)}, Rounds: 3}
-	if _, _, ok := Merge([]Sequence{g0, g1}); ok {
-		t.Fatal("merge accepted a folded prefix")
+	g1 := Sequence{Group: 1, Deliveries: []core.Delivery{mkDel(1, 1, 1, 0), mkDel(1, 1, 2, 2)}, Rounds: 3}
+	merged, from, rounds := Merge([]Sequence{g0, g1})
+	if from != 2 || rounds != 3 {
+		t.Fatalf("covered [%d, %d); want [2, 3)", from, rounds)
 	}
-	// With a zero frontier there is nothing to merge, folded or not.
-	if _, rounds, ok := Merge([]Sequence{g0, {Group: 1, Rounds: 0}}); !ok || rounds != 0 {
-		t.Fatalf("zero frontier should be ok/empty, got rounds=%d ok=%v", rounds, ok)
+	// Only round 2 merges: g0's delivery then g1's; g1's round-0 delivery
+	// is below the base.
+	if len(merged) != 2 || merged[0].Group != 0 || merged[1].Group != 1 {
+		t.Fatalf("merged = %v; want g0 then g1 round-2 deliveries", merged)
+	}
+	// TrimBelowRound aligns sequences with different bases.
+	full, _, _ := Merge([]Sequence{
+		{Group: 0, Deliveries: []core.Delivery{mkDel(0, 0, 1, 0), mkDel(0, 0, 3, 2)}, Rounds: 3},
+		g1,
+	})
+	if at := VerifyMergePrefix(TrimBelowRound(full, from), merged); at >= 0 {
+		t.Fatalf("aligned merges disagree at %d", at)
+	}
+	// A frontier at or below the base covers nothing.
+	if m, from, rounds := Merge([]Sequence{g0, {Group: 1, Rounds: 0}}); len(m) != 0 || from != 2 || rounds != 0 {
+		t.Fatalf("empty frontier: merged=%v from=%d rounds=%d", m, from, rounds)
 	}
 }

@@ -1,0 +1,398 @@
+package group
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+)
+
+// ErrCursorLagged is returned by Cursor.Next after the cursor missed
+// rounds it can no longer obtain — a state transfer (§5.3) skipped over
+// consensus instances wholesale, so their per-round interleave is gone.
+// The consumer must resynchronize: drop the cursor, adopt the groups'
+// base snapshots, and Subscribe a fresh cursor.
+var ErrCursorLagged = errors.New("group: merge cursor lagged behind a state transfer; resubscribe")
+
+// ErrCursorClosed is returned by Cursor.Next after Close.
+var ErrCursorClosed = errors.New("group: merge cursor closed")
+
+// minTracker maintains the minimum of a fixed set of monotonically
+// non-decreasing counters with an indexed min-heap: bumping one counter
+// costs O(log n), reading the minimum O(1).
+type minTracker struct {
+	vals []uint64
+	heap []int // heap of counter indices; heap[0] holds a minimal value
+	pos  []int // counter index -> heap position
+}
+
+func newMinTracker(n int) *minTracker {
+	t := &minTracker{
+		vals: make([]uint64, n),
+		heap: make([]int, n),
+		pos:  make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		t.heap[i] = i
+		t.pos[i] = i
+	}
+	return t
+}
+
+func (t *minTracker) get(i int) uint64 { return t.vals[i] }
+
+func (t *minTracker) min() uint64 {
+	if len(t.heap) == 0 {
+		return 0
+	}
+	return t.vals[t.heap[0]]
+}
+
+// bump raises counter i to v (values never decrease) and restores heap
+// order by sifting the entry down.
+func (t *minTracker) bump(i int, v uint64) {
+	if v <= t.vals[i] {
+		return
+	}
+	t.vals[i] = v
+	j := t.pos[i]
+	n := len(t.heap)
+	for {
+		l, r := 2*j+1, 2*j+2
+		small := j
+		if l < n && t.vals[t.heap[l]] < t.vals[t.heap[small]] {
+			small = l
+		}
+		if r < n && t.vals[t.heap[r]] < t.vals[t.heap[small]] {
+			small = r
+		}
+		if small == j {
+			return
+		}
+		t.heap[j], t.heap[small] = t.heap[small], t.heap[j]
+		t.pos[t.heap[j]] = j
+		t.pos[t.heap[small]] = small
+		j = small
+	}
+}
+
+// Stream tracks the per-group round frontiers of one sharded process and
+// fans per-round commit events out to subscribed Cursors. It is the glue
+// between the core layer's OnRound hook and the streaming merge:
+//
+//   - every group of the process routes its core.Config.OnRound callback
+//     into NoteRound, which advances that group's frontier and feeds the
+//     round to every cursor;
+//   - Frontier returns the process-wide merge frontier (the highest round
+//     every group has fully committed) and doubles as the
+//     core.Config.MergeFloor hook: checkpoint folds gated by it never
+//     destroy per-round delivery metadata a merge consumer still needs,
+//     which is what makes checkpointing legal in merged mode;
+//   - Subscribe seeds a Cursor from a snapshot of the per-group sequences
+//     and then keeps it advancing incrementally, so the global sequence is
+//     delivered online instead of recomputed from scratch per Merge call.
+//
+// Rounds arrive in order per group (the sequencer commits strictly in
+// round order); re-commits during a recovery replay are deduplicated by
+// round number. A Stream outlives process incarnations — the same Stream
+// keeps serving across crash/recover cycles of the groups feeding it.
+type Stream struct {
+	mu      sync.Mutex
+	groups  int
+	decided *minTracker // per group: rounds committed (next round index)
+	cursors map[*Cursor]struct{}
+}
+
+// NewStream creates a Stream for a process hosting the given number of
+// ordering groups.
+func NewStream(groups int) *Stream {
+	return &Stream{
+		groups:  groups,
+		decided: newMinTracker(groups),
+		cursors: make(map[*Cursor]struct{}),
+	}
+}
+
+// Groups returns the number of ordering groups tracked.
+func (s *Stream) Groups() int { return s.groups }
+
+// NoteRound records that group g committed round with the given (possibly
+// empty) batch of new deliveries, and fans the event out to every
+// subscribed cursor. Wire it as every group's core.Config.OnRound hook.
+// The deliveries slice is retained (shared by all cursors) and must not be
+// mutated by the caller. Out-of-range groups are ignored.
+func (s *Stream) NoteRound(g ids.GroupID, round uint64, deliveries []core.Delivery) {
+	gi := int(g)
+	if gi < 0 || gi >= s.groups {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.decided.bump(gi, round+1)
+	for c := range s.cursors {
+		c.offerLocked(g, round, deliveries)
+	}
+}
+
+// NoteSkip records that group g's round counter jumped to nextRound
+// without committing the rounds in between — a state-transfer adoption
+// whose per-round structure was folded away at the sender. Wire it as
+// every group's core.Config.OnRoundSkip hook. Cursors that had not passed
+// the skipped range become lagged immediately (instead of waiting forever
+// for rounds that will never be offered); fresh subscriptions seed from
+// the adopted state and are unaffected.
+func (s *Stream) NoteSkip(g ids.GroupID, nextRound uint64) {
+	gi := int(g)
+	if gi < 0 || gi >= s.groups {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.decided.bump(gi, nextRound)
+	for c := range s.cursors {
+		c.skipLocked(g, nextRound)
+	}
+}
+
+// Frontier returns the process-wide merge frontier: the highest round R
+// such that every group has committed all rounds below R, as observed
+// through NoteRound. It under-reports momentarily (events trail the
+// commits they describe), which is the safe direction for its use as the
+// core.Config.MergeFloor hook — a checkpoint never folds a round the
+// merge has not passed.
+func (s *Stream) Frontier() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.decided.min()
+}
+
+// Decided returns group g's committed-round count as observed through
+// NoteRound (observability).
+func (s *Stream) Decided(g ids.GroupID) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(g) < 0 || int(g) >= s.groups {
+		return 0
+	}
+	return s.decided.get(int(g))
+}
+
+// Subscribe registers a new streaming cursor. snapshot must return the
+// current per-group sequences (one per group, any order, every group
+// present) — it is called after the cursor is registered, so any round
+// committed concurrently is either in the snapshot or in the cursor's
+// event backlog, never lost. The returned cursor's output starts at the
+// snapshot's merge base (the highest folded round) and is byte-identical
+// to what batch Merge produces from that base onward.
+func (s *Stream) Subscribe(snapshot func() ([]Sequence, error)) (*Cursor, error) {
+	c := &Cursor{
+		stream: s,
+		next:   newMinTracker(s.groups),
+		pend:   make([]map[uint64][]core.Delivery, s.groups),
+	}
+	for g := range c.pend {
+		c.pend[g] = make(map[uint64][]core.Delivery)
+	}
+	s.mu.Lock()
+	s.cursors[c] = struct{}{} // buffering: events accumulate in c.backlog
+	s.mu.Unlock()
+
+	seqs, err := snapshot() // outside s.mu: snapshot takes protocol locks
+	if err != nil {
+		s.mu.Lock()
+		delete(s.cursors, c)
+		s.mu.Unlock()
+		return nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := c.seedLocked(seqs); err != nil {
+		delete(s.cursors, c)
+		return nil, err
+	}
+	return c, nil
+}
+
+// Cursor is one subscriber's incremental view of the merged cross-group
+// sequence: per-group round frontiers plus the buffered complete rounds,
+// advanced by the Stream's events and drained with Next. Creating a
+// cursor costs one snapshot; afterwards each round advances in
+// O(groups log groups) and a poll that finds no new complete round
+// allocates nothing.
+//
+// A cursor is volatile consumer state: it survives crash/recovery of the
+// groups feeding it (recovery replay re-offers rounds, which deduplicate),
+// but a state transfer that skips rounds leaves it permanently lagged
+// (ErrCursorLagged) — resubscribe to resynchronize.
+type Cursor struct {
+	stream *Stream
+
+	// All fields below are guarded by stream.mu.
+	start     uint64      // first round the cursor covers
+	emit      uint64      // next round to emit
+	next      *minTracker // per group: next round to accept from events
+	pend      []map[uint64][]core.Delivery
+	backlog   []roundEvent // events buffered while seeding
+	seeded    bool
+	lagged    bool
+	lagDetail string // first gap observed, for diagnostics
+	closed    bool
+}
+
+type roundEvent struct {
+	g     ids.GroupID
+	round uint64 // nextRound when skip is set
+	ds    []core.Delivery
+	skip  bool
+}
+
+// offerLocked feeds one round event. stream.mu held.
+func (c *Cursor) offerLocked(g ids.GroupID, round uint64, ds []core.Delivery) {
+	if c.closed {
+		return
+	}
+	if !c.seeded {
+		c.backlog = append(c.backlog, roundEvent{g: g, round: round, ds: ds})
+		return
+	}
+	c.applyLocked(g, round, ds)
+}
+
+// skipLocked handles a round-counter jump. stream.mu held.
+func (c *Cursor) skipLocked(g ids.GroupID, nextRound uint64) {
+	if c.closed {
+		return
+	}
+	if !c.seeded {
+		c.backlog = append(c.backlog, roundEvent{g: g, round: nextRound, skip: true})
+		return
+	}
+	gi := int(g)
+	if want := c.next.get(gi); nextRound > want {
+		if !c.lagged {
+			c.lagDetail = fmt.Sprintf("group %v adopted a state transfer skipping to round %d, expected %d", g, nextRound, want)
+		}
+		c.lagged = true
+	}
+}
+
+func (c *Cursor) applyLocked(g ids.GroupID, round uint64, ds []core.Delivery) {
+	gi := int(g)
+	want := c.next.get(gi)
+	switch {
+	case round < want:
+		// Duplicate: a recovery replay re-committing rounds already seen.
+	case round > want:
+		// Gap: a state transfer skipped rounds wholesale; their interleave
+		// is unrecoverable for this cursor.
+		if !c.lagged {
+			c.lagDetail = fmt.Sprintf("group %v offered round %d, expected %d", g, round, want)
+		}
+		c.lagged = true
+	default:
+		if len(ds) > 0 && round >= c.emit {
+			c.pend[gi][round] = ds
+		}
+		c.next.bump(gi, round+1)
+	}
+}
+
+// seedLocked installs the subscription snapshot: the cursor starts at the
+// snapshot's merge base, adopts each group's suffix below its round
+// counter, and then replays the backlog of events that raced the
+// snapshot. stream.mu held.
+func (c *Cursor) seedLocked(seqs []Sequence) error {
+	if len(seqs) != c.stream.groups {
+		return fmt.Errorf("group: subscribe snapshot has %d sequences; stream tracks %d groups", len(seqs), c.stream.groups)
+	}
+	bySeen := make([]bool, c.stream.groups)
+	c.start = MergeBase(seqs)
+	c.emit = c.start
+	for _, sq := range seqs {
+		gi := int(sq.Group)
+		if gi < 0 || gi >= c.stream.groups || bySeen[gi] {
+			return fmt.Errorf("group: subscribe snapshot has bad or duplicate group %v", sq.Group)
+		}
+		bySeen[gi] = true
+		for _, d := range sq.Deliveries {
+			if d.Round >= c.start && d.Round < sq.Rounds {
+				d.Group = sq.Group
+				c.pend[gi][d.Round] = append(c.pend[gi][d.Round], d)
+			}
+		}
+		c.next.bump(gi, sq.Rounds)
+	}
+	c.seeded = true
+	for _, e := range c.backlog {
+		if e.skip {
+			c.skipLocked(e.g, e.round)
+		} else {
+			c.applyLocked(e.g, e.round, e.ds)
+		}
+	}
+	c.backlog = nil
+	return nil
+}
+
+// Next appends every merged delivery that has become available since the
+// last call to buf and returns the extended slice: all rounds up to the
+// current merge frontier, interleaved exactly as batch Merge orders them
+// (rounds ascending, groups ascending within a round). Passing a reused
+// buffer makes the no-new-round case allocation-free. After
+// ErrCursorLagged the cursor is permanently stale; resubscribe.
+func (c *Cursor) Next(buf []core.Delivery) ([]core.Delivery, error) {
+	s := c.stream
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.closed {
+		return buf, ErrCursorClosed
+	}
+	if c.lagged {
+		return buf, fmt.Errorf("%w (%s)", ErrCursorLagged, c.lagDetail)
+	}
+	for c.emit < c.next.min() {
+		for g := 0; g < s.groups; g++ {
+			if ds, ok := c.pend[g][c.emit]; ok {
+				buf = append(buf, ds...)
+				delete(c.pend[g], c.emit)
+			}
+		}
+		c.emit++
+	}
+	return buf, nil
+}
+
+// StartRound returns the first round the cursor covers (the merge base of
+// its subscription snapshot).
+func (c *Cursor) StartRound() uint64 {
+	c.stream.mu.Lock()
+	defer c.stream.mu.Unlock()
+	return c.start
+}
+
+// Emitted returns the cursor's emit frontier: every round below it has
+// been returned by Next.
+func (c *Cursor) Emitted() uint64 {
+	c.stream.mu.Lock()
+	defer c.stream.mu.Unlock()
+	return c.emit
+}
+
+// Lagged reports whether the cursor missed rounds it cannot recover
+// (see ErrCursorLagged).
+func (c *Cursor) Lagged() bool {
+	c.stream.mu.Lock()
+	defer c.stream.mu.Unlock()
+	return c.lagged
+}
+
+// Close unsubscribes the cursor from its Stream.
+func (c *Cursor) Close() {
+	c.stream.mu.Lock()
+	defer c.stream.mu.Unlock()
+	c.closed = true
+	delete(c.stream.cursors, c)
+}

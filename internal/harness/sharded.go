@@ -1,7 +1,9 @@
 package harness
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -31,6 +33,14 @@ type ShardedOptions struct {
 	// Incarnation and the recorder callbacks are filled per node).
 	Core core.Config
 	FD   fd.Options
+	// MergedDelivery wires each group's checkpoint fold to the
+	// process-wide merge frontier (core.Config.MergeFloor over the
+	// process's group.Stream), the merged-mode checkpointing discipline:
+	// per-round delivery metadata is retained until every group of the
+	// process has committed past it, so the cross-group interleave stays
+	// reconstructible across checkpoints. Set it for clusters that verify
+	// merged sequences while running a Checkpointer.
+	MergedDelivery bool
 	// PerGroupFD reverts to the legacy wiring where every group runs its
 	// own failure detector (G heartbeat streams per peer instead of one).
 	// The default is the shared process-level detector; the flag exists
@@ -104,6 +114,10 @@ type ShardedCluster struct {
 	Faults []*storage.Faulty
 	// Recs[gid] is group gid's safety recorder.
 	Recs []*check.Recorder
+	// Streams[pid] is process pid's per-round merge stream: every group's
+	// OnRound feeds it, Frontier is the process's merge floor, and
+	// SubscribeMerged hangs streaming cursors off it.
+	Streams []*group.Stream
 
 	net         transport.Network
 	inners      []storage.Stable // engines to close on Stop
@@ -134,6 +148,8 @@ func NewShardedCluster(opts ShardedOptions) *ShardedCluster {
 
 	for p := 0; p < opts.N; p++ {
 		pid := ids.ProcessID(p)
+		stream := group.NewStream(opts.Groups)
+		c.Streams = append(c.Streams, stream)
 		// The process's shared engine, with the optional process-level
 		// fault trigger below every group namespace.
 		var shared storage.Stable
@@ -177,6 +193,11 @@ func NewShardedCluster(opts ShardedOptions) *ShardedCluster {
 			restore := c.Recs[g].OnRestore(pid)
 			coreCfg.OnDeliver = func(d core.Delivery) { deliver(d) }
 			coreCfg.OnRestore = func(s core.Snapshot) { restore(s) }
+			coreCfg.OnRound = stream.NoteRound
+			coreCfg.OnRoundSkip = stream.NoteSkip
+			if opts.MergedDelivery {
+				coreCfg.MergeFloor = stream.Frontier
+			}
 			ncfg := node.Config{
 				PID:       pid,
 				N:         opts.N,
@@ -436,13 +457,14 @@ func (c *ShardedCluster) AwaitAllDelivered(ctx context.Context, good ...ids.Proc
 	return c.VerifyAll(good...)
 }
 
-// MergedAt computes process pid's deterministic cross-group merge.
-func (c *ShardedCluster) MergedAt(pid ids.ProcessID) (merged []core.Delivery, rounds uint64, ok bool) {
+// Sequences snapshots every group's delivery sequence at process pid
+// (Merge / Subscribe input).
+func (c *ShardedCluster) Sequences(pid ids.ProcessID) ([]group.Sequence, error) {
 	seqs := make([]group.Sequence, 0, c.Opts.Groups)
 	for g, n := range c.Nodes[pid] {
 		p := n.Proto()
 		if p == nil {
-			return nil, 0, false
+			return nil, fmt.Errorf("p%v g%d is down", pid, g)
 		}
 		r := p.Round() // read before Sequence: under-reports, never over
 		base, suffix := p.Sequence()
@@ -453,27 +475,241 @@ func (c *ShardedCluster) MergedAt(pid ids.ProcessID) (merged []core.Delivery, ro
 			Rounds:     r,
 		})
 	}
-	return group.Merge(seqs)
+	return seqs, nil
+}
+
+// MergedAt computes process pid's deterministic cross-group merge,
+// covering rounds [from, rounds). ok is false while the process is down.
+func (c *ShardedCluster) MergedAt(pid ids.ProcessID) (merged []core.Delivery, from, rounds uint64, ok bool) {
+	seqs, err := c.Sequences(pid)
+	if err != nil {
+		return nil, 0, 0, false
+	}
+	merged, from, rounds = group.Merge(seqs)
+	return merged, from, rounds, true
+}
+
+// SubscribeMerged subscribes a streaming merge cursor at process pid.
+func (c *ShardedCluster) SubscribeMerged(pid ids.ProcessID) (*group.Cursor, error) {
+	return c.Streams[pid].Subscribe(func() ([]group.Sequence, error) {
+		return c.Sequences(pid)
+	})
 }
 
 // VerifyMergeDeterminism checks that the merged sequences of all listed
-// processes agree on their common prefixes.
+// processes agree on the rounds they all cover. Processes may have folded
+// different prefixes (their checkpoint floors advance independently), so
+// each merge is first trimmed to the highest base among them.
 func (c *ShardedCluster) VerifyMergeDeterminism(pids ...ids.ProcessID) error {
 	merges := make([][]core.Delivery, 0, len(pids))
+	var base uint64
 	for _, pid := range pids {
-		m, _, ok := c.MergedAt(pid)
+		m, from, _, ok := c.MergedAt(pid)
 		if !ok {
-			return fmt.Errorf("merge at p%v not reconstructible (checkpointed prefix?)", pid)
+			return fmt.Errorf("merge at p%v unavailable (process down?)", pid)
+		}
+		if from > base {
+			base = from
 		}
 		merges = append(merges, m)
 	}
+	ref := group.TrimBelowRound(merges[0], base)
 	for i := 1; i < len(merges); i++ {
-		if at := group.VerifyMergePrefix(merges[0], merges[i]); at >= 0 {
-			return fmt.Errorf("merged sequences of p%v and p%v disagree at index %d",
-				pids[0], pids[i], at)
+		if at := group.VerifyMergePrefix(ref, group.TrimBelowRound(merges[i], base)); at >= 0 {
+			return fmt.Errorf("merged sequences of p%v and p%v disagree at index %d (past round %d)",
+				pids[0], pids[i], at, base)
 		}
 	}
 	return nil
+}
+
+// deliveryEqual is the byte-identical comparison the streaming-vs-batch
+// differential uses: identity, position, round, owning group and payload
+// must all agree.
+func deliveryEqual(a, b core.Delivery) bool {
+	return a.Group == b.Group && a.Round == b.Round && a.Pos == b.Pos &&
+		a.Msg.ID == b.Msg.ID && bytes.Equal(a.Msg.Payload, b.Msg.Payload)
+}
+
+// sliceRounds cuts a round-ordered delivery sequence down to the rounds
+// in [lo, hi).
+func sliceRounds(m []core.Delivery, lo, hi uint64) []core.Delivery {
+	m = group.TrimBelowRound(m, lo)
+	end := 0
+	for end < len(m) && m[end].Round < hi {
+		end++
+	}
+	return m[:end]
+}
+
+// cursorState is one long-lived streaming subscription plus everything it
+// has streamed so far; the soak threads it through its differential
+// checks.
+type cursorState struct {
+	cur      *group.Cursor
+	streamed []core.Delivery
+	resyncs  int
+}
+
+// verifyCursorAgainstBatch drains cs's cursor and compares the whole
+// streamed sequence against the batch merge at pid, polling until both
+// views converge on identical sequences (events trail commits by
+// microseconds) or ctx expires. Any content mismatch fails immediately.
+//
+// A lagged cursor — the process adopted a GC-forced state transfer whose
+// skipped rounds no consumer can reconstruct — is handled the way a real
+// consumer must: the prefix streamed before the lag is verified against
+// the batch merge over the rounds both cover, then the subscription is
+// replaced by a fresh one (which resumes at the merge base) and the check
+// continues. The return value is the agreed sequence length of the final
+// comparison.
+func (c *ShardedCluster) verifyCursorAgainstBatch(ctx context.Context, pid ids.ProcessID, cs *cursorState) (int, error) {
+	for {
+		var err error
+		cs.streamed, err = cs.cur.Next(cs.streamed)
+		if errors.Is(err, group.ErrCursorLagged) {
+			if err := c.verifyLaggedPrefix(pid, cs); err != nil {
+				return 0, err
+			}
+			fresh, err := c.SubscribeMerged(pid)
+			if err != nil {
+				return 0, fmt.Errorf("cursor p%v: resubscribe after lag: %w", pid, err)
+			}
+			cs.cur.Close()
+			cs.cur, cs.streamed = fresh, nil
+			cs.resyncs++
+			continue
+		}
+		if err != nil {
+			return 0, fmt.Errorf("cursor p%v: %w", pid, err)
+		}
+		batch, from, _, ok := c.MergedAt(pid)
+		if !ok {
+			return 0, fmt.Errorf("cursor p%v: batch merge unavailable", pid)
+		}
+		trimmed := group.TrimBelowRound(cs.streamed, from)
+		n := len(trimmed)
+		if len(batch) < n {
+			n = len(batch)
+		}
+		for i := 0; i < n; i++ {
+			if !deliveryEqual(trimmed[i], batch[i]) {
+				return 0, fmt.Errorf("cursor p%v: streaming and batch merge disagree at index %d (past round %d): stream %v/%v@%d batch %v/%v@%d",
+					pid, i, from,
+					trimmed[i].Group, trimmed[i].Msg.ID, trimmed[i].Pos,
+					batch[i].Group, batch[i].Msg.ID, batch[i].Pos)
+			}
+		}
+		if len(trimmed) == len(batch) {
+			return len(batch), nil
+		}
+		select {
+		case <-ctx.Done():
+			return 0, fmt.Errorf("cursor p%v: streaming (%d) and batch (%d) merges never converged: %w",
+				pid, len(trimmed), len(batch), ctx.Err())
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// verifyLaggedPrefix checks that what a now-lagged cursor streamed before
+// the gap is byte-identical to the batch merge over the rounds both
+// cover.
+func (c *ShardedCluster) verifyLaggedPrefix(pid ids.ProcessID, cs *cursorState) error {
+	batch, from, rounds, ok := c.MergedAt(pid)
+	if !ok {
+		return fmt.Errorf("cursor p%v: batch merge unavailable after lag", pid)
+	}
+	lo, hi := cs.cur.StartRound(), cs.cur.Emitted()
+	if from > lo {
+		lo = from
+	}
+	if rounds < hi {
+		hi = rounds
+	}
+	if hi <= lo {
+		return nil // no overlap to compare
+	}
+	a := sliceRounds(cs.streamed, lo, hi)
+	b := sliceRounds(batch, lo, hi)
+	if len(a) != len(b) {
+		return fmt.Errorf("cursor p%v: lagged prefix covers rounds [%d,%d) with %d deliveries; batch has %d",
+			pid, lo, hi, len(a), len(b))
+	}
+	for i := range a {
+		if !deliveryEqual(a[i], b[i]) {
+			return fmt.Errorf("cursor p%v: lagged prefix disagrees with batch at index %d (rounds [%d,%d))", pid, i, lo, hi)
+		}
+	}
+	return nil
+}
+
+// verifyFoldedMerge is the bounded-state phase of a checkpointing soak:
+// it force-checkpoints every group of every process (folding under the
+// merge floor), asserts the folds actually reclaimed delivered prefix,
+// and re-verifies merge determinism, the long-lived cursors, and a
+// freshly subscribed cursor over the genuinely folded state. Returns the
+// rounds folded at p0 (summed over groups).
+func (c *ShardedCluster) verifyFoldedMerge(ctx context.Context, all []ids.ProcessID, cursors []*cursorState) (uint64, error) {
+	everyGroupActive := true
+	for _, rec := range c.Recs {
+		if len(rec.DeliveredAnywhere()) == 0 {
+			everyGroupActive = false
+		}
+	}
+	for _, pid := range all {
+		var foldedMsgs uint64
+		for g, n := range c.Nodes[pid] {
+			p := n.Proto()
+			if p == nil {
+				return 0, fmt.Errorf("folded merge: p%v g%d down at verification", pid, g)
+			}
+			if err := p.CheckpointNow(); err != nil {
+				return 0, fmt.Errorf("folded merge: checkpoint p%v g%d: %w", pid, g, err)
+			}
+			base, _ := p.Sequence()
+			foldedMsgs += base.Pos
+		}
+		// Bounded state: the slowest group's floor equals its own round
+		// counter, so with every group active the forced fold must have
+		// absorbed delivered prefix somewhere at this process.
+		if everyGroupActive && foldedMsgs == 0 {
+			return 0, fmt.Errorf("folded merge: p%v folded nothing under the merge floor (frontier %d)",
+				pid, c.Streams[pid].Frontier())
+		}
+	}
+	if err := c.VerifyMergeDeterminism(all...); err != nil {
+		return 0, fmt.Errorf("folded merge: %w", err)
+	}
+	var folded uint64
+	for g, n := range c.Nodes[all[0]] {
+		p := n.Proto()
+		if p == nil {
+			return 0, fmt.Errorf("folded merge: p%v g%d down", all[0], g)
+		}
+		base, _ := p.Sequence()
+		folded += base.Rounds
+	}
+	for _, pid := range all {
+		// The long-lived cursor is unaffected by folds (it buffered the
+		// history live)...
+		if _, err := c.verifyCursorAgainstBatch(ctx, pid, cursors[pid]); err != nil {
+			return 0, fmt.Errorf("folded merge (long-lived cursor): %w", err)
+		}
+		// ...and a fresh subscription must still reconstruct everything
+		// from the merge base on — the metadata the floor retained.
+		fresh, err := c.SubscribeMerged(pid)
+		if err != nil {
+			return 0, fmt.Errorf("folded merge: fresh subscribe p%v: %w", pid, err)
+		}
+		fcs := &cursorState{cur: fresh}
+		_, err = c.verifyCursorAgainstBatch(ctx, pid, fcs)
+		fcs.cur.Close()
+		if err != nil {
+			return 0, fmt.Errorf("folded merge (fresh cursor): %w", err)
+		}
+	}
+	return folded, nil
 }
 
 // LayerTotals rolls the per-group accounted stats of process pid up by

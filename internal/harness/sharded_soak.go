@@ -36,9 +36,14 @@ type ShardedSoakOptions struct {
 	// MaxDown caps how many processes may be down simultaneously
 	// (default N-1).
 	MaxDown int
-	// Core selects the protocol variant under test. Checkpointing and
-	// state transfer must stay off (the merge determinism check needs
-	// the full per-group suffixes); RunShardedSoak rejects them.
+	// Core selects the protocol variant under test. Application
+	// checkpointing (CheckpointEvery + Checkpointer) is supported: the
+	// cluster then runs the merged-mode checkpointing discipline (each
+	// group's folds gated by the process-wide merge frontier), and the
+	// final phase force-folds and re-verifies the merge over genuinely
+	// checkpointed prefixes. Δ-triggered state transfer must stay off —
+	// an adoption skips rounds wholesale, which no merge consumer can
+	// reconstruct; RunShardedSoak rejects it.
 	Core core.Config
 	// Mux tunes the multiplexer's write coalescing (zero = none), so the
 	// soak can exercise the coalesced data plane under crash/recovery.
@@ -87,11 +92,14 @@ type ShardedSoakResult struct {
 	Returned      int // across all groups
 	Delivered     int // distinct messages across all groups' final orders
 	MergedRounds  uint64
+	FoldedRounds  uint64 // rounds folded into base checkpoints (p0, summed over groups)
+	CursorMerged  int    // deliveries streamed by p0's cursor (== batch merge length)
+	CursorResyncs int    // cursor resubscriptions after GC-forced state transfers
 }
 
 func (r ShardedSoakResult) String() string {
-	return fmt.Sprintf("crashes=%d recoveries=%d storage-faults=%d broadcasts=%d returned=%d delivered=%d merged-rounds=%d",
-		r.Crashes, r.Recoveries, r.StorageFaults, r.Broadcasts, r.Returned, r.Delivered, r.MergedRounds)
+	return fmt.Sprintf("crashes=%d recoveries=%d storage-faults=%d broadcasts=%d returned=%d delivered=%d merged-rounds=%d folded-rounds=%d cursor-merged=%d cursor-resyncs=%d",
+		r.Crashes, r.Recoveries, r.StorageFaults, r.Broadcasts, r.Returned, r.Delivered, r.MergedRounds, r.FoldedRounds, r.CursorMerged, r.CursorResyncs)
 }
 
 // shardedTarget adapts a ShardedCluster to the soak engine: crash and
@@ -114,11 +122,25 @@ func (t shardedTarget) Broadcast(ctx context.Context, pid ids.ProcessID, msgInde
 // RunShardedSoak executes one randomized sharded crash-recovery soak and
 // returns the verification error, if any. Every run is a pure function of
 // Seed (plus goroutine interleavings), like RunSoak.
+//
+// Beyond the per-group specification checks, the final phase verifies the
+// streaming merge against the batch merge: a cursor subscribed at every
+// process before the faults begin must, after the drain, have streamed a
+// sequence byte-identical to what batch Merge reconstructs — across every
+// crash, recovery and (in the checkpointing variant) merge-floor-gated
+// fold the schedule produced. With a Checkpointer configured the run then
+// force-folds every group under the merge floor, asserts the folds
+// actually reclaimed delivered prefix (bounded state), and re-verifies
+// merge determinism plus a freshly subscribed cursor over the folded
+// state.
 func RunShardedSoak(opts ShardedSoakOptions) (ShardedSoakResult, error) {
 	opts.fill()
 	var res ShardedSoakResult
-	if opts.Core.CheckpointEvery > 0 || opts.Core.Delta > 0 || opts.Core.Checkpointer != nil {
-		return res, fmt.Errorf("sharded soak: checkpointing/state transfer fold the delivered prefix away, which breaks the merge determinism check — run those variants through RunSoak")
+	if opts.Core.Delta > 0 {
+		return res, fmt.Errorf("sharded soak: Δ state transfer skips rounds wholesale, which no merge consumer can reconstruct — run that variant through RunSoak")
+	}
+	if opts.Core.CheckpointEvery > 0 && opts.Core.Checkpointer == nil {
+		return res, fmt.Errorf("sharded soak: CheckpointEvery without a Checkpointer never folds; configure one (the variant under test is merged-mode application checkpointing)")
 	}
 
 	c := NewShardedCluster(ShardedOptions{
@@ -130,10 +152,27 @@ func RunShardedSoak(opts ShardedSoakOptions) (ShardedSoakResult, error) {
 		Mux:                 opts.Mux,
 		InjectFaultyStorage: true,
 		NewStore:            opts.NewStore,
+		// The soak consumes merged sequences, so checkpointing runs the
+		// merged-mode discipline: folds gated by the merge frontier.
+		MergedDelivery: opts.Core.Checkpointer != nil,
 	})
 	defer c.Stop()
 	if err := c.StartAll(); err != nil {
 		return res, fmt.Errorf("sharded soak seed=%d: start: %w", opts.Seed, err)
+	}
+
+	// One streaming cursor per process, subscribed before any fault: its
+	// output is the differential oracle's counterpart for the whole run.
+	// A GC-forced state transfer during the schedule lags a cursor; the
+	// verification then checks its pre-lag prefix and resubscribes, the
+	// protocol real merged-mode consumers follow.
+	cursors := make([]*cursorState, opts.N)
+	for p := 0; p < opts.N; p++ {
+		cur, err := c.SubscribeMerged(ids.ProcessID(p))
+		if err != nil {
+			return res, fmt.Errorf("sharded soak seed=%d: subscribe p%d: %w", opts.Seed, p, err)
+		}
+		cursors[p] = &cursorState{cur: cur}
 	}
 
 	counts, drainCtx, cancel, err := runSoakSchedule(soakSchedule{
@@ -172,9 +211,31 @@ func RunShardedSoak(opts ShardedSoakOptions) (ShardedSoakResult, error) {
 	if err := c.VerifyMergeDeterminism(all...); err != nil {
 		return res, fmt.Errorf("sharded soak seed=%d: %w", opts.Seed, err)
 	}
-	if _, rounds, ok := c.MergedAt(0); ok {
+	if _, _, rounds, ok := c.MergedAt(0); ok {
 		res.MergedRounds = rounds
 	}
+
+	// Streaming-vs-batch differential: every process's cursor must have
+	// streamed exactly the interleave batch Merge reconstructs.
+	for p := 0; p < opts.N; p++ {
+		n, err := c.verifyCursorAgainstBatch(drainCtx, ids.ProcessID(p), cursors[p])
+		if err != nil {
+			return res, fmt.Errorf("sharded soak seed=%d: %w", opts.Seed, err)
+		}
+		if p == 0 {
+			res.CursorMerged = n
+		}
+		res.CursorResyncs += cursors[p].resyncs
+	}
+
+	if opts.Core.Checkpointer != nil {
+		folded, err := c.verifyFoldedMerge(drainCtx, all, cursors)
+		if err != nil {
+			return res, fmt.Errorf("sharded soak seed=%d: %w", opts.Seed, err)
+		}
+		res.FoldedRounds = folded
+	}
+
 	if err := awaitSharedFDConvergence(drainCtx, c, all); err != nil {
 		return res, fmt.Errorf("sharded soak seed=%d: %w", opts.Seed, err)
 	}

@@ -41,9 +41,9 @@ func TestShardedClusterOrdersPerGroup(t *testing.T) {
 	if err := c.VerifyMergeDeterminism(0, 1, 2); err != nil {
 		t.Fatal(err)
 	}
-	merged, rounds, ok := c.MergedAt(0)
-	if !ok || rounds == 0 {
-		t.Fatalf("merge unavailable: rounds=%d ok=%v", rounds, ok)
+	merged, from, rounds, ok := c.MergedAt(0)
+	if !ok || rounds == 0 || from != 0 {
+		t.Fatalf("merge unavailable: from=%d rounds=%d ok=%v", from, rounds, ok)
 	}
 	if len(merged) != 30 {
 		// Every broadcast was awaited, and the frontier covers every

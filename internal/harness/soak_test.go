@@ -9,7 +9,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/group"
 	"repro/internal/ids"
+	"repro/internal/msg"
 	"repro/internal/storage"
+	"repro/internal/wire"
 )
 
 // soakVariants are the protocol configurations the randomized soak guards:
@@ -113,26 +115,53 @@ func TestSoakSeedsWAL(t *testing.T) {
 	}
 }
 
+// soakCheckpointer is the application fold the checkpointing soak variant
+// runs: a running (count, FNV-style hash) over every folded message, so
+// the app state genuinely depends on the folded prefix.
+type soakCheckpointer struct{}
+
+func (soakCheckpointer) Checkpoint(prev []byte, delivered []msg.Message) []byte {
+	var count, h uint64
+	if len(prev) > 0 {
+		r := wire.NewReader(prev)
+		count, h = r.U64(), r.U64()
+	}
+	for _, m := range delivered {
+		count++
+		h = h*1099511628211 ^ uint64(m.ID.Sender)<<40 ^ uint64(m.ID.Incarnation)<<32 ^ m.ID.Seq
+	}
+	w := wire.NewWriter(20)
+	w.U64(count)
+	w.U64(h)
+	return w.Bytes()
+}
+
+func (soakCheckpointer) Restore([]byte) {}
+
 // TestSoakSeedsSharded extends the soak matrix to sharded multi-group
 // clusters over a shared WAL: whole-process crashes, async recoveries and
 // process-level storage faults (below the group namespaces, so one fault
 // kills every group's write path at once) under a lossy network, while the
 // workload spreads broadcasts over every group. Verification is per group
 // — each group's total order must satisfy the full specification — plus
-// cross-group merge determinism and shared-FD re-trust at recovered
+// cross-group merge determinism, the streaming-vs-batch merge
+// differential (a cursor subscribed before the faults must stream exactly
+// what batch Merge reconstructs), and shared-FD re-trust at recovered
 // epochs (RunShardedSoak's awaitSharedFDConvergence).
 //
 // The cluster runs the full shared-substrate stack under test: shared
 // process-level failure detector (the harness default), digest
-// anti-entropy gossip, and the write-coalescing mux.
+// anti-entropy gossip, and the write-coalescing mux. The ckpt variant
+// additionally runs merged-mode application checkpointing (folds gated by
+// the merge floor) with WAL segment compaction underneath, and the soak's
+// final phase force-folds every group and re-verifies the merge over the
+// checkpointed prefixes.
 //
 // Reproduce a failing seed like the other soaks:
 //
 //	go test ./internal/harness -run 'TestSoakSeedsSharded/seed=11' -v -count=1
 func TestSoakSeedsSharded(t *testing.T) {
-	// The pipelined soak variant minus checkpointing/state transfer (the
-	// merge determinism check needs the full per-group suffixes).
-	cfg := core.Config{
+	base := core.Config{
 		PipelineDepth:    4,
 		BatchedBroadcast: true,
 		IncrementalLog:   true,
@@ -140,34 +169,54 @@ func TestSoakSeedsSharded(t *testing.T) {
 		MaxBatchDelay:    300 * time.Microsecond,
 		DigestGossip:     true,
 	}
+	ckpt := base
+	ckpt.CheckpointEvery = 6
+	ckpt.Checkpointer = soakCheckpointer{}
+	variants := map[string]core.Config{
+		"sharded-wal":      base,
+		"sharded-wal-ckpt": ckpt,
+	}
 	for _, seed := range []uint64{11, 47} {
-		t.Run(fmt.Sprintf("seed=%d/sharded-wal", seed), func(t *testing.T) {
-			t.Parallel()
-			dir := t.TempDir()
-			res, err := RunShardedSoak(ShardedSoakOptions{
-				Seed:   seed,
-				N:      3,
-				Groups: 3,
-				Core:   cfg,
-				Mux:    group.MuxOptions{FlushDelay: 200 * time.Microsecond},
-				NewStore: func(pid ids.ProcessID) storage.Stable {
-					w, werr := storage.OpenWAL(
-						filepath.Join(dir, fmt.Sprintf("p%d", pid)),
-						storage.WALOptions{SyncEvery: 16, MaxSyncDelay: 500 * time.Microsecond})
-					if werr != nil {
-						t.Fatalf("open wal: %v", werr)
-					}
-					return w
-				},
+		for name, cfg := range variants {
+			cfg := cfg
+			t.Run(fmt.Sprintf("seed=%d/%s", seed, name), func(t *testing.T) {
+				t.Parallel()
+				dir := t.TempDir()
+				walOpts := storage.WALOptions{SyncEvery: 16, MaxSyncDelay: 500 * time.Microsecond}
+				if cfg.Checkpointer != nil {
+					// The checkpointing variant also exercises the segment
+					// compactor under crash/recovery: checkpoint deletes
+					// create garbage, compaction reclaims it mid-soak.
+					walOpts.CompactFactor = 2
+					walOpts.CompactMinBytes = 4 << 10
+				}
+				res, err := RunShardedSoak(ShardedSoakOptions{
+					Seed:   seed,
+					N:      3,
+					Groups: 3,
+					Core:   cfg,
+					Mux:    group.MuxOptions{FlushDelay: 200 * time.Microsecond},
+					NewStore: func(pid ids.ProcessID) storage.Stable {
+						w, werr := storage.OpenWAL(
+							filepath.Join(dir, fmt.Sprintf("p%d", pid)), walOpts)
+						if werr != nil {
+							t.Fatalf("open wal: %v", werr)
+						}
+						return w
+					},
+				})
+				t.Logf("sharded soak: %v", res)
+				if err != nil {
+					t.Fatalf("sharded soak failed: %v", err)
+				}
+				if res.Crashes+res.StorageFaults == 0 {
+					t.Fatalf("schedule exercised no faults (seed too tame?): %v", res)
+				}
+				if cfg.Checkpointer != nil && res.FoldedRounds == 0 {
+					t.Fatalf("checkpointing variant folded nothing: %v", res)
+				}
 			})
-			t.Logf("sharded soak: %v", res)
-			if err != nil {
-				t.Fatalf("sharded soak failed: %v", err)
-			}
-			if res.Crashes+res.StorageFaults == 0 {
-				t.Fatalf("schedule exercised no faults (seed too tame?): %v", res)
-			}
-		})
+		}
 	}
 }
 

@@ -39,6 +39,44 @@
 // nothing ever acted on those records. The knobs only trade the latency
 // of reaching the durability point against fsyncs per record.
 //
+// # Log lifecycle
+//
+// An append-only log accumulates dead records: overwritten cells, deleted
+// keys, compacted protocol state (the checkpoint task of §5.2 deletes
+// whole consensus rounds). Segment compaction reclaims them so a
+// long-lived store's disk usage tracks its LIVE state, not its history:
+//
+//   - Triggers: background compaction runs on the WAL's committer when
+//     on-disk bytes exceed WALOptions.CompactFactor times the live index
+//     bytes and the CompactMinBytes floor (the trigger is evaluated after
+//     each commit group, so an idle engine compacts on its next write or
+//     an explicit Compact call). Compact() forces one cycle
+//     synchronously; DiskBytes, LiveBytes and CompactCount expose the
+//     footprint.
+//   - Mechanism: the committer drains the write queue, snapshots the
+//     index at exactly that stream position, rolls to a fresh segment,
+//     and rewrites the snapshot into it — every cell as a put record,
+//     every append-log as ONE atomic log-snapshot record (a torn or
+//     missing snapshot frame leaves the pre-compaction log intact; a
+//     delete-then-re-append encoding could lose acknowledged entries to
+//     a partial replay). Writes enqueued during the cycle simply land
+//     after the rewrite in the stream.
+//   - Crash safety: old segments are unlinked only after the rewrite's
+//     fsync, oldest first. A crash before the unlinks replays the old
+//     stream plus an arbitrary (possibly torn) prefix of the rewrite —
+//     idempotent over the state it describes; a crash mid-unlink leaves
+//     a contiguous suffix of old segments, so no delete record is ever
+//     separated from the earlier record it masks. Replay therefore
+//     recovers the exact index at every crash point (the compaction
+//     crash tests cut the rewrite at arbitrary byte offsets).
+//
+// The checkpoint floor bounds what compaction can reclaim: records stay
+// live until the protocol's checkpoint deletes them, so a deployment
+// without checkpointing keeps its whole consensus history live and
+// compaction only reclaims overwritten cells. Bounded disk needs both
+// tasks — §5.2's fold to bound the live state, compaction to bound the
+// garbage (experiment E18 measures the two together).
+//
 // The Accounted wrapper attributes every operation and byte to a layer
 // (consensus, broadcast, node, ...) keyed by a key prefix. That accounting
 // is how experiment E1 verifies the paper's central claim: the basic

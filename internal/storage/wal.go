@@ -38,6 +38,19 @@ import (
 // discipline of §5.5 — which is safe because no operation covering those
 // records ever completed, so no process acted on them.
 //
+// # Compaction
+//
+// Deleted and overwritten records stay on disk until segment compaction
+// reclaims them: with CompactFactor > 0 (or an explicit Compact call) the
+// committer periodically rewrites the live index — every cell as a fresh
+// put record, every log as one atomic log-snapshot record — into a fresh
+// segment and unlinks all older segments. The rewrite rides the same
+// group-commit pipeline position as the records it replaces: the queue is
+// drained first, the snapshot is taken at exactly that stream position,
+// and old segments are unlinked only after the rewrite's fsync — so a
+// crash at any point replays to the same index (see the package doc's
+// "Log lifecycle" section for the crash argument).
+//
 // # Failure model
 //
 // A write or fsync error poisons the engine: the failed group and every
@@ -48,14 +61,21 @@ type WAL struct {
 	dir  string
 	opts WALOptions
 
-	mu     sync.Mutex
-	cells  map[string][]byte
-	logs   map[string][][]byte
-	queue  []*walOp
-	oldest time.Time // arrival of queue[0]
-	urgent bool      // a barrier (or Close) demands an immediate flush
-	closed bool
-	failed error // first IO error; poisons all later operations
+	mu         sync.Mutex
+	cells      map[string][]byte
+	logs       map[string][][]byte
+	queue      []*walOp
+	oldest     time.Time // arrival of queue[0]
+	urgent     bool      // a barrier (or Close) demands an immediate flush
+	closed     bool
+	failed     error         // first IO error; poisons all later operations
+	liveBytes  int64         // approximate record bytes of the live index
+	compactReq []*Completion // explicit Compact callers awaiting a cycle
+
+	// compactHook, when set (tests only, under mu), is called from the
+	// committer at named stages of a compaction cycle to freeze crash
+	// points.
+	compactHook func(stage string)
 
 	// Committer-owned (no lock needed: single goroutine).
 	seg     *os.File
@@ -67,12 +87,14 @@ type WAL struct {
 	// notify carries flushed groups, in order, to the dispatcher that
 	// resolves their completions — off the committer goroutine so a slow
 	// completion callback cannot stall the next fsync.
-	notify      chan []*walOp
-	commitDone  chan struct{}
-	displDone   chan struct{}
-	syncCount   atomic.Int64
-	groupCount  atomic.Int64
-	recordCount atomic.Int64
+	notify       chan []*walOp
+	commitDone   chan struct{}
+	displDone    chan struct{}
+	syncCount    atomic.Int64
+	groupCount   atomic.Int64
+	recordCount  atomic.Int64
+	diskBytes    atomic.Int64
+	compactCount atomic.Int64
 }
 
 // WALOptions tunes the group-commit policy.
@@ -92,6 +114,19 @@ type WALOptions struct {
 	// NoSync skips fsync entirely (throughput ceiling / tests). Records
 	// are still written; durability is whatever the OS page cache gives.
 	NoSync bool
+	// CompactFactor enables background segment compaction: once the
+	// on-disk bytes exceed CompactFactor times the live index bytes (and
+	// CompactMinBytes), the committer rewrites the live state into a
+	// fresh segment and unlinks every older one, bounding steady-state
+	// disk usage at roughly CompactFactor x live state. 0 disables
+	// compaction (records are reclaimed only by an explicit Compact
+	// call); values below 1.5 are clamped to 1.5 — a lower factor would
+	// re-trigger immediately after every cycle.
+	CompactFactor float64
+	// CompactMinBytes is the disk-size floor below which background
+	// compaction never triggers (default 1 MiB): rewriting a tiny log
+	// costs more than the bytes it reclaims.
+	CompactMinBytes int64
 }
 
 func (o *WALOptions) fill() {
@@ -103,6 +138,12 @@ func (o *WALOptions) fill() {
 	}
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 64 << 20
+	}
+	if o.CompactFactor > 0 && o.CompactFactor < 1.5 {
+		o.CompactFactor = 1.5
+	}
+	if o.CompactMinBytes <= 0 {
+		o.CompactMinBytes = 1 << 20
 	}
 }
 
@@ -125,7 +166,56 @@ const (
 	walPut byte = iota + 1
 	walAppend
 	walDelete
+	// walLogSnap atomically replaces a whole append-log with the entries
+	// carried in its value — the compactor's rewrite form of a log. One
+	// frame per log keeps the replacement crash-atomic: a torn or missing
+	// snapshot record leaves the pre-compaction log intact, never a
+	// truncated one.
+	walLogSnap
 )
+
+// encodeLogSnap packs a log's entries as a walLogSnap value:
+// [count u32] then per entry [len u32][bytes].
+func encodeLogSnap(entries [][]byte) []byte {
+	n := 4
+	for _, e := range entries {
+		n += 4 + len(e)
+	}
+	b := make([]byte, 4, n)
+	binary.LittleEndian.PutUint32(b, uint32(len(entries)))
+	for _, e := range entries {
+		var l [4]byte
+		binary.LittleEndian.PutUint32(l[:], uint32(len(e)))
+		b = append(b, l[:]...)
+		b = append(b, e...)
+	}
+	return b
+}
+
+// decodeLogSnap unpacks a walLogSnap value; nil, false on malformed input.
+func decodeLogSnap(b []byte) ([][]byte, bool) {
+	if len(b) < 4 {
+		return nil, false
+	}
+	count := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	entries := make([][]byte, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(b) < 4 {
+			return nil, false
+		}
+		l := binary.LittleEndian.Uint32(b)
+		b = b[4:]
+		if uint32(len(b)) < l {
+			return nil, false
+		}
+		cp := make([]byte, l)
+		copy(cp, b[:l])
+		entries = append(entries, cp)
+		b = b[l:]
+	}
+	return entries, true
+}
 
 func encodeWALRec(op byte, key string, val []byte) []byte {
 	b := make([]byte, 1+4+len(key)+len(val))
@@ -208,6 +298,7 @@ func (w *WAL) replay() error {
 			return fmt.Errorf("storage: wal read %s: %w", path, err)
 		}
 		b := data
+		kept := len(data)
 		for len(b) > 0 {
 			rec, rest, ok := unframe(b)
 			if !ok {
@@ -222,11 +313,13 @@ func (w *WAL) replay() error {
 				if err := os.Truncate(path, off); err != nil {
 					return fmt.Errorf("storage: wal truncate torn tail: %w", err)
 				}
+				kept = int(off)
 				break
 			}
 			w.applyRec(rec)
 			b = rest
 		}
+		w.diskBytes.Add(int64(kept))
 	}
 
 	w.segSeq = 1
@@ -279,15 +372,72 @@ func (w *WAL) applyRec(rec []byte) {
 	case walPut:
 		cp := make([]byte, len(val))
 		copy(cp, val)
-		w.cells[key] = cp
+		w.applyPut(key, cp)
 	case walAppend:
 		cp := make([]byte, len(val))
 		copy(cp, val)
-		w.logs[key] = append(w.logs[key], cp)
+		w.applyAppend(key, cp)
 	case walDelete:
+		w.applyDelete(key)
+	case walLogSnap:
+		if entries, ok := decodeLogSnap(val); ok {
+			w.applyLogSnap(key, entries)
+		}
+	}
+}
+
+// recLiveBytes approximates the on-disk footprint of one record (frame +
+// header + key + value); the live-bytes counter driving the compaction
+// trigger sums it over the index.
+func recLiveBytes(key string, valLen int) int64 {
+	return int64(13 + len(key) + valLen)
+}
+
+// applyPut installs a cell value (already copied). Callers hold w.mu or
+// run single-threaded (replay, committer snapshot application).
+func (w *WAL) applyPut(key string, cp []byte) {
+	if old, ok := w.cells[key]; ok {
+		w.liveBytes -= recLiveBytes(key, len(old))
+	}
+	w.liveBytes += recLiveBytes(key, len(cp))
+	w.cells[key] = cp
+}
+
+// applyAppend appends one (already copied) log entry.
+func (w *WAL) applyAppend(key string, cp []byte) {
+	w.liveBytes += recLiveBytes(key, len(cp))
+	w.logs[key] = append(w.logs[key], cp)
+}
+
+// applyDelete removes a cell or log.
+func (w *WAL) applyDelete(key string) {
+	if old, ok := w.cells[key]; ok {
+		w.liveBytes -= recLiveBytes(key, len(old))
 		delete(w.cells, key)
+	}
+	if recs, ok := w.logs[key]; ok {
+		for _, r := range recs {
+			w.liveBytes -= recLiveBytes(key, len(r))
+		}
 		delete(w.logs, key)
 	}
+}
+
+// applyLogSnap replaces a whole log with the snapshot's entries.
+func (w *WAL) applyLogSnap(key string, entries [][]byte) {
+	if recs, ok := w.logs[key]; ok {
+		for _, r := range recs {
+			w.liveBytes -= recLiveBytes(key, len(r))
+		}
+	}
+	for _, e := range entries {
+		w.liveBytes += recLiveBytes(key, len(e))
+	}
+	if len(entries) == 0 {
+		delete(w.logs, key)
+		return
+	}
+	w.logs[key] = entries
 }
 
 // enqueueLocked queues one framed record. w.mu held.
@@ -317,7 +467,7 @@ func (w *WAL) PutAsync(key string, val []byte) *Completion {
 	}
 	cp := make([]byte, len(val))
 	copy(cp, val)
-	w.cells[key] = cp
+	w.applyPut(key, cp)
 	c := w.enqueueLocked(frame(encodeWALRec(walPut, key, val)))
 	w.mu.Unlock()
 	w.wakeCommitter()
@@ -333,7 +483,7 @@ func (w *WAL) AppendAsync(key string, rec []byte) *Completion {
 	}
 	cp := make([]byte, len(rec))
 	copy(cp, rec)
-	w.logs[key] = append(w.logs[key], cp)
+	w.applyAppend(key, cp)
 	c := w.enqueueLocked(frame(encodeWALRec(walAppend, key, rec)))
 	w.mu.Unlock()
 	w.wakeCommitter()
@@ -371,8 +521,7 @@ func (w *WAL) DeleteAsync(key string) *Completion {
 		w.mu.Unlock()
 		return c
 	}
-	delete(w.cells, key)
-	delete(w.logs, key)
+	w.applyDelete(key)
 	c := w.enqueueLocked(frame(encodeWALRec(walDelete, key, nil)))
 	w.mu.Unlock()
 	w.wakeCommitter()
@@ -489,9 +638,46 @@ func (w *WAL) SetGroupCommit(syncEvery int, maxSyncDelay time.Duration) {
 	}
 }
 
+// Compact forces one compaction cycle: the pending queue is flushed, the
+// live index is rewritten into a fresh segment (group-committed: the
+// rewrite's fsync completes first), and every older segment is unlinked.
+// It returns once the cycle is durable. Background compaction
+// (WALOptions.CompactFactor) runs the same cycle automatically whenever
+// dead records outgrow the live state.
+func (w *WAL) Compact() error {
+	w.mu.Lock()
+	if c, bad := w.unusableLocked(); bad {
+		w.mu.Unlock()
+		return c.Wait()
+	}
+	c := newCompletion()
+	w.compactReq = append(w.compactReq, c)
+	w.urgent = true
+	w.mu.Unlock()
+	w.wakeCommitter()
+	return c.Wait()
+}
+
 // SyncCount returns the number of fsyncs issued (observability; E15
 // reports fsyncs/msg to show the amortization).
 func (w *WAL) SyncCount() int64 { return w.syncCount.Load() }
+
+// CompactCount returns the number of completed compaction cycles.
+func (w *WAL) CompactCount() int64 { return w.compactCount.Load() }
+
+// DiskBytes returns the total bytes across all live segments
+// (observability; the E18 experiment and the compaction regression guard
+// read it).
+func (w *WAL) DiskBytes() int64 { return w.diskBytes.Load() }
+
+// LiveBytes returns the approximate record bytes of the live index — what
+// a compaction cycle would rewrite. DiskBytes/LiveBytes is the dead-space
+// ratio the CompactFactor trigger watches.
+func (w *WAL) LiveBytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.liveBytes
+}
 
 // GroupCount returns the number of commit groups flushed.
 func (w *WAL) GroupCount() int64 { return w.groupCount.Load() }
@@ -502,12 +688,15 @@ func (w *WAL) RecordCount() int64 { return w.recordCount.Load() }
 // commitLoop is the group-commit engine: it waits for work, optionally
 // holds the group open to let it grow (size/time triggers, mirroring the
 // protocol's adaptive batching), then writes the whole group with one
-// write and one fsync and hands it to the dispatcher.
+// write and one fsync and hands it to the dispatcher. Compaction runs on
+// this goroutine too: the queue is drained and the index snapshotted in
+// one critical section, so the rewrite sits at exactly its stream
+// position.
 func (w *WAL) commitLoop() {
 	defer close(w.commitDone)
 	for {
 		w.mu.Lock()
-		for len(w.queue) == 0 && !w.closed {
+		for len(w.queue) == 0 && len(w.compactReq) == 0 && !w.closed {
 			w.mu.Unlock()
 			select {
 			case <-w.kick:
@@ -516,14 +705,20 @@ func (w *WAL) commitLoop() {
 			w.mu.Lock()
 		}
 		if len(w.queue) == 0 && w.closed {
+			reqs := w.compactReq
+			w.compactReq = nil
 			w.mu.Unlock()
+			for _, c := range reqs {
+				c.complete(ErrClosed)
+			}
 			close(w.notify)
 			return
 		}
 		// Hold the group open under light load: flush on SyncEvery
 		// pending records, the oldest record aging past MaxSyncDelay, a
 		// barrier, or shutdown — whichever comes first.
-		if !w.closed && !w.urgent && w.opts.MaxSyncDelay > 0 && len(w.queue) < w.opts.SyncEvery {
+		if !w.closed && !w.urgent && w.opts.MaxSyncDelay > 0 &&
+			len(w.queue) > 0 && len(w.queue) < w.opts.SyncEvery {
 			wait := w.opts.MaxSyncDelay - time.Since(w.oldest)
 			if wait > 0 {
 				w.mu.Unlock()
@@ -541,23 +736,203 @@ func (w *WAL) commitLoop() {
 		w.queue = nil
 		w.urgent = false
 		err := w.failed
+		reqs := w.compactReq
+		w.compactReq = nil
+		// The compaction snapshot is taken in the same critical section
+		// that drains the queue: the snapshot's logical position in the
+		// record stream is exactly "after batch, before anything enqueued
+		// later", which is where the rewrite will be written.
+		var snap *compactSnap
+		if err == nil && !w.closed && (len(reqs) > 0 || w.compactDueLocked()) {
+			snap = w.snapshotLocked()
+		}
 		w.mu.Unlock()
 
 		if err == nil {
 			err = w.writeGroup(batch)
 			if err != nil {
-				w.mu.Lock()
-				if w.failed == nil {
-					w.failed = err
-				}
-				w.mu.Unlock()
+				w.poison(err)
 			}
 		}
 		for _, op := range batch {
 			op.err = err
 		}
 		w.notify <- batch
+
+		if snap != nil && err == nil {
+			if cerr := w.compact(snap); cerr != nil {
+				w.poison(cerr)
+				err = cerr
+			}
+		}
+		if len(reqs) > 0 {
+			cerr := err
+			if cerr == nil && snap == nil {
+				cerr = ErrClosed // Close raced the request; the cycle never ran
+			}
+			for _, c := range reqs {
+				c.complete(cerr)
+			}
+		}
 	}
+}
+
+// poison records the first IO error; every later operation resolves with
+// it.
+func (w *WAL) poison(err error) {
+	w.mu.Lock()
+	if w.failed == nil {
+		w.failed = err
+	}
+	w.mu.Unlock()
+}
+
+// compactSnap is the live index at one record-stream position, pending
+// rewrite.
+type compactSnap struct {
+	cells map[string][]byte
+	logs  map[string][][]byte
+	hook  func(stage string)
+}
+
+// compactDueLocked evaluates the background trigger. w.mu held.
+func (w *WAL) compactDueLocked() bool {
+	if w.opts.CompactFactor <= 0 {
+		return false
+	}
+	disk := w.diskBytes.Load()
+	return disk > w.opts.CompactMinBytes &&
+		float64(disk) > w.opts.CompactFactor*float64(w.liveBytes)
+}
+
+// snapshotLocked shallow-copies the index (values and log entries are
+// immutable once installed, so copying the map headers suffices). w.mu
+// held.
+func (w *WAL) snapshotLocked() *compactSnap {
+	cs := &compactSnap{
+		cells: make(map[string][]byte, len(w.cells)),
+		logs:  make(map[string][][]byte, len(w.logs)),
+		hook:  w.compactHook,
+	}
+	for k, v := range w.cells {
+		cs.cells[k] = v
+	}
+	for k, recs := range w.logs {
+		// Clamp the capacity so a concurrent append to the live log
+		// allocates a new backing array instead of sharing this one.
+		cs.logs[k] = recs[:len(recs):len(recs)]
+	}
+	return cs
+}
+
+// compact performs one compaction cycle on the committer goroutine: roll
+// to a fresh segment, rewrite the snapshot into it (cells as put records,
+// logs as atomic log-snapshot records), fsync, then unlink every older
+// segment. Crash safety: until the unlinks, replay sees the old segments
+// followed by (a possibly torn prefix of) the rewrite — put and
+// log-snapshot records are idempotent over the state they describe, so
+// the recovered index is unchanged; after the fsync the rewrite is a
+// complete substitute for everything before it, and unlinking oldest-
+// first keeps the surviving old segments a contiguous suffix (no delete
+// record can lose the earlier record it masks).
+func (w *WAL) compact(snap *compactSnap) error {
+	if err := w.rollSegment(); err != nil {
+		return err
+	}
+	newSeq := w.segSeq
+
+	keys := make([]string, 0, len(snap.cells)+len(snap.logs))
+	for k := range snap.cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	logKeys := make([]string, 0, len(snap.logs))
+	for k := range snap.logs {
+		logKeys = append(logKeys, k)
+	}
+	sort.Strings(logKeys)
+
+	var buf []byte
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		if _, err := w.seg.Write(buf); err != nil {
+			return fmt.Errorf("storage: wal compact write: %w", err)
+		}
+		w.segSize += int64(len(buf))
+		buf = buf[:0]
+		return nil
+	}
+	for _, k := range keys {
+		buf = append(buf, frame(encodeWALRec(walPut, k, snap.cells[k]))...)
+		if len(buf) >= 1<<20 {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	for _, k := range logKeys {
+		if len(snap.logs[k]) == 0 {
+			continue
+		}
+		buf = append(buf, frame(encodeWALRec(walLogSnap, k, encodeLogSnap(snap.logs[k])))...)
+		if len(buf) >= 1<<20 {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	// "rewrite": the records are written but not yet durable — a crash
+	// here leaves an arbitrary prefix of them on disk.
+	if snap.hook != nil {
+		snap.hook("rewrite")
+	}
+	if !w.opts.NoSync {
+		if err := w.seg.Sync(); err != nil {
+			return fmt.Errorf("storage: wal compact fsync: %w", err)
+		}
+		w.syncCount.Add(1)
+	}
+	if snap.hook != nil {
+		snap.hook("unlink")
+	}
+
+	// The rewrite is durable: everything below it is garbage. Oldest
+	// first, so a crash mid-unlink leaves a contiguous suffix.
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return fmt.Errorf("storage: wal compact list: %w", err)
+	}
+	var old []int
+	for _, e := range entries {
+		var seq int
+		if _, err := fmt.Sscanf(e.Name(), "wal-%08d.log", &seq); err == nil && seq < newSeq {
+			old = append(old, seq)
+		}
+	}
+	sort.Ints(old)
+	for _, seq := range old {
+		if err := os.Remove(filepath.Join(w.dir, segName(seq))); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("storage: wal compact unlink: %w", err)
+		}
+		// Make each unlink durable before issuing the next: unlink
+		// persistence is unordered without an intervening directory
+		// fsync, and a power loss that kept an older segment while
+		// losing a newer one would resurrect records the newer one's
+		// deletes masked. One fsync per old segment keeps the survivors
+		// a contiguous suffix under power loss too, not just process
+		// crashes; compactions are rare, so the cost is negligible.
+		if err := syncDirEntry(w.dir); err != nil {
+			return err
+		}
+	}
+	w.diskBytes.Store(w.segSize)
+	w.compactCount.Add(1)
+	return nil
 }
 
 // writeGroup writes one group to the current segment (rolling it first if
@@ -586,6 +961,7 @@ func (w *WAL) writeGroup(batch []*walOp) error {
 		return fmt.Errorf("storage: wal write: %w", err)
 	}
 	w.segSize += int64(len(buf))
+	w.diskBytes.Add(int64(len(buf)))
 	if !w.opts.NoSync {
 		if err := w.seg.Sync(); err != nil {
 			return fmt.Errorf("storage: wal fsync: %w", err)

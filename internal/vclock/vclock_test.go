@@ -18,9 +18,11 @@ func TestObserveAndCovers(t *testing.T) {
 	if v.Covers(id(0, 1, 1)) {
 		t.Fatal("empty clock covers something")
 	}
-	v.Observe(id(0, 1, 5))
+	for s := uint64(1); s <= 5; s++ {
+		v.Observe(id(0, 1, s))
+	}
 	if !v.Covers(id(0, 1, 5)) || !v.Covers(id(0, 1, 3)) {
-		t.Fatal("clock should cover seq <= 5")
+		t.Fatal("clock should cover seq <= 5 (all observed)")
 	}
 	if v.Covers(id(0, 1, 6)) {
 		t.Fatal("clock covers future seq")
@@ -33,11 +35,51 @@ func TestObserveAndCovers(t *testing.T) {
 	}
 }
 
+// TestCoversIsExact: observing a sequence number out of order must NOT
+// claim coverage of the skipped-over ones — a checkpoint folding a
+// sender's m4 before its m3 was ever delivered does not contain m3, and
+// claiming otherwise diverges processes that folded at different rounds
+// (see the package doc).
+func TestCoversIsExact(t *testing.T) {
+	v := New()
+	v.Observe(id(0, 1, 4)) // m4 ordered before m3 (gossip loss)
+	if !v.Covers(id(0, 1, 4)) {
+		t.Fatal("observed message not covered")
+	}
+	if v.Covers(id(0, 1, 3)) || v.Covers(id(0, 1, 1)) {
+		t.Fatal("clock covers never-observed holes")
+	}
+	v.Observe(id(0, 1, 3)) // m3 delivered later: the hole fills
+	if !v.Covers(id(0, 1, 3)) {
+		t.Fatal("filled hole not covered")
+	}
+	if v.Covers(id(0, 1, 2)) {
+		t.Fatal("remaining hole covered")
+	}
+	// Round-trip keeps the holes.
+	w := wire.NewWriter(0)
+	v.Encode(w)
+	got := Decode(wire.NewReader(w.Bytes()))
+	if got.Covers(id(0, 1, 2)) || !got.Covers(id(0, 1, 3)) || !got.Covers(id(0, 1, 4)) {
+		t.Fatal("holes lost in encode/decode round trip")
+	}
+	// Merge unions coverage: a clock that covers m2 fills the hole.
+	o := New()
+	o.Observe(id(0, 1, 1))
+	o.Observe(id(0, 1, 2))
+	v.Merge(o)
+	for s := uint64(1); s <= 4; s++ {
+		if !v.Covers(id(0, 1, s)) {
+			t.Fatalf("merged clock misses seq %d", s)
+		}
+	}
+}
+
 func TestObserveIsMonotone(t *testing.T) {
 	v := New()
 	v.Observe(id(0, 1, 10))
-	v.Observe(id(0, 1, 3)) // lower: no-op
-	if !v.Covers(id(0, 1, 10)) {
+	v.Observe(id(0, 1, 3)) // fills one hole, never regresses
+	if !v.Covers(id(0, 1, 10)) || !v.Covers(id(0, 1, 3)) {
 		t.Fatal("observe regressed")
 	}
 }
@@ -45,7 +87,12 @@ func TestObserveIsMonotone(t *testing.T) {
 func randVC(rng *rand.Rand) VC {
 	v := New()
 	for i := 0; i < rng.IntN(8); i++ {
-		v[Key{ids.ProcessID(rng.IntN(4)), uint32(rng.IntN(3))}] = rng.Uint64N(100) + 1
+		s, inc := ids.ProcessID(rng.IntN(4)), uint32(rng.IntN(3))
+		// A few out-of-order observations per stream, so random clocks
+		// carry holes and the lattice laws are checked over them.
+		for j := 0; j < 1+rng.IntN(4); j++ {
+			v.Observe(ids.MsgID{Sender: s, Incarnation: inc, Seq: rng.Uint64N(20) + 1})
+		}
 	}
 	return v
 }
@@ -116,9 +163,13 @@ func TestEncodeIsDeterministic(t *testing.T) {
 
 func TestDominates(t *testing.T) {
 	a := New()
-	a.Observe(id(0, 1, 5))
+	for s := uint64(1); s <= 5; s++ {
+		a.Observe(id(0, 1, s))
+	}
 	b := New()
-	b.Observe(id(0, 1, 3))
+	for s := uint64(1); s <= 3; s++ {
+		b.Observe(id(0, 1, s))
+	}
 	if !a.Dominates(b) || b.Dominates(a) {
 		t.Fatal("dominates wrong")
 	}
@@ -128,5 +179,15 @@ func TestDominates(t *testing.T) {
 	}
 	if !a.Dominates(New()) {
 		t.Fatal("everything dominates empty")
+	}
+	// Exactness: {5} with holes below does not dominate {3}.
+	h := New()
+	h.Observe(id(0, 1, 5))
+	only3 := New()
+	only3.Observe(id(0, 1, 3))
+	only3.Observe(id(0, 1, 1))
+	only3.Observe(id(0, 1, 2))
+	if h.Dominates(only3) {
+		t.Fatal("clock with holes dominates contiguous coverage")
 	}
 }
