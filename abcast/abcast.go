@@ -70,9 +70,36 @@
 // fresh segment (group-committed before the old segments are unlinked,
 // so every crash point replays to the same index) and reclaims the dead
 // records that checkpointing leaves behind. Experiment E18 measures
-// both; the README's "Log lifecycle" section covers the caveats (an
-// idle group pins the merge frontier and, with MergedDelivery, the
-// checkpoint reclamation behind it).
+// both. An idle group does not stall any of this: in merged mode the
+// quiescent group's sequencer proposes empty heartbeat rounds after a
+// bounded idle interval (ProtocolOptions.IdleHeartbeat), so the merge
+// frontier — and every group's checkpoint reclamation behind it —
+// keeps advancing without traffic on every group.
+//
+// # Latency fast path
+//
+// Two independent knobs cut commit latency below full consensus plus an
+// fsync per round:
+//
+//   - Config.OnTentative enables optimistic delivery: the sequencer emits
+//     each locally proposed batch in predicted total order BEFORE the
+//     round's consensus decision is durable, then certifies the prediction
+//     with OnConfirm (it matched the agreed order — externalize now) or
+//     retracts it with OnRevoke (a competing batch or state transfer won —
+//     discard the speculative suffix; the messages re-deliver later). The
+//     OnDeliver stream stays authoritative and unchanged; speculate on
+//     tentative deliveries, externalize only on confirm.
+//   - ProtocolOptions.Lease grants the stable sequencer a quorum lease (a
+//     ranged promise, multi-Paxos style): while the same process keeps
+//     proposing, each round skips the prepare phase entirely and runs
+//     accept-only at the lease ballot. FD suspicion, a competitor's higher
+//     ballot, or LeaseTTL expiry falls back to full consensus. Safety
+//     rests on ballots and quorum intersection, never on clocks, so the
+//     §2.1 crash-recovery durability contract is preserved verbatim.
+//
+// Experiment E19 measures both (tentative vs confirmed p50/p99, leased vs
+// unleased, mem and TCP transports); the README's "Latency" section covers
+// the contract and when not to enable optimism.
 //
 // # Shared process services
 //
@@ -181,6 +208,24 @@ type Config struct {
 	// OnRestore is invoked when the process adopts a checkpoint or
 	// state transfer instead of replaying.
 	OnRestore func(Snapshot)
+	// OnTentative enables the optimistic-delivery fast path: deliveries
+	// with Tentative set arrive in predicted total order before the
+	// round's consensus decision is durable. Speculate on them; hold
+	// externalization until the covering OnConfirm. OnDeliver remains the
+	// authoritative stream either way. See the package comment's "Latency
+	// fast path" section.
+	OnTentative func(Delivery)
+	// OnConfirm certifies the tentative stream of group g up to (but not
+	// including) position upToPos: the predictions matched the agreed
+	// order, their authoritative OnDeliver calls have fired, and their
+	// effects may be externalized. Fires only once the confirming round's
+	// decision is durable.
+	OnConfirm func(g GroupID, upToPos uint64)
+	// OnRevoke retracts every unconfirmed tentative delivery (all at
+	// positions >= fromPos): discard the speculative state built on them
+	// and rebuild from the confirmed OnDeliver stream. Revoked messages
+	// are not lost — they re-deliver (and re-predict) in a later round.
+	OnRevoke func(g GroupID, fromPos uint64)
 }
 
 // ProtocolOptions mirrors the §5 alternative-protocol knobs plus the
@@ -236,6 +281,29 @@ type ProtocolOptions struct {
 	// batching: the earlier of the size and time triggers wins).
 	MaxBatchDelay time.Duration
 
+	// IdleHeartbeat, when positive, makes the sequencer propose an empty
+	// heartbeat round after the group has committed nothing for this long
+	// (staggered by PID so normally one process fires), keeping an idle
+	// group's round counter moving. Sharded merged-mode deployments need
+	// it so a quiescent group does not pin the merge frontier and every
+	// group's checkpoint reclamation behind it — NewSharded defaults it
+	// on when MergedDelivery is set (set it negative to force it off).
+	// Heartbeat rounds deliver nothing and are reclaimed by the normal
+	// checkpoint/compaction lifecycle.
+	IdleHeartbeat time.Duration
+	// Lease enables the stable-sequencer lease: while the same process
+	// keeps proposing (the common case), each round skips the consensus
+	// prepare phase and runs accept-only at a quorum-granted ballot,
+	// cutting a full message round trip plus its acceptor fsync from the
+	// commit path. Suspicion, competition, or LeaseTTL expiry falls back
+	// to full consensus; crash-recovery safety is untouched (the grant is
+	// a durable ranged promise, arbitrated by ballots, not clocks).
+	// PolicyLeader only; ignored under PolicyRotating.
+	Lease bool
+	// LeaseTTL bounds how long a holder keeps trying the fast path
+	// without a successful round (default 500ms). A liveness knob only.
+	LeaseTTL time.Duration
+
 	// SyncEvery and MaxSyncDelay set the storage durability policy when
 	// the process runs over a group-commit engine (NewWALStorage): an
 	// fsync is forced once SyncEvery log records are pending, or when
@@ -279,6 +347,17 @@ func (o ProtocolOptions) coreConfig() core.Config {
 		MaxBatch:          o.MaxBatch,
 		MaxBatchBytes:     o.MaxBatchBytes,
 		MaxBatchDelay:     o.MaxBatchDelay,
+		IdleHeartbeat:     max(o.IdleHeartbeat, 0),
+	}
+}
+
+// consensusConfig maps the options' consensus knobs (the lease) plus the
+// coordinator policy onto the consensus layer's config.
+func (o ProtocolOptions) consensusConfig(policy ConsensusPolicy) consensus.Config {
+	return consensus.Config{
+		Policy:   policy,
+		Lease:    o.Lease,
+		LeaseTTL: o.LeaseTTL,
 	}
 }
 
@@ -304,11 +383,14 @@ func NewProcess(cfg Config, st Storage, net Network) *Process {
 	coreCfg := cfg.Protocol.coreConfig()
 	coreCfg.OnDeliver = cfg.OnDeliver
 	coreCfg.OnRestore = cfg.OnRestore
+	coreCfg.OnTentative = cfg.OnTentative
+	coreCfg.OnConfirm = cfg.OnConfirm
+	coreCfg.OnRevoke = cfg.OnRevoke
 	nodeCfg := node.Config{
 		PID:       cfg.PID,
 		N:         cfg.N,
 		Core:      coreCfg,
-		Consensus: consensus.Config{Policy: cfg.Policy},
+		Consensus: cfg.Protocol.consensusConfig(cfg.Policy),
 		FD:        cfg.FD,
 	}
 	return &Process{n: node.New(nodeCfg, st, net)}
@@ -335,6 +417,15 @@ func (p *Process) Broadcast(ctx context.Context, payload []byte) (MsgID, error) 
 func (p *Process) Delivered(id MsgID) bool {
 	proto := p.n.Proto()
 	return proto != nil && proto.Delivered(id)
+}
+
+// DeliveredTentative reports whether id is in the delivery sequence or in
+// an outstanding optimistic prediction (tentatively delivered, not yet
+// confirmed). A true answer obtained only through a prediction carries no
+// durability guarantee — it can be revoked.
+func (p *Process) DeliveredTentative(id MsgID) bool {
+	proto := p.n.Proto()
+	return proto != nil && proto.DeliveredTentative(id)
 }
 
 // Sequence implements A-deliver-sequence(): the base snapshot that

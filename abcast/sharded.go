@@ -4,8 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
-	"repro/internal/consensus"
 	"repro/internal/fd"
 	"repro/internal/group"
 	"repro/internal/ids"
@@ -97,11 +97,14 @@ type ShardedConfig struct {
 	// rounds below the process-wide merge frontier (the highest round
 	// every group has committed), so per-round delivery metadata survives
 	// until the merge has passed it and the interleave stays
-	// reconstructible across checkpoints and recoveries. Liveness caveat:
-	// an idle group pins the merge frontier, which then also pins every
-	// group's checkpoint reclamation — merged-mode deployments must route
-	// traffic to all groups. Leave it false when only per-group orders
-	// are consumed, so checkpoints fold eagerly.
+	// reconstructible across checkpoints and recoveries. An idle group
+	// does not pin the frontier: merged mode defaults
+	// Protocol.IdleHeartbeat on (50ms unless the config sets its own
+	// value; negative forces it off), so a quiescent group proposes empty
+	// heartbeat rounds and the frontier — with every group's checkpoint
+	// reclamation behind it — keeps advancing without traffic on every
+	// group. Leave MergedDelivery false when only per-group orders are
+	// consumed, so checkpoints fold eagerly.
 	MergedDelivery bool
 
 	// OnDeliver receives every A-delivered message of every group, tagged
@@ -112,6 +115,15 @@ type ShardedConfig struct {
 	// OnRestore is invoked when group g adopts a checkpoint or state
 	// transfer instead of replaying.
 	OnRestore func(GroupID, Snapshot)
+	// OnTentative, OnConfirm and OnRevoke enable the optimistic-delivery
+	// fast path per group, with the same contract as the unsharded
+	// Config hooks: tentative deliveries (tagged with their group) are
+	// predictions, OnConfirm(g, upTo) certifies group g's stream below
+	// upTo, OnRevoke(g, from) retracts g's unconfirmed suffix. Positions
+	// are per group; the merged sequence carries only confirmed rounds.
+	OnTentative func(Delivery)
+	OnConfirm   func(g GroupID, upToPos uint64)
+	OnRevoke    func(g GroupID, fromPos uint64)
 }
 
 // Sharded is a process running G independent ordering groups — the paper's
@@ -175,6 +187,13 @@ func NewSharded(cfg ShardedConfig, st Storage, net *ShardedNetwork) (*Sharded, e
 	if st != nil {
 		cfg.Protocol.applyGroupCommit(st)
 	}
+	if cfg.MergedDelivery && cfg.Protocol.IdleHeartbeat == 0 {
+		// Merged mode needs idle groups to keep their round counters
+		// moving or the merge frontier (and every group's checkpoint
+		// reclamation) pins on the first quiescent group. A negative
+		// IdleHeartbeat opts out explicitly (coreConfig clamps it to 0).
+		cfg.Protocol.IdleHeartbeat = 50 * time.Millisecond
+	}
 	for g := 0; g < groups; g++ {
 		gid := GroupID(g)
 		var gst Storage
@@ -194,6 +213,9 @@ func NewSharded(cfg ShardedConfig, st Storage, net *ShardedNetwork) (*Sharded, e
 		if restore := cfg.OnRestore; restore != nil {
 			coreCfg.OnRestore = func(sn Snapshot) { restore(gid, sn) }
 		}
+		coreCfg.OnTentative = cfg.OnTentative
+		coreCfg.OnConfirm = cfg.OnConfirm
+		coreCfg.OnRevoke = cfg.OnRevoke
 		// Every group feeds the process's per-round stream (it also
 		// tracks the decided counters Merged and MergeCursor use); the
 		// merge floor gates checkpoint folds only when the merged
@@ -209,7 +231,7 @@ func NewSharded(cfg ShardedConfig, st Storage, net *ShardedNetwork) (*Sharded, e
 			N:         cfg.N,
 			Group:     gid,
 			Core:      coreCfg,
-			Consensus: consensus.Config{Policy: cfg.Policy},
+			Consensus: cfg.Protocol.consensusConfig(cfg.Policy),
 			FD:        cfg.FD,
 			// Every group's consensus engine reads the one process-level
 			// detector through its own facade; the group nodes send no
@@ -593,4 +615,8 @@ func addStats(t *Stats, o Stats) {
 	t.PipelinedProposals += o.PipelinedProposals
 	t.ProposedMessages += o.ProposedMessages
 	t.DeliveredByTransfer += o.DeliveredByTransfer
+	t.TentativeDeliveries += o.TentativeDeliveries
+	t.TentativeConfirmed += o.TentativeConfirmed
+	t.TentativeRevoked += o.TentativeRevoked
+	t.HeartbeatRounds += o.HeartbeatRounds
 }

@@ -3,10 +3,12 @@
 // shootout over both the simulated LAN and a TCP loopback transport, the
 // E15 group-commit-WAL-versus-sync-per-write storage comparison, the E16
 // sharded multi-group ordering scaling study, the E17 shared-process-
-// services background-cost study, and the E18 log-lifecycle study —
-// bounded state under churn and streaming-versus-batch merge latency)
-// and prints their tables. EXPERIMENTS.md is generated from its
-// full-scale output.
+// services background-cost study, the E18 log-lifecycle study —
+// bounded state under churn and streaming-versus-batch merge latency —
+// and the E19 latency fast-path study: tentative-versus-confirmed commit
+// latency, leased versus unleased, on mem and TCP transports) and prints
+// their tables. EXPERIMENTS.md is generated from its full-scale output;
+// BENCH_e19.json is generated with -e19json.
 //
 // Usage:
 //
@@ -14,6 +16,7 @@
 //	abcast-bench -quick          # small sizes (seconds, CI-friendly)
 //	abcast-bench -exp E4,E5      # a subset
 //	abcast-bench -md             # markdown tables (for EXPERIMENTS.md)
+//	abcast-bench -e19json PATH   # write the E19 latency trajectory JSON
 package main
 
 import (
@@ -30,11 +33,21 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced-size experiments")
 	expFlag := flag.String("exp", "", "comma-separated experiment ids (e.g. E1,E4); empty = all")
 	md := flag.Bool("md", false, "emit markdown tables")
+	e19json := flag.String("e19json", "", "write the E19 latency trajectory JSON to this path and exit")
 	flag.Parse()
 
 	scale := experiments.Full
 	if *quick {
 		scale = experiments.Quick
+	}
+
+	if *e19json != "" {
+		if err := experiments.E19WriteJSON(scale, *e19json); err != nil {
+			fmt.Fprintln(os.Stderr, "abcast-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *e19json)
+		return
 	}
 
 	if err := run(scale, *expFlag, *md); err != nil {

@@ -109,6 +109,23 @@ type Config struct {
 	RetryMax time.Duration
 	// Seed randomizes backoff jitter.
 	Seed uint64
+	// Lease enables the stable-sequencer lease fast path (PolicyLeader
+	// only; ignored under PolicyRotating, whose ballots are not owned by a
+	// single process). After deciding a round classically, the Ω-leader
+	// asks every acceptor for a ranged promise covering all instances
+	// >= fromK at one ballot; with a majority granted it skips phase 1 and
+	// runs accept-phase-only rounds at that ballot until a competitor's
+	// higher ballot, an FD leadership change, or LeaseTTL expiry drops the
+	// lease. Safety rests on ballots and quorum intersection alone — never
+	// on clocks: a grant is durably logged before it is acknowledged, and
+	// a granting acceptor nacks every other proposer below the lease
+	// ballot, so the holder's value is the only one choosable at or below
+	// it in the covered range.
+	Lease bool
+	// LeaseTTL bounds how long a holder keeps trying the fast path without
+	// a successful round (default 500ms). Purely a liveness knob — expiry
+	// stops futile fast-path attempts; it revokes nothing at acceptors.
+	LeaseTTL time.Duration
 }
 
 func (c *Config) fill() {
@@ -120,6 +137,9 @@ func (c *Config) fill() {
 	}
 	if c.RetryMax <= 0 {
 		c.RetryMax = 120 * time.Millisecond
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 500 * time.Millisecond
 	}
 }
 

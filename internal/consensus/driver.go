@@ -132,8 +132,34 @@ func (e *Engine) drive(in *instance) {
 		}
 		stuck = 0
 
+		// Lease fast path: while this process holds the stable-sequencer
+		// lease covering in.k, skip phase 1 and push its own proposal at
+		// the lease ballot. Any failure drops the lease and falls back to
+		// a full ballot.
+		if b, v, fast := e.leaseBallot(in); fast {
+			decided, higher := e.runAcceptPhase(ctx, in, b, v)
+			e.leaseRoundDone(decided)
+			if decided {
+				return
+			}
+			if higher > 0 {
+				attempt = e.attemptAbove(higher)
+			} else {
+				attempt = e.attemptAbove(b)
+			}
+			fails++
+			if !e.waitWake(ctx, in, e.backoff(fails)) {
+				return
+			}
+			continue
+		}
+
 		decided, higher := e.runBallot(ctx, in, attempt)
 		if decided {
+			// The round just decided under this process's classic
+			// coordination: the moment to (re-)establish the lease for
+			// the instances after it.
+			e.maybeAcquireLease(in.k + 1)
 			return
 		}
 		if higher > 0 {
@@ -229,13 +255,31 @@ func (e *Engine) runBallot(ctx context.Context, in *instance, attempt uint64) (d
 	if !found {
 		v = in.proposal
 	}
+	e.mu.Unlock()
+
+	return e.runAcceptPhase(ctx, in, b, v)
+}
+
+// runAcceptPhase executes phase 2 at ballot b with value v: broadcast the
+// accept, collect a majority, decide. It is the whole round on the lease
+// fast path (where the grant quorum's attestation replaces phase 1) and
+// the second half of a classic ballot.
+func (e *Engine) runAcceptPhase(ctx context.Context, in *instance, b uint64, v []byte) (decided bool, higher uint64) {
+	e.mu.Lock()
+	if in.hasDec || in.gone {
+		e.mu.Unlock()
+		return true, 0
+	}
+	in.curBallot = b
 	in.phase = 2
+	clear(in.accepts)
+	in.maxNack = 0
 	e.mu.Unlock()
 
 	e.send(ids.Nobody, message{kind: mAccept, k: in.k, b: b, val: v})
 
 	// Phase 2: collect accepts from a majority.
-	deadline = time.Now().Add(e.phaseTimeout())
+	deadline := time.Now().Add(e.phaseTimeout())
 	for {
 		e.mu.Lock()
 		if in.hasDec || in.gone {

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/ids"
 	"repro/internal/router"
@@ -21,7 +22,14 @@ import (
 //	cons/p/<k>  proposal cell   — the paper's required "propose" log (§3.2)
 //	cons/a/<k>  acceptor cell   — promise + accepted pair
 //	cons/d/<k>  decision cell   — learned decision
+//	cons/lease  lease-grant cell — the acceptor's ranged promise (ballot, fromK)
 const keyPrefix = "cons/"
+
+// keyLease holds the acceptor's lease grant: a durable ranged promise that
+// must survive crashes exactly like per-instance promises (parseKey skips
+// it, so the per-instance restore loop ignores it; restore loads it
+// explicitly).
+const keyLease = "cons/lease"
 
 func propKey(k uint64) string { return fmt.Sprintf("cons/p/%016x", k) }
 func accKey(k uint64) string  { return fmt.Sprintf("cons/a/%016x", k) }
@@ -142,6 +150,28 @@ type Engine struct {
 	ctx     context.Context
 	stopped bool
 
+	// Acceptor-side lease grant (durable, cell keyLease): a ranged promise
+	// to refuse ballots < grantB in every instance >= grantFrom. A newer
+	// grant never narrows the range (grantFrom only moves down), so the
+	// attestation behind an older grant is never silently dropped.
+	grantHeld bool
+	grantB    uint64
+	grantFrom uint64
+
+	// Holder-side lease (volatile: a recovered holder re-acquires).
+	leaseHeld      bool
+	leaseB         uint64
+	leaseFrom      uint64
+	leaseUntil     time.Time
+	leaseAcquiring bool
+	leaseAttempt   uint64
+	leaseCooldown  time.Time
+	leaseReqB      uint64
+	leaseAcks      map[ids.ProcessID]bool
+	leaseNackB     uint64
+	leaseWake      chan struct{}
+	leaseStats     LeaseStats
+
 	wg sync.WaitGroup
 }
 
@@ -206,6 +236,21 @@ func (e *Engine) restore() error {
 				close(in.done)
 			}
 		}
+	}
+	// The lease-grant cell is a ranged promise: forgetting it across a
+	// crash would let the acceptor promise/accept below a granted ballot.
+	raw, found, err := e.st.Get(keyLease)
+	if err != nil {
+		return fmt.Errorf("consensus: restore lease grant: %w", err)
+	}
+	if found {
+		r := wire.NewReader(raw)
+		e.grantB = r.U64()
+		e.grantFrom = r.U64()
+		if err := r.Done(); err != nil {
+			return fmt.Errorf("consensus: corrupt lease grant cell: %w", err)
+		}
+		e.grantHeld = true
 	}
 	return nil
 }

@@ -34,6 +34,13 @@ func (e *Engine) OnMessage(from ids.ProcessID, payload []byte) {
 		e.mu.Unlock()
 		return
 	}
+	if m.kind == mLeaseReq || m.kind == mLeaseAck || m.kind == mLeaseNack {
+		// Before the floor check: lease messages carry a range start in
+		// m.k, not a live instance (onLeaseReqLocked applies its own
+		// floor rule).
+		e.onLeaseMsg(from, m) // unlocks e.mu
+		return
+	}
 	if m.k < e.floor {
 		// The instance was garbage-collected under a checkpoint; the
 		// asker will catch up through the broadcast layer's state
@@ -55,7 +62,11 @@ func (e *Engine) OnMessage(from ids.ProcessID, payload []byte) {
 			e.send(from, message{kind: mDecide, k: m.k, val: v})
 			return
 		}
-		if m.b > in.promised {
+		// The effective promise includes any lease grant covering this
+		// instance: a granted range behaves like a promise at the lease
+		// ballot in every covered instance (that refusal is the whole
+		// point of the grant).
+		if m.b > max(in.promised, e.grantBoundLocked(m.k)) {
 			in.promised = m.b
 			reply := message{
 				kind:   mPromise,
@@ -73,7 +84,7 @@ func (e *Engine) OnMessage(from ids.ProcessID, payload []byte) {
 			e.replyWhenDurable(c, from, reply)
 			return
 		}
-		promised := in.promised
+		promised := max(in.promised, e.grantBoundLocked(m.k))
 		e.mu.Unlock()
 		e.send(from, message{kind: mNack, k: m.k, b: m.b, promised: promised})
 
@@ -84,7 +95,10 @@ func (e *Engine) OnMessage(from ids.ProcessID, payload []byte) {
 			e.send(from, message{kind: mDecide, k: m.k, val: v})
 			return
 		}
-		if m.b >= in.promised {
+		// The lease holder's own accepts arrive at exactly the grant
+		// ballot, which passes (>=); everyone else is below it and is
+		// nacked with the bound so they re-ballot above the lease.
+		if m.b >= max(in.promised, e.grantBoundLocked(m.k)) {
 			in.promised = m.b
 			in.accB = m.b
 			in.accV = m.val
@@ -94,7 +108,7 @@ func (e *Engine) OnMessage(from ids.ProcessID, payload []byte) {
 			e.replyWhenDurable(c, from, message{kind: mAccepted, k: m.k, b: m.b})
 			return
 		}
-		promised := in.promised
+		promised := max(in.promised, e.grantBoundLocked(m.k))
 		e.mu.Unlock()
 		e.send(from, message{kind: mNack, k: m.k, b: m.b, promised: promised})
 

@@ -15,6 +15,16 @@ const (
 	mDecideReq   uint8 = 7 // learner -> all: please resend decisions of [k, k+span]
 	mForgotten   uint8 = 8 // responder -> learner: instance k was GC'd; floor attached
 	mDecideMulti uint8 = 9 // responder -> learner: batched decisions for a window
+
+	// Stable-sequencer lease (the latency fast path). A lease is a ranged
+	// promise: the grant attests that the acceptor has no accepted or
+	// decided state in any instance >= k (the request's fromK) and will
+	// refuse ballots < b there from anyone else, letting the holder run
+	// accept-phase-only rounds at ballot b. k carries fromK; b the lease
+	// ballot; a nack's promised carries the conflicting ballot.
+	mLeaseReq  uint8 = 10 // would-be holder -> all: grant me (fromK, b)
+	mLeaseAck  uint8 = 11 // acceptor -> holder: granted (durably logged)
+	mLeaseNack uint8 = 12 // acceptor -> holder: refused; conflict attached
 )
 
 // decideWindow is the extra window a learner asks for with every decide

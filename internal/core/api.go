@@ -43,11 +43,18 @@ var ErrStopped = errors.New("core: protocol stopped")
 // delivered the message (always 0 unless the process runs sharded
 // multi-group ordering), so one shared OnDeliver handler can serve every
 // group of a sharded process.
+//
+// Tentative marks an optimistic delivery emitted on the fast path (see
+// Config.OnTentative): the position is the sequencer's prediction, made
+// before the round's Consensus decision is durable, and is only final once
+// the matching OnConfirm fires. Deliveries from OnDeliver, Sequence and
+// recovery replay are never tentative.
 type Delivery struct {
-	Msg   msg.Message
-	Group ids.GroupID
-	Round uint64
-	Pos   uint64
+	Msg       msg.Message
+	Group     ids.GroupID
+	Round     uint64
+	Pos       uint64
+	Tentative bool
 }
 
 // Snapshot is an application-level checkpoint (§5.2): the pair
@@ -154,6 +161,18 @@ type Config struct {
 	// delivered prefix with application checkpoints (§5.2).
 	Checkpointer Checkpointer
 
+	// IdleHeartbeat, when positive, makes the sequencer propose an empty
+	// heartbeat round after the process has seen no committed round for
+	// this long, so a quiescent group keeps advancing its round counter —
+	// which is what lets a cross-group merge frontier (and the checkpoint
+	// folds gated on it) move past an idle group. The deadline is
+	// staggered by PID (process p waits (p+1) intervals) so normally only
+	// the lowest live process proposes; any duplicate heartbeats are
+	// harmless empty rounds. Heartbeat rounds deliver nothing, so they
+	// grow neither the delivery suffix nor (past the next checkpoint's
+	// DiscardBelow) the consensus log. 0 disables heartbeats.
+	IdleHeartbeat time.Duration
+
 	// MergeFloor, when set, bounds how far a checkpoint may fold the
 	// delivered prefix: CheckpointNow folds only rounds strictly below
 	// min(k, MergeFloor()). A sharded process that consumes the merged
@@ -185,6 +204,34 @@ type Config struct {
 	// adoption do not fire at all — OnRoundSkip reports the jump instead.
 	// The slice is shared and must not be mutated.
 	OnRound func(g ids.GroupID, round uint64, deliveries []Delivery)
+	// OnTentative enables the optimistic-delivery fast path: when set, the
+	// sequencer emits every message of a locally proposed batch as a
+	// Tentative Delivery at propose time — in predicted total order, with
+	// predicted positions, BEFORE the round's Consensus decision (and its
+	// fsync) completes. The prediction is exact in the failure-free common
+	// case; it is certified or retracted by OnConfirm/OnRevoke. State
+	// machines may speculate on tentative deliveries but must not
+	// externalize their effects until the covering OnConfirm — tentative
+	// state is volatile and carries none of §2.1's durability guarantees.
+	// Like OnDeliver, calls are made in order on the sequencer goroutine.
+	OnTentative func(Delivery)
+	// OnConfirm certifies the tentative stream: all tentative deliveries
+	// of group g with Pos < upToPos matched the agreed order exactly (the
+	// authoritative OnDeliver calls for them have already fired, with
+	// identical content and positions) and their effects may now be
+	// externalized. It fires after the confirming round's OnDeliver calls
+	// and only once that round's decision is durable, so confirmation is
+	// as strong as the conservative path.
+	OnConfirm func(g ids.GroupID, upToPos uint64)
+	// OnRevoke retracts the tentative stream: every unconfirmed tentative
+	// delivery (all have Pos >= fromPos) was mispredicted — a competing
+	// batch won the round, a state transfer skipped it, or positions
+	// shifted — and the speculative state built on them must be discarded
+	// and rebuilt from the confirmed OnDeliver stream. It fires before the
+	// conflicting round's OnDeliver calls. Revoked messages are not lost:
+	// they re-enter the Unordered set and are re-delivered (and, with
+	// OnTentative, re-predicted) by a later round.
+	OnRevoke func(g ids.GroupID, fromPos uint64)
 	// OnRoundSkip, when set, is invoked when a state-transfer adoption
 	// (§5.3, including the GC-forced transfer a recovering process
 	// receives when it fell below a peer's collection floor) moves the
@@ -226,4 +273,9 @@ type Stats struct {
 	PipelinedProposals  uint64 // proposals submitted for rounds beyond the head
 	ProposedMessages    uint64 // messages across all submitted proposals
 	DeliveredByTransfer uint64 // messages skipped over via state adoption
+
+	TentativeDeliveries uint64 // optimistic deliveries emitted at propose time
+	TentativeConfirmed  uint64 // tentative deliveries certified by OnConfirm
+	TentativeRevoked    uint64 // tentative deliveries retracted by OnRevoke
+	HeartbeatRounds     uint64 // empty rounds proposed by the idle heartbeat
 }

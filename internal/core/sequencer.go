@@ -196,6 +196,57 @@ func (p *Protocol) pump(results map[uint64][]byte) time.Duration {
 			return 0
 		}
 		p.startWaiter(r)
+		p.emitTentative(r, batch)
+	}
+}
+
+// emitTentative publishes the optimistic prediction for freshly proposed
+// round r (Config.OnTentative): the batch, in the canonical order
+// appendBatch will apply, at the positions it will occupy if the proposal
+// wins the round — which, while the sequencer is stable, it does. Only
+// fresh local proposals are predicted: replayed proposals are not (their
+// outcome is already settled in the log), and neither are proposals for
+// rounds the group is known to have decided (p.gossipK > r — a behind-pull
+// proposal almost surely loses to the already-decided batch).
+func (p *Protocol) emitTentative(r uint64, batch []msg.Message) {
+	cb := p.cfg.OnTentative
+	if cb == nil || len(batch) == 0 {
+		return
+	}
+	pred := append([]msg.Message(nil), batch...)
+	msg.SortCanonical(pred)
+	p.mu.Lock()
+	if p.stopped || r < p.k || p.gossipK > r {
+		p.mu.Unlock()
+		return
+	}
+	t := tentRound{round: r, from: p.tentNextPos}
+	out := make([]Delivery, 0, len(pred))
+	for _, m := range pred {
+		if p.ds.contains(m.ID) {
+			continue
+		}
+		t.ids = append(t.ids, m.ID)
+		out = append(out, Delivery{
+			Msg:       m,
+			Group:     p.cfg.Group,
+			Round:     r,
+			Pos:       t.from + uint64(len(t.ids)-1),
+			Tentative: true,
+		})
+	}
+	if len(t.ids) == 0 {
+		p.mu.Unlock()
+		return
+	}
+	p.tentNextPos = t.from + uint64(len(t.ids))
+	p.tentative = append(p.tentative, t)
+	p.stats.TentativeDeliveries += uint64(len(t.ids))
+	p.mu.Unlock()
+	// Same goroutine as commit's callbacks (the sequencer), so tentative
+	// and authoritative deliveries never interleave out of order.
+	for _, d := range out {
+		cb(d)
 	}
 }
 
@@ -231,7 +282,20 @@ func (p *Protocol) assembleBatch(r uint64) (batch []msg.Message, delay time.Dura
 	// an empty batch) so WaitDecided pulls the missing decisions in.
 	behind := p.gossipK > r
 	if len(batch) == 0 && !behind {
-		return nil, 0, false // nothing to order and nothing to learn
+		if p.cfg.IdleHeartbeat <= 0 || r != p.k {
+			return nil, 0, false // nothing to order and nothing to learn
+		}
+		// Idle heartbeat: propose an empty round at the head once no round
+		// has committed for (PID+1) idle intervals. The stagger means
+		// normally only the lowest live process fires; duplicates are
+		// harmless empty rounds. This keeps an idle group's round counter
+		// advancing, so a cross-group merge frontier — and the checkpoint
+		// folds gated on it — moves past the group instead of pinning on it.
+		deadline := p.lastProgress.Add(p.cfg.IdleHeartbeat * time.Duration(p.cfg.PID+1))
+		if wait := time.Until(deadline); wait > 0 {
+			return nil, wait, false // not idle long enough yet
+		}
+		p.stats.HeartbeatRounds++
 	}
 	if len(batch) > 0 && !full && !behind && p.cfg.MaxBatchDelay > 0 {
 		if wait := p.cfg.MaxBatchDelay - time.Since(p.pendingSince); wait > 0 {
@@ -342,11 +406,15 @@ func (p *Protocol) maybeAdopt() {
 	if next := p.ds.nextPos(); next > oldNext {
 		p.stats.DeliveredByTransfer += next - oldNext
 	}
+	// The adopted sequence jumps past every predicted round: the
+	// speculative suffix is void, whatever those rounds end up deciding.
+	revokeFrom, revoked := p.revokeAllTentativeLocked()
 	base := p.ds.snapshotBase()
 	suffix := p.tagGroup(p.ds.deliveries())
 	restoreCb := p.cfg.OnRestore
 	deliverCb := p.cfg.OnDeliver
 	skipCb := p.cfg.OnRoundSkip
+	revokeCb := p.cfg.OnRevoke
 	w := wire.GetWriter(256)
 	defer wire.PutWriter(w)
 	w.U64(p.k)
@@ -354,6 +422,11 @@ func (p *Protocol) maybeAdopt() {
 	ckptBytes := w.Bytes()
 	p.mu.Unlock()
 
+	if revoked && revokeCb != nil {
+		// Before the restore callback: speculative state goes first, then
+		// the application resets to the adopted snapshot.
+		revokeCb(p.cfg.Group, revokeFrom)
+	}
 	if restoreCb != nil {
 		restoreCb(base)
 	}

@@ -346,6 +346,7 @@ func All(scale Scale) ([]*Result, error) {
 		{"E14", E14Pipeline}, {"E15", E15Storage}, {"E16", E16Sharding},
 		{"E17", E17SharedServices},
 		{"E18", E18LogLifecycle},
+		{"E19", E19Latency},
 	}
 	var out []*Result
 	for _, e := range exps {
@@ -397,6 +398,8 @@ func ByName(name string) (func(Scale) (*Result, error), bool) {
 		return E17SharedServices, true
 	case "E18":
 		return E18LogLifecycle, true
+	case "E19":
+		return E19Latency, true
 	default:
 		return nil, false
 	}

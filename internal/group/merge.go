@@ -31,10 +31,11 @@ type Sequence struct {
 //
 //   - rounds is the merge frontier: a round k enters the output once every
 //     group has decided round k, so the frontier is the minimum of the
-//     per-group round counters. Liveness caveat: the frontier only
-//     advances while every group keeps deciding rounds, so merged-mode
-//     deployments should route traffic to all groups (or accept that an
-//     idle group pins the merge).
+//     per-group round counters. An idle group does not stall it: with
+//     core.Config.IdleHeartbeat set (merged-mode sharding defaults it on),
+//     a quiescent group's sequencer proposes empty heartbeat rounds after a
+//     bounded idle interval, so every group's round counter — and with it
+//     the frontier — keeps advancing without application traffic.
 //   - from is the merge base: the highest round any group's checkpointing
 //     has folded into its base snapshot (Base.Rounds). Rounds below it are
 //     no longer reconstructible from the suffixes — under the merge-floor

@@ -1,0 +1,175 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+)
+
+// optimismTracker is the soak's differential oracle for the optimistic
+// delivery contract: every tentative delivery a process emits must
+// eventually be either confirmed — and then match the authoritative
+// delivery at the same position exactly — or revoked before anything
+// conflicting is delivered, and a confirm watermark, once issued, is
+// never retracted (confirmed state is externalizable). Tentative state
+// is volatile: a crash clears a process's speculative suffix, so a
+// recovered incarnation owes neither confirms nor revokes for the dead
+// one's predictions.
+type optimismTracker struct {
+	mu                             sync.Mutex
+	procs                          []optProc
+	tentatives, confirmed, revoked int
+	errs                           []string
+}
+
+// optPos identifies one slot of a group's total order.
+type optPos struct {
+	g   ids.GroupID
+	pos uint64
+}
+
+type optProc struct {
+	pending     map[optPos]ids.MsgID // speculative, awaiting confirm/revoke
+	actual      map[optPos]ids.MsgID // authoritative deliveries by position
+	confirmedTo map[ids.GroupID]uint64
+}
+
+func newOptimismTracker(n int) *optimismTracker {
+	t := &optimismTracker{procs: make([]optProc, n)}
+	for i := range t.procs {
+		t.procs[i] = optProc{
+			pending:     make(map[optPos]ids.MsgID),
+			actual:      make(map[optPos]ids.MsgID),
+			confirmedTo: make(map[ids.GroupID]uint64),
+		}
+	}
+	return t
+}
+
+func (t *optimismTracker) failf(format string, args ...any) {
+	if len(t.errs) < 8 {
+		t.errs = append(t.errs, fmt.Sprintf(format, args...))
+	}
+}
+
+func (t *optimismTracker) onTentative(pid ids.ProcessID, d core.Delivery) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := &t.procs[pid]
+	t.tentatives++
+	if !d.Tentative {
+		t.failf("p%v: OnTentative delivery %v@%d not flagged Tentative", pid, d.Msg.ID, d.Pos)
+	}
+	if d.Pos < p.confirmedTo[d.Group] {
+		t.failf("p%v g%v: tentative at pos %d below the confirmed watermark %d",
+			pid, d.Group, d.Pos, p.confirmedTo[d.Group])
+	}
+	p.pending[optPos{d.Group, d.Pos}] = d.Msg.ID
+}
+
+func (t *optimismTracker) onDeliver(pid ids.ProcessID, g ids.GroupID, d core.Delivery) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.procs[pid].actual[optPos{g, d.Pos}] = d.Msg.ID
+}
+
+func (t *optimismTracker) onConfirm(pid ids.ProcessID, g ids.GroupID, upTo uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := &t.procs[pid]
+	for k, id := range p.pending {
+		if k.g != g || k.pos >= upTo {
+			continue
+		}
+		// OnConfirm fires after the covering round's authoritative
+		// deliveries, so the actual slot must already be populated — and
+		// identical, or the protocol certified a misprediction.
+		switch got, ok := p.actual[k]; {
+		case !ok:
+			t.failf("p%v g%v: pos %d confirmed but never authoritatively delivered", pid, g, k.pos)
+		case got != id:
+			t.failf("p%v g%v: pos %d confirmed as %v but authoritatively delivered %v",
+				pid, g, k.pos, id, got)
+		default:
+			t.confirmed++
+		}
+		delete(p.pending, k)
+	}
+	if upTo > p.confirmedTo[g] {
+		p.confirmedTo[g] = upTo
+	}
+}
+
+func (t *optimismTracker) onRevoke(pid ids.ProcessID, g ids.GroupID, from uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := &t.procs[pid]
+	if from < p.confirmedTo[g] {
+		t.failf("p%v g%v: revoke from pos %d retracts confirmed (externalized) state below %d",
+			pid, g, from, p.confirmedTo[g])
+	}
+	for k := range p.pending {
+		if k.g != g {
+			continue
+		}
+		if k.pos < from {
+			t.failf("p%v g%v: tentative at pos %d survives a revoke from %d (the whole speculative suffix must drop)",
+				pid, g, k.pos, from)
+		}
+		delete(p.pending, k)
+		t.revoked++
+	}
+}
+
+// onRestore clears a recovering process's speculative state: predictions
+// die with the incarnation that made them.
+func (t *optimismTracker) onRestore(pid ids.ProcessID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	clear(t.procs[pid].pending)
+}
+
+// awaitSettled polls until no process holds an unsettled tentative
+// delivery: after the drain every predicted round has committed, so
+// every surviving prediction must have been confirmed or revoked.
+func (t *optimismTracker) awaitSettled(ctx context.Context) error {
+	for {
+		t.mu.Lock()
+		var leftover string
+		for pid := range t.procs {
+			if n := len(t.procs[pid].pending); n > 0 {
+				leftover = fmt.Sprintf("p%d holds %d tentative deliveries never confirmed or revoked", pid, n)
+			}
+		}
+		t.mu.Unlock()
+		if leftover == "" {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("optimism: %s: %w", leftover, ctx.Err())
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// err reports the accumulated contract violations, if any.
+func (t *optimismTracker) err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("optimism contract violated: %s", strings.Join(t.errs, "; "))
+}
+
+func (t *optimismTracker) counts() (tentatives, confirmed, revoked int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tentatives, t.confirmed, t.revoked
+}

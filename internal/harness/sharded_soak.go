@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/consensus"
 	"repro/internal/core"
 	"repro/internal/group"
 	"repro/internal/ids"
@@ -45,6 +46,15 @@ type ShardedSoakOptions struct {
 	// an adoption skips rounds wholesale, which no merge consumer can
 	// reconstruct; RunShardedSoak rejects it.
 	Core core.Config
+	// Consensus extends every group's consensus engine configuration —
+	// notably the stable-sequencer lease (PID/N/Seed filled per node).
+	Consensus consensus.Config
+	// Optimistic runs the soak against the optimistic-delivery contract
+	// (see SoakOptions.Optimistic): per-process tentative tracking over
+	// every group, plus lease revocations and injected fsync latency in
+	// the schedule. The merge stream is unaffected — it carries only
+	// confirmed rounds.
+	Optimistic bool
 	// Mux tunes the multiplexer's write coalescing (zero = none), so the
 	// soak can exercise the coalesced data plane under crash/recovery.
 	Mux group.MuxOptions
@@ -95,11 +105,20 @@ type ShardedSoakResult struct {
 	FoldedRounds  uint64 // rounds folded into base checkpoints (p0, summed over groups)
 	CursorMerged  int    // deliveries streamed by p0's cursor (== batch merge length)
 	CursorResyncs int    // cursor resubscriptions after GC-forced state transfers
+	LeaseRevokes  int    // lease revocations the schedule injected (Optimistic)
+	Tentatives    int    // tentative deliveries observed across groups (Optimistic)
+	Confirmed     int    // tentatives certified against the authoritative order
+	Revoked       int    // tentatives retracted by OnRevoke
 }
 
 func (r ShardedSoakResult) String() string {
-	return fmt.Sprintf("crashes=%d recoveries=%d storage-faults=%d broadcasts=%d returned=%d delivered=%d merged-rounds=%d folded-rounds=%d cursor-merged=%d cursor-resyncs=%d",
+	s := fmt.Sprintf("crashes=%d recoveries=%d storage-faults=%d broadcasts=%d returned=%d delivered=%d merged-rounds=%d folded-rounds=%d cursor-merged=%d cursor-resyncs=%d",
 		r.Crashes, r.Recoveries, r.StorageFaults, r.Broadcasts, r.Returned, r.Delivered, r.MergedRounds, r.FoldedRounds, r.CursorMerged, r.CursorResyncs)
+	if r.Tentatives > 0 {
+		s += fmt.Sprintf(" lease-revokes=%d tentative=%d confirmed=%d revoked=%d",
+			r.LeaseRevokes, r.Tentatives, r.Confirmed, r.Revoked)
+	}
+	return s
 }
 
 // shardedTarget adapts a ShardedCluster to the soak engine: crash and
@@ -114,6 +133,13 @@ func (t shardedTarget) Recover(pid ids.ProcessID) (time.Duration, error) {
 }
 func (t shardedTarget) ProcessUp(pid ids.ProcessID) bool        { return t.c.Up(pid) }
 func (t shardedTarget) Fault(pid ids.ProcessID) *storage.Faulty { return t.c.Faults[pid] }
+func (t shardedTarget) RevokeLease(pid ids.ProcessID) {
+	for _, n := range t.c.Nodes[pid] {
+		if e := n.Engine(); e != nil {
+			e.RevokeLease()
+		}
+	}
+}
 func (t shardedTarget) Broadcast(ctx context.Context, pid ids.ProcessID, msgIndex int, payload []byte) (ids.MsgID, error) {
 	g := ids.GroupID((msgIndex + int(pid)) % t.c.Opts.Groups)
 	return t.c.Broadcast(ctx, pid, g, payload)
@@ -143,11 +169,12 @@ func RunShardedSoak(opts ShardedSoakOptions) (ShardedSoakResult, error) {
 		return res, fmt.Errorf("sharded soak: CheckpointEvery without a Checkpointer never folds; configure one (the variant under test is merged-mode application checkpointing)")
 	}
 
-	c := NewShardedCluster(ShardedOptions{
+	shOpts := ShardedOptions{
 		N:                   opts.N,
 		Groups:              opts.Groups,
 		Seed:                opts.Seed,
 		Net:                 DefaultLossyNet(opts.Seed),
+		Consensus:           opts.Consensus,
 		Core:                opts.Core,
 		Mux:                 opts.Mux,
 		InjectFaultyStorage: true,
@@ -155,7 +182,19 @@ func RunShardedSoak(opts ShardedSoakOptions) (ShardedSoakResult, error) {
 		// The soak consumes merged sequences, so checkpointing runs the
 		// merged-mode discipline: folds gated by the merge frontier.
 		MergedDelivery: opts.Core.Checkpointer != nil,
-	})
+	}
+	var tracker *optimismTracker
+	if opts.Optimistic {
+		tracker = newOptimismTracker(opts.N)
+		shOpts.OnTentative = tracker.onTentative
+		shOpts.OnConfirm = tracker.onConfirm
+		shOpts.OnRevoke = tracker.onRevoke
+		shOpts.OnDeliver = tracker.onDeliver
+		// Crashes are whole-process, so one group's restore clears the
+		// process's entire speculative set (all groups died with it).
+		shOpts.OnRestore = func(pid ids.ProcessID, _ ids.GroupID, _ core.Snapshot) { tracker.onRestore(pid) }
+	}
+	c := NewShardedCluster(shOpts)
 	defer c.Stop()
 	if err := c.StartAll(); err != nil {
 		return res, fmt.Errorf("sharded soak seed=%d: start: %w", opts.Seed, err)
@@ -183,12 +222,14 @@ func RunShardedSoak(opts ShardedSoakOptions) (ShardedSoakResult, error) {
 		payload:      opts.Payload,
 		maxDown:      opts.MaxDown,
 		drainTimeout: opts.DrainTimeout,
+		optimistic:   opts.Optimistic,
 	}, shardedTarget{c})
 	res = ShardedSoakResult{
 		Crashes:       counts.crashes,
 		Recoveries:    counts.recoveries,
 		StorageFaults: counts.storageFaults,
 		Broadcasts:    counts.broadcasts,
+		LeaseRevokes:  counts.leaseRevokes,
 	}
 	if err != nil {
 		return res, fmt.Errorf("sharded soak seed=%d: %w", opts.Seed, err)
@@ -207,6 +248,15 @@ func RunShardedSoak(opts ShardedSoakOptions) (ShardedSoakResult, error) {
 	}
 	for _, rec := range c.Recs {
 		res.Delivered += len(rec.DeliveredAnywhere())
+	}
+	if tracker != nil {
+		if err := tracker.awaitSettled(drainCtx); err != nil {
+			return res, fmt.Errorf("sharded soak seed=%d: %w", opts.Seed, err)
+		}
+		res.Tentatives, res.Confirmed, res.Revoked = tracker.counts()
+		if err := tracker.err(); err != nil {
+			return res, fmt.Errorf("sharded soak seed=%d: %w", opts.Seed, err)
+		}
 	}
 	if err := c.VerifyMergeDeterminism(all...); err != nil {
 		return res, fmt.Errorf("sharded soak seed=%d: %w", opts.Seed, err)

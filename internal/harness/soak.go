@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/consensus"
 	"repro/internal/core"
 	"repro/internal/ids"
 	"repro/internal/storage"
@@ -42,6 +43,18 @@ type SoakOptions struct {
 	// Core selects the protocol variant under test (basic, pipelined,
 	// batched, checkpointing, ...).
 	Core core.Config
+	// Consensus extends each process's consensus engine configuration —
+	// notably the stable-sequencer lease (PID/N/Seed are filled per
+	// process, as always).
+	Consensus consensus.Config
+	// Optimistic runs the soak against the optimistic-delivery contract:
+	// the cluster's tentative hooks feed a per-process tracker asserting
+	// that every tentative delivery is confirmed (matching the
+	// authoritative order exactly) or revoked, and that confirmed state is
+	// never retracted; the schedule additionally revokes sequencer leases
+	// mid-stream and injects fsync latency — the disturbances that make
+	// speculation systematically wrong.
+	Optimistic bool
 	// NewStore, when set, supplies each process's stable-storage engine
 	// (default in-memory). The soak's storage-fault injection sits on
 	// top of it either way, so a WAL-backed soak exercises injected
@@ -84,11 +97,20 @@ type SoakResult struct {
 	Broadcasts    int // broadcast attempts that produced a message id
 	Returned      int // broadcasts whose A-broadcast returned (must deliver)
 	Delivered     int // distinct messages in the final total order
+	LeaseRevokes  int // lease revocations the schedule injected (Optimistic)
+	Tentatives    int // tentative deliveries observed (Optimistic)
+	Confirmed     int // tentatives certified against the authoritative order
+	Revoked       int // tentatives retracted by OnRevoke
 }
 
 func (r SoakResult) String() string {
-	return fmt.Sprintf("crashes=%d recoveries=%d storage-faults=%d broadcasts=%d returned=%d delivered=%d",
+	s := fmt.Sprintf("crashes=%d recoveries=%d storage-faults=%d broadcasts=%d returned=%d delivered=%d",
 		r.Crashes, r.Recoveries, r.StorageFaults, r.Broadcasts, r.Returned, r.Delivered)
+	if r.Tentatives > 0 {
+		s += fmt.Sprintf(" lease-revokes=%d tentative=%d confirmed=%d revoked=%d",
+			r.LeaseRevokes, r.Tentatives, r.Confirmed, r.Revoked)
+	}
+	return s
 }
 
 // soakState tracks per-process lifecycle so the schedule never starts two
@@ -143,6 +165,11 @@ type soakTarget interface {
 	ProcessUp(pid ids.ProcessID) bool
 	Fault(pid ids.ProcessID) *storage.Faulty
 	Broadcast(ctx context.Context, pid ids.ProcessID, msgIndex int, payload []byte) (ids.MsgID, error)
+	// RevokeLease drops the process's held sequencer lease(s), modelling
+	// the injected suspicion an optimistic schedule uses to force the
+	// fast path back onto full consensus mid-stream. A no-op when the
+	// process is down or holds no lease.
+	RevokeLease(pid ids.ProcessID)
 }
 
 // soakSchedule holds the shape parameters shared by every soak flavor.
@@ -154,6 +181,10 @@ type soakSchedule struct {
 	payload      int
 	maxDown      int
 	drainTimeout time.Duration
+	// optimistic adds lease-revocation and fsync-latency disturbances to
+	// the schedule's quiet steps (the seeded walk is otherwise unchanged,
+	// so non-optimistic seeds keep their schedules).
+	optimistic bool
 }
 
 // soakCounts is what the schedule engine observed.
@@ -162,6 +193,7 @@ type soakCounts struct {
 	recoveries    int
 	storageFaults int
 	broadcasts    int // attempts that produced a message id
+	leaseRevokes  int // injected lease revocations (optimistic schedules)
 }
 
 // runSoakSchedule is the soak engine shared by RunSoak and
@@ -235,6 +267,15 @@ func runSoakSchedule(sch soakSchedule, t soakTarget) (soakCounts, context.Contex
 	var recWG, tripWG sync.WaitGroup
 	for step := 0; step < sch.steps; step++ {
 		time.Sleep(time.Duration(1+rng.IntN(12)) * time.Millisecond)
+		if sch.optimistic && step == sch.steps/2 {
+			// Deterministic mid-run suspicion burst: revoke every held
+			// lease so the fast path is contested on every seed (the
+			// random disturbances below may miss short schedules).
+			for p := 0; p < sch.n; p++ {
+				t.RevokeLease(ids.ProcessID(p))
+			}
+			res.leaseRevokes += sch.n
+		}
 		switch rng.IntN(10) {
 		case 0, 1, 2: // crash a fully-up process (respecting maxDown)
 			if st.downCount() >= sch.maxDown {
@@ -317,7 +358,30 @@ func runSoakSchedule(sch soakSchedule, t soakTarget) (soakCounts, context.Contex
 				}()
 			})
 			res.storageFaults++
-		default: // let the cluster run
+		default: // let the cluster run — or, optimistically, disturb it
+			if !sch.optimistic {
+				continue
+			}
+			pid, ok := st.pick(rng, func(i int) bool {
+				return st.up[i] && !st.recovering[i]
+			})
+			if !ok {
+				continue
+			}
+			switch rng.IntN(3) {
+			case 0:
+				// Injected suspicion: drop the held lease mid-stream, so
+				// the next round falls back to full consensus and any
+				// prediction built on the fast path gets contested.
+				t.RevokeLease(pid)
+				res.leaseRevokes++
+			case 1:
+				// Slow disk: widen the propose→fsync window tentative
+				// deliveries live in, keeping speculation exposed longer.
+				t.Fault(pid).SetLatency(time.Duration(1+rng.IntN(2)) * time.Millisecond)
+			default:
+				t.Fault(pid).SetLatency(0)
+			}
 		}
 	}
 
@@ -333,6 +397,7 @@ func runSoakSchedule(sch soakSchedule, t soakTarget) (soakCounts, context.Contex
 	// tripWG — the Wait is race-free.
 	for p := 0; p < sch.n; p++ {
 		t.Fault(ids.ProcessID(p)).Disarm()
+		t.Fault(ids.ProcessID(p)).SetLatency(0)
 	}
 	tripWG.Wait()
 	drainCtx, cancel := context.WithTimeout(context.Background(), sch.drainTimeout)
@@ -382,6 +447,11 @@ func (t clusterTarget) Recover(pid ids.ProcessID) (time.Duration, error) {
 }
 func (t clusterTarget) ProcessUp(pid ids.ProcessID) bool        { return t.c.Nodes[pid].Up() }
 func (t clusterTarget) Fault(pid ids.ProcessID) *storage.Faulty { return t.c.Faults[pid] }
+func (t clusterTarget) RevokeLease(pid ids.ProcessID) {
+	if e := t.c.Nodes[pid].Engine(); e != nil {
+		e.RevokeLease()
+	}
+}
 func (t clusterTarget) Broadcast(ctx context.Context, pid ids.ProcessID, _ int, payload []byte) (ids.MsgID, error) {
 	return t.c.Broadcast(ctx, pid, payload)
 }
@@ -392,14 +462,25 @@ func RunSoak(opts SoakOptions) (SoakResult, error) {
 	opts.fill()
 	var res SoakResult
 
-	c := NewCluster(Options{
+	clOpts := Options{
 		N:                   opts.N,
 		Seed:                opts.Seed,
 		Net:                 DefaultLossyNet(opts.Seed),
+		Consensus:           opts.Consensus,
 		Core:                opts.Core,
 		InjectFaultyStorage: true,
 		NewStore:            opts.NewStore,
-	})
+	}
+	var tracker *optimismTracker
+	if opts.Optimistic {
+		tracker = newOptimismTracker(opts.N)
+		clOpts.OnTentative = tracker.onTentative
+		clOpts.OnConfirm = tracker.onConfirm
+		clOpts.OnRevoke = tracker.onRevoke
+		clOpts.OnDeliver = func(pid ids.ProcessID, d core.Delivery) { tracker.onDeliver(pid, 0, d) }
+		clOpts.OnRestore = func(pid ids.ProcessID, _ core.Snapshot) { tracker.onRestore(pid) }
+	}
+	c := NewCluster(clOpts)
 	defer c.Stop()
 	if err := c.StartAll(); err != nil {
 		return res, fmt.Errorf("soak seed=%d: start: %w", opts.Seed, err)
@@ -413,12 +494,14 @@ func RunSoak(opts SoakOptions) (SoakResult, error) {
 		payload:      opts.Payload,
 		maxDown:      opts.MaxDown,
 		drainTimeout: opts.DrainTimeout,
+		optimistic:   opts.Optimistic,
 	}, clusterTarget{c})
 	res = SoakResult{
 		Crashes:       counts.crashes,
 		Recoveries:    counts.recoveries,
 		StorageFaults: counts.storageFaults,
 		Broadcasts:    counts.broadcasts,
+		LeaseRevokes:  counts.leaseRevokes,
 	}
 	if err != nil {
 		return res, fmt.Errorf("soak seed=%d: %w", opts.Seed, err)
@@ -434,5 +517,14 @@ func RunSoak(opts SoakOptions) (SoakResult, error) {
 		return res, fmt.Errorf("soak seed=%d: drain: %w", opts.Seed, err)
 	}
 	res.Delivered = len(c.Rec.DeliveredAnywhere())
+	if tracker != nil {
+		if err := tracker.awaitSettled(drainCtx); err != nil {
+			return res, fmt.Errorf("soak seed=%d: %w", opts.Seed, err)
+		}
+		res.Tentatives, res.Confirmed, res.Revoked = tracker.counts()
+		if err := tracker.err(); err != nil {
+			return res, fmt.Errorf("soak seed=%d: %w", opts.Seed, err)
+		}
+	}
 	return res, nil
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/consensus"
 	"repro/internal/core"
 	"repro/internal/group"
 	"repro/internal/ids"
@@ -72,6 +73,47 @@ func TestSoakSeeds(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestSoakSeedsOptimistic runs the seeded soak with the optimistic
+// delivery fast path and the stable-sequencer lease enabled, against a
+// schedule where optimism is systematically wrong: besides the usual
+// crashes, recoveries and storage faults, quiet steps now revoke held
+// leases mid-stream (injected suspicion forcing the fast path back onto
+// full consensus) and inject fsync latency (widening the window between
+// a tentative delivery and its confirm). The optimism tracker asserts
+// the confirm/revoke contract event by event — every confirmed tentative
+// matches the authoritative delivery at its position, a revoke never
+// retracts a confirmed watermark, and nothing speculative survives
+// unsettled — while the recorder holds the authoritative order to the
+// full Atomic Broadcast specification: a tentative rolled back on a
+// sequencer crash must re-appear through the usual delivery path.
+func TestSoakSeedsOptimistic(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 23} {
+		t.Run(fmt.Sprintf("seed=%d/optimistic", seed), func(t *testing.T) {
+			t.Parallel()
+			res, err := RunSoak(SoakOptions{
+				Seed:       seed,
+				N:          3,
+				Core:       soakVariants()["pipelined"],
+				Consensus:  consensus.Config{Lease: true, LeaseTTL: 50 * time.Millisecond},
+				Optimistic: true,
+			})
+			t.Logf("soak: %v", res)
+			if err != nil {
+				t.Fatalf("soak failed: %v", err)
+			}
+			if res.Crashes+res.StorageFaults == 0 {
+				t.Fatalf("schedule exercised no faults (seed too tame?): %v", res)
+			}
+			if res.Tentatives == 0 {
+				t.Fatalf("optimistic soak observed no tentative deliveries: %v", res)
+			}
+			if res.LeaseRevokes == 0 {
+				t.Fatalf("schedule injected no lease revocations: %v", res)
+			}
+		})
 	}
 }
 
@@ -217,6 +259,47 @@ func TestSoakSeedsSharded(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestSoakSeedsShardedOptimistic runs the sharded soak with tentative
+// delivery, the lease fast path and the merged-mode idle heartbeat wired
+// through every group: the optimism tracker checks the per-group
+// confirm/revoke contract while the merge verification proves the merged
+// sequence carries only confirmed rounds (tentative deliveries never
+// reach the recorders or the stream).
+func TestSoakSeedsShardedOptimistic(t *testing.T) {
+	cfg := core.Config{
+		PipelineDepth:    4,
+		BatchedBroadcast: true,
+		IncrementalLog:   true,
+		MaxBatchBytes:    4 << 10,
+		MaxBatchDelay:    300 * time.Microsecond,
+		DigestGossip:     true,
+	}
+	for _, seed := range []uint64{11, 47} {
+		t.Run(fmt.Sprintf("seed=%d/sharded-optimistic", seed), func(t *testing.T) {
+			t.Parallel()
+			res, err := RunShardedSoak(ShardedSoakOptions{
+				Seed:       seed,
+				N:          3,
+				Groups:     3,
+				Core:       cfg,
+				Consensus:  consensus.Config{Lease: true, LeaseTTL: 50 * time.Millisecond},
+				Mux:        group.MuxOptions{FlushDelay: 200 * time.Microsecond},
+				Optimistic: true,
+			})
+			t.Logf("sharded soak: %v", res)
+			if err != nil {
+				t.Fatalf("sharded soak failed: %v", err)
+			}
+			if res.Crashes+res.StorageFaults == 0 {
+				t.Fatalf("schedule exercised no faults (seed too tame?): %v", res)
+			}
+			if res.Tentatives == 0 {
+				t.Fatalf("optimistic soak observed no tentative deliveries: %v", res)
+			}
+		})
 	}
 }
 

@@ -110,6 +110,34 @@ func EncodeTx(tx Tx) []byte {
 	return w.Bytes()
 }
 
+// DecodeTx parses a transaction commit request produced by EncodeTx; ok
+// is false when the payload is not a well-formed transaction. Speculators
+// consuming the tentative delivery stream use it to inspect predicted
+// transactions without applying them.
+func DecodeTx(payload []byte) (tx Tx, ok bool) {
+	r := wire.NewReader(payload)
+	if r.U8() != cmdTx {
+		return Tx{}, false
+	}
+	tx.ID = r.String()
+	nReads := r.U64()
+	tx.Reads = make(map[string]uint64)
+	for i := uint64(0); i < nReads && r.Err() == nil; i++ {
+		k := r.String()
+		tx.Reads[k] = r.U64()
+	}
+	nWrites := r.U64()
+	tx.Writes = make(map[string]string)
+	for i := uint64(0); i < nWrites && r.Err() == nil; i++ {
+		k := r.String()
+		tx.Writes[k] = r.String()
+	}
+	if r.Err() != nil {
+		return Tx{}, false
+	}
+	return tx, true
+}
+
 // Apply is the delivery callback: it interprets one ordered message.
 // Deterministic by construction, so identical delivery sequences yield
 // identical replica states.

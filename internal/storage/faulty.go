@@ -3,6 +3,7 @@ package storage
 import (
 	"errors"
 	"sync"
+	"time"
 )
 
 // ErrInjectedCrash is returned by a Faulty store once its trigger fires. The
@@ -22,6 +23,7 @@ type Faulty struct {
 	ops     int64
 	tripped bool
 	onTrip  func()
+	latency time.Duration // extra delay to every durability point
 	// tripOnce is replaced (not reset in place) on every re-arm, so an
 	// in-flight trip of the previous arming keeps its own Once while a
 	// new arming starts fresh.
@@ -76,6 +78,45 @@ func (f *Faulty) Tripped() bool {
 	return f.tripped
 }
 
+// SetLatency injects a fixed extra delay into every log operation's
+// durability point, modelling a slow disk: synchronous operations return
+// late; asynchronous completions resolve late (issue time is unchanged —
+// a slow fsync, not a slow syscall — so callers that issue under a lock
+// never stall on the injected delay). Zero disables; the read path and the
+// failure trigger are unaffected.
+func (f *Faulty) SetLatency(d time.Duration) {
+	f.mu.Lock()
+	f.latency = d
+	f.mu.Unlock()
+}
+
+func (f *Faulty) lat() time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.latency
+}
+
+// sleepLat stalls a synchronous operation by the injected latency.
+func (f *Faulty) sleepLat() {
+	if d := f.lat(); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// delayed postpones c's resolution by the injected latency. The chained
+// completion resolves on a timer goroutine, never on the caller's.
+func (f *Faulty) delayed(c *Completion) *Completion {
+	d := f.lat()
+	if d <= 0 {
+		return c
+	}
+	out := newCompletion()
+	c.OnDone(func(err error) {
+		time.AfterFunc(d, func() { out.complete(err) })
+	})
+	return out
+}
+
 // check counts one log operation and reports whether it must fail.
 func (f *Faulty) check() bool {
 	f.mu.Lock()
@@ -109,7 +150,9 @@ func (f *Faulty) Put(key string, val []byte) error {
 	if f.check() {
 		return ErrInjectedCrash
 	}
-	return f.inner.Put(key, val)
+	err := f.inner.Put(key, val)
+	f.sleepLat()
+	return err
 }
 
 // Append implements Stable.
@@ -117,7 +160,9 @@ func (f *Faulty) Append(key string, rec []byte) error {
 	if f.check() {
 		return ErrInjectedCrash
 	}
-	return f.inner.Append(key, rec)
+	err := f.inner.Append(key, rec)
+	f.sleepLat()
+	return err
 }
 
 // PutAsync implements AsyncStable. The trigger is checked at issue time —
@@ -128,9 +173,9 @@ func (f *Faulty) PutAsync(key string, val []byte) *Completion {
 		return completed(ErrInjectedCrash)
 	}
 	if as, ok := f.inner.(AsyncStable); ok {
-		return as.PutAsync(key, val)
+		return f.delayed(as.PutAsync(key, val))
 	}
-	return completed(f.inner.Put(key, val))
+	return f.delayed(completed(f.inner.Put(key, val)))
 }
 
 // AppendAsync implements AsyncStable.
@@ -139,9 +184,9 @@ func (f *Faulty) AppendAsync(key string, rec []byte) *Completion {
 		return completed(ErrInjectedCrash)
 	}
 	if as, ok := f.inner.(AsyncStable); ok {
-		return as.AppendAsync(key, rec)
+		return f.delayed(as.AppendAsync(key, rec))
 	}
-	return completed(f.inner.Append(key, rec))
+	return f.delayed(completed(f.inner.Append(key, rec)))
 }
 
 // DeleteAsync implements AsyncStable (a log operation: it advances the
@@ -151,13 +196,14 @@ func (f *Faulty) DeleteAsync(key string) *Completion {
 		return completed(ErrInjectedCrash)
 	}
 	if as, ok := f.inner.(AsyncStable); ok {
-		return as.DeleteAsync(key)
+		return f.delayed(as.DeleteAsync(key))
 	}
-	return completed(f.inner.Delete(key))
+	return f.delayed(completed(f.inner.Delete(key)))
 }
 
 // Sync implements AsyncStable. The barrier itself is not a log operation,
-// so it does not advance the trigger; a tripped store still fails it.
+// so it does not advance the trigger; a tripped store still fails it. The
+// injected latency applies: the barrier covers the delayed completions.
 func (f *Faulty) Sync() error {
 	f.mu.Lock()
 	tripped := f.tripped
@@ -166,8 +212,11 @@ func (f *Faulty) Sync() error {
 		return ErrInjectedCrash
 	}
 	if as, ok := f.inner.(AsyncStable); ok {
-		return as.Sync()
+		err := as.Sync()
+		f.sleepLat()
+		return err
 	}
+	f.sleepLat()
 	return nil
 }
 
@@ -198,7 +247,9 @@ func (f *Faulty) Delete(key string) error {
 	if f.check() {
 		return ErrInjectedCrash
 	}
-	return f.inner.Delete(key)
+	err := f.inner.Delete(key)
+	f.sleepLat()
+	return err
 }
 
 // List implements Stable.
