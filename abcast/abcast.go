@@ -101,6 +101,31 @@
 // unleased, mem and TCP transports); the README's "Latency" section covers
 // the contract and when not to enable optimism.
 //
+// # Dissemination
+//
+// By default the sequencer's proposals carry full payloads, so every
+// ordered byte crosses the network O(N) times from one process (the
+// consensus coordinator fans the decided value out to all members). Past
+// a few KiB per message that egress link is the throughput ceiling.
+// ProtocolOptions.RingDissem splits ordering from dissemination: payloads
+// stream around a successor ring derived from the failure detector's
+// membership (each process forwards to one live successor, so per-process
+// egress is O(1) in N), while consensus orders only ID+checksum vectors.
+// Delivery is gated on "ID ordered AND payload present": a decided ID
+// whose payload has not arrived yet parks the delivery cursor and issues
+// a targeted pull over the digest-gossip repair path; the cursor advances
+// the moment the payload lands, so loss or a crashed ring successor costs
+// latency, never safety. The ring heals around suspects automatically,
+// and recovery is unchanged — the unordered log persists payloads
+// locally, so replay re-resolves decided ID vectors against it.
+//
+// RingDissem changes the proposal wire format: every process of a
+// deployment must enable it together (it forces DigestGossip on). Enable
+// it when payloads are large (>= a few KiB) and throughput-bound; leave
+// it off for small-message or latency-critical workloads — the ring hop
+// chain adds a relay latency proportional to N before the last member
+// holds the payload. Experiment E20 measures the crossover.
+//
 // # Shared process services
 //
 // A sharded process's background costs do not scale with G: one
@@ -261,6 +286,16 @@ type ProtocolOptions struct {
 	// catch-up keep working unchanged. See the README's performance
 	// tuning section and experiment E17.
 	DigestGossip bool
+	// RingDissem enables the ordering/dissemination split: payloads
+	// stream around a failure-detector-derived successor ring while
+	// consensus orders ID+checksum vectors, making per-process egress
+	// O(1) in N instead of the coordinator's O(N x payload). Delivery is
+	// gated on payload presence, with missing payloads pulled over the
+	// digest repair path. Every process of the deployment must set it
+	// together (the proposal wire format changes); it forces DigestGossip
+	// on. See the package comment's "Dissemination" section and
+	// experiment E20.
+	RingDissem bool
 
 	// PipelineDepth is the number of consensus rounds that may be in
 	// flight concurrently. 0 or 1 reproduces the paper's strictly
@@ -387,11 +422,12 @@ func NewProcess(cfg Config, st Storage, net Network) *Process {
 	coreCfg.OnConfirm = cfg.OnConfirm
 	coreCfg.OnRevoke = cfg.OnRevoke
 	nodeCfg := node.Config{
-		PID:       cfg.PID,
-		N:         cfg.N,
-		Core:      coreCfg,
-		Consensus: cfg.Protocol.consensusConfig(cfg.Policy),
-		FD:        cfg.FD,
+		PID:        cfg.PID,
+		N:          cfg.N,
+		Core:       coreCfg,
+		Consensus:  cfg.Protocol.consensusConfig(cfg.Policy),
+		FD:         cfg.FD,
+		RingDissem: cfg.Protocol.RingDissem,
 	}
 	return &Process{n: node.New(nodeCfg, st, net)}
 }

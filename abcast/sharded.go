@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/dissem"
 	"repro/internal/fd"
 	"repro/internal/group"
 	"repro/internal/ids"
@@ -142,9 +143,10 @@ type Sharded struct {
 	nodes  []*node.Node
 	stream *group.Stream // per-round fan-out driving Merged/MergeCursor
 
-	mu  sync.Mutex
-	up  bool
-	sfd *node.SharedFD // live process-level failure detector (nil when down)
+	mu    sync.Mutex
+	up    bool
+	sfd   *node.SharedFD   // live process-level failure detector (nil when down)
+	sring *node.SharedRing // live process-level payload ring (nil when down or ring mode off)
 }
 
 // NewSharded builds a sharded process over the given stable store and
@@ -226,7 +228,7 @@ func NewSharded(cfg ShardedConfig, st Storage, net *ShardedNetwork) (*Sharded, e
 		if cfg.MergedDelivery {
 			coreCfg.MergeFloor = s.stream.Frontier
 		}
-		s.nodes[g] = node.New(node.Config{
+		ncfg := node.Config{
 			PID:       cfg.PID,
 			N:         cfg.N,
 			Group:     gid,
@@ -237,9 +239,30 @@ func NewSharded(cfg ShardedConfig, st Storage, net *ShardedNetwork) (*Sharded, e
 			// detector through its own facade; the group nodes send no
 			// heartbeats of their own.
 			SharedFD: func() fd.API { return s.fdView(gid) },
-		}, gst, net.Net(gid))
+		}
+		if cfg.Protocol.RingDissem {
+			// All groups of the process share one payload ring over the
+			// mux's dissem lane (the ring twin of the shared detector):
+			// G groups cost one successor stream, not G.
+			ncfg.SharedRing = s.ringView
+		}
+		s.nodes[g] = node.New(ncfg, gst, net.Net(gid))
 	}
 	return s, nil
+}
+
+// ringView returns the live process-level ring group nodes register their
+// payload sinks with. A nil ring means a torn-down process — return an
+// inert ring rather than nil so a racing start cannot panic (the node
+// still runs in ring mode, which the deployment's wire format requires;
+// its publishes drop, exactly like traffic from a down process).
+func (s *Sharded) ringView() *dissem.Ring {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sring == nil {
+		return dissem.Inert()
+	}
+	return s.sring.Ring()
 }
 
 // fdView returns group g's facade over the live shared detector. Group
@@ -300,6 +323,20 @@ func (s *Sharded) Start(ctx context.Context) error {
 	s.sfd = sfd
 	s.mu.Unlock()
 
+	if s.cfg.Protocol.RingDissem {
+		// The shared payload ring follows the detector (it derives ring
+		// successors from it) and precedes the group nodes (they register
+		// their sinks with it as they boot).
+		sring, err := node.StartSharedRing(ctx, s.cfg.PID, s.cfg.N, sfd.Detector(), s.net.DissemNet(), dissem.Options{})
+		if err != nil {
+			s.Crash()
+			return fmt.Errorf("abcast: sharded process %v: %w", s.cfg.PID, err)
+		}
+		s.mu.Lock()
+		s.sring = sring
+		s.mu.Unlock()
+	}
+
 	errs := make([]error, s.groups)
 	var wg sync.WaitGroup
 	for g, n := range s.nodes {
@@ -327,9 +364,14 @@ func (s *Sharded) Crash() {
 	s.up = false
 	sfd := s.sfd
 	s.sfd = nil
+	sring := s.sring
+	s.sring = nil
 	s.mu.Unlock()
 	for _, n := range s.nodes {
-		n.Crash()
+		n.Crash() // each group unregisters its sink from the shared ring
+	}
+	if sring != nil {
+		sring.Stop()
 	}
 	if sfd != nil {
 		sfd.Stop()
@@ -619,4 +661,6 @@ func addStats(t *Stats, o Stats) {
 	t.TentativeConfirmed += o.TentativeConfirmed
 	t.TentativeRevoked += o.TentativeRevoked
 	t.HeartbeatRounds += o.HeartbeatRounds
+	t.RingPublished += o.RingPublished
+	t.PayloadStalls += o.PayloadStalls
 }

@@ -5,10 +5,13 @@
 // sharded multi-group ordering scaling study, the E17 shared-process-
 // services background-cost study, the E18 log-lifecycle study —
 // bounded state under churn and streaming-versus-batch merge latency —
-// and the E19 latency fast-path study: tentative-versus-confirmed commit
-// latency, leased versus unleased, on mem and TCP transports) and prints
-// their tables. EXPERIMENTS.md is generated from its full-scale output;
-// BENCH_e19.json is generated with -e19json.
+// the E19 latency fast-path study: tentative-versus-confirmed commit
+// latency, leased versus unleased, on mem and TCP transports — and the
+// E20 ordering/dissemination split study: sequencer egress and delivered
+// throughput, full-payload versus ring dissemination, across payload
+// sizes and cluster sizes) and prints their tables. EXPERIMENTS.md is
+// generated from its full-scale output; BENCH_e19.json is generated with
+// -e19json and BENCH_e20.json with -e20json.
 //
 // Usage:
 //
@@ -17,6 +20,7 @@
 //	abcast-bench -exp E4,E5      # a subset
 //	abcast-bench -md             # markdown tables (for EXPERIMENTS.md)
 //	abcast-bench -e19json PATH   # write the E19 latency trajectory JSON
+//	abcast-bench -e20json PATH   # write the E20 dissemination sweep JSON
 package main
 
 import (
@@ -34,6 +38,7 @@ func main() {
 	expFlag := flag.String("exp", "", "comma-separated experiment ids (e.g. E1,E4); empty = all")
 	md := flag.Bool("md", false, "emit markdown tables")
 	e19json := flag.String("e19json", "", "write the E19 latency trajectory JSON to this path and exit")
+	e20json := flag.String("e20json", "", "write the E20 dissemination sweep JSON to this path and exit")
 	flag.Parse()
 
 	scale := experiments.Full
@@ -47,6 +52,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote", *e19json)
+		return
+	}
+
+	if *e20json != "" {
+		if err := experiments.E20WriteJSON(scale, *e20json); err != nil {
+			fmt.Fprintln(os.Stderr, "abcast-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *e20json)
 		return
 	}
 

@@ -79,6 +79,14 @@ type Snapshot struct {
 	Pos uint64
 }
 
+// Disseminator is the payload dissemination plane a ring-mode protocol
+// publishes its locally originated messages to (internal/dissem.Ring bound
+// to this protocol's group). Publish may block briefly — that is the
+// dissemination plane's backpressure on broadcasters.
+type Disseminator interface {
+	Publish(m msg.Message)
+}
+
 // Checkpointer is the upcall interface of Fig. 5. Implementations fold
 // delivered messages into an opaque state and reinstall adopted states.
 // Methods are called from protocol goroutines and must not call back into
@@ -173,6 +181,19 @@ type Config struct {
 	// DiscardBelow) the consensus log. 0 disables heartbeats.
 	IdleHeartbeat time.Duration
 
+	// Dissem, when set, enables ring dissemination — the ordering/
+	// dissemination split: locally broadcast payloads are published to the
+	// dissemination plane (a successor ring; see internal/dissem) instead
+	// of the eager full-payload gossip push, proposals carry ID+checksum
+	// vectors (msg.IDRec) instead of bodies, and delivery is gated on
+	// "ID ordered ∧ payload present" — a decided round whose payloads have
+	// not all arrived parks until the missing ones are pulled over the
+	// digest-gossip repair path. DigestGossip is forced on (an eager
+	// full-payload gossip would defeat the split). Every process of a
+	// deployment must agree on this setting: ring-mode and full-payload
+	// proposals are different wire formats for the same consensus values.
+	Dissem Disseminator
+
 	// MergeFloor, when set, bounds how far a checkpoint may fold the
 	// delivered prefix: CheckpointNow folds only rounds strictly below
 	// min(k, MergeFloor()). A sharded process that consumes the merged
@@ -249,6 +270,11 @@ func (c *Config) fill() {
 	if c.GossipMaxMessages <= 0 {
 		c.GossipMaxMessages = 512
 	}
+	if c.Dissem != nil {
+		// The split's steady-state gossip must be ID-only: payloads travel
+		// the ring, digests + pulls repair the holes.
+		c.DigestGossip = true
+	}
 }
 
 // Stats counts protocol events; all fields are cumulative for the
@@ -278,4 +304,7 @@ type Stats struct {
 	TentativeConfirmed  uint64 // tentative deliveries certified by OnConfirm
 	TentativeRevoked    uint64 // tentative deliveries retracted by OnRevoke
 	HeartbeatRounds     uint64 // empty rounds proposed by the idle heartbeat
+
+	RingPublished uint64 // payloads published to the dissemination ring
+	PayloadStalls uint64 // commit attempts deferred on a missing payload (ring mode)
 }

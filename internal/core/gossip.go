@@ -82,12 +82,44 @@ func (p *Protocol) sendGossip() {
 	if digest {
 		p.stats.DigestsSent++
 	}
+	// Ring mode: a payload-starved round must not rely on a single pull
+	// surviving the fair-lossy net. Re-pull its still-missing payloads
+	// every tick (per-message rate limit in lastPull applies) and poke the
+	// sequencer as lost-wakeup insurance.
+	var repull []ids.MsgID
+	starving := p.starved != nil
+	if starving {
+		now := time.Now()
+		for _, rec := range p.starved.recs {
+			if p.ds.contains(rec.ID) || p.unordered.Contains(rec.ID) {
+				continue
+			}
+			if t, seen := p.lastPull[rec.ID]; seen && now.Sub(t) < p.cfg.GossipInterval {
+				continue
+			}
+			p.lastPull[rec.ID] = now
+			repull = append(repull, rec.ID)
+		}
+		if len(repull) > 0 {
+			p.stats.PullsSent++
+		}
+	}
 	p.mu.Unlock()
 
 	if digest {
 		p.digestFrame(k, batch)
 	} else {
 		p.gossipFrame(k, batch, ids.Nobody)
+	}
+	if len(repull) > 0 {
+		w := wire.GetWriter(64)
+		w.U8(subPull)
+		msg.EncodeIDs(w, repull)
+		p.net.Multisend(w.Bytes())
+		wire.PutWriter(w)
+	}
+	if starving {
+		p.poke()
 	}
 	if pending {
 		p.eagerGossip() // arms a deferred flush for the kept buffer
@@ -335,7 +367,12 @@ func (p *Protocol) onDigest(from ids.ProcessID, r *wire.Reader) {
 // go back as one unicast full-payload gossip frame (the digest protocol's
 // payload fallback). Messages already ordered here are omitted — the
 // requester learns them through Consensus or a state transfer, never as
-// unordered payloads it might re-propose.
+// unordered payloads it might re-propose — EXCEPT in ring mode, where the
+// delivery suffix also serves: a ring-mode requester pulls precisely
+// because an ID is ordered but its payload never arrived, and this process
+// may have delivered (and removed from Unordered) the only copy. The
+// requester re-adding it to Unordered is harmless: a re-proposal of an
+// already-ordered ID is deduplicated by appendBatch.
 func (p *Protocol) onPull(from ids.ProcessID, r *wire.Reader) {
 	idList := msg.DecodeIDs(r)
 	if r.Err() != nil || len(idList) == 0 || from == p.cfg.PID {
@@ -350,6 +387,10 @@ func (p *Protocol) onPull(from ids.ProcessID, r *wire.Reader) {
 		}
 		if m, ok := p.unordered.Get(id); ok {
 			batch = append(batch, m)
+		} else if p.ringMode() {
+			if i, ok := p.ds.index[id]; ok {
+				batch = append(batch, p.ds.suffix[i].m)
+			}
 		}
 	}
 	k := p.k

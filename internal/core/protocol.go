@@ -49,6 +49,13 @@ type Protocol struct {
 	pendingK uint64
 	gcFloor  uint64 // consensus instances below this were discarded
 
+	// starved, in ring mode, is the decided head round whose commit is
+	// deferred because a payload named by its ID vector has not arrived
+	// yet (delivery gate). The gossip tick re-pulls its missing payloads
+	// until an arrival lets the commit retry succeed or an adoption skips
+	// the round.
+	starved *starvedRound
+
 	// Pipeline state. inflightRounds holds a cancel func per round with a
 	// live decision waiter; inflightMsgs marks unordered messages already
 	// inside an in-flight proposal (so later rounds don't re-propose
@@ -226,7 +233,14 @@ func (p *Protocol) recover() error {
 		k := p.k
 		p.mu.Unlock()
 		if res, ok := p.cons.DecidedLocal(k); ok {
-			p.commit(k, res)
+			if !p.commit(k, res) {
+				// Ring mode: the round's ID vector names a payload this
+				// process never held locally (it was relayed, not logged).
+				// Replay cannot finish the round — stop here; once the
+				// tasks fork, the digest/pull exchange fetches the payload
+				// and the sequencer commits the remaining logged rounds.
+				break
+			}
 			replayed++
 			continue
 		}
@@ -251,7 +265,9 @@ func (p *Protocol) recover() error {
 		if err != nil {
 			return fmt.Errorf("core: replay wait %d: %w", k, err)
 		}
-		p.commit(k, res)
+		if !p.commit(k, res) {
+			break // ring mode: payload-starved; repaired after the tasks fork
+		}
 		replayed++
 	}
 	p.mu.Lock()
@@ -325,7 +341,11 @@ func (p *Protocol) Broadcast(ctx context.Context, payload []byte) (ids.MsgID, er
 		Payload: append([]byte(nil), payload...),
 	}
 	p.unordered.Add(m)
-	p.eagerBuf = append(p.eagerBuf, m)
+	if p.cfg.Dissem == nil {
+		p.eagerBuf = append(p.eagerBuf, m)
+	} else {
+		p.stats.RingPublished++
+	}
 	p.notePendingLocked()
 	p.stats.Broadcasts++
 
@@ -348,7 +368,7 @@ func (p *Protocol) Broadcast(ctx context.Context, payload []byte) (ids.MsgID, er
 		}
 		p.mu.Unlock()
 		p.poke()
-		p.eagerGossip()
+		p.disseminate(m)
 		if err := c.Wait(); err != nil {
 			// The log write failed (the incarnation is dying), but m is
 			// already in the volatile Unordered set and may have been
@@ -364,7 +384,7 @@ func (p *Protocol) Broadcast(ctx context.Context, payload []byte) (ids.MsgID, er
 	p.waiters[m.ID] = append(p.waiters[m.ID], ch)
 	p.mu.Unlock()
 	p.poke()
-	p.eagerGossip()
+	p.disseminate(m)
 
 	select {
 	case <-ch:
@@ -392,22 +412,138 @@ func (p *Protocol) BroadcastAsync(payload []byte) (ids.MsgID, error) {
 		Payload: append([]byte(nil), payload...),
 	}
 	p.unordered.Add(m)
-	p.eagerBuf = append(p.eagerBuf, m)
+	if p.cfg.Dissem == nil {
+		p.eagerBuf = append(p.eagerBuf, m)
+	} else {
+		p.stats.RingPublished++
+	}
 	p.notePendingLocked()
 	p.stats.Broadcasts++
 	p.mu.Unlock()
 	p.poke()
-	p.eagerGossip()
+	p.disseminate(m)
 	return m.ID, nil
+}
+
+// ringMode reports whether this protocol runs the ordering/dissemination
+// split (consensus values are ID vectors, payloads travel the ring).
+func (p *Protocol) ringMode() bool { return p.cfg.Dissem != nil }
+
+// disseminate pushes a locally added message towards the other processes:
+// the ring publisher in ring mode, the eager delta gossip otherwise.
+func (p *Protocol) disseminate(m msg.Message) {
+	if d := p.cfg.Dissem; d != nil {
+		d.Publish(m)
+		return
+	}
+	p.eagerGossip()
+}
+
+// AddDisseminated ingests one payload from the dissemination plane (the
+// ring sink). It reports whether the message was new here — the ring
+// forwards a relay frame to the successor only when it is.
+func (p *Protocol) AddDisseminated(m msg.Message) bool {
+	p.mu.Lock()
+	if p.stopped || p.ds.contains(m.ID) {
+		p.mu.Unlock()
+		return false
+	}
+	added := p.unordered.Add(m)
+	if added {
+		p.notePendingLocked()
+	}
+	p.mu.Unlock()
+	if added {
+		// New pending work — and possibly the payload a starved round is
+		// waiting on: wake the sequencer either way.
+		p.poke()
+	}
+	return added
+}
+
+// starvedRound is a decided round whose commit is deferred by the delivery
+// gate: its ID vector names payloads not yet held locally.
+type starvedRound struct {
+	round uint64
+	recs  []msg.IDRec
+}
+
+// resolvePayloads implements the ring-mode delivery gate "ID ordered ∧
+// payload present": it maps a decided ID vector to the locally held
+// payloads. If every needed payload is present (and matches its checksum)
+// the batch is returned ready to commit; otherwise the round is parked as
+// starved, a targeted pull for the missing payloads is multisent over the
+// digest-gossip repair path, and ok=false tells the caller not to advance
+// the delivery cursor. A held payload failing its checksum is dropped from
+// Unordered (Set.Add keeps the first payload for an ID, so the corrupt one
+// would otherwise block the true bytes forever) and treated as missing.
+func (p *Protocol) resolvePayloads(round uint64, recs []msg.IDRec) ([]msg.Message, bool) {
+	p.mu.Lock()
+	batch := make([]msg.Message, 0, len(recs))
+	now := time.Now()
+	missing := 0
+	var pull []ids.MsgID
+	for _, rec := range recs {
+		if p.ds.contains(rec.ID) {
+			continue // already delivered: appendBatch would skip it
+		}
+		m, ok := p.unordered.Get(rec.ID)
+		if ok && msg.Checksum(m.Payload) != rec.Sum {
+			p.unordered.Remove(rec.ID)
+			ok = false
+		}
+		if !ok {
+			missing++
+			// Same per-message pull rate limit as the digest path: all
+			// retries within one gossip interval coalesce.
+			if t, seen := p.lastPull[rec.ID]; !seen || now.Sub(t) >= p.cfg.GossipInterval {
+				p.lastPull[rec.ID] = now
+				pull = append(pull, rec.ID)
+			}
+			continue
+		}
+		batch = append(batch, m)
+	}
+	if missing == 0 {
+		p.starved = nil
+		p.mu.Unlock()
+		return batch, true
+	}
+	p.starved = &starvedRound{round: round, recs: recs}
+	p.stats.PayloadStalls++
+	if len(pull) > 0 {
+		p.stats.PullsSent++
+	}
+	p.mu.Unlock()
+	if len(pull) > 0 {
+		w := wire.GetWriter(64)
+		w.U8(subPull)
+		msg.EncodeIDs(w, pull)
+		p.net.Multisend(w.Bytes())
+		wire.PutWriter(w)
+	}
+	return nil, false
 }
 
 // commit finishes round: the decided batch is appended to Agreed by the
 // deterministic rule, the round counter advances, and ordered messages
 // leave the Unordered set. Deliveries run on the caller's goroutine (the
-// sequencer or the recovery procedure), preserving order.
-func (p *Protocol) commit(round uint64, result []byte) {
+// sequencer or the recovery procedure), preserving order. In ring mode the
+// decided value is an ID vector and the commit is gated on payload
+// presence: false means the round is parked until the missing payloads
+// arrive (the caller must retry the same round later).
+func (p *Protocol) commit(round uint64, result []byte) bool {
 	r := wire.NewReader(result)
-	batch := msg.DecodeBatch(r)
+	var batch []msg.Message
+	if p.ringMode() {
+		recs := msg.DecodeIDVec(r)
+		var ok bool
+		if batch, ok = p.resolvePayloads(round, recs); !ok {
+			return false
+		}
+	} else {
+		batch = msg.DecodeBatch(r)
+	}
 
 	p.mu.Lock()
 	deliveries := p.tagGroup(p.ds.appendBatch(round, batch))
@@ -480,6 +616,7 @@ func (p *Protocol) commit(round uint64, result []byte) {
 		default:
 		}
 	}
+	return true
 }
 
 // tagGroup stamps the protocol's owning group on deliveries about to

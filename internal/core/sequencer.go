@@ -122,8 +122,13 @@ func (p *Protocol) commitReady(results map[uint64][]byte) bool {
 		if !ok {
 			return committed
 		}
+		if !p.commit(head, val) {
+			// Ring mode: the head round is payload-starved. Keep its
+			// decision parked in results; the select blocks until an
+			// arrival (ring sink, gossip, pull reply) pokes a retry.
+			return committed
+		}
 		delete(results, head)
-		p.commit(head, val)
 		committed = true
 	}
 }
@@ -180,7 +185,18 @@ func (p *Protocol) pump(results map[uint64][]byte) time.Duration {
 		}
 		// Pooled: Propose copies the proposal before logging it.
 		w := wire.GetWriter(64)
-		msg.EncodeBatch(w, batch)
+		if p.ringMode() {
+			// Ordering/dissemination split: the consensus value is the ID
+			// vector — a few dozen bytes per message however large the
+			// payloads are. The bodies travel the ring (disseminate).
+			recs := make([]msg.IDRec, len(batch))
+			for i, m := range batch {
+				recs[i] = msg.Rec(m)
+			}
+			msg.EncodeIDVec(w, recs)
+		} else {
+			msg.EncodeBatch(w, batch)
+		}
 		// "Proposed_p[k_p] ← Unordered_p; log(Proposed_p[k_p]);
 		// propose(k_p, ...)". The log is the first operation of the
 		// Consensus (§4.2) — Propose issues it. On a group-commit engine
@@ -260,12 +276,28 @@ func (p *Protocol) assembleBatch(r uint64) (batch []msg.Message, delay time.Dura
 	if p.pending != nil || r < p.k || r >= p.k+p.depth() {
 		return nil, 0, false // the world moved while the lock was free
 	}
-	var size int
-	full, leftover := false, false
-	for _, m := range p.unordered.Slice() {
+	snap := p.unordered.Slice()
+	pending := make([]msg.Message, 0, len(snap))
+	pendingBytes := 0
+	for _, m := range snap {
 		if _, busy := p.inflightMsgs[m.ID]; busy {
 			continue
 		}
+		pending = append(pending, m)
+		pendingBytes += len(m.Payload)
+	}
+	// Per-sender fairness: when the pending pool overflows the batch caps,
+	// a canonical-order truncation would fill the whole batch from the
+	// lowest-pid hot broadcaster and starve everyone behind it. Interleave
+	// round-robin across senders first, so the truncation cuts every
+	// sender's tail instead.
+	if (p.cfg.MaxBatch > 0 && len(pending) > p.cfg.MaxBatch) ||
+		(p.cfg.MaxBatchBytes > 0 && pendingBytes > p.cfg.MaxBatchBytes) {
+		pending = fairInterleave(pending)
+	}
+	var size int
+	full, leftover := false, false
+	for _, m := range pending {
 		if (p.cfg.MaxBatch > 0 && len(batch) >= p.cfg.MaxBatch) ||
 			(p.cfg.MaxBatchBytes > 0 && len(batch) > 0 && size+len(m.Payload) > p.cfg.MaxBatchBytes) {
 			full, leftover = true, true
@@ -314,6 +346,36 @@ func (p *Protocol) assembleBatch(r uint64) (batch []msg.Message, delay time.Dura
 		p.stats.PipelinedProposals++
 	}
 	return batch, 0, true
+}
+
+// fairInterleave reorders a canonically sorted pending slice into a
+// round-robin across senders: message i of every sender precedes message
+// i+1 of any sender. Within one sender the canonical (sequence) order is
+// preserved, so the batch truncation that follows takes an even share from
+// each sender's head instead of one sender's entire backlog.
+func fairInterleave(pending []msg.Message) []msg.Message {
+	// Canonical order sorts by sender first: per-sender runs are
+	// contiguous.
+	var runs [][]msg.Message
+	start := 0
+	for i := 1; i <= len(pending); i++ {
+		if i == len(pending) || pending[i].ID.Sender != pending[start].ID.Sender {
+			runs = append(runs, pending[start:i])
+			start = i
+		}
+	}
+	if len(runs) <= 1 {
+		return pending
+	}
+	out := make([]msg.Message, 0, len(pending))
+	for i := 0; len(out) < len(pending); i++ {
+		for _, run := range runs {
+			if i < len(run) {
+				out = append(out, run[i])
+			}
+		}
+	}
+	return out
 }
 
 // unmarkRound releases the in-flight marks taken for round r when its
@@ -390,6 +452,9 @@ func (p *Protocol) maybeAdopt() {
 	oldNext := p.ds.nextPos()
 	p.ds.adopt(newDS)
 	p.k = newK
+	if p.starved != nil && p.starved.round < p.k {
+		p.starved = nil // the adoption skipped the payload-starved round
+	}
 	p.unordered.SubtractDelivered(p.ds.contains)
 	if p.unordered.Len() > 0 {
 		p.pendingSince = time.Now()

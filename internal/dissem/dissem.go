@@ -1,0 +1,277 @@
+// Package dissem implements the payload dissemination plane of the
+// ordering/dissemination split (Ring Paxos style): broadcasters stream full
+// payloads around a successor ring derived from the failure-detector
+// membership, while consensus orders ID vectors only (msg.IDRec — identity
+// plus payload checksum, no bodies). Each process forwards a payload to its
+// single ring successor, so per-process egress is O(payload) per message
+// instead of the O(N·payload) a sequencer pays when proposals carry bodies.
+//
+// The ring is an optimization, not a correctness mechanism: relay frames are
+// fair-lossy like everything else, and a payload that misses a process is
+// repaired by the digest-gossip pull path (or, after checkpointing, by state
+// transfer). On suspicion the ring heals around the suspect — the successor
+// is recomputed from the failure detector's trusted set at every send.
+package dissem
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/wire"
+)
+
+// Alive is the membership oracle the ring derives successors from
+// (satisfied by fd.API).
+type Alive interface {
+	// Trusted returns the currently unsuspected processes in pid order.
+	Trusted() []ids.ProcessID
+}
+
+// Net is the sending side of the ring's channel (satisfied by router.Net).
+type Net interface {
+	Send(to ids.ProcessID, payload []byte)
+}
+
+// Sink consumes one disseminated payload for a group. It reports whether the
+// message was new at this process — the ring forwards only new messages, so
+// the sink's dedup is also the relay's loop prevention.
+type Sink func(m msg.Message) bool
+
+// Options tunes a Ring.
+type Options struct {
+	// QueueLen bounds the forward queue (default 256). Local publishers
+	// block when it is full (backpressure on the broadcaster); inbound
+	// relay frames are dropped instead (the receive loop must not block —
+	// gossip repairs the loss).
+	QueueLen int
+}
+
+// Stats is a snapshot of ring counters.
+type Stats struct {
+	Published  uint64 // locally originated payloads enqueued
+	Relayed    uint64 // frames forwarded to the successor
+	Received   uint64 // well-formed frames received
+	Duplicates uint64 // received frames the sink had already seen
+	DropFull   uint64 // inbound frames dropped: forward queue full
+	DropNoSink uint64 // frames for a group with no registered sink
+	DropBad    uint64 // malformed frames
+}
+
+type frame struct {
+	group ids.GroupID
+	hops  uint8
+	m     msg.Message
+}
+
+// Ring is one process's relay: one per process, shared by every group (the
+// frame carries the group tag). Create with New, Register each group's sink,
+// Start, and Stop with the process.
+type Ring struct {
+	pid   ids.ProcessID
+	n     int
+	alive Alive
+	net   Net
+
+	queue   chan frame
+	stopped chan struct{}
+
+	mu      sync.Mutex
+	sinks   map[ids.GroupID]Sink
+	started bool
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	published, relayed, received, duplicates atomic.Uint64
+	dropFull, dropNoSink, dropBad            atomic.Uint64
+}
+
+// New creates a ring for process pid of n over net, with liveness from
+// alive.
+func New(pid ids.ProcessID, n int, alive Alive, net Net, opts Options) *Ring {
+	if opts.QueueLen <= 0 {
+		opts.QueueLen = 256
+	}
+	return &Ring{
+		pid:     pid,
+		n:       n,
+		alive:   alive,
+		net:     net,
+		queue:   make(chan frame, opts.QueueLen),
+		stopped: make(chan struct{}),
+		sinks:   make(map[ids.GroupID]Sink),
+	}
+}
+
+// Inert returns a ring that drops every publish and delivers nothing — the
+// stand-in handed to a group whose process-level ring is gone (the process
+// is crashing). Payload repair falls to gossip.
+func Inert() *Ring {
+	r := &Ring{stopped: make(chan struct{}), sinks: make(map[ids.GroupID]Sink)}
+	close(r.stopped)
+	return r
+}
+
+// Register installs the sink for group g (replacing any previous one).
+func (r *Ring) Register(g ids.GroupID, sink Sink) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sinks[g] = sink
+}
+
+// Unregister removes group g's sink; its frames are dropped afterwards.
+func (r *Ring) Unregister(g ids.GroupID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.sinks, g)
+}
+
+// Start launches the forward loop.
+func (r *Ring) Start(ctx context.Context) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started {
+		return
+	}
+	r.started = true
+	ctx, r.cancel = context.WithCancel(ctx)
+	r.wg.Add(1)
+	go r.forward(ctx)
+}
+
+// Stop halts the forward loop and unblocks any pending publisher.
+func (r *Ring) Stop() {
+	r.mu.Lock()
+	if r.cancel != nil {
+		r.cancel()
+	}
+	select {
+	case <-r.stopped:
+	default:
+		close(r.stopped)
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
+// Publish enqueues a locally originated payload for relay to the successor.
+// It blocks when the forward queue is full (backpressure) and drops the
+// frame once the ring is stopped.
+func (r *Ring) Publish(g ids.GroupID, m msg.Message) {
+	select {
+	case <-r.stopped:
+		return
+	default:
+	}
+	select {
+	case r.queue <- frame{group: g, hops: 0, m: m}:
+		r.published.Add(1)
+	case <-r.stopped:
+	}
+}
+
+// Publisher returns a facade bound to group g (satisfies core's
+// Disseminator).
+func (r *Ring) Publisher(g ids.GroupID) GroupPublisher {
+	return GroupPublisher{r: r, g: g}
+}
+
+// GroupPublisher publishes one group's payloads to the process ring.
+type GroupPublisher struct {
+	r *Ring
+	g ids.GroupID
+}
+
+// Publish submits m to the ring under the publisher's group.
+func (p GroupPublisher) Publish(m msg.Message) { p.r.Publish(p.g, m) }
+
+// OnMessage is the router handler for ring relay frames. It hands the
+// payload to the group's sink and, when the sink reports it new and the hop
+// budget is not exhausted, re-enqueues it for the successor. It never
+// blocks: if the forward queue is full the frame is dropped and gossip
+// repairs the hole downstream.
+func (r *Ring) OnMessage(from ids.ProcessID, payload []byte) {
+	rd := wire.NewReader(payload)
+	g := ids.GroupID(rd.I64())
+	hops := rd.U8()
+	m := msg.DecodeMessage(rd)
+	if rd.Done() != nil {
+		r.dropBad.Add(1)
+		return
+	}
+	r.received.Add(1)
+	r.mu.Lock()
+	sink := r.sinks[g]
+	r.mu.Unlock()
+	if sink == nil {
+		r.dropNoSink.Add(1)
+		return
+	}
+	if !sink(m) {
+		r.duplicates.Add(1)
+		return // seen before: the ring already passed through here
+	}
+	// A frame received with h hops has made h+1 sends; n-1 sends visit
+	// every member of a stable ring.
+	if int(hops)+1 >= r.n-1 {
+		return
+	}
+	select {
+	case r.queue <- frame{group: g, hops: hops + 1, m: m}:
+	default:
+		r.dropFull.Add(1)
+	}
+}
+
+func (r *Ring) forward(ctx context.Context) {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case f := <-r.queue:
+			succ := r.successor()
+			if succ == r.pid || succ == ids.Nobody {
+				continue // alone in the trusted set
+			}
+			w := wire.GetWriter(32 + len(f.m.Payload))
+			w.I64(int64(f.group))
+			w.U8(f.hops)
+			f.m.Encode(w)
+			r.net.Send(succ, w.Bytes())
+			wire.PutWriter(w)
+			r.relayed.Add(1)
+		}
+	}
+}
+
+// successor returns the next trusted process after r.pid in cyclic pid
+// order, healing around suspects.
+func (r *Ring) successor() ids.ProcessID {
+	trusted := r.alive.Trusted()
+	if len(trusted) == 0 {
+		return ids.Nobody
+	}
+	for _, p := range trusted { // sorted by pid
+		if p > r.pid {
+			return p
+		}
+	}
+	return trusted[0]
+}
+
+// Stats snapshots the ring counters.
+func (r *Ring) Stats() Stats {
+	return Stats{
+		Published:  r.published.Load(),
+		Relayed:    r.relayed.Load(),
+		Received:   r.received.Load(),
+		Duplicates: r.duplicates.Load(),
+		DropFull:   r.dropFull.Load(),
+		DropNoSink: r.dropNoSink.Load(),
+		DropBad:    r.dropBad.Load(),
+	}
+}

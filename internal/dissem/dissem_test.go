@@ -1,0 +1,208 @@
+package dissem
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/msg"
+	"repro/internal/wire"
+)
+
+// fakeAlive is a mutable trusted set.
+type fakeAlive struct {
+	mu      sync.Mutex
+	trusted []ids.ProcessID
+}
+
+func (f *fakeAlive) Trusted() []ids.ProcessID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]ids.ProcessID, len(f.trusted))
+	copy(out, f.trusted)
+	return out
+}
+
+func (f *fakeAlive) set(pids ...ids.ProcessID) {
+	f.mu.Lock()
+	f.trusted = pids
+	f.mu.Unlock()
+}
+
+// loopNet delivers sends synchronously into the target ring's OnMessage.
+type loopNet struct {
+	mu    sync.Mutex
+	from  ids.ProcessID
+	rings map[ids.ProcessID]*Ring
+	drop  map[ids.ProcessID]bool // unreachable targets
+}
+
+func (l *loopNet) Send(to ids.ProcessID, payload []byte) {
+	l.mu.Lock()
+	r := l.rings[to]
+	dropped := l.drop[to]
+	l.mu.Unlock()
+	if r == nil || dropped {
+		return
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	r.OnMessage(l.from, cp)
+}
+
+// testCluster builds n rings wired through loopNets, with a recording sink
+// per ring on group g that dedups by message ID.
+func testCluster(t *testing.T, n int, g ids.GroupID) (rings []*Ring, alive *fakeAlive, got []chan msg.Message, stop func()) {
+	t.Helper()
+	alive = &fakeAlive{}
+	all := make([]ids.ProcessID, n)
+	for i := range all {
+		all[i] = ids.ProcessID(i)
+	}
+	alive.set(all...)
+	table := make(map[ids.ProcessID]*Ring)
+	ctx, cancel := context.WithCancel(context.Background())
+	got = make([]chan msg.Message, n)
+	for i := 0; i < n; i++ {
+		pid := ids.ProcessID(i)
+		net := &loopNet{from: pid, rings: table}
+		r := New(pid, n, alive, net, Options{})
+		table[pid] = r
+		ch := make(chan msg.Message, 16)
+		got[i] = ch
+		seen := make(map[ids.MsgID]bool)
+		var mu sync.Mutex
+		r.Register(g, func(m msg.Message) bool {
+			mu.Lock()
+			defer mu.Unlock()
+			if seen[m.ID] {
+				return false
+			}
+			seen[m.ID] = true
+			ch <- m
+			return true
+		})
+		rings = append(rings, r)
+		r.Start(ctx)
+	}
+	return rings, alive, got, func() {
+		cancel()
+		for _, r := range rings {
+			r.Stop()
+		}
+	}
+}
+
+func await(t *testing.T, ch chan msg.Message, want msg.Message) {
+	t.Helper()
+	select {
+	case m := <-ch:
+		if !m.Equal(want) {
+			t.Fatalf("got %v, want %v", m, want)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("timed out waiting for %v", want)
+	}
+}
+
+func TestRingRelaysToEveryMember(t *testing.T) {
+	rings, _, got, stop := testCluster(t, 3, 0)
+	defer stop()
+	m := msg.Message{ID: ids.MsgID{Sender: 0, Incarnation: 1, Seq: 1}, Payload: []byte("hello ring")}
+	rings[0].Publish(0, m)
+	await(t, got[1], m)
+	await(t, got[2], m)
+	select {
+	case extra := <-got[0]:
+		t.Fatalf("origin sink invoked with %v", extra)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if s := rings[0].Stats(); s.Published != 1 || s.Relayed != 1 {
+		t.Fatalf("origin stats = %+v, want Published=1 Relayed=1", s)
+	}
+}
+
+func TestRingHealsAroundSuspect(t *testing.T) {
+	rings, alive, got, stop := testCluster(t, 3, 0)
+	defer stop()
+	alive.set(0, 2) // p1 suspected: p0's successor becomes p2
+	m := msg.Message{ID: ids.MsgID{Sender: 0, Incarnation: 1, Seq: 2}, Payload: []byte("skip p1")}
+	rings[0].Publish(0, m)
+	await(t, got[2], m)
+	select {
+	case <-got[1]:
+		t.Fatal("suspected p1 received the relay")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestRingDedupStopsLoops(t *testing.T) {
+	rings, _, got, stop := testCluster(t, 3, 0)
+	defer stop()
+	m := msg.Message{ID: ids.MsgID{Sender: 1, Incarnation: 1, Seq: 7}, Payload: []byte("x")}
+	// Publish the same message twice: downstream sinks must fire once.
+	rings[1].Publish(0, m)
+	rings[1].Publish(0, m)
+	await(t, got[2], m)
+	await(t, got[0], m)
+	time.Sleep(50 * time.Millisecond)
+	if len(got[2]) != 0 || len(got[0]) != 0 {
+		t.Fatal("duplicate relay reached a sink twice")
+	}
+}
+
+func TestRingDropsUnregisteredAndMalformed(t *testing.T) {
+	rings, _, _, stop := testCluster(t, 2, 0)
+	defer stop()
+	m := msg.Message{ID: ids.MsgID{Sender: 0, Incarnation: 1, Seq: 1}, Payload: []byte("y")}
+	w := wire.GetWriter(64)
+	w.I64(99) // group with no sink
+	w.U8(0)
+	m.Encode(w)
+	rings[1].OnMessage(0, w.Bytes())
+	wire.PutWriter(w)
+	rings[1].OnMessage(0, []byte{0xff}) // truncated
+	s := rings[1].Stats()
+	if s.DropNoSink != 1 || s.DropBad != 1 {
+		t.Fatalf("stats = %+v, want DropNoSink=1 DropBad=1", s)
+	}
+}
+
+func TestInertRingDropsPublishes(t *testing.T) {
+	r := Inert()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			r.Publish(0, msg.Message{ID: ids.MsgID{Sender: 0, Incarnation: 1, Seq: uint64(i)}})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("inert ring blocked a publisher")
+	}
+	r.Stop()
+}
+
+func TestPublishUnblocksOnStop(t *testing.T) {
+	alive := &fakeAlive{}
+	alive.set(0, 1)
+	r := New(0, 2, alive, &loopNet{from: 0, rings: map[ids.ProcessID]*Ring{}}, Options{QueueLen: 1})
+	// Never started: the queue fills and the next publish blocks until Stop.
+	r.Publish(0, msg.Message{ID: ids.MsgID{Sender: 0, Incarnation: 1, Seq: 1}})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.Publish(0, msg.Message{ID: ids.MsgID{Sender: 0, Incarnation: 1, Seq: 2}})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	r.Stop()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("publisher still blocked after Stop")
+	}
+}

@@ -79,7 +79,7 @@ func LatencyRun(scale Scale, seed uint64, tcp, lease bool) (E19Metrics, error) {
 		// is decided and logged, so its duration IS the confirmed commit
 		// latency. (Batched broadcast's §5.4 early return would measure
 		// the local append instead.)
-		Core: core.Config{},
+		Core:      core.Config{},
 		Consensus: consensus.Config{Lease: lease, LeaseTTL: time.Second},
 		OnTentative: func(pid ids.ProcessID, d core.Delivery) {
 			now := time.Now()

@@ -1,0 +1,317 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/harness"
+	"repro/internal/ids"
+	"repro/internal/transport"
+)
+
+// E20 measures the ordering/dissemination split: with full-payload
+// dissemination the sequencer's proposal carries every payload to every
+// process, so its egress is O(N x payload) per round and its NIC is the
+// throughput ceiling; in ring mode payloads relay around the successor
+// ring (each process forwards to one successor) while consensus orders
+// ID+checksum vectors, so the sequencer's egress per round is O(payload +
+// small x N). The sweep crosses payload size with cluster size on the
+// simulated-NIC mem transport and a TCP loopback, measuring the
+// sequencer's egress bytes per round and the delivered payload
+// throughput for both modes.
+
+// e20EgressRate is the simulated per-process NIC serialization rate for
+// the mem variants (128 MiB/s, a gigabit-class link): the resource the
+// split is designed to stop oversubscribing.
+const e20EgressRate = 128 << 20
+
+// egressNet wraps a Network and counts the bytes one observed process
+// sends to remote peers — the sequencer's NIC egress.
+type egressNet struct {
+	inner transport.Network
+	watch ids.ProcessID
+	bytes atomic.Int64
+}
+
+func newEgressNet(inner transport.Network, watch ids.ProcessID) *egressNet {
+	return &egressNet{inner: inner, watch: watch}
+}
+
+func (c *egressNet) N() int { return c.inner.N() }
+
+func (c *egressNet) Attach(pid ids.ProcessID) (transport.Endpoint, error) {
+	ep, err := c.inner.Attach(pid)
+	if err != nil {
+		return nil, err
+	}
+	if pid != c.watch {
+		return ep, nil
+	}
+	return &egressEndpoint{Endpoint: ep, net: c}, nil
+}
+
+type egressEndpoint struct {
+	transport.Endpoint
+	net *egressNet
+}
+
+func (e *egressEndpoint) Send(to ids.ProcessID, data []byte) {
+	if to != e.Local() {
+		e.net.bytes.Add(int64(len(data)))
+	}
+	e.Endpoint.Send(to, data)
+}
+
+func (e *egressEndpoint) Multisend(data []byte) {
+	e.net.bytes.Add(int64(e.net.N()-1) * int64(len(data)))
+	e.Endpoint.Multisend(data)
+}
+
+// E20Metrics is one (mode, transport, n, payload) measurement.
+type E20Metrics struct {
+	Mode      string `json:"mode"` // "full-payload" or "ring"
+	Transport string `json:"transport"`
+	N         int    `json:"n"`
+	PayloadB  int    `json:"payload_bytes"`
+	Msgs      int    `json:"msgs"`
+	// EgressBytesPerRound is the sequencer's remote-send bytes divided by
+	// the rounds of the measurement window (closed loop: one broadcast =
+	// one round). Full-payload mode grows O(N x payload); ring mode stays
+	// O(payload) plus small ID-vector consensus traffic.
+	EgressBytesPerRound float64 `json:"sequencer_egress_bytes_per_round"`
+	// DeliveredMBps is ordered payload throughput: msgs x payload over
+	// the window from first broadcast to every process delivered.
+	DeliveredMBps float64 `json:"delivered_mb_per_s"`
+	RingPublished uint64  `json:"ring_published,omitempty"`
+	PayloadStalls uint64  `json:"payload_stalls,omitempty"`
+}
+
+// e20Msgs sizes the closed-loop workload so megabyte payloads do not
+// dominate the wall clock.
+func e20Msgs(scale Scale, payload int) int {
+	if payload >= 1<<20 {
+		return scale.pick(6, 16)
+	}
+	return scale.pick(16, 64)
+}
+
+// DissemRun drives one E20 variant: a closed loop of broadcasts from the
+// sequencer process p0, every payload the given size, in full-payload or
+// ring-dissemination mode, on the simulated-NIC mem transport or a TCP
+// loopback.
+func DissemRun(scale Scale, seed uint64, n, payload int, ring, tcp bool) (E20Metrics, error) {
+	msgs := e20Msgs(scale, payload)
+	m := E20Metrics{Mode: "full-payload", Transport: "mem", N: n, PayloadB: payload, Msgs: msgs}
+	if ring {
+		m.Mode = "ring"
+	}
+	if tcp {
+		m.Transport = "tcp"
+	}
+
+	var inner transport.Network
+	if tcp {
+		addrs, err := freeLoopbackAddrs(n)
+		if err != nil {
+			return m, fmt.Errorf("reserve loopback addrs: %w", err)
+		}
+		inner = transport.NewTCP(addrs)
+	} else {
+		inner = transport.NewMem(n, transport.MemOptions{Seed: seed, EgressBytesPerSec: e20EgressRate})
+	}
+	en := newEgressNet(inner, 0)
+
+	opts := harness.Options{
+		N:          n,
+		Seed:       seed,
+		Transport:  en,
+		RingDissem: ring,
+		// Large payloads queue behind the simulated NIC for tens of
+		// milliseconds per round in full-payload mode; a lazy detector
+		// keeps queued heartbeats from reading as crashes (E20 runs no
+		// failures).
+		FD: fd.Options{Heartbeat: 25 * time.Millisecond, Timeout: 500 * time.Millisecond},
+		// Calm-network timing for both modes: the default 3 ms retry
+		// floor retransmits multi-megabyte proposals faster than the NIC
+		// serializes them, snowballing the full-payload egress queue at
+		// 1 MiB payloads; nothing is lost here, so retries and gossip
+		// re-sends are pure repair-path insurance.
+		Consensus: consensus.Config{RetryMin: 250 * time.Millisecond, RetryMax: time.Second},
+		Core:      core.Config{GossipInterval: 100 * time.Millisecond},
+	}
+	c := harness.NewCluster(opts)
+	defer c.Stop()
+	if err := c.StartAll(); err != nil {
+		return m, err
+	}
+	cx, cancel := ctx()
+	defer cancel()
+
+	pids := make([]ids.ProcessID, n)
+	for i := range pids {
+		pids[i] = ids.ProcessID(i)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := c.Broadcast(cx, 0, []byte("warmup-filler-20")); err != nil {
+			return m, fmt.Errorf("warmup %d: %w", i, err)
+		}
+	}
+	if err := c.AwaitAllDelivered(cx, pids...); err != nil {
+		return m, fmt.Errorf("warmup settle: %w", err)
+	}
+
+	buf := make([]byte, payload)
+	b0 := en.bytes.Load()
+	t0 := time.Now()
+	for i := 0; i < msgs; i++ {
+		binary.BigEndian.PutUint64(buf, uint64(i))
+		if _, err := c.Broadcast(cx, 0, buf); err != nil {
+			return m, fmt.Errorf("broadcast %d: %w", i, err)
+		}
+	}
+	if err := c.AwaitAllDelivered(cx, pids...); err != nil {
+		return m, err
+	}
+	elapsed := time.Since(t0)
+	b1 := en.bytes.Load()
+	if err := c.VerifyAll(pids...); err != nil {
+		return m, err
+	}
+
+	m.EgressBytesPerRound = float64(b1-b0) / float64(msgs)
+	m.DeliveredMBps = float64(msgs) * float64(payload) / elapsed.Seconds() / (1 << 20)
+	for _, nd := range c.Nodes {
+		if p := nd.Proto(); p != nil {
+			st := p.Stats()
+			m.RingPublished += st.RingPublished
+			m.PayloadStalls += st.PayloadStalls
+		}
+	}
+	return m, nil
+}
+
+// e20Variants runs the payload x N sweep on mem for both modes, plus TCP
+// loopback points at the payload sizes where dissemination dominates.
+func e20Variants(scale Scale) ([]E20Metrics, error) {
+	ns := []int{3, 5}
+	payloads := []int{64, 4096, 65536}
+	tcpPayloads := []int{65536}
+	if scale == Full {
+		ns = []int{3, 5, 7}
+		payloads = append(payloads, 1<<20)
+		tcpPayloads = append(tcpPayloads, 1<<20)
+	}
+	var out []E20Metrics
+	seed := uint64(20000)
+	for _, n := range ns {
+		for _, p := range payloads {
+			for _, ring := range []bool{false, true} {
+				m, err := DissemRun(scale, seed, n, p, ring, false)
+				if err != nil {
+					return nil, fmt.Errorf("E20 mem n=%d payload=%d ring=%v: %w", n, p, ring, err)
+				}
+				out = append(out, m)
+				seed += 13
+			}
+		}
+	}
+	for _, p := range tcpPayloads {
+		for _, ring := range []bool{false, true} {
+			m, err := DissemRun(scale, seed, 3, p, ring, true)
+			if err != nil {
+				return nil, fmt.Errorf("E20 tcp payload=%d ring=%v: %w", p, ring, err)
+			}
+			out = append(out, m)
+			seed += 13
+		}
+	}
+	return out, nil
+}
+
+// e20Find returns the first measurement matching the coordinates.
+func e20Find(ms []E20Metrics, mode, tr string, n, payload int) *E20Metrics {
+	for i := range ms {
+		m := &ms[i]
+		if m.Mode == mode && m.Transport == tr && m.N == n && m.PayloadB == payload {
+			return m
+		}
+	}
+	return nil
+}
+
+// E20Dissemination assembles the ordering/dissemination split table.
+func E20Dissemination(scale Scale) (*Result, error) {
+	ms, err := e20Variants(scale)
+	if err != nil {
+		return nil, err
+	}
+	table := harness.NewTable(
+		"E20 — ordering/dissemination split: sequencer egress and delivered throughput, full-payload vs ring (closed loop from the sequencer; mem transport models a 256 MiB/s NIC)",
+		"mode", "transport", "n", "payload", "egress B/round", "MB/s")
+	res := &Result{Table: table}
+	for _, m := range ms {
+		table.Add(m.Mode, m.Transport, m.N, m.PayloadB,
+			fmt.Sprintf("%.0f", m.EgressBytesPerRound), fmt.Sprintf("%.1f", m.DeliveredMBps))
+	}
+
+	// Egress growth in N: at 4 KiB the relay keeps up with the decide
+	// rate (no repair pulls), so the ring's curve is the clean O(1)-in-N
+	// story; at 64 KiB the magnitude gap and the throughput win show.
+	const flatPayload, bigPayload = 4096, 65536
+	nLo, nHi := 3, 5
+	if scale == Full {
+		nHi = 7
+	}
+	fLo, fHi := e20Find(ms, "full-payload", "mem", nLo, flatPayload), e20Find(ms, "full-payload", "mem", nHi, flatPayload)
+	rLo, rHi := e20Find(ms, "ring", "mem", nLo, flatPayload), e20Find(ms, "ring", "mem", nHi, flatPayload)
+	if fLo != nil && fHi != nil && rLo != nil && rHi != nil {
+		res.Notes = append(res.Notes,
+			fmt.Sprintf("sequencer egress/round at %d B payloads, n=%d -> n=%d: full-payload %.0f -> %.0f B (%.2fx, O(N)); ring %.0f -> %.0f B (%.2fx, near-flat) — consensus decides ID vectors, payloads leave the sequencer once",
+				flatPayload, nLo, nHi,
+				fLo.EgressBytesPerRound, fHi.EgressBytesPerRound, fHi.EgressBytesPerRound/fLo.EgressBytesPerRound,
+				rLo.EgressBytesPerRound, rHi.EgressBytesPerRound, rHi.EgressBytesPerRound/rLo.EgressBytesPerRound))
+	}
+	fBig, rBig := e20Find(ms, "full-payload", "mem", nHi, bigPayload), e20Find(ms, "ring", "mem", nHi, bigPayload)
+	if fBig != nil && rBig != nil {
+		res.Notes = append(res.Notes,
+			fmt.Sprintf("at %d B payloads, n=%d: ring %.1f MB/s vs full-payload %.1f MB/s (%.2fx) with %.1fx less sequencer egress — the NIC serializes one payload copy instead of n-1 (plus consensus echoes)",
+				bigPayload, nHi, rBig.DeliveredMBps, fBig.DeliveredMBps, rBig.DeliveredMBps/fBig.DeliveredMBps,
+				fBig.EgressBytesPerRound/rBig.EgressBytesPerRound))
+	}
+	res.Notes = append(res.Notes,
+		"consensus in ring mode decides ID+CRC vectors only; delivery waits for 'ID ordered AND payload present', missing payloads are pulled over the digest-gossip repair path",
+		"acceptance: ring >= 2x full-payload delivered MB/s at 64 KiB payloads on the NIC-modelled mem transport (TestRingBeatsFullPayloadAtLargeMsgs)")
+	return res, nil
+}
+
+// E20WriteJSON runs the E20 sweep and publishes it as JSON (the committed
+// BENCH_e20.json artifact).
+func E20WriteJSON(scale Scale, path string) error {
+	ms, err := e20Variants(scale)
+	if err != nil {
+		return err
+	}
+	doc := struct {
+		Experiment string       `json:"experiment"`
+		Claim      string       `json:"claim"`
+		Scale      string       `json:"scale"`
+		Variants   []E20Metrics `json:"variants"`
+	}{
+		Experiment: "E20 ordering/dissemination split",
+		Claim:      "ring dissemination keeps the sequencer's egress bytes/round O(1) in N while full-payload mode grows O(N); delivered throughput at >= 64 KiB payloads is >= 2x full-payload mode on a bandwidth-limited NIC",
+		Scale:      map[Scale]string{Quick: "quick", Full: "full"}[scale],
+		Variants:   ms,
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -347,6 +347,7 @@ func All(scale Scale) ([]*Result, error) {
 		{"E17", E17SharedServices},
 		{"E18", E18LogLifecycle},
 		{"E19", E19Latency},
+		{"E20", E20Dissemination},
 	}
 	var out []*Result
 	for _, e := range exps {
@@ -400,6 +401,8 @@ func ByName(name string) (func(Scale) (*Result, error), bool) {
 		return E18LogLifecycle, true
 	case "E19":
 		return E19Latency, true
+	case "E20":
+		return E20Dissemination, true
 	default:
 		return nil, false
 	}

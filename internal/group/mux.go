@@ -26,9 +26,14 @@ const (
 	// coalTag marks a coalesced frame: a batch of length-delimited tagged
 	// frames packed into one transport write by the write-coalescing mux.
 	coalTag uint16 = 0xFFFE
+	// dissemTag marks the dissemination lane: the virtual network the
+	// process-level payload ring (internal/dissem) runs on when the
+	// ordering/dissemination split is enabled. Like the proc lane it is
+	// process-scoped — relay frames carry their own group tag inside.
+	dissemTag uint16 = 0xFFFD
 	// maxGroups is the highest usable group count (tags below the
 	// reserved lanes).
-	maxGroups = int(coalTag)
+	maxGroups = int(dissemTag)
 )
 
 // MuxOptions tunes the mux's write-coalescing pipeline — the network twin
@@ -184,6 +189,22 @@ func (n procNet) Attach(pid ids.ProcessID) (transport.Endpoint, error) {
 	return n.m.attach(procTag, pid)
 }
 
+// DissemNet returns the dissemination-lane virtual Network: the lane the
+// process-level payload ring runs on when the ordering/dissemination split
+// is enabled (see internal/dissem and node.StartSharedRing). Same sharing
+// and crash semantics as ProcNet.
+func (m *Mux) DissemNet() transport.Network { return dissemNet{m: m} }
+
+type dissemNet struct{ m *Mux }
+
+var _ transport.Network = dissemNet{}
+
+func (n dissemNet) N() int { return n.m.inner.N() }
+
+func (n dissemNet) Attach(pid ids.ProcessID) (transport.Endpoint, error) {
+	return n.m.attach(dissemTag, pid)
+}
+
 // procMux is one process's shared real endpoint plus the registry of its
 // live virtual endpoints, keyed by frame tag (group id or the proc lane).
 type procMux struct {
@@ -276,7 +297,7 @@ func (pm *procMux) splitCoalesced(from ids.ProcessID, rest []byte) {
 
 // dispatch routes one demultiplexed frame to its lane's inbox.
 func (pm *procMux) dispatch(from ids.ProcessID, tag uint16, payload []byte) {
-	if tag != procTag && int(tag) >= pm.m.groups {
+	if tag != procTag && tag != dissemTag && int(tag) >= pm.m.groups {
 		pm.m.unknown.Add(1)
 		return
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/consensus"
 	"repro/internal/core"
+	"repro/internal/dissem"
 	"repro/internal/fd"
 	"repro/internal/ids"
 	"repro/internal/node"
@@ -58,6 +59,16 @@ type Options struct {
 	// App, when set, is invoked per process at each incarnation start
 	// with the app-channel binding (see node.Config.App).
 	App func(ids.ProcessID, router.Net) router.Handler
+	// RingDissem enables the ordering/dissemination split on every node:
+	// payloads relay around the successor ring while consensus orders
+	// ID+checksum vectors (see node.Config.RingDissem).
+	RingDissem bool
+	// Ring, when set, supplies each node's dissemination ring directly
+	// (node.Config.SharedRing) and implies ring mode; RingDissem is then
+	// ignored. Tests use it to inject inert or instrumented rings — e.g.
+	// dissem.Inert() to force every remote payload through the pull
+	// repair path.
+	Ring func(ids.ProcessID) *dissem.Ring
 }
 
 func (o *Options) fill() {
@@ -174,14 +185,21 @@ func NewCluster(opts Options) *Cluster {
 				return opts.App(pid, net)
 			}
 		}
-		n := node.New(node.Config{
-			PID:       pid,
-			N:         opts.N,
-			Core:      coreCfg,
-			Consensus: opts.Consensus,
-			FD:        opts.FD,
-			App:       appHook,
-		}, st, c.net)
+		ncfg := node.Config{
+			PID:        pid,
+			N:          opts.N,
+			Core:       coreCfg,
+			Consensus:  opts.Consensus,
+			FD:         opts.FD,
+			RingDissem: opts.RingDissem,
+			App:        appHook,
+		}
+		if opts.Ring != nil {
+			p := pid
+			ncfg.RingDissem = false
+			ncfg.SharedRing = func() *dissem.Ring { return opts.Ring(p) }
+		}
+		n := node.New(ncfg, st, c.net)
 		c.Nodes = append(c.Nodes, n)
 	}
 	return c

@@ -1,0 +1,153 @@
+package harness
+
+// Sharded ring-dissemination soaks: G ordering groups share one
+// process-level payload ring while consensus orders ID vectors. The soaks
+// cover the two ways the ring loses payloads — relay frames dropped by a
+// lossy channel, and a ring successor crashing mid-stream — and assert the
+// pull repair path and ring healing preserve every group's total order.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+)
+
+func TestShardedRingDissemination(t *testing.T) {
+	const groups = 3
+	c := NewShardedCluster(ShardedOptions{
+		N:          3,
+		Groups:     groups,
+		Seed:       21,
+		RingDissem: true,
+		Core:       core.Config{PipelineDepth: 2, MaxBatchDelay: 100 * time.Microsecond},
+	})
+	defer c.Stop()
+	if err := c.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	for i := 0; i < 30; i++ {
+		pid := ids.ProcessID(i % 3)
+		g := ids.GroupID(i % groups)
+		if _, err := c.Broadcast(ctx, pid, g, fmt.Appendf(nil, "ring-%d", i)); err != nil {
+			t.Fatalf("broadcast %d: %v", i, err)
+		}
+	}
+	if err := c.AwaitAllDelivered(ctx, 0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyMergeDeterminism(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every group's payloads rode the one shared ring, not the proposals.
+	var published uint64
+	for _, nodes := range c.Nodes {
+		for _, n := range nodes {
+			if p := n.Proto(); p != nil {
+				published += p.Stats().RingPublished
+			}
+		}
+	}
+	if published == 0 {
+		t.Fatal("no payloads published through the shared ring")
+	}
+}
+
+// TestShardedRingRelayLoss runs ring dissemination over the lossy channel:
+// dropped relay frames starve deliveries until the pull repair path fills
+// the gaps.
+func TestShardedRingRelayLoss(t *testing.T) {
+	const groups = 2
+	c := NewShardedCluster(ShardedOptions{
+		N:          3,
+		Groups:     groups,
+		Seed:       22,
+		Net:        DefaultLossyNet(22),
+		RingDissem: true,
+		Core:       core.Config{PipelineDepth: 2, MaxBatchDelay: 100 * time.Microsecond},
+	})
+	defer c.Stop()
+	if err := c.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	for i := 0; i < 24; i++ {
+		pid := ids.ProcessID(i % 3)
+		g := ids.GroupID(i % groups)
+		if _, err := c.Broadcast(ctx, pid, g, fmt.Appendf(nil, "lossy-%d", i)); err != nil {
+			t.Fatalf("broadcast %d: %v", i, err)
+		}
+	}
+	if err := c.AwaitAllDelivered(ctx, 0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyMergeDeterminism(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedRingSuccessorCrash crashes a broadcaster's ring successor
+// mid-stream and keeps broadcasting: the ring heals around the suspect,
+// messages ordered while it was down survive, and the recovered process
+// catches up in every group.
+func TestShardedRingSuccessorCrash(t *testing.T) {
+	const groups = 2
+	c := NewShardedCluster(ShardedOptions{
+		N:          3,
+		Groups:     groups,
+		Seed:       23,
+		RingDissem: true,
+		Core:       core.Config{PipelineDepth: 2, MaxBatchDelay: 100 * time.Microsecond},
+	})
+	defer c.Stop()
+	if err := c.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	for i := 0; i < 8; i++ {
+		if _, err := c.Broadcast(ctx, 0, ids.GroupID(i%groups), fmt.Appendf(nil, "pre-%d", i)); err != nil {
+			t.Fatalf("broadcast pre-%d: %v", i, err)
+		}
+	}
+	if err := c.AwaitAllDelivered(ctx, 0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// p1 is p0's ring successor (0 -> 1 -> 2). Crash it and keep the
+	// traffic flowing from p0 on every group.
+	c.Crash(1)
+	for i := 0; i < 10; i++ {
+		if _, err := c.Broadcast(ctx, 0, ids.GroupID(i%groups), fmt.Appendf(nil, "mid-%d", i)); err != nil {
+			t.Fatalf("broadcast mid-%d: %v", i, err)
+		}
+	}
+	if err := c.AwaitAllDelivered(ctx, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := c.Recover(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := c.Broadcast(ctx, 0, ids.GroupID(i%groups), fmt.Appendf(nil, "post-%d", i)); err != nil {
+			t.Fatalf("broadcast post-%d: %v", i, err)
+		}
+	}
+	if err := c.AwaitAllDelivered(ctx, 0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyMergeDeterminism(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/consensus"
 	"repro/internal/core"
+	"repro/internal/dissem"
 	"repro/internal/fd"
 	"repro/internal/group"
 	"repro/internal/ids"
@@ -46,6 +47,11 @@ type ShardedOptions struct {
 	// The default is the shared process-level detector; the flag exists
 	// for the E17 background-traffic baseline.
 	PerGroupFD bool
+	// RingDissem enables the ordering/dissemination split: one shared
+	// payload ring per process (over the mux's dissem lane) serves every
+	// group, while consensus orders ID+checksum vectors. Requires the
+	// shared process-level detector (incompatible with PerGroupFD).
+	RingDissem bool
 	// Mux tunes the multiplexer's write coalescing (zero = no coalescing).
 	Mux group.MuxOptions
 	// InjectFaultyStorage wraps each process's shared store in a
@@ -136,8 +142,9 @@ type ShardedCluster struct {
 	ctx         context.Context
 	cancel      context.CancelFunc
 
-	fdMu sync.Mutex
-	fds  []*node.SharedFD // per process; nil when down or PerGroupFD
+	fdMu  sync.Mutex
+	fds   []*node.SharedFD   // per process; nil when down or PerGroupFD
+	rings []*node.SharedRing // per process; nil when down or ring mode off
 }
 
 // NewShardedCluster builds (but does not start) a sharded cluster.
@@ -154,7 +161,11 @@ func NewShardedCluster(opts ShardedOptions) *ShardedCluster {
 	for g := 0; g < opts.Groups; g++ {
 		c.Recs = append(c.Recs, check.NewRecorder(opts.N))
 	}
+	if opts.RingDissem && opts.PerGroupFD {
+		panic("harness: RingDissem requires the shared process-level detector (PerGroupFD must be off)")
+	}
 	c.fds = make([]*node.SharedFD, opts.N)
+	c.rings = make([]*node.SharedRing, opts.N)
 	c.ctx, c.cancel = context.WithCancel(context.Background())
 
 	for p := 0; p < opts.N; p++ {
@@ -241,6 +252,9 @@ func NewShardedCluster(opts ShardedOptions) *ShardedCluster {
 			if !opts.PerGroupFD {
 				ncfg.SharedFD = func() fd.API { return c.fdView(pid, gid) }
 			}
+			if opts.RingDissem {
+				ncfg.SharedRing = func() *dissem.Ring { return c.ringView(pid) }
+			}
 			nodes = append(nodes, node.New(ncfg, acct, c.Mux.Net(gid)))
 		}
 		if shared != nil {
@@ -253,6 +267,19 @@ func NewShardedCluster(opts ShardedOptions) *ShardedCluster {
 		c.Stores = append(c.Stores, stores)
 	}
 	return c
+}
+
+// ringView returns process pid's live shared payload ring, or an inert one
+// while the process is down or mid-teardown (the node reading it still runs
+// ring mode — wire-format uniformity — but its publishes drop, like any
+// traffic from a down process).
+func (c *ShardedCluster) ringView(pid ids.ProcessID) *dissem.Ring {
+	c.fdMu.Lock()
+	defer c.fdMu.Unlock()
+	if c.rings[pid] == nil {
+		return dissem.Inert()
+	}
+	return c.rings[pid].Ring()
 }
 
 // fdView returns group gid's facade over process pid's live shared
@@ -310,6 +337,16 @@ func (c *ShardedCluster) Start(pid ids.ProcessID) error {
 		c.fdMu.Lock()
 		c.fds[pid] = sfd
 		c.fdMu.Unlock()
+		if c.Opts.RingDissem {
+			ring, err := node.StartSharedRing(c.ctx, pid, c.Opts.N, sfd.Detector(), c.Mux.DissemNet(), dissem.Options{})
+			if err != nil {
+				c.Crash(pid)
+				return fmt.Errorf("sharded start p%v: shared ring: %w", pid, err)
+			}
+			c.fdMu.Lock()
+			c.rings[pid] = ring
+			c.fdMu.Unlock()
+		}
 	}
 	errs := make([]error, c.Opts.Groups)
 	var wg sync.WaitGroup
@@ -339,7 +376,12 @@ func (c *ShardedCluster) Crash(pid ids.ProcessID) {
 	c.fdMu.Lock()
 	sfd := c.fds[pid]
 	c.fds[pid] = nil
+	ring := c.rings[pid]
+	c.rings[pid] = nil
 	c.fdMu.Unlock()
+	if ring != nil {
+		ring.Stop()
+	}
 	if sfd != nil {
 		sfd.Stop()
 	}

@@ -1,0 +1,64 @@
+package msg
+
+import (
+	"hash/crc32"
+
+	"repro/internal/ids"
+	"repro/internal/wire"
+)
+
+// IDRec names one message inside an ID-only consensus value: the identity
+// plus a checksum of the payload. When ordering and dissemination are split
+// (ring mode), consensus decides vectors of IDRecs — a few dozen bytes per
+// message regardless of payload size — and each process pairs the decided
+// identity with the payload it received off the dissemination plane. The
+// checksum lets a process reject a corrupted or mismatched payload before
+// delivering it under that identity.
+type IDRec struct {
+	ID  ids.MsgID
+	Sum uint32
+}
+
+// castagnoli is the CRC32-C polynomial table (hardware-accelerated on
+// amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the payload checksum carried in an IDRec.
+func Checksum(payload []byte) uint32 {
+	return crc32.Checksum(payload, castagnoli)
+}
+
+// Rec returns m's IDRec.
+func Rec(m Message) IDRec {
+	return IDRec{ID: m.ID, Sum: Checksum(m.Payload)}
+}
+
+// EncodeIDVec encodes a count-prefixed ID vector.
+func EncodeIDVec(w *wire.Writer, recs []IDRec) {
+	w.U64(uint64(len(recs)))
+	for _, rec := range recs {
+		EncodeID(w, rec.ID)
+		w.U64(uint64(rec.Sum))
+	}
+}
+
+// DecodeIDVec decodes a count-prefixed ID vector.
+func DecodeIDVec(r *wire.Reader) []IDRec {
+	n := r.U64()
+	if r.Err() != nil {
+		return nil
+	}
+	capHint := n
+	if capHint > 4096 { // n is attacker/disk-controlled
+		capHint = 4096
+	}
+	out := make([]IDRec, 0, capHint)
+	for i := uint64(0); i < n; i++ {
+		rec := IDRec{ID: DecodeID(r), Sum: uint32(r.U64())}
+		if r.Err() != nil {
+			return nil
+		}
+		out = append(out, rec)
+	}
+	return out
+}

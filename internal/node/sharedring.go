@@ -1,0 +1,55 @@
+package node
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/dissem"
+	"repro/internal/ids"
+	"repro/internal/router"
+	"repro/internal/transport"
+)
+
+// SharedRing is the process-level dissemination ring of a sharded process:
+// one payload relay covering every ordering group, running over the mux's
+// dissem lane (Mux.DissemNet) — the ring twin of SharedFD. Relay frames
+// carry the group tag, so G groups share one successor stream instead of
+// maintaining G rings.
+//
+// Lifecycle: start one per process incarnation (after the shared failure
+// detector — the ring derives successors from it — and before the group
+// nodes, which register their sinks via Config.SharedRing), stop it when
+// the process crashes.
+type SharedRing struct {
+	ring   *dissem.Ring
+	rt     *router.Router
+	cancel context.CancelFunc
+}
+
+// StartSharedRing attaches the dissem lane and boots the relay. net is
+// typically Mux.DissemNet(); alive the process-level failure detector.
+func StartSharedRing(ctx context.Context, pid ids.ProcessID, n int, alive dissem.Alive, net transport.Network, opts dissem.Options) (*SharedRing, error) {
+	ep, err := net.Attach(pid)
+	if err != nil {
+		return nil, fmt.Errorf("node %v: attach shared ring: %w", pid, err)
+	}
+	rt := router.New(ep)
+	ring := dissem.New(pid, n, alive, rt.Bound(router.ChanDissem), opts)
+	rt.Handle(router.ChanDissem, ring.OnMessage)
+	sctx, cancel := context.WithCancel(ctx)
+	rt.Start(sctx)
+	ring.Start(sctx)
+	return &SharedRing{ring: ring, rt: rt, cancel: cancel}, nil
+}
+
+// Ring returns the shared ring — the value group nodes receive through
+// Config.SharedRing.
+func (s *SharedRing) Ring() *dissem.Ring { return s.ring }
+
+// Stop ends the service: the forward loop exits, pending publishers
+// unblock, and the dissem-lane endpoint detaches.
+func (s *SharedRing) Stop() {
+	s.cancel()
+	s.ring.Stop()
+	s.rt.Stop()
+}

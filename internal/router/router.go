@@ -21,6 +21,7 @@ const (
 	ChanConsensus Channel = 2 // consensus engine messages
 	ChanCore      Channel = 3 // atomic broadcast gossip/state messages
 	ChanApp       Channel = 4 // application-level side traffic (quorum reads)
+	ChanDissem    Channel = 5 // payload dissemination ring relay frames
 )
 
 // Handler consumes one packet on a channel. Handlers run on the router's

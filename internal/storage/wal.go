@@ -41,15 +41,20 @@ import (
 // # Compaction
 //
 // Deleted and overwritten records stay on disk until segment compaction
-// reclaims them: with CompactFactor > 0 (or an explicit Compact call) the
-// committer periodically rewrites the live index — every cell as a fresh
-// put record, every log as one atomic log-snapshot record — into a fresh
-// segment and unlinks all older segments. The rewrite rides the same
-// group-commit pipeline position as the records it replaces: the queue is
-// drained first, the snapshot is taken at exactly that stream position,
-// and old segments are unlinked only after the rewrite's fsync — so a
-// crash at any point replays to the same index (see the package doc's
-// "Log lifecycle" section for the crash argument).
+// reclaims them. Compaction is incremental — one segment per pass: with
+// CompactFactor > 0 (or an explicit Compact call) the committer picks
+// the oldest segment, rescues the current state of every still-live key
+// it touches into the tail (cells as fresh put records, logs as one
+// atomic log-snapshot record each), fsyncs, and unlinks just that
+// segment. A pass therefore costs one segment plus the live state it
+// shadows, never a whole-log rewrite; the background trigger keeps
+// firing a pass per commit group until the dead-space ratio is back
+// under CompactFactor. The rescue rides the same group-commit pipeline
+// position as the records it replaces: the queue is drained first, the
+// snapshot is taken at exactly that stream position, and the victim is
+// unlinked only after the rescue's fsync — so a crash at any point
+// replays to the same index (see the package doc's "Log lifecycle"
+// section for the crash argument).
 //
 // # Failure model
 //
@@ -116,12 +121,14 @@ type WALOptions struct {
 	NoSync bool
 	// CompactFactor enables background segment compaction: once the
 	// on-disk bytes exceed CompactFactor times the live index bytes (and
-	// CompactMinBytes), the committer rewrites the live state into a
-	// fresh segment and unlinks every older one, bounding steady-state
-	// disk usage at roughly CompactFactor x live state. 0 disables
-	// compaction (records are reclaimed only by an explicit Compact
-	// call); values below 1.5 are clamped to 1.5 — a lower factor would
-	// re-trigger immediately after every cycle.
+	// CompactMinBytes), the committer runs one incremental pass per
+	// commit group — rescuing the oldest segment's live keys into the
+	// tail and unlinking it — until the ratio recovers, bounding
+	// steady-state disk usage at roughly CompactFactor x live state
+	// without ever paying a whole-log rewrite. 0 disables compaction
+	// (records are reclaimed only by an explicit Compact call); values
+	// below 1.5 are clamped to 1.5 — a lower factor would re-trigger
+	// immediately after every pass.
 	CompactFactor float64
 	// CompactMinBytes is the disk-size floor below which background
 	// compaction never triggers (default 1 MiB): rewriting a tiny log
@@ -638,12 +645,14 @@ func (w *WAL) SetGroupCommit(syncEvery int, maxSyncDelay time.Duration) {
 	}
 }
 
-// Compact forces one compaction cycle: the pending queue is flushed, the
-// live index is rewritten into a fresh segment (group-committed: the
-// rewrite's fsync completes first), and every older segment is unlinked.
-// It returns once the cycle is durable. Background compaction
-// (WALOptions.CompactFactor) runs the same cycle automatically whenever
-// dead records outgrow the live state.
+// Compact forces one incremental compaction pass: the pending queue is
+// flushed, the still-live keys of the oldest segment are rescued into
+// the tail (group-committed: the rescue's fsync completes first), and
+// that one segment is unlinked. It returns once the pass is durable.
+// One call reclaims one segment; call it repeatedly — or rely on
+// background compaction (WALOptions.CompactFactor), which runs the same
+// pass automatically whenever dead records outgrow the live state —
+// to converge on a fully compacted log.
 func (w *WAL) Compact() error {
 	w.mu.Lock()
 	if c, bad := w.unusableLocked(); bad {
@@ -825,33 +834,108 @@ func (w *WAL) snapshotLocked() *compactSnap {
 	return cs
 }
 
-// compact performs one compaction cycle on the committer goroutine: roll
-// to a fresh segment, rewrite the snapshot into it (cells as put records,
-// logs as atomic log-snapshot records), fsync, then unlink every older
-// segment. Crash safety: until the unlinks, replay sees the old segments
-// followed by (a possibly torn prefix of) the rewrite — put and
-// log-snapshot records are idempotent over the state they describe, so
-// the recovered index is unchanged; after the fsync the rewrite is a
-// complete substitute for everything before it, and unlinking oldest-
-// first keeps the surviving old segments a contiguous suffix (no delete
-// record can lose the earlier record it masks).
+// oldestSegment returns the lowest segment sequence present on disk.
+func (w *WAL) oldestSegment() (int, bool, error) {
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return 0, false, fmt.Errorf("storage: wal compact list: %w", err)
+	}
+	oldest, found := 0, false
+	for _, e := range entries {
+		var seq int
+		if _, err := fmt.Sscanf(e.Name(), "wal-%08d.log", &seq); err == nil {
+			if !found || seq < oldest {
+				oldest, found = seq, true
+			}
+		}
+	}
+	return oldest, found, nil
+}
+
+// victimKeys scans one sealed segment and returns the set of keys its
+// records touch, plus the segment's size. The segment is sealed (never
+// the write target), so every frame is complete — a torn frame here is
+// corruption, not a crash artifact.
+func (w *WAL) victimKeys(path string) (map[string]struct{}, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("storage: wal compact read: %w", err)
+	}
+	keys := make(map[string]struct{})
+	b := data
+	for len(b) > 0 {
+		rec, rest, ok := unframe(b)
+		if !ok {
+			return nil, 0, fmt.Errorf("storage: wal compact: torn frame in sealed segment %s", path)
+		}
+		if _, key, _, ok := decodeWALRec(rec); ok {
+			keys[key] = struct{}{}
+		}
+		b = rest
+	}
+	return keys, int64(len(data)), nil
+}
+
+// compact performs ONE incremental compaction pass on the committer
+// goroutine: pick the oldest segment on disk as the victim, rescue the
+// current state of every still-live key it touches into the active tail
+// (cells as put records, logs as atomic log-snapshot records), fsync,
+// then unlink just that one segment. The pass cost is bounded by one
+// segment plus the live state it shadows — not by total log size, which
+// is what the old whole-log rewrite paid. Repeated passes (one per
+// commit-loop iteration while the CompactFactor trigger stays hot, or
+// one per explicit Compact call) converge on a fully compacted log.
+//
+// Correctness: the victim is the oldest segment, so its records sit at
+// the bottom of the replay stream — every key it touches is either dead
+// (masked by a later record; dropping it changes nothing) or rescued as
+// a put / log-snapshot appended at the very top, which replays to
+// exactly the current state no matter what the intervening segments
+// say. A log-snapshot replaces its log atomically, so middle-segment
+// appends beneath it cannot double-apply. Crash safety: until the
+// unlink, replay sees the victim plus (a possibly torn suffix of) the
+// rescue records, which are idempotent over the state they describe;
+// after the fsync the rescue fully substitutes for the victim. When the
+// victim IS the active tail (a lone segment full of dead bytes), it is
+// rolled first so the frozen file can be rescued and unlinked — without
+// that, a single-segment log could never shrink.
 func (w *WAL) compact(snap *compactSnap) error {
-	if err := w.rollSegment(); err != nil {
+	victim, found, err := w.oldestSegment()
+	if err != nil {
 		return err
 	}
-	newSeq := w.segSeq
+	if !found {
+		return nil
+	}
+	if victim == w.segSeq {
+		if err := w.rollSegment(); err != nil {
+			return err
+		}
+	}
+	victimPath := filepath.Join(w.dir, segName(victim))
+	touched, victimSize, err := w.victimKeys(victimPath)
+	if err != nil {
+		return err
+	}
+	// "begin": the victim is chosen and the tail is about to grow rescue
+	// records; crash tests record the tail's durable size here.
+	if snap.hook != nil {
+		snap.hook("begin")
+	}
 
-	keys := make([]string, 0, len(snap.cells)+len(snap.logs))
-	for k := range snap.cells {
-		keys = append(keys, k)
+	keys := make([]string, 0, len(touched))
+	for k := range touched {
+		if _, live := snap.cells[k]; live {
+			keys = append(keys, k)
+			continue
+		}
+		if len(snap.logs[k]) > 0 {
+			keys = append(keys, k)
+		}
 	}
 	sort.Strings(keys)
-	logKeys := make([]string, 0, len(snap.logs))
-	for k := range snap.logs {
-		logKeys = append(logKeys, k)
-	}
-	sort.Strings(logKeys)
 
+	var rescued int64
 	var buf []byte
 	flush := func() error {
 		if len(buf) == 0 {
@@ -861,22 +945,17 @@ func (w *WAL) compact(snap *compactSnap) error {
 			return fmt.Errorf("storage: wal compact write: %w", err)
 		}
 		w.segSize += int64(len(buf))
+		rescued += int64(len(buf))
 		buf = buf[:0]
 		return nil
 	}
 	for _, k := range keys {
-		buf = append(buf, frame(encodeWALRec(walPut, k, snap.cells[k]))...)
-		if len(buf) >= 1<<20 {
-			if err := flush(); err != nil {
-				return err
-			}
+		if v, ok := snap.cells[k]; ok {
+			buf = append(buf, frame(encodeWALRec(walPut, k, v))...)
 		}
-	}
-	for _, k := range logKeys {
-		if len(snap.logs[k]) == 0 {
-			continue
+		if entries := snap.logs[k]; len(entries) > 0 {
+			buf = append(buf, frame(encodeWALRec(walLogSnap, k, encodeLogSnap(entries)))...)
 		}
-		buf = append(buf, frame(encodeWALRec(walLogSnap, k, encodeLogSnap(snap.logs[k])))...)
 		if len(buf) >= 1<<20 {
 			if err := flush(); err != nil {
 				return err
@@ -886,8 +965,8 @@ func (w *WAL) compact(snap *compactSnap) error {
 	if err := flush(); err != nil {
 		return err
 	}
-	// "rewrite": the records are written but not yet durable — a crash
-	// here leaves an arbitrary prefix of them on disk.
+	// "rewrite": the rescue records are written but not yet durable — a
+	// crash here leaves an arbitrary suffix of them torn off the tail.
 	if snap.hook != nil {
 		snap.hook("rewrite")
 	}
@@ -901,36 +980,18 @@ func (w *WAL) compact(snap *compactSnap) error {
 		snap.hook("unlink")
 	}
 
-	// The rewrite is durable: everything below it is garbage. Oldest
-	// first, so a crash mid-unlink leaves a contiguous suffix.
-	entries, err := os.ReadDir(w.dir)
-	if err != nil {
-		return fmt.Errorf("storage: wal compact list: %w", err)
+	// The rescue is durable: the victim is garbage. It is the oldest
+	// segment, so removing it keeps the survivors a contiguous suffix.
+	if err := os.Remove(victimPath); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("storage: wal compact unlink: %w", err)
 	}
-	var old []int
-	for _, e := range entries {
-		var seq int
-		if _, err := fmt.Sscanf(e.Name(), "wal-%08d.log", &seq); err == nil && seq < newSeq {
-			old = append(old, seq)
-		}
+	// Make the unlink durable: a power loss that resurrected the victim
+	// is harmless for correctness (its records are masked from above) but
+	// would skew the disk accounting on replay.
+	if err := syncDirEntry(w.dir); err != nil {
+		return err
 	}
-	sort.Ints(old)
-	for _, seq := range old {
-		if err := os.Remove(filepath.Join(w.dir, segName(seq))); err != nil && !os.IsNotExist(err) {
-			return fmt.Errorf("storage: wal compact unlink: %w", err)
-		}
-		// Make each unlink durable before issuing the next: unlink
-		// persistence is unordered without an intervening directory
-		// fsync, and a power loss that kept an older segment while
-		// losing a newer one would resurrect records the newer one's
-		// deletes masked. One fsync per old segment keeps the survivors
-		// a contiguous suffix under power loss too, not just process
-		// crashes; compactions are rare, so the cost is negligible.
-		if err := syncDirEntry(w.dir); err != nil {
-			return err
-		}
-	}
-	w.diskBytes.Store(w.segSize)
+	w.diskBytes.Add(rescued - victimSize)
 	w.compactCount.Add(1)
 	return nil
 }

@@ -153,12 +153,15 @@ func TestWALCompactPreservesIndex(t *testing.T) {
 	compareDumps(t, want, dumpWAL(t, w2), "reopen after compact")
 }
 
-// crashStateAt runs a churn workload, triggers a compaction, and copies
-// the directory's file state at the named compaction stage — the exact
+// crashStateAt runs a churn workload, triggers a compaction pass, and
+// copies the directory's file state at the named stage — the exact
 // on-disk bytes a crash at that instant would leave (the hook runs on the
 // committer goroutine, so no segment write races the copy). It returns
-// the copy directory and the expected logical state.
-func crashStateAt(t *testing.T, stage string) (string, indexDump) {
+// the copy directory, the expected logical state, and the tail segment's
+// durable size recorded at the "begin" stage — rescue records land past
+// that offset, so crash cuts must stay within the rescue suffix (the
+// bytes before it were fsynced long before the pass started).
+func crashStateAt(t *testing.T, stage string) (string, indexDump, int) {
 	t.Helper()
 	dir := t.TempDir()
 	copyDir := t.TempDir()
@@ -173,8 +176,20 @@ func crashStateAt(t *testing.T, stage string) (string, indexDump) {
 	expect := dumpWAL(t, w)
 
 	copied := false
+	rescueStart := -1
 	w.mu.Lock()
 	w.compactHook = func(s string) {
+		if s == "begin" && rescueStart < 0 {
+			// The tail (highest-numbered segment) is about to grow rescue
+			// records; everything in it so far is durable.
+			segs := segmentFiles(t, dir)
+			st, err := os.Stat(filepath.Join(dir, segs[len(segs)-1]))
+			if err != nil {
+				t.Errorf("hook stat tail: %v", err)
+				return
+			}
+			rescueStart = int(st.Size())
+		}
 		if s != stage || copied {
 			return
 		}
@@ -203,15 +218,18 @@ func crashStateAt(t *testing.T, stage string) (string, indexDump) {
 	if !copied {
 		t.Fatalf("compaction never reached stage %q", stage)
 	}
-	return copyDir, expect
+	if rescueStart < 0 {
+		t.Fatal("compaction never reached stage \"begin\"")
+	}
+	return copyDir, expect, rescueStart
 }
 
-// TestWALCompactCrashBeforeUnlink: crash after the rewrite is durable but
-// before the old segments are unlinked — replay sees the whole old stream
-// plus the complete rewrite and must recover the exact index (the rewrite
-// is idempotent over the state it describes).
+// TestWALCompactCrashBeforeUnlink: crash after the rescue is durable but
+// before the victim segment is unlinked — replay sees the whole old
+// stream plus the complete rescue records and must recover the exact
+// index (the rescue is idempotent over the state it describes).
 func TestWALCompactCrashBeforeUnlink(t *testing.T) {
-	crashDir, expect := crashStateAt(t, "unlink")
+	crashDir, expect, _ := crashStateAt(t, "unlink")
 	w, err := OpenWAL(crashDir, walOpts())
 	if err != nil {
 		t.Fatalf("reopen crash state: %v", err)
@@ -220,27 +238,36 @@ func TestWALCompactCrashBeforeUnlink(t *testing.T) {
 	compareDumps(t, expect, dumpWAL(t, w), "crash before unlink")
 }
 
-// TestWALCompactCrashMidRewrite: crash while the rewrite segment is being
-// written — the old segments are all present and the rewrite is a partial
-// (possibly torn) prefix. Replay must recover the exact index at every
-// truncation point: a torn frame is discarded by the CRC framing, and the
-// complete put / log-snapshot records that survive are idempotent — in
-// particular a log snapshot replaces its log atomically, never partially.
+// TestWALCompactCrashMidRewrite: crash while the rescue records are
+// being appended to the tail — the old segments (victim included) are
+// all present and the rescue is a partial (possibly torn) suffix of the
+// tail. Replay must recover the exact index at every truncation point
+// within the rescue suffix: a torn frame is discarded by the CRC
+// framing, and the complete put / log-snapshot records that survive are
+// idempotent — in particular a log snapshot replaces its log atomically,
+// never partially. Cuts before the rescue suffix are not valid crash
+// states: those bytes were covered by fsyncs that completed before the
+// pass began.
 func TestWALCompactCrashMidRewrite(t *testing.T) {
-	crashDir, expect := crashStateAt(t, "rewrite")
+	crashDir, expect, rescueStart := crashStateAt(t, "rewrite")
 	segs := segmentFiles(t, crashDir)
-	rewriteSeg := segs[len(segs)-1] // the freshly rolled rewrite segment
+	rewriteSeg := segs[len(segs)-1] // the tail the rescue was appended to
 	full, err := os.ReadFile(filepath.Join(crashDir, rewriteSeg))
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The "rewrite" stage fires before the final flush, so the on-disk
-	// prefix already simulates one mid-rewrite crash; additionally sweep
-	// truncation points across what was written, cutting mid-frame and at
-	// arbitrary byte offsets.
-	cuts := []int{0, 1, len(full) / 4, len(full) / 2, len(full) - 1, len(full)}
+	span := len(full) - rescueStart
+	if span <= 0 {
+		t.Fatalf("no rescue records written: tail %d bytes, durable prefix %d", len(full), rescueStart)
+	}
+	// Sweep truncation points across the rescue suffix, cutting mid-frame
+	// and at arbitrary byte offsets.
+	cuts := []int{
+		rescueStart, rescueStart + 1, rescueStart + span/4,
+		rescueStart + span/2, len(full) - 1, len(full),
+	}
 	for _, cut := range cuts {
-		if cut < 0 || cut > len(full) {
+		if cut < rescueStart || cut > len(full) {
 			continue
 		}
 		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {

@@ -18,6 +18,35 @@ import (
 // allocation).
 const MaxFrame = 64 << 20
 
+// maxPooledFrame caps the buffers the frame pool retains: anything larger
+// is allocated (and freed) directly, so a burst of 1MiB payloads cannot
+// pin megabytes of idle pool memory forever.
+const maxPooledFrame = 256 << 10
+
+// framePool recycles frame buffers between Send calls (write path) and
+// across dropped packets (read path). Stored as *[]byte to avoid the
+// allocation of boxing a slice header per Put.
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// getFrame returns a pooled buffer of length n (contents undefined).
+func getFrame(n int) *[]byte {
+	bp := framePool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+// putFrame recycles a buffer obtained from getFrame. Oversized buffers are
+// dropped for the GC instead of retained.
+func putFrame(bp *[]byte) {
+	if cap(*bp) > maxPooledFrame {
+		return
+	}
+	framePool.Put(bp)
+}
+
 // TCP is a socket-based Network for real deployments: every process listens
 // on one address and dials peers on demand. Delivery is best-effort — a
 // failed dial or write simply drops the packet, which is all the fair-lossy
@@ -140,16 +169,23 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 		if n > MaxFrame {
 			return // oversized frame; drop connection
 		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(conn, buf); err != nil {
+		// Read into a pooled buffer: a delivered packet escapes into the
+		// inbox (its consumer owns the memory from then on, so it is
+		// simply not returned), but a dropped one recycles immediately —
+		// an overloaded inbox stops costing an allocation per drop.
+		bp := getFrame(int(n))
+		if _, err := io.ReadFull(conn, *bp); err != nil {
+			putFrame(bp)
 			return
 		}
 		select {
-		case e.inbox <- Packet{From: from, Data: buf}:
+		case e.inbox <- Packet{From: from, Data: *bp}:
 		case <-e.done:
+			putFrame(bp)
 			return
 		default:
 			// Inbox full: drop. Fair-lossy permits it.
+			putFrame(bp)
 		}
 	}
 }
@@ -206,14 +242,28 @@ func (e *tcpEndpoint) Send(to ids.ProcessID, data []byte) {
 	if to < 0 || int(to) >= len(e.net.addrs) {
 		return
 	}
+	bp := e.buildFrame(data)
+	e.writeFrame(to, *bp)
+	putFrame(bp)
+}
+
+// buildFrame assembles one length-prefixed wire frame in a pooled buffer;
+// the caller returns it with putFrame after the write(s).
+func (e *tcpEndpoint) buildFrame(data []byte) *[]byte {
+	bp := getFrame(8 + len(data))
+	frame := *bp
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(int32(e.pid)))
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(data)))
+	copy(frame[8:], data)
+	return bp
+}
+
+// writeFrame sends one assembled frame to a remote peer.
+func (e *tcpEndpoint) writeFrame(to ids.ProcessID, frame []byte) {
 	c := e.conn(to)
 	if c == nil {
 		return // peer unreachable; packet lost
 	}
-	frame := make([]byte, 8+len(data))
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(int32(e.pid)))
-	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(data)))
-	copy(frame[8:], data)
 	c.SetWriteDeadline(time.Now().Add(time.Second))
 	if _, err := c.Write(frame); err != nil {
 		e.dropConn(to, c)
@@ -221,9 +271,29 @@ func (e *tcpEndpoint) Send(to ids.ProcessID, data []byte) {
 }
 
 func (e *tcpEndpoint) Multisend(data []byte) {
-	for to := 0; to < len(e.net.addrs); to++ {
-		e.Send(ids.ProcessID(to), data)
+	select {
+	case <-e.done:
+		return
+	default:
 	}
+	// One frame assembly serves every peer (the per-peer copy the old
+	// Send-in-a-loop paid is gone); the local delivery still needs its own
+	// copy, because the inbox consumer owns its memory.
+	bp := e.buildFrame(data)
+	for to := range e.net.addrs {
+		pid := ids.ProcessID(to)
+		if pid == e.pid {
+			cp := make([]byte, len(data))
+			copy(cp, data)
+			select {
+			case e.inbox <- Packet{From: e.pid, Data: cp}:
+			default:
+			}
+			continue
+		}
+		e.writeFrame(pid, *bp)
+	}
+	putFrame(bp)
 }
 
 func (e *tcpEndpoint) Recv(ctx context.Context) (Packet, error) {
