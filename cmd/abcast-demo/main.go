@@ -10,8 +10,11 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -19,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -30,15 +34,17 @@ func main() {
 	duration := flag.Duration("duration", 4*time.Second, "churn duration")
 	seed := flag.Uint64("seed", 42, "random seed")
 	policy := flag.String("policy", "leader", "consensus policy: leader|rotating")
+	metrics := flag.String("metrics", "", "serve Prometheus /metrics and expvar /debug/vars on this address (e.g. :9090)")
+	flight := flag.Bool("flight", false, "print the anomaly flight-recorder timeline after the audit")
 	flag.Parse()
 
-	if err := run(*n, *loss, *msgs, *churn, *duration, *seed, *policy); err != nil {
+	if err := run(*n, *loss, *msgs, *churn, *duration, *seed, *policy, *metrics, *flight); err != nil {
 		fmt.Fprintln(os.Stderr, "abcast-demo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n int, loss float64, msgs, churn int, duration time.Duration, seed uint64, policyName string) error {
+func run(n int, loss float64, msgs, churn int, duration time.Duration, seed uint64, policyName, metricsAddr string, flight bool) error {
 	if churn >= (n+1)/2 {
 		return fmt.Errorf("churn %d would leave no stable majority of %d processes", churn, n)
 	}
@@ -61,10 +67,27 @@ func run(n int, loss float64, msgs, churn int, duration time.Duration, seed uint
 		},
 		Core:      core.Config{CheckpointEvery: 20, Delta: 10},
 		Consensus: consensus.Config{Policy: policy},
+		Obs:       obs.Options{SampleRate: 1}, // demo scale: trace everything
 	})
 	defer c.Stop()
 	if err := c.StartAll(); err != nil {
 		return err
+	}
+
+	if metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.PromHandler(c.Obs))
+		mux.Handle("/debug/vars", expvar.Handler())
+		for i, p := range c.Obs {
+			p.Reg().PublishExpvar(fmt.Sprintf("abcast.p%d", i))
+		}
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ln.Close()
+		go func() { _ = http.Serve(ln, mux) }()
+		fmt.Printf("metrics: http://%s/metrics (Prometheus), /debug/vars (expvar)\n", ln.Addr())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
@@ -123,9 +146,24 @@ func run(n int, loss float64, msgs, churn int, duration time.Duration, seed uint
 	fmt.Printf("network: sent=%d delivered=%d dropped=%d duplicated=%d\n",
 		ns.Sent, ns.Delivered, ns.Dropped, ns.Duplicated)
 
+	// Stage-latency breakdown from p0's trace plane: where the end-to-end
+	// time went for the messages that survived the churn.
+	reg := c.Obs[0].Reg()
+	for _, name := range []string{"abcast.trace.propose_ns", "abcast.trace.decide_ns", "abcast.trace.deliver_ns", "abcast.trace.e2e_ns"} {
+		if s, ok := reg.HistogramSnapshot(name); ok && s.Count > 0 {
+			fmt.Printf("  %-28s count=%-5d p50=%-10v p99=%v\n", name, s.Count,
+				time.Duration(s.Quantile(0.50)).Round(time.Microsecond),
+				time.Duration(s.Quantile(0.99)).Round(time.Microsecond))
+		}
+	}
+
 	if err := c.VerifyAll(all...); err != nil {
 		return fmt.Errorf("AUDIT FAILED: %w", err)
 	}
 	fmt.Println("audit: validity ✓  integrity ✓  total order ✓  termination ✓")
+	if flight {
+		fmt.Println("--- flight recorder ---")
+		fmt.Print(c.FlightDump())
+	}
 	return nil
 }

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/obs"
 )
 
 // Policy selects how instances pick their coordinator.
@@ -101,6 +102,13 @@ type Suspector interface {
 type Config struct {
 	PID ids.ProcessID
 	N   int
+	// Group tags the engine's metrics, trace stamps and flight-recorder
+	// events with its ordering group (observability only; zero is fine
+	// for unsharded processes).
+	Group ids.GroupID
+	// Obs is the process's observability plane. Nil disables consensus
+	// instrumentation at zero cost.
+	Obs *obs.Plane
 	// Policy selects the coordinator policy (default PolicyLeader).
 	Policy Policy
 	// RetryMin/RetryMax bound the driver's phase timeout and backoff

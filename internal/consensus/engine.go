@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/router"
 	"repro/internal/storage"
 	"repro/internal/wire"
@@ -81,6 +82,11 @@ type instance struct {
 	// transfer.
 	forgotten chan struct{}
 	wasForgot bool
+
+	// observability stamps (volatile): when the local proposal was
+	// issued, and when the accept quorum was observed.
+	proposedAt int64
+	quorumAt   int64
 
 	// driver state (volatile)
 	driving   bool
@@ -172,6 +178,10 @@ type Engine struct {
 	leaseWake      chan struct{}
 	leaseStats     LeaseStats
 
+	met consMetrics
+	tr  *obs.Tracer
+	fl  *obs.Recorder
+
 	wg sync.WaitGroup
 }
 
@@ -190,9 +200,15 @@ func New(cfg Config, st storage.Stable, net router.Net, det Suspector) (*Engine,
 		fd:    det,
 		rng:   rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xa5a5a5a5deadbeef)),
 		insts: make(map[uint64]*instance),
+		met:   newConsMetrics(cfg.Obs.Reg(), cfg.Group),
+		tr:    cfg.Obs.Trace(),
+		fl:    cfg.Obs.Flight(),
 	}
 	if err := e.restore(); err != nil {
 		return nil, err
+	}
+	if cfg.Lease {
+		e.registerLeaseFuncs(cfg.Obs.Reg())
 	}
 	return e, nil
 }
@@ -321,6 +337,7 @@ func (e *Engine) Propose(k uint64, v []byte) error {
 	cp := make([]byte, len(v))
 	copy(cp, v)
 	in.propPending = true
+	in.proposedAt = time.Now().UnixNano()
 	c := e.ast.PutAsync(propKey(k), cp)
 	if err, done := c.Poll(); done {
 		in.propPending = false
@@ -519,6 +536,11 @@ func (e *Engine) decideLocked(in *instance, v []byte) {
 	if in.hasDec || in.decPending {
 		return
 	}
+	in.quorumAt = time.Now().UnixNano()
+	if in.proposedAt != 0 {
+		e.met.quorumNS.Observe(in.quorumAt - in.proposedAt)
+	}
+	e.tr.MarkRound(e.cfg.Group, in.k, obs.StDecide)
 	cp := make([]byte, len(v))
 	copy(cp, v)
 	in.decPending = true
@@ -549,6 +571,10 @@ func (e *Engine) installDecisionLocked(in *instance, cp []byte) {
 	if in.hasDec {
 		return
 	}
+	if in.quorumAt != 0 {
+		e.met.decideFsyncNS.Observe(time.Now().UnixNano() - in.quorumAt)
+	}
+	e.tr.MarkRound(e.cfg.Group, in.k, obs.StDecideDurable)
 	in.decided = cp
 	in.hasDec = true
 	close(in.done)

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -58,6 +59,7 @@ func (e *Engine) dropLeaseLocked() {
 	if e.leaseHeld {
 		e.leaseHeld = false
 		e.leaseStats.Fallbacks++
+		e.fl.Event(obs.EvLeaseLost, e.cfg.Group, e.leaseFrom, int64(e.leaseB), 0, "fast path dropped")
 	}
 }
 
@@ -198,6 +200,7 @@ func (e *Engine) acquireLease(fromK, b uint64, wake chan struct{}) {
 			e.leaseUntil = time.Now().Add(e.cfg.LeaseTTL)
 			e.leaseAttempt++
 			e.leaseStats.Acquired++
+			e.fl.Event(obs.EvLeaseAcquire, e.cfg.Group, fromK, int64(b), 0, "")
 			e.leaseAcquiring = false
 			e.mu.Unlock()
 			return

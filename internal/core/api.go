@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/vclock"
 )
 
@@ -253,6 +254,16 @@ type Config struct {
 	// they re-enter the Unordered set and are re-delivered (and, with
 	// OnTentative, re-predicted) by a later round.
 	OnRevoke func(g ids.GroupID, fromPos uint64)
+	// Obs, when set, is the process-wide observability plane: protocol
+	// counters register under "abcast.core.<name>{group}", sampled
+	// per-message lifecycle spans feed the stage-latency histograms, and
+	// anomalies (payload stalls, state transfers, tentative revokes,
+	// checkpoints) land in the flight recorder. Nil disables all three at
+	// the cost of a few nil checks; the plane must outlive incarnations
+	// (its counters are process-lifetime monotonic — Stats() subtracts an
+	// incarnation baseline).
+	Obs *obs.Plane
+
 	// OnRoundSkip, when set, is invoked when a state-transfer adoption
 	// (§5.3, including the GC-forced transfer a recovering process
 	// receives when it fell below a peer's collection floor) moves the

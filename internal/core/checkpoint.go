@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -51,7 +52,7 @@ func (p *Protocol) CheckpointNow() error {
 	w.U64(p.k)
 	p.ds.encode(w)
 	k := p.k
-	p.stats.Checkpoints++
+	p.met.checkpoints.Inc()
 
 	// Compact the incremental Unordered log under the same lock that
 	// Broadcast appends under, so no record is lost.
@@ -81,6 +82,7 @@ func (p *Protocol) CheckpointNow() error {
 	if err := p.cons.DiscardBelow(k); err != nil {
 		return fmt.Errorf("core: discard consensus log: %w", err)
 	}
+	p.fl.Event(obs.EvCheckpoint, p.cfg.Group, k, 0, 0, "")
 	p.mu.Lock()
 	if k > p.gcFloor {
 		p.gcFloor = k

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -78,9 +79,9 @@ func (p *Protocol) sendGossip() {
 	// window, or advertised only by ID): keep the eager buffer armed so
 	// the delta path pushes them promptly.
 	pending := len(p.eagerBuf) > 0
-	p.stats.GossipSent++
+	p.met.gossipSent.Inc()
 	if digest {
-		p.stats.DigestsSent++
+		p.met.digestsSent.Inc()
 	}
 	// Ring mode: a payload-starved round must not rely on a single pull
 	// surviving the fair-lossy net. Re-pull its still-missing payloads
@@ -101,7 +102,7 @@ func (p *Protocol) sendGossip() {
 			repull = append(repull, rec.ID)
 		}
 		if len(repull) > 0 {
-			p.stats.PullsSent++
+			p.met.pullsSent.Inc()
 		}
 	}
 	p.mu.Unlock()
@@ -203,7 +204,7 @@ func (p *Protocol) eagerGossip() {
 	remainder := len(p.eagerBuf) > 0
 	k := p.k
 	p.lastGossip = time.Now()
-	p.stats.GossipSent++
+	p.met.gossipSent.Inc()
 	p.mu.Unlock()
 
 	p.gossipFrame(k, batch, ids.Nobody)
@@ -260,7 +261,8 @@ func (p *Protocol) noteRoundLocked(from ids.ProcessID, kq uint64) (sendState []b
 			w.U64(p.gcFloor)
 			p.ds.encode(w)
 			sendState = w.Bytes()
-			p.stats.StateSent++
+			p.met.stateSent.Inc()
+			p.fl.Event(obs.EvStateSent, p.cfg.Group, p.k, int64(from), int64(kq), "peer lagging")
 		}
 	}
 	return sendState
@@ -276,7 +278,7 @@ func (p *Protocol) onGossip(from ids.ProcessID, r *wire.Reader) {
 	}
 
 	p.mu.Lock()
-	p.stats.GossipReceived++
+	p.met.gossipReceived.Inc()
 	added := 0
 	for _, m := range batch {
 		if p.ds.contains(m.ID) {
@@ -284,6 +286,11 @@ func (p *Protocol) onGossip(from ids.ProcessID, r *wire.Reader) {
 		}
 		if p.unordered.Add(m) {
 			added++
+			// A payload we had asked for by ID arrived: stamp the repair
+			// hop so starved-round latency shows up in the trace plane.
+			if _, pulled := p.lastPull[m.ID]; pulled {
+				p.tr.Mark(m.ID, obs.StPullRepair)
+			}
 		}
 	}
 	if added > 0 {
@@ -316,7 +323,7 @@ func (p *Protocol) onDigest(from ids.ProcessID, r *wire.Reader) {
 	}
 
 	p.mu.Lock()
-	p.stats.GossipReceived++
+	p.met.gossipReceived.Inc()
 	now := time.Now()
 	var missing []ids.MsgID
 	for _, id := range idList {
@@ -343,7 +350,7 @@ func (p *Protocol) onDigest(from ids.ProcessID, r *wire.Reader) {
 	}
 	sendState := p.noteRoundLocked(from, kq)
 	if len(missing) > 0 {
-		p.stats.PullsSent++
+		p.met.pullsSent.Inc()
 	}
 	wakeNeeded := kq > p.k
 	p.mu.Unlock()
@@ -395,7 +402,7 @@ func (p *Protocol) onPull(from ids.ProcessID, r *wire.Reader) {
 	}
 	k := p.k
 	if len(batch) > 0 {
-		p.stats.PullsServed++
+		p.met.pullsServed.Inc()
 	}
 	p.mu.Unlock()
 

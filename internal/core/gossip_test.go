@@ -318,7 +318,7 @@ func TestMaybeAdoptSkipsStaleTransfer(t *testing.T) {
 	p.maybeAdopt()
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.k != 50 || p.stats.StateAdopted != 0 {
+	if p.k != 50 || p.Stats().StateAdopted != 0 {
 		t.Fatal("stale transfer adopted")
 	}
 	if p.pending != nil {

@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/consensus"
 	"repro/internal/ids"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/router"
 	"repro/internal/storage"
 	"repro/internal/wire"
@@ -84,7 +86,15 @@ type Protocol struct {
 	gossipCursor int                         // rotating window start for truncated gossip
 	lastPull     map[ids.MsgID]time.Time     // pull dedup: all peers advertise the same IDs
 
-	stats Stats
+	// met holds the atomic counter set (registry-backed when Config.Obs is
+	// set); tr and fl are the sampled lifecycle tracer and the anomaly
+	// flight recorder (nil-safe). recoveredFromCkpt/recoveredUnordered are
+	// the two genuinely per-incarnation Stats fields.
+	met                *metrics
+	tr                 *obs.Tracer
+	fl                 *obs.Recorder
+	recoveredFromCkpt  atomic.Bool
+	recoveredUnordered atomic.Int64
 
 	ctx     context.Context
 	cancel  context.CancelFunc
@@ -110,6 +120,9 @@ func New(cfg Config, st storage.Stable, cons consensus.API, net router.Net) *Pro
 		ast:            storage.Async(st),
 		cons:           cons,
 		net:            net,
+		met:            newMetrics(cfg.Obs.Reg(), cfg.Group),
+		tr:             cfg.Obs.Trace(),
+		fl:             cfg.Obs.Flight(),
 		unordered:      msg.NewSet(),
 		ds:             newDeliveryState(),
 		waiters:        make(map[ids.MsgID][]chan struct{}),
@@ -199,7 +212,7 @@ func (p *Protocol) recover() error {
 		// The checkpoint task discarded Consensus state below the
 		// checkpointed round before the crash.
 		p.gcFloor = k
-		p.stats.RecoveredFromCkpt = true
+		p.recoveredFromCkpt.Store(true)
 		base := ds.snapshotBase()
 		redeliver := p.tagGroup(ds.deliveries())
 		restoreCb := p.cfg.OnRestore
@@ -271,7 +284,7 @@ func (p *Protocol) recover() error {
 		replayed++
 	}
 	p.mu.Lock()
-	p.stats.ReplayedRounds = replayed
+	p.met.replayedRounds.Add(replayed)
 	p.mu.Unlock()
 	return nil
 }
@@ -317,7 +330,7 @@ func (p *Protocol) recoverUnordered() error {
 			p.seq = m.ID.Seq
 		}
 	}
-	p.stats.RecoveredUnordered = recovered
+	p.recoveredUnordered.Store(int64(recovered))
 	if recovered > 0 {
 		p.notePendingLocked()
 	}
@@ -344,10 +357,11 @@ func (p *Protocol) Broadcast(ctx context.Context, payload []byte) (ids.MsgID, er
 	if p.cfg.Dissem == nil {
 		p.eagerBuf = append(p.eagerBuf, m)
 	} else {
-		p.stats.RingPublished++
+		p.met.ringPublished.Inc()
 	}
 	p.notePendingLocked()
-	p.stats.Broadcasts++
+	p.met.broadcasts.Inc()
+	p.tr.Mark(m.ID, obs.StBroadcast)
 
 	if p.cfg.BatchedBroadcast {
 		// Issue the Unordered log write under the lock (so records hit
@@ -415,10 +429,11 @@ func (p *Protocol) BroadcastAsync(payload []byte) (ids.MsgID, error) {
 	if p.cfg.Dissem == nil {
 		p.eagerBuf = append(p.eagerBuf, m)
 	} else {
-		p.stats.RingPublished++
+		p.met.ringPublished.Inc()
 	}
 	p.notePendingLocked()
-	p.stats.Broadcasts++
+	p.met.broadcasts.Inc()
+	p.tr.Mark(m.ID, obs.StBroadcast)
 	p.mu.Unlock()
 	p.poke()
 	p.disseminate(m)
@@ -454,6 +469,7 @@ func (p *Protocol) AddDisseminated(m msg.Message) bool {
 	}
 	p.mu.Unlock()
 	if added {
+		p.tr.Mark(m.ID, obs.StPayloadArrive)
 		// New pending work — and possibly the payload a starved round is
 		// waiting on: wake the sequencer either way.
 		p.poke()
@@ -509,10 +525,16 @@ func (p *Protocol) resolvePayloads(round uint64, recs []msg.IDRec) ([]msg.Messag
 		p.mu.Unlock()
 		return batch, true
 	}
+	// Count the stall (and record the anomaly) only when the round first
+	// parks: the sequencer retries the same starved round on every wake,
+	// and an unguarded increment would count one stall once per retry.
+	if p.starved == nil || p.starved.round != round {
+		p.met.payloadStalls.Inc()
+		p.fl.Event(obs.EvPayloadStall, p.cfg.Group, round, int64(missing), 0, "")
+	}
 	p.starved = &starvedRound{round: round, recs: recs}
-	p.stats.PayloadStalls++
 	if len(pull) > 0 {
-		p.stats.PullsSent++
+		p.met.pullsSent.Inc()
 	}
 	p.mu.Unlock()
 	if len(pull) > 0 {
@@ -573,11 +595,11 @@ func (p *Protocol) commit(round uint64, result []byte) bool {
 	for _, d := range deliveries {
 		p.notifyWaitersLocked(d.Msg.ID)
 	}
-	p.stats.Rounds++
+	p.met.rounds.Inc()
 	if len(batch) == 0 {
-		p.stats.EmptyRounds++
+		p.met.emptyRounds.Inc()
 	}
-	p.stats.Delivered += uint64(len(deliveries))
+	p.met.delivered.Add(uint64(len(deliveries)))
 	p.lastProgress = time.Now()
 	confirmTo, confirmN, revokeFrom, revoked := p.settleTentativeLocked(round, deliveries)
 	ckptDue := p.cfg.CheckpointEvery > 0 && p.k%uint64(p.cfg.CheckpointEvery) == 0
@@ -586,6 +608,25 @@ func (p *Protocol) commit(round uint64, result []byte) bool {
 	confirmCb := p.cfg.OnConfirm
 	revokeCb := p.cfg.OnRevoke
 	p.mu.Unlock()
+
+	if p.tr != nil {
+		// Close the sampled lifecycle spans: fold the round-scoped
+		// consensus stamps in, then stamp delivery. A round that exactly
+		// confirmed its prediction ends at StConfirm, otherwise StDeliver.
+		mids := make([]ids.MsgID, len(deliveries))
+		for i, d := range deliveries {
+			mids[i] = d.Msg.ID
+		}
+		p.tr.FoldRound(p.cfg.Group, round, mids)
+		final := obs.StDeliver
+		if confirmN > 0 {
+			final = obs.StConfirm
+		}
+		for _, id := range mids {
+			p.tr.Mark(id, obs.StDeliver)
+			p.tr.Finish(id, final)
+		}
+	}
 
 	if revoked && revokeCb != nil {
 		// Before this round's OnDeliver calls: the speculative suffix must
@@ -671,13 +712,16 @@ func (p *Protocol) settleTentativeLocked(round uint64, deliveries []Delivery) (c
 		p.tentative = p.tentative[1:]
 		confirmN = len(t.ids)
 		confirmTo = t.from + uint64(len(t.ids))
-		p.stats.TentativeConfirmed += uint64(confirmN)
+		p.met.tentativeConfirmed.Add(uint64(confirmN))
 	case t.round == round || len(deliveries) > 0:
 		revoked = true
 		revokeFrom = t.from
+		n := 0
 		for _, tr := range p.tentative {
-			p.stats.TentativeRevoked += uint64(len(tr.ids))
+			p.met.tentativeRevoked.Add(uint64(len(tr.ids)))
+			n += len(tr.ids)
 		}
+		p.fl.Event(obs.EvTentativeRevoke, p.cfg.Group, round, int64(n), int64(revokeFrom), "competing batch won")
 		p.tentative = nil
 	}
 	if len(p.tentative) == 0 {
@@ -694,9 +738,12 @@ func (p *Protocol) revokeAllTentativeLocked() (fromPos uint64, revoked bool) {
 	if len(p.tentative) > 0 {
 		revoked = true
 		fromPos = p.tentative[0].from
+		n := 0
 		for _, tr := range p.tentative {
-			p.stats.TentativeRevoked += uint64(len(tr.ids))
+			p.met.tentativeRevoked.Add(uint64(len(tr.ids)))
+			n += len(tr.ids)
 		}
+		p.fl.Event(obs.EvTentativeRevoke, p.cfg.Group, p.k, int64(n), int64(fromPos), "state transfer adoption")
 		p.tentative = nil
 	}
 	p.tentNextPos = p.ds.nextPos()
@@ -780,9 +827,12 @@ func (p *Protocol) UnorderedLen() int {
 	return p.unordered.Len()
 }
 
-// Stats returns a snapshot of the protocol counters.
+// Stats returns a snapshot of the protocol counters for this incarnation.
+// The read is lock-free (every counter is an atomic), so it is safe to call
+// from delivery callbacks and concurrently with delivery itself.
 func (p *Protocol) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	s := p.met.incarnation()
+	s.RecoveredFromCkpt = p.recoveredFromCkpt.Load()
+	s.RecoveredUnordered = int(p.recoveredUnordered.Load())
+	return s
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/consensus"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -211,6 +212,9 @@ func (p *Protocol) pump(results map[uint64][]byte) time.Duration {
 			p.unmarkRound(r)
 			return 0
 		}
+		for _, m := range batch {
+			p.tr.Mark(m.ID, obs.StPropose)
+		}
 		p.startWaiter(r)
 		p.emitTentative(r, batch)
 	}
@@ -257,11 +261,12 @@ func (p *Protocol) emitTentative(r uint64, batch []msg.Message) {
 	}
 	p.tentNextPos = t.from + uint64(len(t.ids))
 	p.tentative = append(p.tentative, t)
-	p.stats.TentativeDeliveries += uint64(len(t.ids))
+	p.met.tentativeDeliveries.Add(uint64(len(t.ids)))
 	p.mu.Unlock()
 	// Same goroutine as commit's callbacks (the sequencer), so tentative
 	// and authoritative deliveries never interleave out of order.
 	for _, d := range out {
+		p.tr.Mark(d.Msg.ID, obs.StTentative)
 		cb(d)
 	}
 }
@@ -327,7 +332,7 @@ func (p *Protocol) assembleBatch(r uint64) (batch []msg.Message, delay time.Dura
 		if wait := time.Until(deadline); wait > 0 {
 			return nil, wait, false // not idle long enough yet
 		}
-		p.stats.HeartbeatRounds++
+		p.met.heartbeatRounds.Inc()
 	}
 	if len(batch) > 0 && !full && !behind && p.cfg.MaxBatchDelay > 0 {
 		if wait := p.cfg.MaxBatchDelay - time.Since(p.pendingSince); wait > 0 {
@@ -340,10 +345,13 @@ func (p *Protocol) assembleBatch(r uint64) (batch []msg.Message, delay time.Dura
 	if !leftover {
 		p.pendingSince = time.Time{}
 	}
-	p.stats.ProposalsSubmitted++
-	p.stats.ProposedMessages += uint64(len(batch))
+	p.met.proposalsSubmitted.Inc()
+	p.met.proposedMessages.Add(uint64(len(batch)))
 	if r > p.k {
-		p.stats.PipelinedProposals++
+		p.met.pipelinedProposals.Inc()
+	}
+	for _, m := range batch {
+		p.tr.Mark(m.ID, obs.StBatchSeal)
 	}
 	return batch, 0, true
 }
@@ -467,10 +475,13 @@ func (p *Protocol) maybeAdopt() {
 			p.notifyWaitersLocked(id)
 		}
 	}
-	p.stats.StateAdopted++
+	p.met.stateAdopted.Inc()
+	var byTransfer int64
 	if next := p.ds.nextPos(); next > oldNext {
-		p.stats.DeliveredByTransfer += next - oldNext
+		p.met.deliveredByTransfer.Add(next - oldNext)
+		byTransfer = int64(next - oldNext)
 	}
+	p.fl.Event(obs.EvStateAdopt, p.cfg.Group, newK, byTransfer, 0, "state transfer adopted")
 	// The adopted sequence jumps past every predicted round: the
 	// speculative suffix is void, whatever those rounds end up deciding.
 	revokeFrom, revoked := p.revokeAllTentativeLocked()

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -261,6 +262,23 @@ func (r *Ring) successor() ids.ProcessID {
 		}
 	}
 	return trusted[0]
+}
+
+// SetObs exports the ring counters as read-on-scrape metrics under
+// "abcast.ring.<name>" — the ring already keeps lock-free atomics, so no
+// double bookkeeping. Nil is a no-op.
+func (r *Ring) SetObs(p *obs.Plane) {
+	if p == nil {
+		return
+	}
+	reg := p.Reg()
+	reg.Func("abcast.ring.published", func() int64 { return int64(r.published.Load()) })
+	reg.Func("abcast.ring.relayed", func() int64 { return int64(r.relayed.Load()) })
+	reg.Func("abcast.ring.received", func() int64 { return int64(r.received.Load()) })
+	reg.Func("abcast.ring.duplicates", func() int64 { return int64(r.duplicates.Load()) })
+	reg.Func("abcast.ring.drop_full", func() int64 { return int64(r.dropFull.Load()) })
+	reg.Func("abcast.ring.drop_no_sink", func() int64 { return int64(r.dropNoSink.Load()) })
+	reg.Func("abcast.ring.drop_bad", func() int64 { return int64(r.dropBad.Load()) })
 }
 
 // Stats snapshots the ring counters.

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -49,6 +50,10 @@ type E19Metrics struct {
 	// distribution, not just two quantiles.
 	TrajTentUS []int64 `json:"trajectory_tentative_us,omitempty"`
 	TrajConfUS []int64 `json:"trajectory_confirmed_us,omitempty"`
+	// Stages is the sequencer's traced lifecycle breakdown (broadcast →
+	// batch-seal → propose → decide → ... → confirm, p50/p99 offsets from
+	// broadcast): where within the confirmed path the time goes.
+	Stages []StageLatency `json:"stage_latency,omitempty"`
 }
 
 // LatencyRun drives one E19 variant and returns its distribution.
@@ -81,6 +86,9 @@ func LatencyRun(scale Scale, seed uint64, tcp, lease bool) (E19Metrics, error) {
 		// the local append instead.)
 		Core:      core.Config{},
 		Consensus: consensus.Config{Lease: lease, LeaseTTL: time.Second},
+		// Trace every message: the stage-latency breakdown in the JSON
+		// artifact must account for the whole measurement window.
+		Obs: obs.Options{SampleRate: 1},
 		OnTentative: func(pid ids.ProcessID, d core.Delivery) {
 			now := time.Now()
 			if len(d.Msg.Payload) < 8 {
@@ -166,6 +174,7 @@ func LatencyRun(scale Scale, seed uint64, tcp, lease bool) (E19Metrics, error) {
 	m.ConfP50, m.ConfP99 = durPercentile(confLat, 50), durPercentile(confLat, 99)
 	m.TrajTentUS = trajectoryUS(tentLat, 120)
 	m.TrajConfUS = trajectoryUS(confLat, 120)
+	m.Stages = stageLatencies(c.Obs[0])
 	return m, nil
 }
 

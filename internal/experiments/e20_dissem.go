@@ -13,6 +13,7 @@ import (
 	"repro/internal/fd"
 	"repro/internal/harness"
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -91,6 +92,10 @@ type E20Metrics struct {
 	DeliveredMBps float64 `json:"delivered_mb_per_s"`
 	RingPublished uint64  `json:"ring_published,omitempty"`
 	PayloadStalls uint64  `json:"payload_stalls,omitempty"`
+	// Stages is the sequencer's traced lifecycle breakdown (p50/p99
+	// offsets from broadcast, ns) — in ring mode it separates payload
+	// relay arrival from decision latency.
+	Stages []StageLatency `json:"stage_latency,omitempty"`
 }
 
 // e20Msgs sizes the closed-loop workload so megabyte payloads do not
@@ -145,6 +150,9 @@ func DissemRun(scale Scale, seed uint64, n, payload int, ring, tcp bool) (E20Met
 		// re-sends are pure repair-path insurance.
 		Consensus: consensus.Config{RetryMin: 250 * time.Millisecond, RetryMax: time.Second},
 		Core:      core.Config{GossipInterval: 100 * time.Millisecond},
+		// Trace every message so the JSON stage breakdown covers the
+		// whole (small) measurement window.
+		Obs: obs.Options{SampleRate: 1},
 	}
 	c := harness.NewCluster(opts)
 	defer c.Stop()
@@ -194,6 +202,7 @@ func DissemRun(scale Scale, seed uint64, n, payload int, ring, tcp bool) (E20Met
 			m.PayloadStalls += st.PayloadStalls
 		}
 	}
+	m.Stages = stageLatencies(c.Obs[0])
 	return m, nil
 }
 

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// StageLatency is one lifecycle stage's latency distribution — offsets
+// from the span's first stamp, in nanoseconds — read from a process's
+// trace plane. The experiments trace every message (SampleRate 1), so the
+// counts equal the messages that reached the stage.
+type StageLatency struct {
+	Stage string `json:"stage"`
+	Count uint64 `json:"count"`
+	P50NS int64  `json:"p50_ns"`
+	P99NS int64  `json:"p99_ns"`
+}
+
+// stageLatencies extracts every non-empty "abcast.trace.<stage>_ns"
+// histogram from plane p, in registry (alphabetical) order.
+func stageLatencies(p *obs.Plane) []StageLatency {
+	if p == nil {
+		return nil
+	}
+	var out []StageLatency
+	p.Reg().EachHistogram(func(name string, s obs.HistSnapshot) {
+		const prefix = "abcast.trace."
+		if !strings.HasPrefix(name, prefix) || s.Count == 0 {
+			return
+		}
+		out = append(out, StageLatency{
+			Stage: strings.TrimSuffix(strings.TrimPrefix(name, prefix), "_ns"),
+			Count: s.Count,
+			P50NS: s.Quantile(0.50),
+			P99NS: s.Quantile(0.99),
+		})
+	})
+	return out
+}

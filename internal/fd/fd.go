@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/router"
 	"repro/internal/wire"
 )
@@ -34,6 +35,10 @@ type Options struct {
 	// Timeout is the silence after which a process is suspected
 	// (default 4x Heartbeat).
 	Timeout time.Duration
+	// Obs is the process's observability plane: suspicion/trust
+	// transitions and peer epoch changes land in its flight recorder, and
+	// the current suspicion count becomes a scrape metric. May be nil.
+	Obs *obs.Plane
 }
 
 func (o *Options) fill() {
@@ -73,6 +78,11 @@ type Detector struct {
 	mu       sync.Mutex
 	lastSeen []time.Time
 	epochs   []uint32
+	// suspected caches the last published suspicion per peer, so the
+	// heartbeat task can emit flight-recorder events only on transitions
+	// (suspicion itself stays derived from lastSeen on every read).
+	suspected []bool
+	fl        *obs.Recorder
 
 	wg sync.WaitGroup
 }
@@ -84,16 +94,21 @@ var _ API = (*Detector)(nil)
 func New(pid ids.ProcessID, n int, epoch uint32, opts Options, net router.Net) *Detector {
 	opts.fill()
 	d := &Detector{
-		pid:      pid,
-		n:        n,
-		epoch:    epoch,
-		opts:     opts,
-		net:      net,
-		clock:    time.Now,
-		lastSeen: make([]time.Time, n),
-		epochs:   make([]uint32, n),
+		pid:       pid,
+		n:         n,
+		epoch:     epoch,
+		opts:      opts,
+		net:       net,
+		clock:     time.Now,
+		lastSeen:  make([]time.Time, n),
+		epochs:    make([]uint32, n),
+		suspected: make([]bool, n),
+		fl:        opts.Obs.Flight(),
 	}
 	d.epochs[pid] = epoch
+	opts.Obs.Reg().Func("abcast.fd.suspected", func() int64 {
+		return int64(d.n - len(d.Trusted()))
+	})
 	return d
 }
 
@@ -115,6 +130,7 @@ func (d *Detector) Start(ctx context.Context) {
 				return
 			case <-ticker.C:
 				d.beat()
+				d.scanTransitions()
 			}
 		}
 	}()
@@ -123,6 +139,34 @@ func (d *Detector) Start(ctx context.Context) {
 // Stop waits for the heartbeat task to exit (cancel the Start context
 // first).
 func (d *Detector) Stop() { d.wg.Wait() }
+
+// scanTransitions compares the derived suspicion state against the last
+// published one and records a flight-recorder event per flip. Runs on the
+// heartbeat cadence, so a suspicion is timestamped within one interval.
+func (d *Detector) scanTransitions() {
+	if d.fl == nil {
+		return
+	}
+	now := d.clock()
+	d.mu.Lock()
+	for p := 0; p < d.n; p++ {
+		if ids.ProcessID(p) == d.pid {
+			continue
+		}
+		last := d.lastSeen[p]
+		s := !last.IsZero() && now.Sub(last) > d.opts.Timeout
+		if s == d.suspected[p] {
+			continue
+		}
+		d.suspected[p] = s
+		kind := obs.EvTrust
+		if s {
+			kind = obs.EvSuspect
+		}
+		d.fl.Event(kind, 0, uint64(d.epochs[p]), int64(p), 0, "")
+	}
+	d.mu.Unlock()
+}
 
 func (d *Detector) beat() {
 	w := wire.GetWriter(8)
@@ -142,7 +186,13 @@ func (d *Detector) OnMessage(from ids.ProcessID, payload []byte) {
 	defer d.mu.Unlock()
 	d.lastSeen[from] = d.clock()
 	if epoch > d.epochs[from] {
+		prev := d.epochs[from]
 		d.epochs[from] = epoch
+		if prev != 0 || epoch > 1 {
+			// A jump past the first observation: the peer recovered into a
+			// new incarnation while we watched.
+			d.fl.Event(obs.EvEpochChange, 0, uint64(epoch), int64(from), int64(prev), "peer incarnation advanced")
+		}
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -133,6 +134,24 @@ func (m *Mux) Groups() int { return m.groups }
 
 // Inner returns the wrapped network.
 func (m *Mux) Inner() transport.Network { return m.inner }
+
+// SetObs exports the multiplexer counters as read-on-scrape metrics under
+// "abcast.mux.<name>". The mux is cluster-wide, so wire it to one plane
+// (conventionally process 0's). Nil is a no-op.
+func (m *Mux) SetObs(p *obs.Plane) {
+	if p == nil {
+		return
+	}
+	reg := p.Reg()
+	reg.Func("abcast.mux.tagged", m.tagged.Load)
+	reg.Func("abcast.mux.demuxed", m.demuxed.Load)
+	reg.Func("abcast.mux.dropped_malformed", m.malformed.Load)
+	reg.Func("abcast.mux.dropped_unknown", m.unknown.Load)
+	reg.Func("abcast.mux.dropped_detached", m.detached.Load)
+	reg.Func("abcast.mux.dropped_overrun", m.overrun.Load)
+	reg.Func("abcast.mux.coalesced_writes", m.coalWrites.Load)
+	reg.Func("abcast.mux.coalesced_frames", m.coalFrames.Load)
+}
 
 // Stats returns a snapshot of the multiplexer counters.
 func (m *Mux) Stats() MuxStats {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ids"
+	"repro/internal/obs"
 )
 
 // ErrCursorLagged is returned by Cursor.Next after the cursor missed
@@ -103,6 +104,7 @@ type Stream struct {
 	groups  int
 	decided *minTracker // per group: rounds committed (next round index)
 	cursors map[*Cursor]struct{}
+	fl      *obs.Recorder // cursor-lag anomaly events (may be nil)
 }
 
 // NewStream creates a Stream for a process hosting the given number of
@@ -117,6 +119,19 @@ func NewStream(groups int) *Stream {
 
 // Groups returns the number of ordering groups tracked.
 func (s *Stream) Groups() int { return s.groups }
+
+// SetObs routes cursor-lag anomalies to the plane's flight recorder — a
+// lagged merge cursor is exactly the "consumer silently fell behind a
+// state transfer" failure a post-mortem needs a timestamp for. Nil is a
+// no-op.
+func (s *Stream) SetObs(p *obs.Plane) {
+	if p == nil {
+		return
+	}
+	s.mu.Lock()
+	s.fl = p.Flight()
+	s.mu.Unlock()
+}
 
 // NoteRound records that group g committed round with the given (possibly
 // empty) batch of new deliveries, and fans the event out to every
@@ -274,6 +289,7 @@ func (c *Cursor) skipLocked(g ids.GroupID, nextRound uint64) {
 	if want := c.next.get(gi); nextRound > want {
 		if !c.lagged {
 			c.lagDetail = fmt.Sprintf("group %v adopted a state transfer skipping to round %d, expected %d", g, nextRound, want)
+			c.stream.fl.Event(obs.EvCursorLag, g, nextRound, int64(want), 0, "state transfer skipped ahead of cursor")
 		}
 		c.lagged = true
 	}
@@ -290,6 +306,7 @@ func (c *Cursor) applyLocked(g ids.GroupID, round uint64, ds []core.Delivery) {
 		// is unrecoverable for this cursor.
 		if !c.lagged {
 			c.lagDetail = fmt.Sprintf("group %v offered round %d, expected %d", g, round, want)
+			c.stream.fl.Event(obs.EvCursorLag, g, round, int64(want), 0, "round gap at cursor")
 		}
 		c.lagged = true
 	default:

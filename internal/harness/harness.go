@@ -16,6 +16,7 @@ import (
 	"repro/internal/fd"
 	"repro/internal/ids"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/router"
 	"repro/internal/storage"
 	"repro/internal/transport"
@@ -69,6 +70,11 @@ type Options struct {
 	// dissem.Inert() to force every remote payload through the pull
 	// repair path.
 	Ring func(ids.ProcessID) *dissem.Ring
+	// Obs is the per-process observability template (PID is filled per
+	// process). The zero value gives every process a working plane with
+	// default sampling; set SampleRate to 1 in tests that must trace every
+	// message.
+	Obs obs.Options
 }
 
 func (o *Options) fill() {
@@ -117,6 +123,9 @@ type Cluster struct {
 	Stores []*storage.Accounted
 	Faults []*storage.Faulty // non-nil only with InjectFaultyStorage
 	Rec    *check.Recorder
+	// Obs holds each process's observability plane: metrics registry,
+	// lifecycle tracer and anomaly flight recorder. Always populated.
+	Obs []*obs.Plane
 
 	net    transport.Network
 	inners []storage.Stable // engines from NewStore (closed by Stop)
@@ -185,6 +194,10 @@ func NewCluster(opts Options) *Cluster {
 				return opts.App(pid, net)
 			}
 		}
+		obsOpts := opts.Obs
+		obsOpts.PID = pid
+		plane := obs.New(obsOpts)
+		c.Obs = append(c.Obs, plane)
 		ncfg := node.Config{
 			PID:        pid,
 			N:          opts.N,
@@ -193,6 +206,7 @@ func NewCluster(opts Options) *Cluster {
 			FD:         opts.FD,
 			RingDissem: opts.RingDissem,
 			App:        appHook,
+			Obs:        plane,
 		}
 		if opts.Ring != nil {
 			p := pid
@@ -339,16 +353,34 @@ func (c *Cluster) UpPIDs() []ids.ProcessID {
 	return out
 }
 
+// FlightDump returns the merged, time-ordered anomaly event log of every
+// process's flight recorder — the first artifact to read after a failed
+// soak.
+func (c *Cluster) FlightDump() string {
+	return obs.FormatDump(obs.DumpAll(c.Obs))
+}
+
+// violation annotates a safety/liveness violation with the flight-recorder
+// dump, so the causal event sequence (lease churn, state transfers,
+// revokes, slow fsyncs) ships with the failure instead of being lost with
+// the process.
+func (c *Cluster) violation(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w\n--- flight recorder ---\n%s", err, c.FlightDump())
+}
+
 // VerifySafety runs the recorder's Validity/Integrity/Total Order checks.
 func (c *Cluster) VerifySafety() error {
-	return c.Rec.Verify()
+	return c.violation(c.Rec.Verify())
 }
 
 // VerifyAll runs the safety checks plus Termination for the given good
 // processes (which must be up).
 func (c *Cluster) VerifyAll(good ...ids.ProcessID) error {
 	if err := c.Rec.Verify(); err != nil {
-		return err
+		return c.violation(err)
 	}
 	must := c.Rec.DeliveredAnywhere()
 	must = append(must, c.Rec.ReturnedBroadcasts()...)
@@ -361,7 +393,7 @@ func (c *Cluster) VerifyAll(good ...ids.ProcessID) error {
 		base, suffix := p.Sequence()
 		finals = append(finals, check.NewFinal(pid, base, suffix))
 	}
-	return check.VerifyTermination(must, finals)
+	return c.violation(check.VerifyTermination(must, finals))
 }
 
 // AwaitAllDelivered waits until every id in the recorder's must-deliver set

@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// verifyObsInvariants checks the conservation laws every observability
+// plane must satisfy regardless of the crash/recovery schedule, so the
+// soaks fail loudly if the instrumentation itself miscounts:
+//
+//   - every histogram is internally consistent (bucket sum == count,
+//     monotone quantiles bounded by the recorded max);
+//   - the tracer's span accounting conserves: exactly one end-to-end
+//     observation per finished span;
+//   - the flight-recorder ring holds min(total, cap) events (nothing
+//     silently lost below the watermark, nothing fabricated above it).
+//
+// Exact workload equalities (broadcasts == delivered, trace count ==
+// messages) only hold on calm clusters and live in the dedicated
+// conservation test; these structural laws hold always.
+func verifyObsInvariants(planes []*obs.Plane) error {
+	for pid, p := range planes {
+		reg := p.Reg()
+		var histErr error
+		reg.EachHistogram(func(name string, s obs.HistSnapshot) {
+			if histErr != nil {
+				return
+			}
+			var n uint64
+			for _, c := range s.Bucket {
+				n += c
+			}
+			if n != s.Count {
+				histErr = fmt.Errorf("p%d: histogram %s: bucket sum %d != count %d", pid, name, n, s.Count)
+				return
+			}
+			if s.Count == 0 {
+				return
+			}
+			p50, p99 := s.Quantile(0.50), s.Quantile(0.99)
+			if p50 > p99 || (s.Max > 0 && p99 > s.Max) {
+				histErr = fmt.Errorf("p%d: histogram %s: non-monotone quantiles p50=%d p99=%d max=%d",
+					pid, name, p50, p99, s.Max)
+			}
+		})
+		if histErr != nil {
+			return histErr
+		}
+
+		if e2e, ok := reg.HistogramSnapshot("abcast.trace.e2e_ns"); ok {
+			finished := reg.Counter("abcast.trace.spans_finished").Value()
+			if e2e.Count != finished {
+				return fmt.Errorf("p%d: trace conservation: e2e observations %d != finished spans %d",
+					pid, e2e.Count, finished)
+			}
+		}
+
+		fl := p.Flight()
+		want := fl.Total()
+		if c := uint64(fl.Cap()); want > c {
+			want = c
+		}
+		if uint64(fl.Len()) != want {
+			return fmt.Errorf("p%d: flight recorder watermark: ring holds %d, want min(total=%d, cap=%d)",
+				pid, fl.Len(), fl.Total(), fl.Cap())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/obs"
+)
+
+// On a calm cluster (no crashes, every message traced) the exact
+// conservation laws hold: every broadcast is delivered everywhere exactly
+// once, every traced span finishes, and the per-stage histograms account
+// for every message. This is the equality counterpart to the structural
+// invariants the chaotic soaks check.
+func TestObsConservationCalm(t *testing.T) {
+	c := NewCluster(Options{
+		N:    3,
+		Seed: 601,
+		Obs:  obs.Options{SampleRate: 1},
+	})
+	defer c.Stop()
+	if err := c.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	const msgs = 30
+	for i := 0; i < msgs; i++ {
+		if _, err := c.Broadcast(ctx, ids.ProcessID(i%3), []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.AwaitAllDelivered(ctx, 0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	var totalBroadcasts uint64
+	for pid, p := range c.Obs {
+		reg := p.Reg()
+		totalBroadcasts += reg.Counter(obs.GroupLabel("abcast.core.broadcasts", 0)).Value()
+		if d := reg.Counter(obs.GroupLabel("abcast.core.delivered", 0)).Value(); d != msgs {
+			t.Fatalf("p%d delivered %d messages, want %d", pid, d, msgs)
+		}
+		// Trace conservation at SampleRate 1: one finished span and one
+		// end-to-end observation per message, no span left open.
+		e2e, ok := reg.HistogramSnapshot("abcast.trace.e2e_ns")
+		if !ok || e2e.Count != msgs {
+			t.Fatalf("p%d e2e trace count = %d (ok=%v), want %d", pid, e2e.Count, ok, msgs)
+		}
+		if fin := reg.Counter("abcast.trace.spans_finished").Value(); fin != msgs {
+			t.Fatalf("p%d finished spans = %d, want %d", pid, fin, msgs)
+		}
+		if open := p.Trace().Pending(); open != 0 {
+			t.Fatalf("p%d has %d spans still open after quiescence", pid, open)
+		}
+		// The deliver stage fires for every finished span.
+		del, _ := reg.HistogramSnapshot("abcast.trace.deliver_ns")
+		if del.Count != msgs {
+			t.Fatalf("p%d deliver-stage count = %d, want %d", pid, del.Count, msgs)
+		}
+	}
+	if totalBroadcasts != msgs {
+		t.Fatalf("cluster-wide broadcasts counter = %d, want %d", totalBroadcasts, msgs)
+	}
+	if err := verifyObsInvariants(c.Obs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The merged Prometheus endpoint must expose every layer's families in
+// parseable text format, with per-process pid labels keeping series
+// distinct.
+func TestPromEndpointScrape(t *testing.T) {
+	c := NewCluster(Options{
+		N:                   3,
+		Seed:                602,
+		Obs:                 obs.Options{SampleRate: 1},
+		InjectFaultyStorage: true, // exposes the persist-latency histogram
+	})
+	defer c.Stop()
+	if err := c.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i := 0; i < 6; i++ {
+		if _, err := c.Broadcast(ctx, ids.ProcessID(i%3), []byte("scrape")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.AwaitAllDelivered(ctx, 0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(obs.PromHandler(c.Obs))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body strings.Builder
+	if _, err := fmt.Fprint(&body); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1<<20)
+	n, _ := resp.Body.Read(buf)
+	for n > 0 {
+		body.Write(buf[:n])
+		n, _ = resp.Body.Read(buf)
+	}
+	text := body.String()
+
+	// Every exposition line is either a comment or `name{labels} value`.
+	line := regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*(\{[^}]*\})? -?[0-9]+$`)
+	families := map[string]bool{}
+	for _, l := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(l, "# TYPE ") {
+			parts := strings.Fields(l)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", l)
+			}
+			families[parts[2]] = true
+			continue
+		}
+		if !line.MatchString(l) {
+			t.Fatalf("unparseable exposition line: %q", l)
+		}
+	}
+	for _, want := range []string{
+		"abcast_core_broadcasts",
+		"abcast_core_delivered",
+		"abcast_consensus_quorum_ns",
+		"abcast_storage_persist_ns",
+		"abcast_trace_e2e_ns",
+		"abcast_trace_deliver_ns",
+	} {
+		if !families[want] {
+			t.Fatalf("scrape missing family %q; families: %v", want, families)
+		}
+	}
+	// Per-process series must stay distinct under the pid label.
+	for pid := 0; pid < 3; pid++ {
+		if !strings.Contains(text, fmt.Sprintf(`pid="%d"`, pid)) {
+			t.Fatalf("scrape has no series for pid %d", pid)
+		}
+	}
+}
+
+// A safety/liveness violation must arrive with the flight recorder's
+// causal timeline attached — the acceptance criterion for the anomaly
+// ring.
+func TestViolationCarriesFlightDump(t *testing.T) {
+	c := NewCluster(Options{N: 3, Seed: 603})
+	defer c.Stop()
+	if err := c.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if _, err := c.Broadcast(ctx, 0, []byte("evidence")); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash(1)
+	if _, err := c.Recover(1); err != nil {
+		t.Fatal(err)
+	}
+
+	err := c.violation(errors.New("forced: agreement violated"))
+	if err == nil {
+		t.Fatal("violation(non-nil) returned nil")
+	}
+	s := err.Error()
+	if !strings.Contains(s, "forced: agreement violated") {
+		t.Fatalf("violation lost the original error: %q", s)
+	}
+	if !strings.Contains(s, "--- flight recorder ---") {
+		t.Fatalf("violation has no flight dump: %q", s)
+	}
+	// The dump must contain the causal events of the run: every process's
+	// incarnation start, and p1's restart.
+	if strings.Count(s, "node-start") < 4 {
+		t.Fatalf("flight dump missing node-start events:\n%s", s)
+	}
+	if !strings.Contains(s, "lease-acquire") && !strings.Contains(s, "checkpoint") &&
+		strings.Count(s, "node-start") == 0 {
+		t.Fatalf("flight dump carries no causal events:\n%s", s)
+	}
+	// And a clean verification stays clean.
+	if v := c.violation(nil); v != nil {
+		t.Fatalf("violation(nil) = %v", v)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/group"
 	"repro/internal/ids"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/transport"
 )
@@ -81,6 +82,10 @@ type ShardedOptions struct {
 	OnTentative func(ids.ProcessID, core.Delivery)
 	OnConfirm   func(ids.ProcessID, ids.GroupID, uint64)
 	OnRevoke    func(ids.ProcessID, ids.GroupID, uint64)
+	// Obs is the per-process observability template (PID is filled per
+	// process). One plane serves all groups of a process — per-group
+	// metrics carry a {group} label, so they stay distinguishable.
+	Obs obs.Options
 }
 
 func (o *ShardedOptions) fill() {
@@ -135,6 +140,9 @@ type ShardedCluster struct {
 	// OnRound feeds it, Frontier is the process's merge floor, and
 	// SubscribeMerged hangs streaming cursors off it.
 	Streams []*group.Stream
+	// Obs[pid] is process pid's observability plane, shared by all of its
+	// groups. Always populated.
+	Obs []*obs.Plane
 
 	net         transport.Network
 	inners      []storage.Stable // engines to close on Stop
@@ -170,7 +178,17 @@ func NewShardedCluster(opts ShardedOptions) *ShardedCluster {
 
 	for p := 0; p < opts.N; p++ {
 		pid := ids.ProcessID(p)
+		obsOpts := opts.Obs
+		obsOpts.PID = pid
+		plane := obs.New(obsOpts)
+		c.Obs = append(c.Obs, plane)
+		if p == 0 {
+			// The mux is cluster-global in this simulated harness; its
+			// counters land on process 0's registry.
+			c.Mux.SetObs(plane)
+		}
 		stream := group.NewStream(opts.Groups)
+		stream.SetObs(plane)
 		c.Streams = append(c.Streams, stream)
 		// The process's shared engine, with the optional process-level
 		// fault trigger below every group namespace.
@@ -248,6 +266,7 @@ func NewShardedCluster(opts ShardedOptions) *ShardedCluster {
 				Core:      coreCfg,
 				Consensus: opts.Consensus,
 				FD:        opts.FD,
+				Obs:       plane,
 			}
 			if !opts.PerGroupFD {
 				ncfg.SharedFD = func() fd.API { return c.fdView(pid, gid) }
@@ -463,13 +482,30 @@ func (c *ShardedCluster) AwaitDelivered(ctx context.Context, g ids.GroupID, id i
 	}
 }
 
+// FlightDump returns the merged, time-ordered anomaly event log of every
+// process's flight recorder — the first artifact to read after a failed
+// sharded soak.
+func (c *ShardedCluster) FlightDump() string {
+	return obs.FormatDump(obs.DumpAll(c.Obs))
+}
+
+// violation annotates a safety/liveness violation with the flight-recorder
+// dump, so the causal event sequence leading up to the failure travels with
+// the error.
+func (c *ShardedCluster) violation(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w\n--- flight recorder ---\n%s", err, c.FlightDump())
+}
+
 // VerifyAll runs every group's safety checks plus Termination for the
 // given good processes (which must be fully up).
 func (c *ShardedCluster) VerifyAll(good ...ids.ProcessID) error {
 	for g, rec := range c.Recs {
 		gid := ids.GroupID(g)
 		if err := rec.Verify(); err != nil {
-			return fmt.Errorf("group %v: %w", gid, err)
+			return c.violation(fmt.Errorf("group %v: %w", gid, err))
 		}
 		must := rec.DeliveredAnywhere()
 		must = append(must, rec.ReturnedBroadcasts()...)
@@ -483,7 +519,7 @@ func (c *ShardedCluster) VerifyAll(good ...ids.ProcessID) error {
 			finals = append(finals, check.NewFinal(pid, base, suffix))
 		}
 		if err := check.VerifyTermination(must, finals); err != nil {
-			return fmt.Errorf("group %v: %w", gid, err)
+			return c.violation(fmt.Errorf("group %v: %w", gid, err))
 		}
 	}
 	return nil

@@ -289,6 +289,9 @@ func RunShardedSoak(opts ShardedSoakOptions) (ShardedSoakResult, error) {
 	if err := awaitSharedFDConvergence(drainCtx, c, all); err != nil {
 		return res, fmt.Errorf("sharded soak seed=%d: %w", opts.Seed, err)
 	}
+	if err := verifyObsInvariants(c.Obs); err != nil {
+		return res, fmt.Errorf("sharded soak seed=%d: %w", opts.Seed, err)
+	}
 	return res, nil
 }
 

@@ -526,5 +526,8 @@ func RunSoak(opts SoakOptions) (SoakResult, error) {
 			return res, fmt.Errorf("soak seed=%d: %w", opts.Seed, err)
 		}
 	}
+	if err := verifyObsInvariants(c.Obs); err != nil {
+		return res, fmt.Errorf("soak seed=%d: %w", opts.Seed, err)
+	}
 	return res, nil
 }

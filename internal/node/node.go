@@ -22,6 +22,7 @@ import (
 	"repro/internal/dissem"
 	"repro/internal/fd"
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/router"
 	"repro/internal/storage"
 	"repro/internal/transport"
@@ -45,6 +46,11 @@ type Config struct {
 	Core      core.Config
 	Consensus consensus.Config
 	FD        fd.Options
+	// Obs is the process's observability plane: the node threads it into
+	// every layer it builds per incarnation (core, consensus, its own FD),
+	// wires the storage stack's latency probes, and stamps incarnation
+	// starts into the flight recorder. Nil disables all instrumentation.
+	Obs *obs.Plane
 	// SharedFD, when set, is called at every incarnation start and must
 	// return the process-level failure-detector facade this node's
 	// consensus engine should use (see SharedFD / StartSharedFD). The node
@@ -134,13 +140,17 @@ func (n *Node) Start(ctx context.Context) error {
 	if n.cfg.SharedFD != nil {
 		det = n.cfg.SharedFD()
 	} else {
-		own = fd.New(n.cfg.PID, n.cfg.N, epoch, n.cfg.FD, rt.Bound(router.ChanFD))
+		fdOpts := n.cfg.FD
+		fdOpts.Obs = n.cfg.Obs
+		own = fd.New(n.cfg.PID, n.cfg.N, epoch, fdOpts, rt.Bound(router.ChanFD))
 		det = own
 	}
 
 	ccfg := n.cfg.Consensus
 	ccfg.PID = n.cfg.PID
 	ccfg.N = n.cfg.N
+	ccfg.Group = n.cfg.Group
+	ccfg.Obs = n.cfg.Obs
 	if ccfg.Seed == 0 {
 		ccfg.Seed = uint64(n.cfg.PID)<<32 | uint64(epoch)
 	}
@@ -167,6 +177,7 @@ func (n *Node) Start(ctx context.Context) error {
 	pcfg.N = n.cfg.N
 	pcfg.Incarnation = epoch
 	pcfg.Group = n.cfg.Group
+	pcfg.Obs = n.cfg.Obs
 	if ring != nil {
 		pcfg.Dissem = ring.Publisher(n.cfg.Group)
 	}
@@ -204,6 +215,14 @@ func (n *Node) Start(ctx context.Context) error {
 	n.mu.Lock()
 	n.inc = inc
 	n.mu.Unlock()
+
+	// Wire the storage stack's latency probes (idempotent per engine) and
+	// stamp the incarnation start before any layer produces events.
+	obsWireStorage(n.store, n.cfg.Obs)
+	if ring != nil {
+		ring.SetObs(n.cfg.Obs)
+	}
+	n.cfg.Obs.Flight().Event(obs.EvNodeStart, n.cfg.Group, uint64(epoch), 0, 0, "incarnation started")
 
 	rt.Start(ictx)
 	if own != nil {
@@ -320,3 +339,26 @@ func (n *Node) Broadcast(ctx context.Context, payload []byte) (ids.MsgID, error)
 
 // PID returns the node's process id.
 func (n *Node) PID() ids.ProcessID { return n.cfg.PID }
+
+// obsWireStorage walks the storage chain and attaches the plane's latency
+// probes to every layer that supports them. Wrappers (Faulty, Accounted,
+// Prefixed) expose Inner; the walk stops at the first opaque engine.
+func obsWireStorage(st storage.Stable, p *obs.Plane) {
+	if p == nil {
+		return
+	}
+	for st != nil {
+		switch s := st.(type) {
+		case *storage.Faulty:
+			s.SetObs(p)
+			st = s.Inner()
+		case *storage.WAL:
+			s.SetObs(p)
+			return
+		case interface{ Inner() storage.Stable }:
+			st = s.Inner()
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// Prometheus text-format exposition. Several registries (one per process
+// of an in-process cluster) can share one endpoint: WritePromAll groups
+// series by metric family so each family's TYPE line is emitted exactly
+// once, with each registry's const labels keeping its series distinct.
+
+type promSeries struct {
+	labels string
+	value  string // pre-rendered sample value
+	suffix string // "", "_bucket", "_sum", "_count"
+}
+
+type promFamily struct {
+	name   string // prometheus-legal family name
+	typ    string // counter | gauge | histogram
+	series []promSeries
+}
+
+// collectProm renders one registry's metrics into families, applying the
+// registry's const labels plus extra.
+func collectProm(r *Registry, extra string, fams map[string]*promFamily, order *[]string) {
+	if r == nil {
+		return
+	}
+	constLabels := joinLabels(r.labels, extra)
+	add := func(famName, typ string, s promSeries) {
+		f := fams[famName]
+		if f == nil {
+			f = &promFamily{name: famName, typ: typ}
+			fams[famName] = f
+			*order = append(*order, famName)
+		}
+		f.series = append(f.series, s)
+	}
+	r.Each(func(name string, v int64, counter bool) {
+		base, lbl := splitName(name)
+		typ := "gauge"
+		if counter {
+			typ = "counter"
+		}
+		add(promName(base), typ, promSeries{
+			labels: joinLabels(lbl, constLabels),
+			value:  fmt.Sprintf("%d", v),
+		})
+	})
+	r.EachHistogram(func(name string, s HistSnapshot) {
+		base, lbl := splitName(name)
+		fam := promName(base)
+		lbls := joinLabels(lbl, constLabels)
+		var cum uint64
+		for i, c := range s.Bucket {
+			if c == 0 {
+				continue
+			}
+			cum += c
+			add(fam, "histogram", promSeries{
+				suffix: "_bucket",
+				labels: joinLabels(lbls, fmt.Sprintf(`le="%d"`, bucketHigh(i))),
+				value:  fmt.Sprintf("%d", cum),
+			})
+		}
+		add(fam, "histogram", promSeries{
+			suffix: "_bucket",
+			labels: joinLabels(lbls, `le="+Inf"`),
+			value:  fmt.Sprintf("%d", s.Count),
+		})
+		add(fam, "histogram", promSeries{suffix: "_sum", labels: lbls, value: fmt.Sprintf("%d", s.Sum)})
+		add(fam, "histogram", promSeries{suffix: "_count", labels: lbls, value: fmt.Sprintf("%d", s.Count)})
+	})
+}
+
+// WritePromAll writes the merged text-format exposition of several
+// registries. extras[i] (optional, may be nil or shorter) adds const
+// labels to registry i's series — e.g. `pid="2"` for a multi-process
+// harness sharing one endpoint.
+func WritePromAll(w io.Writer, regs []*Registry, extras []string) error {
+	fams := map[string]*promFamily{}
+	var order []string
+	for i, r := range regs {
+		extra := ""
+		if i < len(extras) {
+			extra = extras[i]
+		}
+		collectProm(r, extra, fams, &order)
+	}
+	sort.Strings(order)
+	var b strings.Builder
+	for _, fn := range order {
+		f := fams[fn]
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			if s.labels == "" {
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.suffix, s.value)
+			} else {
+				fmt.Fprintf(&b, "%s%s{%s} %s\n", f.name, s.suffix, s.labels, s.value)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteProm writes one registry's exposition.
+func (r *Registry) WriteProm(w io.Writer) error {
+	return WritePromAll(w, []*Registry{r}, nil)
+}
+
+// ServeHTTP makes a single registry a Prometheus scrape target.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.WriteProm(w)
+}
+
+// PromHandler serves the merged exposition of planes (one per process),
+// labelling each plane's series with pid="<i>" unless the plane already
+// carries its own labels.
+func PromHandler(planes []*Plane) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		regs := make([]*Registry, 0, len(planes))
+		extras := make([]string, 0, len(planes))
+		for _, p := range planes {
+			if p == nil {
+				continue
+			}
+			extra := ""
+			if p.Reg().labels == "" {
+				extra = fmt.Sprintf(`pid="%d"`, p.PID())
+			}
+			regs = append(regs, p.Reg())
+			extras = append(extras, extra)
+		}
+		_ = WritePromAll(w, regs, extras)
+	})
+}

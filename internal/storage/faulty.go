@@ -3,6 +3,7 @@ package storage
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -28,6 +29,10 @@ type Faulty struct {
 	// in-flight trip of the previous arming keeps its own Once while a
 	// new arming starts fresh.
 	tripOnce *sync.Once
+
+	// obsState is the persist-latency instrumentation (SetObs); atomic so
+	// wiring can land after operations are already in flight.
+	obsState atomic.Pointer[storeObs]
 }
 
 var (
@@ -150,8 +155,10 @@ func (f *Faulty) Put(key string, val []byte) error {
 	if f.check() {
 		return ErrInjectedCrash
 	}
+	start := time.Now()
 	err := f.inner.Put(key, val)
 	f.sleepLat()
+	f.obsState.Load().observe(start, "persist")
 	return err
 }
 
@@ -160,8 +167,10 @@ func (f *Faulty) Append(key string, rec []byte) error {
 	if f.check() {
 		return ErrInjectedCrash
 	}
+	start := time.Now()
 	err := f.inner.Append(key, rec)
 	f.sleepLat()
+	f.obsState.Load().observe(start, "persist")
 	return err
 }
 
@@ -173,9 +182,9 @@ func (f *Faulty) PutAsync(key string, val []byte) *Completion {
 		return completed(ErrInjectedCrash)
 	}
 	if as, ok := f.inner.(AsyncStable); ok {
-		return f.delayed(as.PutAsync(key, val))
+		return f.observeAsync(f.delayed(as.PutAsync(key, val)))
 	}
-	return f.delayed(completed(f.inner.Put(key, val)))
+	return f.observeAsync(f.delayed(completed(f.inner.Put(key, val))))
 }
 
 // AppendAsync implements AsyncStable.
@@ -184,9 +193,9 @@ func (f *Faulty) AppendAsync(key string, rec []byte) *Completion {
 		return completed(ErrInjectedCrash)
 	}
 	if as, ok := f.inner.(AsyncStable); ok {
-		return f.delayed(as.AppendAsync(key, rec))
+		return f.observeAsync(f.delayed(as.AppendAsync(key, rec)))
 	}
-	return f.delayed(completed(f.inner.Append(key, rec)))
+	return f.observeAsync(f.delayed(completed(f.inner.Append(key, rec))))
 }
 
 // DeleteAsync implements AsyncStable (a log operation: it advances the
@@ -196,9 +205,9 @@ func (f *Faulty) DeleteAsync(key string) *Completion {
 		return completed(ErrInjectedCrash)
 	}
 	if as, ok := f.inner.(AsyncStable); ok {
-		return f.delayed(as.DeleteAsync(key))
+		return f.observeAsync(f.delayed(as.DeleteAsync(key)))
 	}
-	return f.delayed(completed(f.inner.Delete(key)))
+	return f.observeAsync(f.delayed(completed(f.inner.Delete(key))))
 }
 
 // Sync implements AsyncStable. The barrier itself is not a log operation,
@@ -247,8 +256,10 @@ func (f *Faulty) Delete(key string) error {
 	if f.check() {
 		return ErrInjectedCrash
 	}
+	start := time.Now()
 	err := f.inner.Delete(key)
 	f.sleepLat()
+	f.obsState.Load().observe(start, "persist")
 	return err
 }
 

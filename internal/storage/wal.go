@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // WAL is the group-commit write-ahead-log engine: a single segmented
@@ -100,6 +102,10 @@ type WAL struct {
 	recordCount  atomic.Int64
 	diskBytes    atomic.Int64
 	compactCount atomic.Int64
+
+	// obsState is the fsync-latency instrumentation (SetObs); atomic so
+	// wiring can land while the committer is already flushing.
+	obsState atomic.Pointer[storeObs]
 }
 
 // WALOptions tunes the group-commit policy.
@@ -993,6 +999,10 @@ func (w *WAL) compact(snap *compactSnap) error {
 	}
 	w.diskBytes.Add(rescued - victimSize)
 	w.compactCount.Add(1)
+	if st := w.obsState.Load(); st != nil {
+		st.plane.Flight().Event(obs.EvCompaction, 0, uint64(w.compactCount.Load()),
+			rescued, victimSize, "segment reclaimed")
+	}
 	return nil
 }
 
@@ -1024,10 +1034,12 @@ func (w *WAL) writeGroup(batch []*walOp) error {
 	w.segSize += int64(len(buf))
 	w.diskBytes.Add(int64(len(buf)))
 	if !w.opts.NoSync {
+		start := time.Now()
 		if err := w.seg.Sync(); err != nil {
 			return fmt.Errorf("storage: wal fsync: %w", err)
 		}
 		w.syncCount.Add(1)
+		w.obsState.Load().observe(start, "wal fsync")
 	}
 	w.groupCount.Add(1)
 	w.recordCount.Add(int64(recs))
