@@ -46,6 +46,25 @@
 // completes, as the paper's crash-recovery model requires (§2.1, §5.5);
 // see the E15 experiment for the throughput margin.
 //
+// # Adaptive tuning
+//
+// Every knob above — pipeline depth, batch delay, group-commit triggers —
+// is a static compromise across workload phases. ProtocolOptions.Adaptive
+// replaces the compromise with a closed loop: a per-process controller
+// observes the observability plane's signals (batch seal causes, pipeline
+// occupancy, ordering backlog, quorum latency, fsync amortization) every
+// epoch and continuously moves MaxBatchDelay, the live pipeline window
+// and the WAL group-commit policy between a latency-lean operating point
+// (idle traffic) and a throughput-lean one (bursts). When Adaptive is on,
+// the static options become the controller's BOUNDS — PipelineDepth caps
+// the live depth, MaxBatchDelay caps the batching window, SyncEvery /
+// MaxSyncDelay cap the fsync amortization — and TuneOptions can override
+// any bound explicitly. When it is off, no controller exists and the
+// static options mean exactly what they always did. Decisions are
+// exported as abcast.tune.* metrics and flight-recorder events; see the
+// README's "Adaptive tuning" section and experiment E21 for when a static
+// configuration is still preferable.
+//
 // # Sharded multi-group ordering
 //
 // Past the single sequencer's ceiling (PipelineDepth x MaxBatch messages
@@ -154,6 +173,8 @@ package abcast
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/consensus"
@@ -164,6 +185,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/storage"
 	"repro/internal/transport"
+	"repro/internal/tune"
 )
 
 // Re-exported identity types.
@@ -351,11 +373,89 @@ type ProtocolOptions struct {
 	// File).
 	SyncEvery    int
 	MaxSyncDelay time.Duration
+
+	// Adaptive closes the loop on the three hot-path policies above: a
+	// per-process controller (internal/tune) watches batch seal causes,
+	// pipeline occupancy, backlog, quorum latency and fsync amortization
+	// every epoch and continuously retunes MaxBatchDelay, the live
+	// pipeline window and the WAL group-commit policy between idle-lean
+	// and throughput-lean operating points. When Adaptive is set, the
+	// static knobs become the controller's BOUNDS rather than fixed
+	// values: PipelineDepth caps the live depth, MaxBatchDelay caps the
+	// batching window, SyncEvery/MaxSyncDelay cap the fsync amortization
+	// (unset knobs fall back to the tune package defaults; Tune overrides
+	// any of them explicitly). With Adaptive false nothing changes: no
+	// controller is constructed and every knob stays exactly where the
+	// static options put it. See the README's "Adaptive tuning" section
+	// and experiment E21.
+	Adaptive bool
+	// Tune bounds the adaptive controller explicitly (epoch period, knob
+	// floors and caps). Zero fields derive from the static options as
+	// described on Adaptive. Ignored when Adaptive is false.
+	Tune TuneOptions
+}
+
+// TuneOptions bounds the adaptive controller; see ProtocolOptions.Adaptive.
+type TuneOptions = tune.Options
+
+// Validate rejects nonsensical options — negative depths, counts or
+// delays, and (with Adaptive) inverted controller bounds — with explicit
+// errors instead of silent misbehavior. NewProcess and NewSharded call it;
+// IdleHeartbeat may be negative (documented: forces heartbeats off).
+func (o ProtocolOptions) Validate() error {
+	var errs []error
+	neg := func(name string, bad bool) {
+		if bad {
+			errs = append(errs, fmt.Errorf("abcast: negative %s", name))
+		}
+	}
+	neg("CheckpointEvery", o.CheckpointEvery < 0)
+	neg("GossipInterval", o.GossipInterval < 0)
+	neg("GossipMaxMessages", o.GossipMaxMessages < 0)
+	neg("PipelineDepth", o.PipelineDepth < 0)
+	neg("MaxBatch", o.MaxBatch < 0)
+	neg("MaxBatchBytes", o.MaxBatchBytes < 0)
+	neg("MaxBatchDelay", o.MaxBatchDelay < 0)
+	neg("LeaseTTL", o.LeaseTTL < 0)
+	neg("SyncEvery", o.SyncEvery < 0)
+	neg("MaxSyncDelay", o.MaxSyncDelay < 0)
+	if o.Adaptive {
+		if err := o.tuneOptions().Validate(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// tuneOptions derives the controller bounds from the static options:
+// every unset Tune bound inherits the corresponding static knob (which is
+// how "static options become the controller's bounds when Adaptive is
+// on"), and the depth cap never exceeds the consensus learner's ask-ahead
+// span.
+func (o ProtocolOptions) tuneOptions() TuneOptions {
+	t := o.Tune
+	if t.BatchDelayMax == 0 && o.MaxBatchDelay > 0 {
+		t.BatchDelayMax = o.MaxBatchDelay
+	}
+	if t.DepthMax == 0 && o.PipelineDepth > 1 {
+		t.DepthMax = o.PipelineDepth
+	}
+	if t.SyncEveryMax == 0 && o.SyncEvery > 0 {
+		t.SyncEveryMax = o.SyncEvery
+	}
+	if t.SyncDelayMax == 0 && o.MaxSyncDelay > 0 {
+		t.SyncDelayMax = o.MaxSyncDelay
+	}
+	if t.DepthMax > consensus.DecideWindow {
+		t.DepthMax = consensus.DecideWindow
+	}
+	return t
 }
 
 // Process is one group member with crash/recover lifecycle.
 type Process struct {
-	n *node.Node
+	n     *node.Node
+	tuner *tune.Controller // nil unless ProtocolOptions.Adaptive
 }
 
 // groupCommitter is implemented by storage engines whose durability
@@ -369,7 +469,7 @@ type groupCommitter interface {
 // from it, so a new ProtocolOptions knob wired here reaches sharded and
 // unsharded deployments alike.
 func (o ProtocolOptions) coreConfig() core.Config {
-	return core.Config{
+	cc := core.Config{
 		CheckpointEvery:   o.CheckpointEvery,
 		Delta:             o.Delta,
 		BatchedBroadcast:  o.BatchedBroadcast,
@@ -384,6 +484,12 @@ func (o ProtocolOptions) coreConfig() core.Config {
 		MaxBatchDelay:     o.MaxBatchDelay,
 		IdleHeartbeat:     max(o.IdleHeartbeat, 0),
 	}
+	if o.Adaptive {
+		// Give the sequencer resize headroom up to the controller's depth
+		// cap; the controller itself decides where within it to sit.
+		cc.MaxPipelineDepth = o.tuneOptions().Filled().DepthMax
+	}
+	return cc
 }
 
 // consensusConfig maps the options' consensus knobs (the lease) plus the
@@ -406,14 +512,21 @@ func (o ProtocolOptions) applyGroupCommit(st Storage) {
 
 // NewProcess builds a process over the given stable storage and network.
 // The same Storage must be passed again after a crash for recovery to work;
-// the same Network must be shared by the whole group.
+// the same Network must be shared by the whole group. Invalid options
+// (negative depths, counts or delays; inverted adaptive bounds) are
+// rejected with an explicit error.
 //
 // When st is a group-commit engine (NewWALStorage) and the protocol
 // options carry a durability policy (SyncEvery / MaxSyncDelay), the policy
 // is applied to the engine here, so one ProtocolOptions value describes
 // both halves of the pipeline: how messages batch into rounds and how the
-// rounds' log records batch into fsyncs.
-func NewProcess(cfg Config, st Storage, net Network) *Process {
+// rounds' log records batch into fsyncs. With Protocol.Adaptive set, both
+// halves are handed to a per-process controller instead; see the package
+// comment's "Adaptive tuning" section.
+func NewProcess(cfg Config, st Storage, net Network) (*Process, error) {
+	if err := cfg.Protocol.Validate(); err != nil {
+		return nil, err
+	}
 	cfg.Protocol.applyGroupCommit(st)
 	coreCfg := cfg.Protocol.coreConfig()
 	coreCfg.OnDeliver = cfg.OnDeliver
@@ -429,16 +542,41 @@ func NewProcess(cfg Config, st Storage, net Network) *Process {
 		FD:         cfg.FD,
 		RingDissem: cfg.Protocol.RingDissem,
 	}
-	return &Process{n: node.New(nodeCfg, st, net)}
+	p := &Process{n: node.New(nodeCfg, st, net)}
+	if cfg.Protocol.Adaptive {
+		ctl, err := tune.New(cfg.Protocol.tuneOptions(), nil)
+		if err != nil {
+			return nil, err
+		}
+		ctl.AddGroup(node.TuneGroup(p.n))
+		if s, ok := node.TuneSync(st); ok {
+			ctl.AddSync(s)
+		}
+		p.tuner = ctl
+	}
+	return p, nil
 }
 
 // Start boots the process (initialization or recovery). It blocks until
 // the replay phase completes.
-func (p *Process) Start(ctx context.Context) error { return p.n.Start(ctx) }
+func (p *Process) Start(ctx context.Context) error {
+	if err := p.n.Start(ctx); err != nil {
+		return err
+	}
+	if p.tuner != nil {
+		p.tuner.Start()
+	}
+	return nil
+}
 
 // Crash kills the process, losing all volatile state. Stable storage is
 // untouched; call Start to recover.
-func (p *Process) Crash() { p.n.Crash() }
+func (p *Process) Crash() {
+	if p.tuner != nil {
+		p.tuner.Stop()
+	}
+	p.n.Crash()
+}
 
 // Up reports whether the process is currently running.
 func (p *Process) Up() bool { return p.n.Up() }

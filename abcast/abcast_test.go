@@ -27,7 +27,7 @@ func newGroup(t *testing.T, n int, proto abcast.ProtocolOptions) *group {
 	for pid := 0; pid < n; pid++ {
 		pid := pid
 		st := abcast.NewMemStorage()
-		p := abcast.NewProcess(abcast.Config{
+		p, err := abcast.NewProcess(abcast.Config{
 			PID:      abcast.ProcessID(pid),
 			N:        n,
 			Protocol: proto,
@@ -37,6 +37,9 @@ func newGroup(t *testing.T, n int, proto abcast.ProtocolOptions) *group {
 				g.mu.Unlock()
 			},
 		}, st, net)
+		if err != nil {
+			t.Fatal(err)
+		}
 		g.procs = append(g.procs, p)
 	}
 	t.Cleanup(func() {
@@ -147,7 +150,7 @@ func TestPublicAPIWALStorage(t *testing.T) {
 			t.Fatal(err)
 		}
 		stores[pid] = st
-		p := abcast.NewProcess(abcast.Config{
+		p, err := abcast.NewProcess(abcast.Config{
 			PID:      abcast.ProcessID(pid),
 			N:        n,
 			Protocol: proto,
@@ -157,6 +160,9 @@ func TestPublicAPIWALStorage(t *testing.T) {
 				g.mu.Unlock()
 			},
 		}, st, net)
+		if err != nil {
+			t.Fatal(err)
+		}
 		g.procs = append(g.procs, p)
 	}
 	t.Cleanup(func() {
@@ -195,7 +201,7 @@ func TestPublicAPIWALStorage(t *testing.T) {
 		t.Fatal(err)
 	}
 	stores[1] = st1
-	g.procs[1] = abcast.NewProcess(abcast.Config{
+	g.procs[1], err = abcast.NewProcess(abcast.Config{
 		PID:      1,
 		N:        n,
 		Protocol: proto,
@@ -205,6 +211,9 @@ func TestPublicAPIWALStorage(t *testing.T) {
 			g.mu.Unlock()
 		},
 	}, st1, net)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := g.procs[1].Start(ctx); err != nil {
 		t.Fatal(err)
 	}

@@ -26,7 +26,8 @@ func TestPublicAPIAppCheckpointAndStateTransfer(t *testing.T) {
 	for pid := 0; pid < n; pid++ {
 		kv := abcast.NewKVStore()
 		kvs[pid] = kv
-		procs[pid] = abcast.NewProcess(abcast.Config{
+		var err error
+		procs[pid], err = abcast.NewProcess(abcast.Config{
 			PID: abcast.ProcessID(pid),
 			N:   n,
 			Protocol: abcast.ProtocolOptions{
@@ -37,6 +38,9 @@ func TestPublicAPIAppCheckpointAndStateTransfer(t *testing.T) {
 			OnDeliver: func(d abcast.Delivery) { kv.Apply(d) },
 			OnRestore: func(s abcast.Snapshot) { kv.Restore(s.App) },
 		}, abcast.NewMemStorage(), net)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if err := procs[pid].Start(ctx); err != nil {
 			t.Fatal(err)
 		}
@@ -91,11 +95,15 @@ func TestPublicAPIReducedConsensus(t *testing.T) {
 	for pid := 0; pid < n; pid++ {
 		rc := abcast.NewReducedConsensus()
 		cons[pid] = rc
-		procs[pid] = abcast.NewProcess(abcast.Config{
+		var err error
+		procs[pid], err = abcast.NewProcess(abcast.Config{
 			PID:       abcast.ProcessID(pid),
 			N:         n,
 			OnDeliver: func(d abcast.Delivery) { rc.Tap(d) },
 		}, abcast.NewMemStorage(), net)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if err := procs[pid].Start(ctx); err != nil {
 			t.Fatal(err)
 		}

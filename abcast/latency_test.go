@@ -45,7 +45,8 @@ func TestTentativeConfirmFastPath(t *testing.T) {
 		pid := p
 		pending[pid] = make(map[slot]abcast.MsgID)
 		actual[pid] = make(map[slot]abcast.MsgID)
-		procs[p] = abcast.NewProcess(abcast.Config{
+		var nperr error
+		procs[p], nperr = abcast.NewProcess(abcast.Config{
 			PID: abcast.ProcessID(p),
 			N:   n,
 			OnTentative: func(d abcast.Delivery) {
@@ -84,6 +85,9 @@ func TestTentativeConfirmFastPath(t *testing.T) {
 				fail("p%d g%v: unexpected revoke from pos %d on a calm network", pid, g, from)
 			},
 		}, abcast.NewMemStorage(), net)
+		if nperr != nil {
+			t.Fatal(nperr)
+		}
 	}
 	t.Cleanup(func() {
 		for _, p := range procs {
@@ -310,7 +314,8 @@ func TestHeartbeatRoundsBoundWALSize(t *testing.T) {
 		}
 		procs := make([]*abcast.Process, n)
 		for p := 0; p < n; p++ {
-			procs[p] = abcast.NewProcess(abcast.Config{
+			var err error
+			procs[p], err = abcast.NewProcess(abcast.Config{
 				PID: abcast.ProcessID(p),
 				N:   n,
 				Protocol: abcast.ProtocolOptions{
@@ -318,6 +323,9 @@ func TestHeartbeatRoundsBoundWALSize(t *testing.T) {
 					CheckpointEvery: checkpointEvery,
 				},
 			}, wals[p], net)
+			if err != nil {
+				t.Fatal(err)
+			}
 		}
 		defer func() {
 			for _, p := range procs {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/node"
 	"repro/internal/storage"
+	"repro/internal/tune"
 )
 
 // GroupID identifies one ordering group of a sharded process (0..G-1).
@@ -147,6 +148,11 @@ type Sharded struct {
 	up    bool
 	sfd   *node.SharedFD   // live process-level failure detector (nil when down)
 	sring *node.SharedRing // live process-level payload ring (nil when down or ring mode off)
+
+	// tuner is the process's single adaptive controller (nil unless
+	// Protocol.Adaptive): every group feeds it, and its one durability
+	// target arbitrates the shared WAL's sync policy across all of them.
+	tuner *tune.Controller
 }
 
 // NewSharded builds a sharded process over the given stable store and
@@ -163,6 +169,9 @@ func NewSharded(cfg ShardedConfig, st Storage, net *ShardedNetwork) (*Sharded, e
 	groups := net.Groups()
 	if cfg.N <= 0 {
 		return nil, fmt.Errorf("abcast: sharded config needs N > 0")
+	}
+	if err := cfg.Protocol.Validate(); err != nil {
+		return nil, err
 	}
 	if st == nil && cfg.GroupStore == nil {
 		return nil, fmt.Errorf("abcast: sharded process needs a shared store or a GroupStore hook")
@@ -247,6 +256,38 @@ func NewSharded(cfg ShardedConfig, st Storage, net *ShardedNetwork) (*Sharded, e
 			ncfg.SharedRing = s.ringView
 		}
 		s.nodes[g] = node.New(ncfg, gst, net.Net(gid))
+	}
+	if cfg.Protocol.Adaptive {
+		// ONE controller for the whole process: each group is a target,
+		// and the single durability target arbitrates the shared WAL's
+		// group-commit policy from the aggregate record rate (the WAL's
+		// counters are process-wide, so any busy group keeps amortization
+		// on for all of them). Per-group stores register each distinct
+		// engine once.
+		ctl, err := tune.New(cfg.Protocol.tuneOptions(), nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range s.nodes {
+			ctl.AddGroup(node.TuneGroup(n))
+		}
+		if st != nil {
+			if sy, ok := node.TuneSync(st); ok {
+				ctl.AddSync(sy)
+			}
+		} else {
+			seen := make(map[*storage.WAL]bool)
+			for g, gst := range s.stores {
+				if w := node.FindWAL(gst); w != nil && !seen[w] {
+					seen[w] = true
+					if sy, ok := node.TuneSync(gst); ok {
+						sy.Name = fmt.Sprintf("g%d", g)
+						ctl.AddSync(sy)
+					}
+				}
+			}
+		}
+		s.tuner = ctl
 	}
 	return s, nil
 }
@@ -353,6 +394,9 @@ func (s *Sharded) Start(ctx context.Context) error {
 			return fmt.Errorf("abcast: sharded group %d: %w", g, err)
 		}
 	}
+	if s.tuner != nil {
+		s.tuner.Start()
+	}
 	return nil
 }
 
@@ -360,6 +404,9 @@ func (s *Sharded) Start(ctx context.Context) error {
 // detector), losing all volatile state; the stable store(s) survive. Call
 // Start to recover.
 func (s *Sharded) Crash() {
+	if s.tuner != nil {
+		s.tuner.Stop()
+	}
 	s.mu.Lock()
 	s.up = false
 	sfd := s.sfd
@@ -580,6 +627,29 @@ func (s *Sharded) MergeCursor() (*MergeCursor, error) {
 	return s.stream.Subscribe(s.sequences)
 }
 
+// MergePush is a push-mode subscription to the merged cross-group
+// sequence: the same output as a MergeCursor, delivered over a bounded
+// channel by an adapter goroutine instead of polled. See Sharded.MergeChan.
+type MergePush = group.PushCursor
+
+// MergeChan subscribes a push-mode consumer to this process's merged
+// cross-group sequence: every delivery a MergeCursor would return from
+// Next arrives on the returned subscription's C() channel in the same
+// deterministic merge order. buf is the channel capacity (minimum 1) — the
+// bounded buffer between the merge and the consumer. A consumer that stops
+// reading exerts backpressure: the adapter blocks, the merge stops being
+// drained, and rounds accumulate upstream exactly as they would for an
+// undrained poll cursor; nothing is dropped or reordered.
+//
+// The channel closes when the subscription ends: after Close (Err() == nil)
+// or when a state transfer outruns the merge (Err() wraps
+// ErrMergeCursorLagged — resynchronize by adopting the groups' base
+// snapshots and resubscribing, as with MergeCursor). The same
+// crash/recovery caveats as MergeCursor apply.
+func (s *Sharded) MergeChan(buf int) (*MergePush, error) {
+	return s.stream.SubscribePush(s.sequences, buf)
+}
+
 // MergeFrontier returns the process-wide merge frontier: the highest
 // round every group of this process has committed, i.e. how far Merged /
 // MergeCursor output can extend right now.
@@ -663,4 +733,6 @@ func addStats(t *Stats, o Stats) {
 	t.HeartbeatRounds += o.HeartbeatRounds
 	t.RingPublished += o.RingPublished
 	t.PayloadStalls += o.PayloadStalls
+	t.BatchFullSeals += o.BatchFullSeals
+	t.BatchTimerSeals += o.BatchTimerSeals
 }

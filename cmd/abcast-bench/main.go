@@ -9,9 +9,12 @@
 // latency, leased versus unleased, on mem and TCP transports — and the
 // E20 ordering/dissemination split study: sequencer egress and delivered
 // throughput, full-payload versus ring dissemination, across payload
-// sizes and cluster sizes) and prints their tables. EXPERIMENTS.md is
-// generated from its full-scale output; BENCH_e19.json is generated with
-// -e19json and BENCH_e20.json with -e20json.
+// sizes and cluster sizes — and the E21 closed-loop autotuning study:
+// adaptive batching/pipeline/group-commit knobs against both static
+// extremes through a phase-shifting workload) and prints their tables.
+// EXPERIMENTS.md is generated from its full-scale output; BENCH_e19.json
+// is generated with -e19json, BENCH_e20.json with -e20json and
+// BENCH_e21.json with -e21json.
 //
 // Usage:
 //
@@ -21,6 +24,7 @@
 //	abcast-bench -md             # markdown tables (for EXPERIMENTS.md)
 //	abcast-bench -e19json PATH   # write the E19 latency trajectory JSON
 //	abcast-bench -e20json PATH   # write the E20 dissemination sweep JSON
+//	abcast-bench -e21json PATH   # write the E21 autotuning phase-shift JSON
 package main
 
 import (
@@ -39,6 +43,7 @@ func main() {
 	md := flag.Bool("md", false, "emit markdown tables")
 	e19json := flag.String("e19json", "", "write the E19 latency trajectory JSON to this path and exit")
 	e20json := flag.String("e20json", "", "write the E20 dissemination sweep JSON to this path and exit")
+	e21json := flag.String("e21json", "", "write the E21 autotuning phase-shift JSON to this path and exit")
 	flag.Parse()
 
 	scale := experiments.Full
@@ -61,6 +66,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote", *e20json)
+		return
+	}
+
+	if *e21json != "" {
+		if err := experiments.E21WriteJSON(scale, *e21json); err != nil {
+			fmt.Fprintln(os.Stderr, "abcast-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *e21json)
 		return
 	}
 

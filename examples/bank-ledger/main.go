@@ -167,7 +167,11 @@ func run() error {
 			cfg.OnConfirm = till.onConfirm
 			cfg.OnRevoke = till.onRevoke
 		}
-		b.proc = abcast.NewProcess(cfg, abcast.NewMemStorage(), net)
+		var err error
+		b.proc, err = abcast.NewProcess(cfg, abcast.NewMemStorage(), net)
+		if err != nil {
+			return err
+		}
 		if err := b.proc.Start(ctx); err != nil {
 			return fmt.Errorf("start p%d: %w", pid, err)
 		}

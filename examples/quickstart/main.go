@@ -38,7 +38,8 @@ func run() error {
 	procs := make([]*abcast.Process, n)
 	for pid := 0; pid < n; pid++ {
 		pid := pid
-		procs[pid] = abcast.NewProcess(abcast.Config{
+		var err error
+		procs[pid], err = abcast.NewProcess(abcast.Config{
 			PID: abcast.ProcessID(pid),
 			N:   n,
 			OnDeliver: func(d abcast.Delivery) {
@@ -47,6 +48,9 @@ func run() error {
 				mu.Unlock()
 			},
 		}, abcast.NewMemStorage(), net)
+		if err != nil {
+			return err
+		}
 		if err := procs[pid].Start(ctx); err != nil {
 			return fmt.Errorf("start p%d: %w", pid, err)
 		}

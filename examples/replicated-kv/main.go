@@ -48,7 +48,8 @@ func run() error {
 		kv := abcast.NewKVStore()
 		stores[pid] = abcast.NewMemStorage()
 		replicas[pid] = &replica{store: kv}
-		replicas[pid].proc = abcast.NewProcess(abcast.Config{
+		var err error
+		replicas[pid].proc, err = abcast.NewProcess(abcast.Config{
 			PID: abcast.ProcessID(pid),
 			N:   n,
 			Protocol: abcast.ProtocolOptions{
@@ -59,6 +60,9 @@ func run() error {
 			OnDeliver: func(d abcast.Delivery) { kv.Apply(d) },
 			OnRestore: func(s abcast.Snapshot) { kv.Restore(s.App) },
 		}, stores[pid], net)
+		if err != nil {
+			return err
+		}
 		if err := replicas[pid].proc.Start(ctx); err != nil {
 			return fmt.Errorf("start p%d: %w", pid, err)
 		}

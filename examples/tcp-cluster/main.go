@@ -45,10 +45,13 @@ func run() error {
 			return err
 		}
 		stores[pid] = st
-		procs[pid] = abcast.NewProcess(abcast.Config{
+		procs[pid], err = abcast.NewProcess(abcast.Config{
 			PID: abcast.ProcessID(pid),
 			N:   n,
 		}, st, net)
+		if err != nil {
+			return err
+		}
 		if err := procs[pid].Start(ctx); err != nil {
 			return fmt.Errorf("start p%d: %w", pid, err)
 		}

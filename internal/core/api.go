@@ -153,6 +153,12 @@ type Config struct {
 	// recovery replays (or truncates, via state transfer) in-flight
 	// rounds from the consensus log.
 	PipelineDepth int
+	// MaxPipelineDepth, when positive, is the ceiling a live resize
+	// (SetPipelineDepth) may deepen the pipeline to. The decision channel
+	// and learner ask-ahead are sized for it at construction, so the resize
+	// itself is just an atomic store. 0 pins the depth to PipelineDepth
+	// (no live resizing headroom).
+	MaxPipelineDepth int
 
 	// CheckpointEvery triggers the checkpoint task every so many rounds
 	// (0 disables it: basic protocol).
@@ -318,4 +324,7 @@ type Stats struct {
 
 	RingPublished uint64 // payloads published to the dissemination ring
 	PayloadStalls uint64 // commit attempts deferred on a missing payload (ring mode)
+
+	BatchFullSeals  uint64 // proposals sealed by a size cap (MaxBatch/MaxBatchBytes)
+	BatchTimerSeals uint64 // non-full proposals sealed by the time trigger (or immediately)
 }

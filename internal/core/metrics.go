@@ -38,6 +38,8 @@ type metrics struct {
 	heartbeatRounds     *obs.Counter
 	ringPublished       *obs.Counter
 	payloadStalls       *obs.Counter
+	batchFullSeals      *obs.Counter
+	batchTimerSeals     *obs.Counter
 
 	base Stats // counter values at incarnation start
 }
@@ -70,6 +72,8 @@ func newMetrics(reg *obs.Registry, g ids.GroupID) *metrics {
 		heartbeatRounds:     c("heartbeat_rounds"),
 		ringPublished:       c("ring_published"),
 		payloadStalls:       c("payload_stalls"),
+		batchFullSeals:      c("batch_full_seals"),
+		batchTimerSeals:     c("batch_timer_seals"),
 	}
 	m.base = m.snapshot()
 	return m
@@ -101,6 +105,8 @@ func (m *metrics) snapshot() Stats {
 		HeartbeatRounds:     m.heartbeatRounds.Value(),
 		RingPublished:       m.ringPublished.Value(),
 		PayloadStalls:       m.payloadStalls.Value(),
+		BatchFullSeals:      m.batchFullSeals.Value(),
+		BatchTimerSeals:     m.batchTimerSeals.Value(),
 	}
 }
 
@@ -131,5 +137,7 @@ func (m *metrics) incarnation() Stats {
 	s.HeartbeatRounds -= b.HeartbeatRounds
 	s.RingPublished -= b.RingPublished
 	s.PayloadStalls -= b.PayloadStalls
+	s.BatchFullSeals -= b.BatchFullSeals
+	s.BatchTimerSeals -= b.BatchTimerSeals
 	return s
 }

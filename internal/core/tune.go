@@ -1,0 +1,88 @@
+package core
+
+import "time"
+
+// This file is the core's live-tuning surface: the knobs internal/tune may
+// move while the incarnation runs, and the signals it observes to decide.
+// Everything here is cheap and lock-light — the controller ticks on an
+// epoch timer and must never contend with the ordering hot path.
+
+// TuneSignals is the per-epoch observation the autotuner reads from one
+// protocol instance. Counter fields are cumulative for the incarnation (the
+// controller differences successive reads); the rest are instantaneous.
+type TuneSignals struct {
+	Proposals  uint64 // proposals submitted
+	Messages   uint64 // messages across all proposals
+	FullSeals  uint64 // proposals sealed by a size cap
+	TimerSeals uint64 // non-full proposals sealed by the time trigger
+	Delivered  uint64 // messages appended to Agreed
+
+	Backlog  int // Unordered-set size (ordering backlog)
+	InFlight int // consensus rounds proposed, decision pending
+	TentOut  int // tentative deliveries emitted but not yet settled
+
+	Depth      int           // live pipeline depth
+	BatchDelay time.Duration // live adaptive-batching window
+}
+
+// TuneSignals snapshots the controller-facing signals. The counters come
+// from the lock-free metric set; the instantaneous fields take the protocol
+// lock briefly.
+func (p *Protocol) TuneSignals() TuneSignals {
+	s := TuneSignals{
+		Proposals:  p.met.proposalsSubmitted.Value(),
+		Messages:   p.met.proposedMessages.Value(),
+		FullSeals:  p.met.batchFullSeals.Value(),
+		TimerSeals: p.met.batchTimerSeals.Value(),
+		Delivered:  p.met.delivered.Value(),
+		Depth:      int(p.depth()),
+		BatchDelay: p.batchDelay(),
+	}
+	p.mu.Lock()
+	s.Backlog = p.unordered.Len()
+	s.InFlight = len(p.inflightRounds)
+	for _, t := range p.tentative {
+		s.TentOut += len(t.ids)
+	}
+	p.mu.Unlock()
+	return s
+}
+
+// SetBatchDelay moves the adaptive-batching time trigger at runtime
+// (negative clamps to 0 = propose immediately). Shrinking it may ripen a
+// held-back batch, so the sequencer is poked to re-evaluate its sleep.
+func (p *Protocol) SetBatchDelay(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if p.liveBatchDelay.Swap(int64(d)) != int64(d) {
+		p.poke()
+	}
+}
+
+// BatchDelay returns the live adaptive-batching window.
+func (p *Protocol) BatchDelay() time.Duration { return p.batchDelay() }
+
+// SetPipelineDepth resizes the live pipeline window (the number of
+// consensus rounds the sequencer keeps in flight), clamped to
+// [1, max(PipelineDepth, MaxPipelineDepth)] — the decision channel was
+// sized for that ceiling at New, so the resize is just an atomic store.
+// Shrinking never cancels rounds already in flight; the window drains to
+// the new depth as decisions land.
+func (p *Protocol) SetPipelineDepth(d int) {
+	if d < 1 {
+		d = 1
+	}
+	if d > p.maxDepth {
+		d = p.maxDepth
+	}
+	if p.liveDepth.Swap(int32(d)) != int32(d) {
+		p.poke() // deepening opens slots the sequencer can fill now
+	}
+}
+
+// PipelineDepth returns the live pipeline depth.
+func (p *Protocol) PipelineDepth() int { return int(p.depth()) }
+
+// MaxPipelineDepth returns the ceiling SetPipelineDepth clamps to.
+func (p *Protocol) MaxPipelineDepth() int { return p.maxDepth }

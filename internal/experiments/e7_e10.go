@@ -348,6 +348,7 @@ func All(scale Scale) ([]*Result, error) {
 		{"E18", E18LogLifecycle},
 		{"E19", E19Latency},
 		{"E20", E20Dissemination},
+		{"E21", E21Autotune},
 	}
 	var out []*Result
 	for _, e := range exps {
@@ -403,6 +404,8 @@ func ByName(name string) (func(Scale) (*Result, error), bool) {
 		return E19Latency, true
 	case "E20":
 		return E20Dissemination, true
+	case "E21":
+		return E21Autotune, true
 	default:
 		return nil, false
 	}

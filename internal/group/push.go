@@ -1,0 +1,117 @@
+package group
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// PushCursor is the push-mode twin of Cursor: the same merged cross-group
+// sequence, delivered over a bounded channel by one adapter goroutine
+// instead of drained by polling. The channel is the backpressure boundary
+// — when the consumer stops reading, the adapter blocks on the send, stops
+// draining the underlying cursor, and new rounds simply accumulate in the
+// cursor's per-round buffers (exactly the memory behavior of an undrained
+// poll cursor; nothing is dropped).
+//
+// The channel closes when the merge can no longer continue: after Close,
+// or once the underlying cursor lags behind a state transfer
+// (ErrCursorLagged). Err distinguishes the two — nil after a plain Close,
+// the terminal error otherwise.
+type PushCursor struct {
+	c    *Cursor
+	ch   chan core.Delivery
+	done chan struct{}
+
+	closeOnce sync.Once
+
+	mu  sync.Mutex
+	err error
+}
+
+// SubscribePush registers a push-mode subscription: a Cursor (seeded from
+// snapshot exactly like Subscribe) plus an adapter goroutine forwarding
+// every merged delivery to a channel of the given capacity (minimum 1).
+// See Stream.Subscribe for the snapshot contract and PushCursor for the
+// backpressure and termination semantics.
+func (s *Stream) SubscribePush(snapshot func() ([]Sequence, error), buf int) (*PushCursor, error) {
+	c, err := s.Subscribe(snapshot)
+	if err != nil {
+		return nil, err
+	}
+	if buf < 1 {
+		buf = 1
+	}
+	p := &PushCursor{
+		c:    c,
+		ch:   make(chan core.Delivery, buf),
+		done: make(chan struct{}),
+	}
+	wake := make(chan struct{}, 1)
+	s.mu.Lock()
+	c.wake = wake
+	s.mu.Unlock()
+	go p.run(wake)
+	return p, nil
+}
+
+// run drains the cursor into the channel until the cursor dies or the
+// consumer closes. It owns the channel: only run closes it, so a consumer
+// ranging over C never reads from a closed-by-someone-else channel.
+func (p *PushCursor) run(wake chan struct{}) {
+	defer close(p.ch)
+	var buf []core.Delivery
+	for {
+		var err error
+		buf, err = p.c.Next(buf[:0])
+		if err != nil {
+			// ErrCursorClosed after our own Close is a clean shutdown, not
+			// a failure; anything else (lag) is terminal and surfaced.
+			select {
+			case <-p.done:
+			default:
+				p.mu.Lock()
+				p.err = err
+				p.mu.Unlock()
+			}
+			return
+		}
+		for _, d := range buf {
+			select {
+			case p.ch <- d: // consumer slow => block here: backpressure
+			case <-p.done:
+				return
+			}
+		}
+		select {
+		case <-wake:
+		case <-p.done:
+			return
+		}
+	}
+}
+
+// C is the delivery channel: the merged sequence in merge order, closed on
+// Close or on a terminal cursor error (check Err after the close).
+func (p *PushCursor) C() <-chan core.Delivery { return p.ch }
+
+// Err returns the terminal error after C closed: nil for a consumer Close,
+// ErrCursorLagged (wrapped) when a state transfer outran the merge.
+func (p *PushCursor) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Emitted returns the underlying cursor's emit frontier (rounds fully
+// handed to the adapter; some may still be queued in the channel).
+func (p *PushCursor) Emitted() uint64 { return p.c.Emitted() }
+
+// Close stops the adapter and unsubscribes from the Stream. Idempotent;
+// safe concurrently with channel reads (C closes shortly after).
+func (p *PushCursor) Close() {
+	p.closeOnce.Do(func() {
+		close(p.done)
+		p.c.Close()
+	})
+}

@@ -1,0 +1,168 @@
+package group
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+)
+
+// emptySeqs is the subscription snapshot of a process with no history yet.
+func emptySeqs(groups int) func() ([]Sequence, error) {
+	return func() ([]Sequence, error) {
+		out := make([]Sequence, groups)
+		for g := range out {
+			out[g] = Sequence{Group: ids.GroupID(g)}
+		}
+		return out, nil
+	}
+}
+
+// collect reads n deliveries from the push channel or fails the test.
+func collect(t *testing.T, p *PushCursor, n int) []core.Delivery {
+	t.Helper()
+	var out []core.Delivery
+	timeout := time.After(10 * time.Second)
+	for len(out) < n {
+		select {
+		case d, ok := <-p.C():
+			if !ok {
+				t.Fatalf("push channel closed after %d/%d deliveries (err=%v)", len(out), n, p.Err())
+			}
+			out = append(out, d)
+		case <-timeout:
+			t.Fatalf("timed out after %d/%d deliveries", len(out), n)
+		}
+	}
+	return out
+}
+
+// TestPushCursorMatchesPollOrder feeds the same round events to a poll
+// cursor and a push subscription; the channel must yield the byte-identical
+// merge order the poll cursor returns.
+func TestPushCursorMatchesPollOrder(t *testing.T) {
+	const groups = 3
+	st := NewStream(groups)
+	poll, err := st.Subscribe(emptySeqs(groups))
+	if err != nil {
+		t.Fatal(err)
+	}
+	push, err := st.SubscribePush(emptySeqs(groups), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer push.Close()
+
+	var seq uint64
+	var want int
+	for r := uint64(0); r < 8; r++ {
+		for g := 0; g < groups; g++ {
+			var ds []core.Delivery
+			if (int(r)+g)%3 != 0 { // leave some rounds empty
+				seq++
+				ds = []core.Delivery{histDel(ids.GroupID(g), seq, r, seq, byte(g))}
+				want++
+			}
+			st.NoteRound(ids.GroupID(g), r, ds)
+		}
+	}
+
+	got := collect(t, push, want)
+	ref, err := poll.Next(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != want {
+		t.Fatalf("poll cursor returned %d deliveries, want %d", len(ref), want)
+	}
+	for i := range ref {
+		if !deliveryIdentical(ref[i], got[i]) {
+			t.Fatalf("delivery %d: push %+v != poll %+v", i, got[i], ref[i])
+		}
+	}
+}
+
+// TestPushCursorBackpressureLosesNothing jams the consumer while rounds
+// keep committing: the bounded channel fills, the adapter blocks, and once
+// the consumer resumes every delivery arrives in order — backpressure
+// stalls the drain, it never drops.
+func TestPushCursorBackpressureLosesNothing(t *testing.T) {
+	const buf = 2
+	st := NewStream(1)
+	push, err := st.SubscribePush(emptySeqs(1), buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer push.Close()
+
+	const total = 50
+	for r := uint64(0); r < total; r++ {
+		st.NoteRound(0, r, []core.Delivery{histDel(0, r+1, r, r, 0xaa)})
+	}
+	// With nobody reading, the adapter can hand over at most the channel
+	// capacity (plus the one send it is blocked in).
+	deadline := time.Now().Add(5 * time.Second)
+	for len(push.C()) < buf && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := len(push.C()); got != buf {
+		t.Fatalf("channel holds %d deliveries, want a full buffer of %d", got, buf)
+	}
+
+	got := collect(t, push, total)
+	for i, d := range got {
+		if d.Round != uint64(i) {
+			t.Fatalf("delivery %d has round %d; reordered or dropped under backpressure", i, d.Round)
+		}
+	}
+}
+
+// TestPushCursorCloseIsClean asserts the Close path: channel closes, Err
+// stays nil, Close is idempotent.
+func TestPushCursorCloseIsClean(t *testing.T) {
+	st := NewStream(1)
+	push, err := st.SubscribePush(emptySeqs(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.NoteRound(0, 0, []core.Delivery{histDel(0, 1, 0, 0, 1)})
+	collect(t, push, 1)
+	push.Close()
+	push.Close() // idempotent
+	select {
+	case _, ok := <-push.C():
+		if ok {
+			t.Fatal("delivery after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("channel never closed after Close")
+	}
+	if err := push.Err(); err != nil {
+		t.Fatalf("Err after clean Close = %v, want nil", err)
+	}
+}
+
+// TestPushCursorLagTerminates asserts the failure path: a state-transfer
+// skip the subscription never saw closes the channel with ErrCursorLagged.
+func TestPushCursorLagTerminates(t *testing.T) {
+	st := NewStream(1)
+	push, err := st.SubscribePush(emptySeqs(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer push.Close()
+	st.NoteSkip(0, 10) // rounds 0..9 skipped wholesale
+	select {
+	case _, ok := <-push.C():
+		if ok {
+			t.Fatal("unexpected delivery from a lagged subscription")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("channel never closed after lag")
+	}
+	if err := push.Err(); !errors.Is(err, ErrCursorLagged) {
+		t.Fatalf("Err = %v, want ErrCursorLagged", err)
+	}
+}

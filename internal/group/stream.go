@@ -255,6 +255,11 @@ type Cursor struct {
 	lagged    bool
 	lagDetail string // first gap observed, for diagnostics
 	closed    bool
+
+	// wake, when non-nil, is a capacity-1 signal channel poked on every
+	// event the cursor absorbs — the push adapter parks on it instead of
+	// polling Next. A full channel means a wake-up is already pending.
+	wake chan struct{}
 }
 
 type roundEvent struct {
@@ -262,6 +267,18 @@ type roundEvent struct {
 	round uint64 // nextRound when skip is set
 	ds    []core.Delivery
 	skip  bool
+}
+
+// pokeLocked wakes a parked push adapter (no-op for poll cursors).
+// stream.mu held.
+func (c *Cursor) pokeLocked() {
+	if c.wake == nil {
+		return
+	}
+	select {
+	case c.wake <- struct{}{}:
+	default: // a wake-up is already pending
+	}
 }
 
 // offerLocked feeds one round event. stream.mu held.
@@ -274,6 +291,7 @@ func (c *Cursor) offerLocked(g ids.GroupID, round uint64, ds []core.Delivery) {
 		return
 	}
 	c.applyLocked(g, round, ds)
+	c.pokeLocked()
 }
 
 // skipLocked handles a round-counter jump. stream.mu held.
@@ -285,6 +303,7 @@ func (c *Cursor) skipLocked(g ids.GroupID, nextRound uint64) {
 		c.backlog = append(c.backlog, roundEvent{g: g, round: nextRound, skip: true})
 		return
 	}
+	defer c.pokeLocked()
 	gi := int(g)
 	if want := c.next.get(gi); nextRound > want {
 		if !c.lagged {
@@ -412,4 +431,5 @@ func (c *Cursor) Close() {
 	defer c.stream.mu.Unlock()
 	c.closed = true
 	delete(c.stream.cursors, c)
+	c.pokeLocked() // a parked push adapter must notice the close
 }

@@ -1,0 +1,93 @@
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/tune"
+)
+
+// This file adapts a Node (and its storage chain) into internal/tune
+// targets. The adapters resolve the live incarnation on every call —
+// Proto()/Engine() return nil while the process is down — so one
+// controller keeps working across crash/recovery without rewiring.
+
+// TuneGroup builds the controller target for n's ordering group. Signals
+// reports ok=false while the node is down (the controller re-baselines on
+// the next incarnation); the Set callbacks silently no-op then.
+func TuneGroup(n *Node) tune.Group {
+	return tune.Group{
+		Name: fmt.Sprintf("g%d", n.cfg.Group),
+		Signals: func() (tune.GroupSignals, bool) {
+			p := n.Proto()
+			if p == nil {
+				return tune.GroupSignals{}, false
+			}
+			ts := p.TuneSignals()
+			sig := tune.GroupSignals{
+				Proposals:  ts.Proposals,
+				Messages:   ts.Messages,
+				FullSeals:  ts.FullSeals,
+				TimerSeals: ts.TimerSeals,
+				Delivered:  ts.Delivered,
+				Backlog:    ts.Backlog,
+				InFlight:   ts.InFlight,
+				TentOut:    ts.TentOut,
+				Depth:      ts.Depth,
+				BatchDelay: ts.BatchDelay,
+			}
+			if e := n.Engine(); e != nil {
+				sig.Quorum = e.QuorumLatency()
+			}
+			return sig, true
+		},
+		SetBatchDelay: func(d time.Duration) {
+			if p := n.Proto(); p != nil {
+				p.SetBatchDelay(d)
+			}
+		},
+		SetDepth: func(d int) {
+			if p := n.Proto(); p != nil {
+				p.SetPipelineDepth(d)
+			}
+		},
+	}
+}
+
+// TuneSync builds the controller's durability target from a storage chain,
+// or ok=false when no group-commit engine is underneath (nothing to tune:
+// File/Mem engines sync per write by construction). The WAL outlives
+// incarnations, so the target binds it directly.
+func TuneSync(st storage.Stable) (tune.Sync, bool) {
+	w := FindWAL(st)
+	if w == nil {
+		return tune.Sync{}, false
+	}
+	return tune.Sync{
+		Signals: func() (tune.SyncSignals, bool) {
+			return tune.SyncSignals{
+				Records: w.RecordCount(),
+				Syncs:   w.SyncCount(),
+				Persist: w.FsyncLatency(),
+			}, true
+		},
+		Apply: w.SetGroupCommit,
+	}, true
+}
+
+// FindWAL walks a storage chain (Faulty/Accounted/Prefixed wrappers) down
+// to the group-commit WAL, nil when the base engine is something else.
+func FindWAL(st storage.Stable) *storage.WAL {
+	for st != nil {
+		switch s := st.(type) {
+		case *storage.WAL:
+			return s
+		case interface{ Inner() storage.Stable }:
+			st = s.Inner()
+		default:
+			return nil
+		}
+	}
+	return nil
+}

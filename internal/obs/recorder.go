@@ -27,6 +27,7 @@ const (
 	EvEpochChange                      // peer's epoch number increased (A=peer, B=epoch)
 	EvPayloadStall                     // delivery blocked awaiting a payload body (Round=round)
 	EvSlowSync                         // durability op over threshold (A=duration ns)
+	EvTune                             // autotuner moved a knob (A=old value, B=new value, Note=knob)
 	EvViolation                        // harness-detected safety/liveness violation
 )
 
@@ -35,7 +36,8 @@ var evNames = map[EventKind]string{
 	EvTentativeRevoke: "tentative-revoke", EvStateSent: "state-sent", EvStateAdopt: "state-adopt",
 	EvCursorLag: "cursor-lag", EvCheckpoint: "checkpoint", EvCompaction: "compaction",
 	EvSuspect: "suspect", EvTrust: "trust", EvEpochChange: "epoch-change",
-	EvPayloadStall: "payload-stall", EvSlowSync: "slow-sync", EvViolation: "VIOLATION",
+	EvPayloadStall: "payload-stall", EvSlowSync: "slow-sync", EvTune: "tune",
+	EvViolation: "VIOLATION",
 }
 
 // String implements fmt.Stringer.

@@ -651,6 +651,14 @@ func (w *WAL) SetGroupCommit(syncEvery int, maxSyncDelay time.Duration) {
 	}
 }
 
+// GroupCommit returns the live durability policy (the values SetGroupCommit
+// last applied, or the construction-time defaults).
+func (w *WAL) GroupCommit() (syncEvery int, maxSyncDelay time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.opts.SyncEvery, w.opts.MaxSyncDelay
+}
+
 // Compact forces one incremental compaction pass: the pending queue is
 // flushed, the still-live keys of the oldest segment are rescued into
 // the tail (group-committed: the rescue's fsync completes first), and

@@ -1,0 +1,362 @@
+package tune
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Controller is the per-process autotuner: one goroutine, epoch-ticked,
+// driving every registered Group plus the optional shared Sync target
+// through the pure step functions. Construct with New, register targets,
+// then Start; Stop joins the goroutine. Start/Stop are idempotent.
+type Controller struct {
+	opts  Options
+	plane *obs.Plane
+
+	mu      sync.Mutex
+	groups  []*groupCtl
+	syncs   []*syncCtl
+	running bool
+	stopCh  chan struct{}
+	done    chan struct{}
+
+	epochs *obs.Counter // abcast.tune.epochs
+	moves  *obs.Counter // abcast.tune.adjustments
+}
+
+// groupCtl is the per-group controller state: the previous cumulative
+// snapshot (for epoch deltas) and the quorum-latency EWMA baseline.
+type groupCtl struct {
+	g        Group
+	prev     GroupSignals
+	havePrev bool
+	baseline float64 // EWMA of per-epoch quorum p99 (ns)
+
+	delayG *obs.Gauge // abcast.tune.batch_delay_ns{g}
+	depthG *obs.Gauge // abcast.tune.depth{g}
+}
+
+// syncCtl is the durability-arbiter state. The controller tracks the
+// policy it last applied (the WAL's construction-time policy stands until
+// the first decision).
+type syncCtl struct {
+	s        Sync
+	prev     SyncSignals
+	havePrev bool
+	every    int
+	delay    time.Duration
+	applied  bool
+	idle     int
+	active   int // consecutive epochs with records (sustained-stream signal)
+	hold     int // growth-cooldown epochs left after an efficiency backoff
+	// accRecs/accSyncs accumulate the grouping audit since the last window
+	// change; fresh skips the transition epoch whose syncs mix policies.
+	accRecs  int64
+	accSyncs int64
+	fresh    bool
+	// recAvg is the EWMA-smoothed per-epoch record rate: the busy tests see
+	// a few-epoch average, so one jittery epoch of a thin stream cannot
+	// flap the window.
+	recAvg float64
+
+	everyG *obs.Gauge // abcast.tune.sync_every
+	delayG *obs.Gauge // abcast.tune.sync_delay_ns
+}
+
+// New validates opts and builds a controller publishing its decisions to
+// plane (nil disables metrics and flight events, not the control loop).
+func New(opts Options, plane *obs.Plane) (*Controller, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts.fill()
+	reg := plane.Reg()
+	return &Controller{
+		opts:   opts,
+		plane:  plane,
+		epochs: reg.Counter("abcast.tune.epochs"),
+		moves:  reg.Counter("abcast.tune.adjustments"),
+	}, nil
+}
+
+// Options returns the validated, default-filled bounds.
+func (c *Controller) Options() Options { return c.opts }
+
+// AddGroup registers one ordering group. Safe before or after Start.
+func (c *Controller) AddGroup(g Group) {
+	reg := c.plane.Reg()
+	gc := &groupCtl{
+		g:      g,
+		delayG: reg.Gauge("abcast.tune.batch_delay_ns{" + g.Name + "}"),
+		depthG: reg.Gauge("abcast.tune.depth{" + g.Name + "}"),
+	}
+	c.mu.Lock()
+	c.groups = append(c.groups, gc)
+	c.mu.Unlock()
+}
+
+// AddSync registers a durability target. A process with one shared WAL
+// registers it once — that single target is what arbitrates the sync
+// policy across every group writing through it; a per-group-store
+// deployment registers each distinct engine. Safe before or after Start.
+func (c *Controller) AddSync(s Sync) {
+	reg := c.plane.Reg()
+	label := ""
+	if s.Name != "" {
+		label = "{" + s.Name + "}"
+	}
+	sc := &syncCtl{
+		s:      s,
+		everyG: reg.Gauge("abcast.tune.sync_every" + label),
+		delayG: reg.Gauge("abcast.tune.sync_delay_ns" + label),
+	}
+	c.mu.Lock()
+	c.syncs = append(c.syncs, sc)
+	c.mu.Unlock()
+}
+
+// Start forks the epoch ticker. Idempotent while running, and restartable
+// after Stop — a process's crash/recover cycle maps onto Stop/Start.
+func (c *Controller) Start() {
+	c.mu.Lock()
+	if c.running {
+		c.mu.Unlock()
+		return
+	}
+	c.running = true
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	c.stopCh, c.done = stop, done
+	c.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(c.opts.Epoch)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				c.Tick()
+			}
+		}
+	}()
+}
+
+// Stop halts the ticker and joins the goroutine. Idempotent; a controller
+// that was never started stops trivially.
+func (c *Controller) Stop() {
+	c.mu.Lock()
+	if !c.running {
+		c.mu.Unlock()
+		return
+	}
+	c.running = false
+	close(c.stopCh)
+	done := c.done
+	c.mu.Unlock()
+	<-done
+}
+
+// Tick runs one epoch step synchronously. The ticker calls it; tests call
+// it directly for deterministic trajectories.
+func (c *Controller) Tick() {
+	c.mu.Lock()
+	groups := append([]*groupCtl(nil), c.groups...)
+	syncs := append([]*syncCtl(nil), c.syncs...)
+	c.mu.Unlock()
+
+	c.epochs.Inc()
+	for _, gc := range groups {
+		c.tickGroup(gc)
+	}
+	for _, sc := range syncs {
+		c.tickSync(sc)
+	}
+}
+
+// delta differences cumulative counters with a reset guard: a regression
+// (new incarnation, fresh counter set) re-baselines at the current value.
+func delta(cur, prev uint64) uint64 {
+	if cur < prev {
+		return cur
+	}
+	return cur - prev
+}
+
+func delta64(cur, prev int64) int64 {
+	if cur < prev {
+		return cur
+	}
+	return cur - prev
+}
+
+const ewmaAlpha = 0.2 // baseline smoothing: ~5-epoch memory
+
+// syncEWMA smooths the per-epoch record deltas fed to StepSync's busy
+// tests (~2-3 epochs of memory): thin streams wobble epoch to epoch, and
+// the raw deltas would flap the group-commit window.
+const syncEWMA = 0.4
+
+// syncGrowCooldown is how many epochs an efficiency backoff suppresses
+// amortization growth. A closed-loop serial writer trips the busy test
+// (its record rate rebounds the moment the window shrinks), so without a
+// cooldown the policy would re-probe every epoch and tax one round in
+// three with a full sync delay; with it the tax is one round in ~17.
+const syncGrowCooldown = 16
+
+func (c *Controller) tickGroup(gc *groupCtl) {
+	sig, ok := gc.g.Signals()
+	if !ok {
+		gc.havePrev = false // process down: re-baseline on recovery
+		return
+	}
+	if !gc.havePrev {
+		gc.prev, gc.havePrev = sig, true
+		gc.delayG.Set(int64(sig.BatchDelay))
+		gc.depthG.Set(int64(sig.Depth))
+		return
+	}
+
+	be := BatchEpoch{
+		Proposals:  delta(sig.Proposals, gc.prev.Proposals),
+		Messages:   delta(sig.Messages, gc.prev.Messages),
+		FullSeals:  delta(sig.FullSeals, gc.prev.FullSeals),
+		TimerSeals: delta(sig.TimerSeals, gc.prev.TimerSeals),
+		Backlog:    sig.Backlog,
+	}
+	qEpoch := sig.Quorum.Delta(gc.prev.Quorum)
+	gc.prev = sig
+
+	de := DepthEpoch{
+		Proposals: be.Proposals,
+		Backlog:   sig.Backlog,
+		InFlight:  sig.InFlight,
+		QuorumP99: 0,
+		Baseline:  gc.baseline,
+	}
+	if qEpoch.Count > 0 {
+		de.QuorumP99 = qEpoch.Quantile(0.99)
+	}
+
+	d := StepBatchDelay(sig.BatchDelay, c.opts.BatchDelayMin, c.opts.BatchDelayMax, be)
+	if d != sig.BatchDelay {
+		gc.g.SetBatchDelay(d)
+		c.record(gc.g.Name+"/batch_delay", int64(sig.BatchDelay), int64(d))
+	}
+	gc.delayG.Set(int64(d))
+
+	if nd := StepDepth(sig.Depth, c.opts.DepthMin, c.opts.DepthMax, de); nd != sig.Depth {
+		gc.g.SetDepth(nd)
+		c.record(gc.g.Name+"/depth", int64(sig.Depth), int64(nd))
+		gc.depthG.Set(int64(nd))
+	} else {
+		gc.depthG.Set(int64(sig.Depth))
+	}
+
+	// Update the baseline after the decision: the inflation test compares
+	// this epoch against the past, then this epoch joins the past.
+	if de.QuorumP99 > 0 {
+		if gc.baseline == 0 {
+			gc.baseline = float64(de.QuorumP99)
+		} else {
+			gc.baseline = (1-ewmaAlpha)*gc.baseline + ewmaAlpha*float64(de.QuorumP99)
+		}
+	}
+}
+
+func (c *Controller) tickSync(sc *syncCtl) {
+	sig, ok := sc.s.Signals()
+	if !ok {
+		sc.havePrev = false
+		sc.recAvg = 0 // crash: the old rate is stale
+		sc.accRecs, sc.accSyncs, sc.fresh = 0, 0, false
+		return
+	}
+	if !sc.havePrev {
+		sc.prev, sc.havePrev = sig, true
+		if !sc.applied {
+			// Start amortization from the cap: the first busy epoch keeps
+			// it, the first idle ones collapse it.
+			sc.every, sc.delay = c.opts.SyncEveryMax, c.opts.SyncDelayMax
+		}
+		return
+	}
+
+	recs := delta64(sig.Records, sc.prev.Records)
+	syncs := delta64(sig.Syncs, sc.prev.Syncs)
+	sc.recAvg = (1-syncEWMA)*sc.recAvg + syncEWMA*float64(recs)
+	// The grouping audit: accumulate raw deltas under an unchanged window
+	// (the transition epoch is skipped — its syncs mix two policies) and
+	// hold the verdict until effAudit records make the sample meaningful.
+	// A clean verdict restarts the audit.
+	ineffective := false
+	if sc.every > 1 || sc.delay > 0 {
+		if sc.fresh {
+			sc.fresh = false
+			sc.accRecs, sc.accSyncs = 0, 0
+		} else {
+			sc.accRecs += recs
+			sc.accSyncs += syncs
+			if sc.accRecs >= effAudit {
+				ineffective = sc.accSyncs > 0 && sc.accRecs < effTarget*sc.accSyncs
+				if !ineffective {
+					sc.accRecs, sc.accSyncs = 0, 0
+				}
+			}
+		}
+	} else {
+		sc.accRecs, sc.accSyncs = 0, 0
+	}
+	se := SyncEpoch{
+		Records:     sc.recAvg,
+		Epoch:       c.opts.Epoch,
+		Ineffective: ineffective,
+		GrowHold:    sc.hold > 0,
+	}
+	if p := sig.Persist.Delta(sc.prev.Persist); p.Count > 0 {
+		se.PersistP99 = p.Quantile(0.99)
+	}
+	sc.prev = sig
+	if recs == 0 {
+		sc.idle++
+	} else {
+		sc.idle = 0
+	}
+	// The active streak follows the smoothed rate, not the raw epoch: a
+	// single stalled epoch inside a steady stream must not reset the
+	// sustained-stream signal (the decay it triggers costs several epochs
+	// of prompt syncs); genuine fade drains the EWMA and breaks the streak.
+	if sc.recAvg >= 1 {
+		sc.active++
+	} else {
+		sc.active = 0
+	}
+	se.IdleEpochs = sc.idle
+	se.ActiveEpochs = sc.active
+	if sc.hold > 0 {
+		sc.hold--
+	}
+
+	every, delay, backoff := StepSync(sc.every, sc.delay, c.opts.SyncEveryMax, c.opts.SyncDelayMax, se)
+	if backoff {
+		sc.hold = syncGrowCooldown
+	}
+	if !sc.applied || every != sc.every || delay != sc.delay {
+		prevEvery := sc.every
+		sc.every, sc.delay, sc.applied = every, delay, true
+		sc.fresh = true // new window: the old audit sample is void
+		sc.s.Apply(every, delay)
+		c.record("sync_policy", int64(prevEvery), int64(every))
+	}
+	sc.everyG.Set(int64(sc.every))
+	sc.delayG.Set(int64(sc.delay))
+}
+
+// record counts one knob move and drops it in the flight recorder.
+func (c *Controller) record(knob string, old, new_ int64) {
+	c.moves.Inc()
+	c.plane.Flight().Event(obs.EvTune, 0, 0, old, new_, knob)
+}

@@ -1,0 +1,224 @@
+package tune
+
+import "time"
+
+// The step functions are the controller's whole policy, kept pure so unit
+// tests can drive them through synthetic epochs: (current knob, bounds,
+// one epoch's observation) in, new knob out. Each is a textbook AIMD
+// shape — multiplicative moves away from a bad operating point, additive
+// (or geometric-decay) moves toward a better one — so for any steady
+// observation the iteration has a fixed point and cannot oscillate.
+
+// BatchEpoch is one epoch's batching observation (deltas, not cumulative).
+type BatchEpoch struct {
+	Proposals  uint64 // proposals submitted this epoch
+	Messages   uint64 // messages across them
+	FullSeals  uint64 // sealed by a size cap
+	TimerSeals uint64 // sealed non-full
+	Backlog    int    // instantaneous ordering backlog
+}
+
+// aggTarget is the mean batch size below which a trickle is worth
+// aggregating: timer-sealed batches smaller than this pull the delay up.
+const aggTarget = 4
+
+// drainBacklog is the ordering-backlog size past which holding batches
+// back is counterproductive regardless of seal causes: drain first.
+const drainBacklog = 64
+
+// StepBatchDelay moves the adaptive-batching window one epoch.
+//
+//   - Idle (no proposals, no backlog): geometric decay toward min, so the
+//     next lone request is not taxed by a window grown for past load.
+//   - Full seals dominate, or a backlog is waiting: multiplicative
+//     decrease — batches fill (or work queues) without the timer's help,
+//     the delay only adds latency.
+//   - Timer seals dominate with small batches (trickle): additive
+//     increase toward max, aggregating more messages per consensus round.
+//     Growth needs at least two proposals in the epoch — aggregation
+//     merges concurrent proposals, so a lone closed-loop request per
+//     epoch has nothing to merge with and a window would be pure latency.
+//   - Otherwise hold.
+func StepBatchDelay(cur, min, max time.Duration, e BatchEpoch) time.Duration {
+	switch {
+	case e.Proposals == 0 && e.Backlog == 0:
+		cur /= 2
+	case e.FullSeals >= e.TimerSeals && e.FullSeals > 0,
+		e.Backlog > drainBacklog:
+		cur /= 2
+	case e.TimerSeals > 0 && e.Proposals >= 2 && e.Messages < aggTarget*e.Proposals:
+		cur += max / 8
+	}
+	return clampDur(cur, min, max)
+}
+
+// DepthEpoch is one epoch's pipeline observation.
+type DepthEpoch struct {
+	Proposals uint64 // proposals submitted this epoch
+	Backlog   int    // instantaneous ordering backlog
+	InFlight  int    // rounds proposed, decision pending
+	// QuorumP99 is this epoch's propose → accept-quorum p99 in ns (0 when
+	// no rounds decided this epoch); Baseline is the controller's EWMA of
+	// past epochs' p99.
+	QuorumP99 int64
+	Baseline  float64
+}
+
+// quorumInflation is the multiplicative headroom over the EWMA baseline
+// past which deepening is judged to be hurting coordination latency.
+const quorumInflation = 2.0
+
+// StepDepth moves the live pipeline window one epoch.
+//
+//   - Quorum latency inflated ≥2x over its moving baseline: multiplicative
+//     decrease — extra in-flight rounds are queueing, not overlapping.
+//   - Window saturated (in-flight fills the depth) with a backlog still
+//     waiting: multiplicative increase — more overlap drains it faster.
+//   - Idle: additive decay toward min, one step per epoch.
+//   - Otherwise hold.
+//
+// The EWMA baseline supplies the damping: a persistent load change pulls
+// the baseline along until the inflation test stops firing, so the depth
+// settles instead of sawtoothing.
+func StepDepth(cur, min, max int, e DepthEpoch) int {
+	switch {
+	case e.QuorumP99 > 0 && e.Baseline > 0 && float64(e.QuorumP99) > quorumInflation*e.Baseline && cur > min:
+		cur /= 2
+	case e.InFlight >= cur && e.Backlog > 0:
+		cur *= 2
+	case e.Proposals == 0 && e.Backlog == 0:
+		cur--
+	}
+	return clampInt(cur, min, max)
+}
+
+// SyncEpoch is one epoch's durability observation. Records is an
+// EWMA-smoothed per-epoch rate — the controller smooths the raw deltas so
+// one jittery epoch of a thin stream (a follower's round records) cannot
+// flap the policy; a synthetic test may feed raw counts.
+type SyncEpoch struct {
+	Records float64 // records written per epoch (smoothed)
+	// PersistP99 is this epoch's fsync p99 in ns (0 = no latency signal).
+	PersistP99 int64
+	Epoch      time.Duration // the epoch length (rate denominator)
+	IdleEpochs int           // consecutive epochs with zero records, this one included
+	// ActiveEpochs is the consecutive epochs whose smoothed record rate
+	// stayed at or above one record per epoch, this one included (0 when
+	// the rate has drained below that).
+	ActiveEpochs int
+	// Ineffective reports the controller's grouping audit: records and
+	// syncs accumulated since the last window change (skipping the mixed
+	// transition epoch) reached a sample of effAudit records whose
+	// records-per-sync is below effTarget. Auditing an accumulated sample
+	// instead of single epochs keeps thin streams — a follower's two
+	// records per epoch, where one sync of timing skew flips the ratio —
+	// from reading as serial writers.
+	Ineffective bool
+	// GrowHold suppresses amortization growth: the controller sets it for a
+	// cooldown after an efficiency backoff, so a serial writer that defeats
+	// amortization is not re-probed every epoch.
+	GrowHold bool
+}
+
+// idleCollapse is how many consecutive idle epochs collapse the policy to
+// sync-on-write: one quiet epoch may be a scheduling hiccup, two is idle.
+const idleCollapse = 2
+
+// effTarget is the minimum records-per-sync an amortizing policy must
+// achieve to keep its window: below it the delay holds single records
+// hostage without batching anything (a closed-loop serial writer), so the
+// policy is a pure latency tax and backs off.
+const effTarget = 2
+
+// sustainEpochs is how many consecutive active epochs mark a stream as
+// sustained: a thin but continuous record stream (a trickle) benefits from
+// grouping even when no single epoch looks busy, while gapped traffic
+// (closed-loop callers pausing between requests) never strings this many
+// active epochs together and keeps the prompt-sync default.
+const sustainEpochs = 3
+
+// effAudit is the record-sample size of the grouping audit: the
+// controller withholds the inefficiency verdict until this many records
+// have been written under an unchanged window, so the verdict reflects
+// the window's real grouping, not one epoch's timing.
+const effAudit = 16
+
+// StepSync moves the group-commit policy one epoch. The third return
+// reports an efficiency backoff — the controller starts a growth cooldown
+// on it (see SyncEpoch.GrowHold).
+//
+//   - Idle for idleCollapse epochs with the smoothed rate drained too:
+//     collapse to sync-on-write (1, 0) so a lone request after the quiet
+//     period pays one prompt fsync. The smoothed-rate guard keeps one
+//     scheduler stall under continuous load (two quiet epochs, but a rate
+//     history that says traffic) from cliff-dropping the window; genuine
+//     idle drains the EWMA within a few epochs and then collapses.
+//   - Audited as inefficient (Ineffective while amortizing): the writer
+//     is serial — each record waits out the window alone, so the window is
+//     a pure latency tax; collapse to sync-on-write and report the
+//     backoff.
+//   - Busy — at least 8 records arrived this epoch (issuing one syscall
+//     per record at that rate is waste even on a fast device), or a
+//     sustained stream (sustainEpochs consecutive active epochs) is
+//     either thick enough to group (2+ records per epoch) or costly
+//     enough that prompt syncs would eat over a quarter of the epoch
+//     (records × fsync p99 > epoch/4): amortize harder — SyncEvery
+//     doubles toward its cap, MaxSyncDelay ramps additively — unless a
+//     cooldown (GrowHold) is pending, in which case hold.
+//   - Light load in between: geometric decay toward sync-on-write.
+//
+// The sustained test and the efficiency backoff are a matched pair: a
+// steady stream from concurrent producers amortizes (records/sync stays
+// over effTarget, the window survives), while a steady stream from one
+// serial caller probes, audits at records/sync ~ 1, and collapses — rate
+// alone cannot tell those apart, achieved grouping can.
+func StepSync(curEvery int, curDelay time.Duration, maxEvery int, maxDelay time.Duration, e SyncEpoch) (int, time.Duration, bool) {
+	// Below the hard record-rate threshold, any busy verdict needs the
+	// full sustained streak: a single commit's records span about two
+	// epochs, and a shorter gate would let the commit's own stream grow
+	// the window mid-commit and tax its trailing records with the new
+	// sync delay.
+	busy := e.Records >= 8
+	if !busy && e.ActiveEpochs >= sustainEpochs {
+		busy = e.Records >= 2 ||
+			(e.PersistP99 > 0 && e.Records*float64(e.PersistP99) > float64(e.Epoch)/4)
+	}
+	amortizing := curEvery > 1 || curDelay > 0
+	backoff := false
+	switch {
+	case e.IdleEpochs >= idleCollapse && e.Records < 1:
+		curEvery, curDelay = 1, 0
+	case amortizing && e.Ineffective:
+		curEvery, curDelay = 1, 0
+		backoff = true
+	case busy && !e.GrowHold:
+		curEvery *= 2
+		curDelay += maxDelay / 4
+	case busy:
+		// Cooling down after a backoff: hold instead of re-probing.
+	default:
+		curEvery /= 2
+		curDelay /= 2
+	}
+	return clampInt(curEvery, 1, maxEvery), clampDur(curDelay, 0, maxDelay), backoff
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampDur(v, lo, hi time.Duration) time.Duration {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

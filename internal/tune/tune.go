@@ -1,0 +1,208 @@
+// Package tune closes the loop between the observability plane and the
+// stack's hot-path knobs. A Controller is a per-process epoch-ticked
+// gradient/AIMD regulator: every epoch it snapshots cheap cumulative
+// signals from each ordering group (batch seal causes, pipeline occupancy,
+// backlog, quorum latency) and from the shared durability engine
+// (records/sync, fsync latency), differences them against the previous
+// epoch, and nudges three knobs —
+//
+//   - the adaptive-batching window (core.Protocol.SetBatchDelay): shrink
+//     when batches seal full before the timer (the delay is slack) or when
+//     a backlog must drain, grow toward the cap under trickle load so tiny
+//     batches aggregate;
+//   - the pipeline window (core.Protocol.SetPipelineDepth): deepen
+//     multiplicatively while the window is saturated and a backlog waits,
+//     shrink when quorum latency inflates against its moving baseline
+//     (the classic AIMD congestion response), decay toward the floor when
+//     idle;
+//   - the WAL group-commit policy (storage.WAL.SetGroupCommit): amortize
+//     harder (larger SyncEvery, longer MaxSyncDelay) while the record rate
+//     makes batching fsyncs worthwhile, back off (with a growth cooldown)
+//     when the achieved records-per-sync shows the window holds serial
+//     writers hostage without batching anything, and collapse toward
+//     sync-on-write after consecutive idle epochs so a lone request pays
+//     one prompt fsync instead of a full amortization window.
+//
+// One controller serves a whole process: all groups of a sharded process
+// feed the same instance, and the single durability target arbitrates the
+// shared WAL's policy across them (the WAL's counters are process-wide, so
+// "any group busy" keeps amortization on). The controller runs exactly one
+// goroutine regardless of group count, never touches a hot path except
+// through the lock-light Set* entry points, and exports every decision as
+// abcast.tune.* metrics plus EvTune flight-recorder events.
+//
+// The step functions (StepBatchDelay, StepDepth, StepSync) are pure:
+// current value + epoch observation in, new value out. The controller owns
+// only the epoch differencing and the EWMA/debounce bookkeeping around
+// them (quorum baseline, smoothed record rate, inefficiency streak).
+package tune
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Options bounds the controller. The zero value of any field selects its
+// default; explicit negative values (and inverted min/max pairs) are
+// rejected by Validate rather than silently clamped.
+type Options struct {
+	// Epoch is the controller tick period (default 10ms). Each epoch takes
+	// one gradient step, so convergence time is a few dozen epochs.
+	Epoch time.Duration
+
+	// BatchDelayMin/Max bound the adaptive-batching window (defaults 0 and
+	// 2ms). Static MaxBatchDelay becomes the initial value.
+	BatchDelayMin time.Duration
+	BatchDelayMax time.Duration
+
+	// DepthMin/Max bound the live pipeline window (defaults 1 and 8). The
+	// stack additionally clamps DepthMax to the consensus learner's
+	// ask-ahead span (consensus.DecideWindow).
+	DepthMin int
+	DepthMax int
+
+	// SyncEveryMax / SyncDelayMax bound how hard the WAL group commit may
+	// amortize (defaults 64 and 2ms). The floor is always sync-on-write
+	// (SyncEvery 1, MaxSyncDelay 0).
+	SyncEveryMax int
+	SyncDelayMax time.Duration
+}
+
+// Defaults for zero-valued Options fields.
+const (
+	DefaultEpoch         = 10 * time.Millisecond
+	DefaultBatchDelayMax = 2 * time.Millisecond
+	DefaultDepthMax      = 8
+	DefaultSyncEveryMax  = 64
+	DefaultSyncDelayMax  = 2 * time.Millisecond
+)
+
+// Validate rejects nonsensical bounds with explicit errors. It does not
+// mutate o; fill() applies defaults afterwards.
+func (o Options) Validate() error {
+	var errs []error
+	if o.Epoch < 0 {
+		errs = append(errs, fmt.Errorf("tune: negative Epoch %v", o.Epoch))
+	}
+	if o.BatchDelayMin < 0 {
+		errs = append(errs, fmt.Errorf("tune: negative BatchDelayMin %v", o.BatchDelayMin))
+	}
+	if o.BatchDelayMax < 0 {
+		errs = append(errs, fmt.Errorf("tune: negative BatchDelayMax %v", o.BatchDelayMax))
+	}
+	if o.BatchDelayMax > 0 && o.BatchDelayMin > o.BatchDelayMax {
+		errs = append(errs, fmt.Errorf("tune: BatchDelayMin %v > BatchDelayMax %v", o.BatchDelayMin, o.BatchDelayMax))
+	}
+	if o.DepthMin < 0 {
+		errs = append(errs, fmt.Errorf("tune: negative DepthMin %d", o.DepthMin))
+	}
+	if o.DepthMax < 0 {
+		errs = append(errs, fmt.Errorf("tune: negative DepthMax %d", o.DepthMax))
+	}
+	if o.DepthMax > 0 && o.DepthMin > o.DepthMax {
+		errs = append(errs, fmt.Errorf("tune: DepthMin %d > DepthMax %d", o.DepthMin, o.DepthMax))
+	}
+	if o.SyncEveryMax < 0 {
+		errs = append(errs, fmt.Errorf("tune: negative SyncEveryMax %d", o.SyncEveryMax))
+	}
+	if o.SyncDelayMax < 0 {
+		errs = append(errs, fmt.Errorf("tune: negative SyncDelayMax %v", o.SyncDelayMax))
+	}
+	return errors.Join(errs...)
+}
+
+// Filled returns o with the defaults applied to zero fields — the bounds
+// a controller built from o will actually run with.
+func (o Options) Filled() Options {
+	o.fill()
+	return o
+}
+
+// fill applies defaults to zero fields (after Validate accepted them).
+func (o *Options) fill() {
+	if o.Epoch == 0 {
+		o.Epoch = DefaultEpoch
+	}
+	if o.BatchDelayMax == 0 {
+		o.BatchDelayMax = DefaultBatchDelayMax
+	}
+	if o.BatchDelayMax < o.BatchDelayMin {
+		o.BatchDelayMax = o.BatchDelayMin
+	}
+	if o.DepthMin == 0 {
+		o.DepthMin = 1
+	}
+	if o.DepthMax == 0 {
+		o.DepthMax = DefaultDepthMax
+	}
+	if o.DepthMax < o.DepthMin {
+		o.DepthMax = o.DepthMin
+	}
+	if o.SyncEveryMax == 0 {
+		o.SyncEveryMax = DefaultSyncEveryMax
+	}
+	if o.SyncEveryMax < 1 {
+		o.SyncEveryMax = 1
+	}
+	if o.SyncDelayMax == 0 {
+		o.SyncDelayMax = DefaultSyncDelayMax
+	}
+}
+
+// GroupSignals is one epoch snapshot of an ordering group. Counter fields
+// are cumulative (for the incarnation or the process — the controller
+// differences successive reads and survives resets); the rest are
+// instantaneous.
+type GroupSignals struct {
+	Proposals  uint64
+	Messages   uint64
+	FullSeals  uint64
+	TimerSeals uint64
+	Delivered  uint64
+
+	Backlog  int
+	InFlight int
+	TentOut  int
+
+	Depth      int
+	BatchDelay time.Duration
+
+	// Quorum is the cumulative propose → accept-quorum histogram.
+	Quorum obs.HistSnapshot
+}
+
+// Group is one ordering group under control. Signals returns ok=false when
+// the group is temporarily unobservable (process down, incarnation being
+// rebuilt); the controller skips the epoch and re-baselines on the next
+// good read. The Set callbacks must tolerate being called at any time.
+type Group struct {
+	// Name labels this group's abcast.tune.* metrics (e.g. "g0").
+	Name          string
+	Signals       func() (GroupSignals, bool)
+	SetBatchDelay func(time.Duration)
+	SetDepth      func(int)
+}
+
+// SyncSignals is one epoch snapshot of the shared durability engine.
+type SyncSignals struct {
+	Records int64 // cumulative records written
+	Syncs   int64 // cumulative fsyncs issued
+	// Persist is the cumulative fsync-latency histogram (zero Count when
+	// the engine is not wired to a plane — the controller falls back to a
+	// record-rate heuristic).
+	Persist obs.HistSnapshot
+}
+
+// Sync is the durability policy under control — typically one WAL shared
+// by every group of the process, which is exactly why a process has one
+// controller: a single arbiter sets one policy from the aggregate load.
+type Sync struct {
+	// Name labels this target's abcast.tune.sync_* metrics; empty is fine
+	// for the common single shared engine.
+	Name    string
+	Signals func() (SyncSignals, bool)
+	Apply   func(syncEvery int, maxSyncDelay time.Duration)
+}

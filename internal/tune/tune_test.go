@@ -1,0 +1,471 @@
+package tune
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestValidateRejectsBadBounds(t *testing.T) {
+	cases := []struct {
+		name string
+		o    Options
+		want string
+	}{
+		{"negative epoch", Options{Epoch: -time.Millisecond}, "Epoch"},
+		{"negative batch delay min", Options{BatchDelayMin: -1}, "BatchDelayMin"},
+		{"negative batch delay max", Options{BatchDelayMax: -1}, "BatchDelayMax"},
+		{"batch min over max", Options{BatchDelayMin: 2 * time.Millisecond, BatchDelayMax: time.Millisecond}, "BatchDelayMin"},
+		{"negative depth min", Options{DepthMin: -1}, "DepthMin"},
+		{"negative depth max", Options{DepthMax: -2}, "DepthMax"},
+		{"depth min over max", Options{DepthMin: 8, DepthMax: 2}, "DepthMin 8 > DepthMax 2"},
+		{"negative sync every max", Options{SyncEveryMax: -1}, "SyncEveryMax"},
+		{"negative sync delay max", Options{SyncDelayMax: -1}, "SyncDelayMax"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.o.Validate()
+			if err == nil {
+				t.Fatalf("Validate(%+v) = nil, want error mentioning %q", c.o, c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("Validate error %q does not mention %q", err, c.want)
+			}
+			if _, err := New(c.o, nil); err == nil {
+				t.Fatalf("New accepted invalid options %+v", c.o)
+			}
+		})
+	}
+	if err := (Options{}).Validate(); err != nil {
+		t.Fatalf("zero Options rejected: %v", err)
+	}
+}
+
+func TestOptionsFillDefaults(t *testing.T) {
+	c, err := New(Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := c.Options()
+	if o.Epoch != DefaultEpoch || o.BatchDelayMax != DefaultBatchDelayMax ||
+		o.DepthMin != 1 || o.DepthMax != DefaultDepthMax ||
+		o.SyncEveryMax != DefaultSyncEveryMax || o.SyncDelayMax != DefaultSyncDelayMax {
+		t.Fatalf("defaults not filled: %+v", o)
+	}
+}
+
+func TestStepBatchDelayMonotoneAndBounded(t *testing.T) {
+	const min, max = 0, 2 * time.Millisecond
+	trickle := BatchEpoch{Proposals: 2, Messages: 2, TimerSeals: 2}
+	burst := BatchEpoch{Proposals: 10, Messages: 300, FullSeals: 9, TimerSeals: 1}
+	idle := BatchEpoch{}
+
+	// Trickle grows, never past max; repeated application reaches max and
+	// then holds (fixed point — no oscillation).
+	d := time.Duration(0)
+	var last time.Duration = -1
+	for i := 0; i < 100; i++ {
+		nd := StepBatchDelay(d, min, max, trickle)
+		if nd < d {
+			t.Fatalf("trickle shrank the delay: %v -> %v", d, nd)
+		}
+		if nd > max {
+			t.Fatalf("delay exceeded max: %v", nd)
+		}
+		last, d = d, nd
+	}
+	if d != max || last != max {
+		t.Fatalf("trickle did not converge to max: %v (prev %v)", d, last)
+	}
+
+	// Burst (full seals dominate) shrinks monotonically to min and holds.
+	for i := 0; i < 100; i++ {
+		nd := StepBatchDelay(d, min, max, burst)
+		if nd > d {
+			t.Fatalf("burst grew the delay: %v -> %v", d, nd)
+		}
+		d = nd
+	}
+	if d != min {
+		t.Fatalf("burst did not converge to min: %v", d)
+	}
+
+	// Idle from anywhere decays to min.
+	d = max
+	for i := 0; i < 100; i++ {
+		d = StepBatchDelay(d, min, max, idle)
+	}
+	if d != min {
+		t.Fatalf("idle did not decay to min: %v", d)
+	}
+
+	// A deep backlog forces shrink even when seals look trickle-ish.
+	got := StepBatchDelay(max, min, max, BatchEpoch{Proposals: 1, Messages: 1, TimerSeals: 1, Backlog: drainBacklog + 1})
+	if got >= max {
+		t.Fatalf("backlog did not shrink the delay: %v", got)
+	}
+}
+
+func TestStepDepthSaturationAndInflation(t *testing.T) {
+	const min, max = 1, 8
+
+	// Saturated window with backlog doubles until max, then holds.
+	d := 1
+	for i := 0; i < 10; i++ {
+		nd := StepDepth(d, min, max, DepthEpoch{Proposals: 5, Backlog: 100, InFlight: d})
+		if nd < d {
+			t.Fatalf("saturation shrank depth %d -> %d", d, nd)
+		}
+		if nd > max {
+			t.Fatalf("depth exceeded max: %d", nd)
+		}
+		d = nd
+	}
+	if d != max {
+		t.Fatalf("saturation did not converge to max: %d", d)
+	}
+
+	// Quorum inflation halves even while saturated (congestion wins).
+	nd := StepDepth(d, min, max, DepthEpoch{Proposals: 5, Backlog: 100, InFlight: d, QuorumP99: 10_000_000, Baseline: 1_000_000})
+	if nd >= d {
+		t.Fatalf("inflation did not shrink depth: %d -> %d", d, nd)
+	}
+
+	// Idle decays one step per epoch to min.
+	d = max
+	for i := 0; i < max+2; i++ {
+		d = StepDepth(d, min, max, DepthEpoch{})
+	}
+	if d != min {
+		t.Fatalf("idle did not decay to min: %d", d)
+	}
+
+	// Non-saturated steady load holds (fixed point).
+	if got := StepDepth(4, min, max, DepthEpoch{Proposals: 5, Backlog: 0, InFlight: 2}); got != 4 {
+		t.Fatalf("steady load moved depth: 4 -> %d", got)
+	}
+}
+
+func TestStepDepthBaselineDampsOscillation(t *testing.T) {
+	// A persistent latency level must stop triggering shrink once the
+	// baseline absorbs it: simulate the controller's EWMA update and check
+	// the depth stops moving.
+	const min, max = 1, 8
+	depth := 8
+	baseline := 1_000_000.0 // 1ms history
+	p99 := int64(5_000_000) // new persistent level: 5ms
+	changes := 0
+	prev := depth
+	for i := 0; i < 50; i++ {
+		depth = StepDepth(depth, min, max, DepthEpoch{Proposals: 5, QuorumP99: p99, Baseline: baseline})
+		if depth != prev {
+			changes++
+			prev = depth
+		}
+		baseline = (1-ewmaAlpha)*baseline + ewmaAlpha*float64(p99)
+	}
+	if changes > 4 {
+		t.Fatalf("depth kept oscillating under a steady signal: %d changes", changes)
+	}
+	if depth < min || depth > max {
+		t.Fatalf("depth out of bounds: %d", depth)
+	}
+}
+
+func TestStepSyncAmortizeAndCollapse(t *testing.T) {
+	const maxEvery = 64
+	const maxDelay = 2 * time.Millisecond
+	epoch := 10 * time.Millisecond
+
+	// Busy epochs (measured fsync cost dominates) double toward the cap.
+	every, delay := 1, time.Duration(0)
+	for i := 0; i < 20; i++ {
+		ne, nd, _ := StepSync(every, delay, maxEvery, maxDelay, SyncEpoch{Records: 100, PersistP99: 1_000_000, Epoch: epoch})
+		if ne < every || nd < delay {
+			t.Fatalf("busy epoch reduced amortization: (%d,%v) -> (%d,%v)", every, delay, ne, nd)
+		}
+		if ne > maxEvery || nd > maxDelay {
+			t.Fatalf("policy exceeded caps: (%d,%v)", ne, nd)
+		}
+		every, delay = ne, nd
+	}
+	if every != maxEvery || delay != maxDelay {
+		t.Fatalf("busy epochs did not converge to caps: (%d,%v)", every, delay)
+	}
+
+	// One idle epoch only decays; the second collapses to sync-on-write.
+	every, delay, _ = StepSync(every, delay, maxEvery, maxDelay, SyncEpoch{IdleEpochs: 1, Epoch: epoch})
+	if every == 1 && delay == 0 {
+		t.Fatalf("collapsed after a single idle epoch (no hysteresis)")
+	}
+	every, delay, _ = StepSync(every, delay, maxEvery, maxDelay, SyncEpoch{IdleEpochs: 2, Epoch: epoch})
+	if every != 1 || delay != 0 {
+		t.Fatalf("did not collapse to sync-on-write: (%d,%v)", every, delay)
+	}
+
+	// No latency signal: the record-rate fallback still amortizes.
+	ne, _, _ := StepSync(1, 0, maxEvery, maxDelay, SyncEpoch{Records: 50, Epoch: epoch})
+	if ne <= 1 {
+		t.Fatalf("record-rate fallback did not amortize: %d", ne)
+	}
+}
+
+// TestStepSyncEfficiencyBackoff: a closed-loop serial writer (one record
+// per fsync) defeats amortization — the window is a pure latency tax, so
+// a failed grouping audit collapses the policy and reports it; while the
+// controller's cooldown (GrowHold) is pending, a busy signal holds instead
+// of re-probing.
+func TestStepSyncEfficiencyBackoff(t *testing.T) {
+	const maxEvery = 64
+	const maxDelay = 2 * time.Millisecond
+	epoch := 2 * time.Millisecond
+
+	// A failed grouping audit under an amortizing policy collapses it.
+	every, delay, backoff := StepSync(8, maxDelay, maxEvery, maxDelay, SyncEpoch{Records: 6, Ineffective: true, Epoch: epoch})
+	if !backoff {
+		t.Fatalf("failed audit under (8,%v) did not report a backoff", maxDelay)
+	}
+	if every != 1 || delay != 0 {
+		t.Fatalf("backoff did not collapse the policy: (%d,%v)", every, delay)
+	}
+
+	// Without an audit verdict the window survives a busy stream.
+	if _, _, b := StepSync(8, maxDelay, maxEvery, maxDelay, SyncEpoch{Records: 6, ActiveEpochs: 5, Epoch: epoch}); b {
+		t.Fatal("clean audit reported a backoff")
+	}
+
+	// During the cooldown a busy epoch holds rather than growing.
+	ne, nd, _ := StepSync(1, 0, maxEvery, maxDelay, SyncEpoch{Records: 20, Epoch: epoch, GrowHold: true})
+	if ne != 1 || nd != 0 {
+		t.Fatalf("busy epoch grew during cooldown: (%d,%v)", ne, nd)
+	}
+	// Without the hold the same epoch probes amortization again.
+	if ne, _, _ = StepSync(1, 0, maxEvery, maxDelay, SyncEpoch{Records: 20, Epoch: epoch}); ne <= 1 {
+		t.Fatalf("busy epoch after cooldown did not re-probe: %d", ne)
+	}
+}
+
+// TestControllerSerialWriterBackoff drives the end-to-end inefficiency
+// path: concurrent load amortizes the policy to the cap, then a serial
+// writer (records == syncs, epoch after epoch) collapses it back to
+// sync-on-write, and the growth cooldown keeps busy-looking epochs from
+// re-probing immediately.
+func TestControllerSerialWriterBackoff(t *testing.T) {
+	c, err := New(Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssig := SyncSignals{}
+	var applied [][2]int64
+	c.AddSync(Sync{
+		Signals: func() (SyncSignals, bool) { return ssig, true },
+		Apply: func(e int, d time.Duration) {
+			applied = append(applied, [2]int64{int64(e), int64(d)})
+		},
+	})
+
+	c.Tick() // baseline
+	// Concurrent producers: many records, few syncs — grows to the cap.
+	for i := 0; i < 8; i++ {
+		ssig.Records += 100
+		ssig.Syncs += 2
+		c.Tick()
+	}
+	if len(applied) == 0 || applied[len(applied)-1][0] != DefaultSyncEveryMax {
+		t.Fatalf("concurrent load did not reach the cap: %v", applied)
+	}
+
+	// Serial writer: every record pays its own fsync. Once the audit
+	// sample fills, the policy must collapse to (1, 0).
+	for i := 0; i < 6; i++ {
+		ssig.Records += 6
+		ssig.Syncs += 6
+		c.Tick()
+	}
+	if got := applied[len(applied)-1]; got[0] != 1 || got[1] != 0 {
+		t.Fatalf("serial writer did not collapse the policy: %v", applied)
+	}
+
+	// Cooldown: busy-looking serial epochs must not re-grow the window.
+	n := len(applied)
+	for i := 0; i < 5; i++ {
+		ssig.Records += 20
+		ssig.Syncs += 20
+		c.Tick()
+	}
+	if len(applied) != n {
+		t.Fatalf("policy re-probed during the growth cooldown: %v", applied[n:])
+	}
+}
+
+// TestControllerTickDrivesTargets drives a controller through synthetic
+// epochs end to end: signals in, knob callbacks out, metrics + flight
+// events published.
+func TestControllerTickDrivesTargets(t *testing.T) {
+	plane := obs.New(obs.Options{PID: 0})
+	c, err := New(Options{BatchDelayMax: 2 * time.Millisecond, DepthMax: 8}, plane)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sig := GroupSignals{Depth: 1, BatchDelay: 0}
+	var setDelay []time.Duration
+	var setDepth []int
+	c.AddGroup(Group{
+		Name:    "g0",
+		Signals: func() (GroupSignals, bool) { return sig, true },
+		SetBatchDelay: func(d time.Duration) {
+			setDelay = append(setDelay, d)
+			sig.BatchDelay = d
+		},
+		SetDepth: func(d int) {
+			setDepth = append(setDepth, d)
+			sig.Depth = d
+		},
+	})
+
+	ssig := SyncSignals{}
+	var applied [][2]int64
+	c.AddSync(Sync{
+		Signals: func() (SyncSignals, bool) { return ssig, true },
+		Apply: func(e int, d time.Duration) {
+			applied = append(applied, [2]int64{int64(e), int64(d)})
+		},
+	})
+
+	// Epoch 0 baselines. Then trickle epochs: 2 concurrent proposals of 1
+	// message each per epoch, sealed by timer — batch delay must grow;
+	// pipeline saturated with backlog — depth must grow; records flowing —
+	// sync amortizes.
+	c.Tick()
+	for i := 0; i < 30; i++ {
+		sig.Proposals += 2
+		sig.Messages += 2
+		sig.TimerSeals += 2
+		sig.Backlog = 10
+		sig.InFlight = sig.Depth
+		ssig.Records += 100
+		c.Tick()
+	}
+	if len(setDelay) == 0 || setDelay[len(setDelay)-1] == 0 {
+		t.Fatalf("trickle did not grow the batch delay: %v", setDelay)
+	}
+	if len(setDepth) == 0 || sig.Depth != 8 {
+		t.Fatalf("saturation did not deepen the pipeline: depth %d (%v)", sig.Depth, setDepth)
+	}
+	if len(applied) == 0 || applied[len(applied)-1][0] != DefaultSyncEveryMax {
+		t.Fatalf("load did not amortize the sync policy: %v", applied)
+	}
+
+	// Idle epochs: everything decays — delay to 0, depth to 1, sync to
+	// sync-on-write.
+	sig.Backlog, sig.InFlight = 0, 0
+	for i := 0; i < 30; i++ {
+		c.Tick()
+	}
+	if sig.BatchDelay != 0 || sig.Depth != 1 {
+		t.Fatalf("idle did not decay knobs: delay %v depth %d", sig.BatchDelay, sig.Depth)
+	}
+	if got := applied[len(applied)-1]; got[0] != 1 || got[1] != 0 {
+		t.Fatalf("idle did not collapse sync policy: %v", got)
+	}
+
+	// Decisions are observable: adjustment counter moved and EvTune events
+	// landed in the flight recorder.
+	var adj int64
+	plane.Reg().Each(func(name string, v int64, counter bool) {
+		if name == "abcast.tune.adjustments" {
+			adj = v
+		}
+	})
+	if adj == 0 {
+		t.Fatalf("no abcast.tune.adjustments recorded")
+	}
+	tuneEvents := 0
+	for _, e := range plane.Flight().Dump() {
+		if e.Kind == obs.EvTune {
+			tuneEvents++
+		}
+	}
+	if tuneEvents == 0 {
+		t.Fatalf("no EvTune flight events recorded")
+	}
+}
+
+// TestControllerSurvivesCounterReset models a crash/recovery: cumulative
+// counters jump backwards. The controller must re-baseline, not compute
+// huge bogus deltas that slam knobs around.
+func TestControllerSurvivesCounterReset(t *testing.T) {
+	c, err := New(Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := GroupSignals{Proposals: 1000, Messages: 50000, FullSeals: 900, TimerSeals: 100, Depth: 4, BatchDelay: time.Millisecond}
+	down := false
+	c.AddGroup(Group{
+		Name:          "g0",
+		Signals:       func() (GroupSignals, bool) { return sig, !down },
+		SetBatchDelay: func(d time.Duration) { sig.BatchDelay = d },
+		SetDepth:      func(d int) { sig.Depth = d },
+	})
+	c.Tick() // baseline
+	c.Tick()
+
+	// Crash: signals unavailable, then restart with reset counters.
+	down = true
+	c.Tick()
+	down = false
+	sig.Proposals, sig.Messages, sig.FullSeals, sig.TimerSeals = 2, 2, 0, 2
+	before := sig.BatchDelay
+	c.Tick() // must re-baseline (no delta computed this epoch)
+	if sig.BatchDelay != before {
+		t.Fatalf("controller acted on a reset epoch: delay %v -> %v", before, sig.BatchDelay)
+	}
+
+	// Even without the ok=false gap, a raw counter regression re-baselines
+	// via the delta guard instead of wrapping.
+	sig2 := GroupSignals{Proposals: 1 << 60, Depth: 1}
+	c2, _ := New(Options{}, nil)
+	moved := false
+	c2.AddGroup(Group{
+		Name:          "g1",
+		Signals:       func() (GroupSignals, bool) { return sig2, true },
+		SetBatchDelay: func(time.Duration) { moved = true },
+		SetDepth:      func(int) {},
+	})
+	c2.Tick()
+	sig2.Proposals = 3 // reset
+	sig2.TimerSeals = 2
+	sig2.Messages = 2
+	c2.Tick()
+	_ = moved // a move is fine; what matters is deltas stayed sane
+	if got := delta(3, 1<<60); got != 3 {
+		t.Fatalf("delta reset guard broken: %d", got)
+	}
+}
+
+func TestControllerStartStopIdempotent(t *testing.T) {
+	c, err := New(Options{Epoch: time.Millisecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddGroup(Group{
+		Name:          "g0",
+		Signals:       func() (GroupSignals, bool) { return GroupSignals{Depth: 1}, true },
+		SetBatchDelay: func(time.Duration) {},
+		SetDepth:      func(int) {},
+	})
+	c.Start()
+	c.Start()
+	time.Sleep(5 * time.Millisecond)
+	c.Stop()
+	c.Stop()
+	c.Start() // restartable: crash/recover maps onto Stop/Start
+	c.Stop()
+
+	// A controller that was never started must also stop cleanly.
+	c2, _ := New(Options{}, nil)
+	c2.Stop()
+}
