@@ -145,6 +145,38 @@
 // chain adds a relay latency proportional to N before the last member
 // holds the payload. Experiment E20 measures the crossover.
 //
+// # Elastic resharding
+//
+// The group count G is no longer fixed at construction: Sharded.AddGroup
+// grows a running cluster and Sharded.RetireGroup drains and removes a
+// group, both under load and without restarting any process. Transitions
+// are coordinated through the ordering machinery itself — a JOIN or SEAL
+// marker is broadcast as an ordinary agreed round, so every process
+// observes the topology change at the same point in every group's total
+// order. AddGroup is called on ONE process (the marker replicates the
+// decision); RetireGroup is called on EVERY process (each must stand up
+// nothing, only locally drain) and is idempotent — ErrSealed from a
+// concurrent caller means the retirement is already underway. A sealed
+// group stops accepting proposals, finishes a bounded drain window (the
+// maximum pipeline depth, so every in-flight round lands), re-injects
+// orphaned messages into surviving groups under remapped identities, and
+// archives its namespace to stable storage (ReapRetired deletes the
+// archives once they are no longer wanted). Each transition bumps a
+// topology epoch; the consistent-hash router swaps atomically under the
+// epoch, Broadcast transparently re-routes keys addressed to a sealed
+// group, and the merged cursor splices the epochs deterministically — the
+// global sequence is identical on every process across the transition.
+//
+// Resharding folds in a cluster-wide GC floor: every group's digest
+// gossip carries the process's durable (checkpoint-covered) merge
+// frontier, and checkpoint folds discard consensus state only below the
+// cluster-wide minimum, capped by ShardedConfig.MergeFloorStaleness. A
+// process that recovers within the cap therefore finds every round it
+// still needs and never takes a GC-forced state transfer. Experiment E22
+// measures a live G=2->4 scale-out under load (throughput ~2x, guarded
+// in CI) and the drain cost of a live retirement; the README's "Elastic
+// resharding" section covers the API contract and failure semantics.
+//
 // # Shared process services
 //
 // A sharded process's background costs do not scale with G: one

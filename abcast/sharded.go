@@ -2,15 +2,21 @@ package abcast
 
 import (
 	"context"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/dissem"
 	"repro/internal/fd"
 	"repro/internal/group"
 	"repro/internal/ids"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/tune"
 )
@@ -109,10 +115,33 @@ type ShardedConfig struct {
 	// consumed, so checkpoints fold eagerly.
 	MergedDelivery bool
 
+	// MergeFloorStaleness bounds how long a silent peer's gossiped merge
+	// frontier keeps holding the cluster-wide GC floor down (see
+	// ClusterFloor in internal/group): a crashed process that recovers
+	// within the cap finds every round it is missing still gossipable — no
+	// GC-forced state transfer — while a process dead longer than the cap
+	// stops blocking garbage collection for everyone else. 0 selects the
+	// default (10s); negative means reports never go stale (the floor
+	// waits for every peer indefinitely).
+	MergeFloorStaleness time.Duration
+
+	// Obs, when set, is the process's observability plane: it is threaded
+	// into every group node (metrics, traces, flight recorder), the merge
+	// stream, and the resharding machinery ("abcast.reshard.*" counters
+	// and EvReshard* flight events).
+	Obs *obs.Plane
+
 	// OnDeliver receives every A-delivered message of every group, tagged
 	// with its owning group (Delivery.Group). Within a group, calls are
 	// ordered; across groups they interleave arbitrarily — use Merged for
 	// one deterministic global sequence.
+	//
+	// Live resharding orders its SEAL/JOIN topology markers through the
+	// groups themselves, so marker payloads appear in the delivery stream
+	// (and in Merged output) like any agreed message — identically
+	// positioned at every process, which is what makes the topology switch
+	// deterministic. Applications that reshard should skip payloads for
+	// which IsReshardMarker reports true.
 	OnDeliver func(Delivery)
 	// OnRestore is invoked when group g adopts a checkpoint or state
 	// transfer instead of replaying.
@@ -128,31 +157,137 @@ type ShardedConfig struct {
 	OnRevoke    func(g GroupID, fromPos uint64)
 }
 
+// Validate rejects nonsensical sharded configurations with explicit errors
+// instead of silent misbehavior, mirroring ProtocolOptions.Validate (which
+// it includes). NewSharded calls it; constraints that involve NewSharded's
+// arguments (the store/GroupStore exclusivity, the group count) stay in
+// NewSharded.
+func (c ShardedConfig) Validate() error {
+	var errs []error
+	if c.N <= 0 {
+		errs = append(errs, fmt.Errorf("abcast: sharded config needs N > 0"))
+	}
+	if c.PID < 0 || (c.N > 0 && int(c.PID) >= c.N) {
+		errs = append(errs, fmt.Errorf("abcast: PID %v out of range [0,%d)", c.PID, c.N))
+	}
+	if err := c.Protocol.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// ErrSealed is returned by Broadcast/BroadcastTo when the target group has
+// been sealed for retirement. A rejection at entry admitted nothing — the
+// caller can safely re-route the key (Broadcast does this itself when the
+// default router is in use). A call that was already waiting when the seal
+// cut the drain may instead report ErrSealed without the message having
+// been ordered — the same may-or-may-not outcome as a crash mid-call.
+var ErrSealed = core.ErrSealed
+
+// IsReshardMarker reports whether an A-delivered payload is a live-
+// resharding topology marker (SEAL/JOIN) rather than application content.
+// Markers ride the agreed order itself — that is what coordinates the
+// topology switch — so they appear in OnDeliver and Merged output; skip
+// them in application logic.
+func IsReshardMarker(p []byte) bool { return group.IsMarker(p) }
+
+// defaultFloorStaleness is the MergeFloorStaleness applied when the config
+// leaves it zero.
+const defaultFloorStaleness = 10 * time.Second
+
+// Keys of the process-level resharding cells, stored in the epoch store
+// (outside every group's namespace).
+const (
+	keyTopo   = "abcast/topo"
+	keyReaped = "abcast/reaped"
+)
+
 // Sharded is a process running G independent ordering groups — the paper's
 // protocol instantiated G times — behind one API. Each group delivers its
 // own total order with the full Atomic Broadcast guarantees; across groups
 // there is no ordering unless the merged sequence is consumed. Start,
 // Crash and recovery act on the whole process: a crash loses every group's
 // volatile state at once, exactly like an unsharded crash.
+//
+// The group set is live: AddGroup splices a fresh group into the merged
+// order and RetireGroup drains one out of it, both coordinated purely by
+// markers ordered through the groups themselves (see internal/group). The
+// node slice is indexed by GroupID and only ever grows — a retired group's
+// slot goes nil once reaped, and GroupIDs are never reused.
 type Sharded struct {
-	cfg    ShardedConfig
-	groups int
-	router Router
-	net    *ShardedNetwork
-	shared Storage // nil when every group store came from the hook
-	stores []Storage
-	nodes  []*node.Node
-	stream *group.Stream // per-round fan-out driving Merged/MergeCursor
+	cfg     ShardedConfig
+	net     *ShardedNetwork
+	shared  Storage // nil when every group store came from the hook
+	epochSt Storage // pinned at construction; holds process-level cells
+	stream  *group.Stream // per-round fan-out driving Merged/MergeCursor
+	floors  *group.FloorTracker
+	peers   []ids.ProcessID // every process but this one
+	rm      reshardMetrics
 
-	mu    sync.Mutex
-	up    bool
-	sfd   *node.SharedFD   // live process-level failure detector (nil when down)
-	sring *node.SharedRing // live process-level payload ring (nil when down or ring mode off)
+	// ns is the copy-on-write (nodes, stores) pair, swapped under mu;
+	// router/topoEnc are the broadcast hot path's view of the topology,
+	// swapped by the stream's topology hook.
+	ns      atomic.Pointer[nodeSet]
+	router  atomic.Pointer[routerEpoch]
+	topoEnc atomic.Pointer[topoDescriptor]
+
+	mu       sync.Mutex
+	up       bool
+	startCtx context.Context  // last Start context, for nodes spliced in live
+	sfd      *node.SharedFD   // live process-level failure detector (nil when down)
+	sring    *node.SharedRing // live process-level payload ring (nil when down or ring mode off)
+	reaped   map[GroupID]bool
+	seen     map[GroupID]group.Span // last observed topology (edge-detects seals/joins)
+
+	// reshardMu serializes AddGroup / RetireGroup / ReapRetired. It is
+	// never taken by the topology hook, which runs on delivery goroutines
+	// while a reshard call may be blocked broadcasting a marker.
+	reshardMu sync.Mutex
 
 	// tuner is the process's single adaptive controller (nil unless
 	// Protocol.Adaptive): every group feeds it, and its one durability
 	// target arbitrates the shared WAL's sync policy across all of them.
 	tuner *tune.Controller
+}
+
+// nodeSet is the immutable (nodes, stores) snapshot read by every hot
+// path; mutations copy and swap under Sharded.mu. Index is the GroupID;
+// nil entries are reaped groups.
+type nodeSet struct {
+	nodes  []*node.Node
+	stores []Storage
+}
+
+// routerEpoch pairs the live router with the topology epoch it was built
+// from (the "swap under an epoch number" of live resharding).
+type routerEpoch struct {
+	r     Router
+	epoch uint64
+}
+
+// topoDescriptor caches the encoded topology the floor gossip carries.
+type topoDescriptor struct {
+	epoch uint64
+	enc   []byte
+}
+
+// reshardMetrics are the "abcast.reshard.*" registry entries (all nil
+// without an Obs plane).
+type reshardMetrics struct {
+	drainNS       *obs.Counter
+	orphans       *obs.Counter
+	migratedKeys  *obs.Counter
+	migratedBytes *obs.Counter
+	epoch         *obs.Gauge
+}
+
+// flight returns the flight recorder (nil-safe: obs.Recorder methods
+// no-op on nil).
+func (s *Sharded) flight() *obs.Recorder {
+	if s.cfg.Obs == nil {
+		return nil
+	}
+	return s.cfg.Obs.Flight()
 }
 
 // NewSharded builds a sharded process over the given stable store and
@@ -166,12 +301,11 @@ type Sharded struct {
 // (SyncEvery / MaxSyncDelay) is applied to every distinct engine in use —
 // once to a shared store, per group with a GroupStore hook.
 func NewSharded(cfg ShardedConfig, st Storage, net *ShardedNetwork) (*Sharded, error) {
-	groups := net.Groups()
-	if cfg.N <= 0 {
-		return nil, fmt.Errorf("abcast: sharded config needs N > 0")
-	}
-	if err := cfg.Protocol.Validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if net.Groups() < 1 {
+		return nil, fmt.Errorf("abcast: sharded process needs at least one ordering group")
 	}
 	if st == nil && cfg.GroupStore == nil {
 		return nil, fmt.Errorf("abcast: sharded process needs a shared store or a GroupStore hook")
@@ -182,22 +316,6 @@ func NewSharded(cfg ShardedConfig, st Storage, net *ShardedNetwork) (*Sharded, e
 		// group-commit timer. Refuse rather than misreport.
 		return nil, fmt.Errorf("abcast: pass either a shared store or a GroupStore hook, not both")
 	}
-	s := &Sharded{
-		cfg:    cfg,
-		groups: groups,
-		router: cfg.Router,
-		net:    net,
-		shared: st,
-		stores: make([]Storage, groups),
-		nodes:  make([]*node.Node, groups),
-		stream: group.NewStream(groups),
-	}
-	if s.router == nil {
-		s.router = group.NewHashRouter(groups)
-	}
-	if st != nil {
-		cfg.Protocol.applyGroupCommit(st)
-	}
 	if cfg.MergedDelivery && cfg.Protocol.IdleHeartbeat == 0 {
 		// Merged mode needs idle groups to keep their round counters
 		// moving or the merge frontier (and every group's checkpoint
@@ -205,58 +323,103 @@ func NewSharded(cfg ShardedConfig, st Storage, net *ShardedNetwork) (*Sharded, e
 		// IdleHeartbeat opts out explicitly (coreConfig clamps it to 0).
 		cfg.Protocol.IdleHeartbeat = 50 * time.Millisecond
 	}
-	for g := 0; g < groups; g++ {
-		gid := GroupID(g)
-		var gst Storage
-		if cfg.GroupStore != nil {
-			gst = cfg.GroupStore(gid)
-			if gst == nil {
-				return nil, fmt.Errorf("abcast: GroupStore returned nil for group %v", gid)
-			}
-			cfg.Protocol.applyGroupCommit(gst)
-		} else {
-			gst = storage.NewPrefixed(st, group.StoreNamespace(gid))
-		}
-		s.stores[g] = gst
-
-		coreCfg := cfg.Protocol.coreConfig()
-		coreCfg.OnDeliver = cfg.OnDeliver
-		if restore := cfg.OnRestore; restore != nil {
-			coreCfg.OnRestore = func(sn Snapshot) { restore(gid, sn) }
-		}
-		coreCfg.OnTentative = cfg.OnTentative
-		coreCfg.OnConfirm = cfg.OnConfirm
-		coreCfg.OnRevoke = cfg.OnRevoke
-		// Every group feeds the process's per-round stream (it also
-		// tracks the decided counters Merged and MergeCursor use); the
-		// merge floor gates checkpoint folds only when the merged
-		// sequence is declared consumed, so an idle group cannot pin
-		// reclamation of processes that never merge.
-		coreCfg.OnRound = s.stream.NoteRound
-		coreCfg.OnRoundSkip = s.stream.NoteSkip
-		if cfg.MergedDelivery {
-			coreCfg.MergeFloor = s.stream.Frontier
-		}
-		ncfg := node.Config{
-			PID:       cfg.PID,
-			N:         cfg.N,
-			Group:     gid,
-			Core:      coreCfg,
-			Consensus: cfg.Protocol.consensusConfig(cfg.Policy),
-			FD:        cfg.FD,
-			// Every group's consensus engine reads the one process-level
-			// detector through its own facade; the group nodes send no
-			// heartbeats of their own.
-			SharedFD: func() fd.API { return s.fdView(gid) },
-		}
-		if cfg.Protocol.RingDissem {
-			// All groups of the process share one payload ring over the
-			// mux's dissem lane (the ring twin of the shared detector):
-			// G groups cost one successor stream, not G.
-			ncfg.SharedRing = s.ringView
-		}
-		s.nodes[g] = node.New(ncfg, gst, net.Net(gid))
+	s := &Sharded{
+		cfg:    cfg,
+		net:    net,
+		shared: st,
+		reaped: make(map[GroupID]bool),
+		seen:   make(map[GroupID]group.Span),
 	}
+	for p := 0; p < cfg.N; p++ {
+		if pid := ids.ProcessID(p); pid != cfg.PID {
+			s.peers = append(s.peers, pid)
+		}
+	}
+	if st != nil {
+		cfg.Protocol.applyGroupCommit(st)
+		s.epochSt = st
+	} else {
+		g0 := cfg.GroupStore(0)
+		if g0 == nil {
+			return nil, fmt.Errorf("abcast: GroupStore returned nil for group g0")
+		}
+		cfg.Protocol.applyGroupCommit(g0)
+		s.epochSt = g0
+	}
+
+	// Restore the persisted topology (a resharded deployment restarting)
+	// or fall back to the static epoch-0 shape of the network mux. The
+	// reaped set tells which retired groups' nodes are NOT rebuilt.
+	topo := group.NewStaticTopology(net.Groups())
+	if enc, ok, err := s.epochSt.Get(keyTopo); err != nil {
+		return nil, fmt.Errorf("abcast: read persisted topology: %w", err)
+	} else if ok {
+		t, err := group.DecodeTopology(enc)
+		if err != nil {
+			return nil, fmt.Errorf("abcast: persisted topology: %w", err)
+		}
+		topo = t
+	}
+	if enc, ok, err := s.epochSt.Get(keyReaped); err != nil {
+		return nil, fmt.Errorf("abcast: read reaped set: %w", err)
+	} else if ok {
+		gs, err := decodeReaped(enc)
+		if err != nil {
+			return nil, fmt.Errorf("abcast: reaped set: %w", err)
+		}
+		for _, g := range gs {
+			s.reaped[g] = true
+		}
+	}
+	s.stream = group.NewStreamTopology(topo)
+	s.stream.SetObs(cfg.Obs)
+	s.floors = group.NewFloorTracker(s.stream.Frontier, floorCap(cfg.MergeFloorStaleness))
+	if cfg.Obs != nil {
+		reg := cfg.Obs.Reg()
+		s.rm = reshardMetrics{
+			drainNS:       reg.Counter("abcast.reshard.drain_ns"),
+			orphans:       reg.Counter("abcast.reshard.orphans"),
+			migratedKeys:  reg.Counter("abcast.reshard.migrated_keys"),
+			migratedBytes: reg.Counter("abcast.reshard.migrated_bytes"),
+			epoch:         reg.Gauge("abcast.reshard.epoch"),
+		}
+		s.rm.epoch.Set(int64(topo.Epoch))
+	}
+
+	// Build one node per known, unreaped group. The mux may predate a
+	// restored topology that grew: raise its lane count first.
+	maxG := net.Groups()
+	for g := range topo.Spans {
+		if int(g)+1 > maxG {
+			maxG = int(g) + 1
+		}
+	}
+	net.Grow(maxG)
+	ns := &nodeSet{nodes: make([]*node.Node, maxG), stores: make([]Storage, maxG)}
+	for g := 0; g < maxG; g++ {
+		gid := GroupID(g)
+		if s.reaped[gid] {
+			// Reaped groups never replay, so their decided counters must
+			// be pinned past their final round by hand or they would gate
+			// the merge frontier at their offset forever.
+			if sp, ok := topo.Spans[gid]; ok && sp.Sealed {
+				s.stream.NoteSkip(gid, sp.Final+1)
+			}
+			continue
+		}
+		gst, n, err := s.buildGroup(gid)
+		if err != nil {
+			return nil, err
+		}
+		ns.nodes[g], ns.stores[g] = n, gst
+	}
+	s.ns.Store(ns)
+	for g, sp := range topo.Spans {
+		s.seen[g] = sp
+	}
+	s.installTopology(topo)
+	s.stream.SetOnTopology(s.onTopology)
+
 	if cfg.Protocol.Adaptive {
 		// ONE controller for the whole process: each group is a target,
 		// and the single durability target arbitrates the shared WAL's
@@ -268,8 +431,10 @@ func NewSharded(cfg ShardedConfig, st Storage, net *ShardedNetwork) (*Sharded, e
 		if err != nil {
 			return nil, err
 		}
-		for _, n := range s.nodes {
-			ctl.AddGroup(node.TuneGroup(n))
+		for _, n := range ns.nodes {
+			if n != nil {
+				ctl.AddGroup(node.TuneGroup(n))
+			}
 		}
 		if st != nil {
 			if sy, ok := node.TuneSync(st); ok {
@@ -277,7 +442,10 @@ func NewSharded(cfg ShardedConfig, st Storage, net *ShardedNetwork) (*Sharded, e
 			}
 		} else {
 			seen := make(map[*storage.WAL]bool)
-			for g, gst := range s.stores {
+			for g, gst := range ns.stores {
+				if gst == nil {
+					continue
+				}
 				if w := node.FindWAL(gst); w != nil && !seen[w] {
 					seen[w] = true
 					if sy, ok := node.TuneSync(gst); ok {
@@ -290,6 +458,314 @@ func NewSharded(cfg ShardedConfig, st Storage, net *ShardedNetwork) (*Sharded, e
 		s.tuner = ctl
 	}
 	return s, nil
+}
+
+// floorCap normalizes the MergeFloorStaleness knob into the tracker's cap
+// (0 there means "never stale").
+func floorCap(d time.Duration) time.Duration {
+	if d == 0 {
+		return defaultFloorStaleness
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// encodeReaped serializes the reaped-group set (ascending).
+func encodeReaped(gs []GroupID) []byte {
+	sort.Slice(gs, func(i, j int) bool { return gs[i] < gs[j] })
+	buf := binary.AppendUvarint(nil, uint64(len(gs)))
+	for _, g := range gs {
+		buf = binary.AppendUvarint(buf, uint64(g))
+	}
+	return buf
+}
+
+// decodeReaped parses an encodeReaped result.
+func decodeReaped(b []byte) ([]GroupID, error) {
+	cnt, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("bad count")
+	}
+	b = b[n:]
+	out := make([]GroupID, 0, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		v, n := binary.Uvarint(b)
+		if n <= 0 {
+			return nil, fmt.Errorf("truncated")
+		}
+		out = append(out, GroupID(v))
+		b = b[n:]
+	}
+	return out, nil
+}
+
+// buildGroup constructs group gid's store and node (the per-group loop
+// body of NewSharded, reused by live AddGroup splices).
+func (s *Sharded) buildGroup(gid GroupID) (Storage, *node.Node, error) {
+	cfg := s.cfg
+	var gst Storage
+	if cfg.GroupStore != nil {
+		if gid == 0 {
+			gst = s.epochSt // already fetched (and policy-applied) once
+		} else {
+			gst = cfg.GroupStore(gid)
+			if gst == nil {
+				return nil, nil, fmt.Errorf("abcast: GroupStore returned nil for group %v", gid)
+			}
+			cfg.Protocol.applyGroupCommit(gst)
+		}
+	} else {
+		gst = storage.NewPrefixed(s.shared, group.StoreNamespace(gid))
+	}
+
+	coreCfg := cfg.Protocol.coreConfig()
+	coreCfg.OnDeliver = cfg.OnDeliver
+	if restore := cfg.OnRestore; restore != nil {
+		coreCfg.OnRestore = func(sn Snapshot) { restore(gid, sn) }
+	}
+	coreCfg.OnTentative = cfg.OnTentative
+	coreCfg.OnConfirm = cfg.OnConfirm
+	coreCfg.OnRevoke = cfg.OnRevoke
+	// Every group feeds the process's per-round stream (it also tracks
+	// the decided counters Merged and MergeCursor use); the merge floor
+	// gates checkpoint folds only when the merged sequence is declared
+	// consumed, so an idle group cannot pin reclamation of processes that
+	// never merge. The floor is the CLUSTER-wide minimum (gossiped on the
+	// digest lane, bounded by the staleness cap), localized to this
+	// group's span.
+	coreCfg.OnRound = s.stream.NoteRound
+	coreCfg.OnRoundSkip = s.stream.NoteSkip
+	if cfg.MergedDelivery {
+		coreCfg.MergeFloor = func() uint64 {
+			return s.stream.LocalFloor(gid, s.floors.ClusterFloor(s.peers))
+		}
+	}
+	// Checkpoint discards wait for the cluster-wide durable floor: a
+	// checkpoint still logs locally at full speed, but Consensus state a
+	// slow or crashed peer may need to re-learn its rounds survives until
+	// every process's own recoverable prefix (gossiped via FloorSelf) has
+	// passed them. This is what makes a lagging recoverer catch up through
+	// ordinary Consensus instead of a GC-forced state transfer.
+	coreCfg.OnCheckpoint = func(k uint64) { s.stream.NoteDurable(gid, k) }
+	coreCfg.DiscardFloor = func() uint64 {
+		return s.stream.LocalFloor(gid, s.floors.ClusterFloor(s.peers))
+	}
+	// Every group gossips the process-wide merge frontier and topology
+	// descriptor on its digest lane, and folds peers' reports into the
+	// floor tracker; a peer that slept through a reshard resynchronizes
+	// its epoch from the descriptor instead of replaying markers.
+	coreCfg.FloorSelf = s.floorSelf
+	coreCfg.OnPeerFloor = s.onPeerFloor
+
+	ncfg := node.Config{
+		PID:       cfg.PID,
+		N:         cfg.N,
+		Group:     gid,
+		Core:      coreCfg,
+		Consensus: cfg.Protocol.consensusConfig(cfg.Policy),
+		FD:        cfg.FD,
+		Obs:       cfg.Obs,
+		// Every group's consensus engine reads the one process-level
+		// detector through its own facade; the group nodes send no
+		// heartbeats of their own.
+		SharedFD: func() fd.API { return s.fdView(gid) },
+	}
+	if cfg.Protocol.RingDissem {
+		// All groups of the process share one payload ring over the
+		// mux's dissem lane (the ring twin of the shared detector):
+		// G groups cost one successor stream, not G.
+		ncfg.SharedRing = s.ringView
+	}
+	return gst, node.New(ncfg, gst, s.net.Net(gid)), nil
+}
+
+// floorSelf is every group's core.Config.FloorSelf hook: the process-wide
+// merge frontier plus the cached topology descriptor.
+func (s *Sharded) floorSelf() (uint64, uint64, []byte) {
+	td := s.topoEnc.Load()
+	// The gossiped floor is the DURABLE frontier — the prefix this
+	// process recovers from its own storage after a crash. Reporting the
+	// in-memory frontier would let peers discard rounds committed here
+	// since the last checkpoint, which a crash sends this process right
+	// back to needing.
+	return s.stream.DurableFrontier(), td.epoch, td.enc
+}
+
+// onPeerFloor is every group's core.Config.OnPeerFloor hook.
+func (s *Sharded) onPeerFloor(from ids.ProcessID, floor uint64, epoch uint64, topo []byte) {
+	s.floors.Report(from, floor, epoch, topo)
+	if epoch > s.stream.Epoch() && len(topo) > 0 {
+		if t, err := group.DecodeTopology(topo); err == nil {
+			s.stream.AdoptTopology(t)
+		}
+	}
+}
+
+// installTopology refreshes the hot-path topology views: the router ring
+// (unless the config pinned a custom router) and the encoded descriptor
+// the floor gossip carries.
+func (s *Sharded) installTopology(t *group.Topology) {
+	r := s.cfg.Router
+	if r == nil {
+		r = group.NewHashRouterOver(t.Active())
+	}
+	s.router.Store(&routerEpoch{r: r, epoch: t.Epoch})
+	s.topoEnc.Store(&topoDescriptor{epoch: t.Epoch, enc: t.Encode()})
+	if s.rm.epoch != nil {
+		s.rm.epoch.Set(int64(t.Epoch))
+	}
+}
+
+// onTopology runs (outside the stream lock, on a delivery or gossip
+// goroutine) after every topology transition: it swaps the router under
+// the new epoch, persists the topology, seals the protocols of newly
+// sealed groups, splices in nodes for newly joined groups, and stamps the
+// flight recorder. It must never take reshardMu (a reshard call may be
+// blocked broadcasting the very marker that triggered it).
+func (s *Sharded) onTopology(t *group.Topology) {
+	s.installTopology(t)
+	if err := s.epochSt.Put(keyTopo, t.Encode()); err != nil {
+		s.flight().Event(obs.EvViolation, -1, 0, 0, 0, "persist topology: "+err.Error())
+	}
+
+	// Edge-detect transitions against the last observed spans.
+	s.mu.Lock()
+	var sealed, joined []GroupID
+	for g, sp := range t.Spans {
+		prev, known := s.seen[g]
+		if !known {
+			joined = append(joined, g)
+		}
+		if sp.Sealed && (!known || !prev.Sealed) {
+			sealed = append(sealed, g)
+		}
+		s.seen[g] = sp
+	}
+	s.mu.Unlock()
+	sort.Slice(joined, func(i, j int) bool { return joined[i] < joined[j] })
+
+	for _, g := range sealed {
+		sp := t.Spans[g]
+		s.flight().Event(obs.EvReshardSeal, g, sp.Final, int64(t.Epoch), 0, "")
+		if p := s.protoAt(g); p != nil {
+			p.Seal(sp.Final)
+		}
+	}
+	for _, g := range joined {
+		sp := t.Spans[g]
+		s.flight().Event(obs.EvReshardJoin, g, 0, int64(g), int64(sp.Offset), "")
+	}
+	if len(joined) > 0 {
+		s.ensureGroups(t)
+	}
+}
+
+// nodeAt returns group g's node (nil when reaped or unknown).
+func (s *Sharded) nodeAt(g GroupID) *node.Node {
+	ns := s.ns.Load()
+	if g < 0 || int(g) >= len(ns.nodes) {
+		return nil
+	}
+	return ns.nodes[g]
+}
+
+// protoAt returns group g's live protocol (nil when reaped, unknown or
+// down).
+func (s *Sharded) protoAt(g GroupID) *core.Protocol {
+	n := s.nodeAt(g)
+	if n == nil {
+		return nil
+	}
+	return n.Proto()
+}
+
+// ensureGroups builds and installs a node for every group the topology
+// knows that this process has none for — the heal path for a process that
+// slept through an AddGroup (crashed during the reshard, or recovering
+// with a stale persisted topology). New nodes are started asynchronously
+// when the process is up: this runs on delivery/gossip goroutines and a
+// node Start blocks through replay.
+func (s *Sharded) ensureGroups(t *group.Topology) {
+	type started struct {
+		n   *node.Node
+		ctx context.Context
+	}
+	var boot []started
+	s.mu.Lock()
+	ns := s.ns.Load()
+	maxG := len(ns.nodes)
+	for g := range t.Spans {
+		if int(g)+1 > maxG {
+			maxG = int(g) + 1
+		}
+	}
+	if maxG > len(ns.nodes) {
+		s.net.Grow(maxG)
+		grown := &nodeSet{nodes: make([]*node.Node, maxG), stores: make([]Storage, maxG)}
+		copy(grown.nodes, ns.nodes)
+		copy(grown.stores, ns.stores)
+		ns = grown
+	}
+	changed := maxG > len(s.ns.Load().nodes)
+	for g := range t.Spans {
+		if ns.nodes[g] != nil || s.reaped[g] {
+			continue
+		}
+		if sp := t.Spans[g]; sp.Sealed && s.stream.Drained(g) {
+			continue // fully drained before we ever hosted it: nothing to order
+		}
+		gst, n, err := s.buildGroup(g)
+		if err != nil {
+			s.flight().Event(obs.EvViolation, g, 0, 0, 0, "ensure group: "+err.Error())
+			continue
+		}
+		ns.nodes[g], ns.stores[g] = n, gst
+		changed = true
+		if s.up {
+			boot = append(boot, started{n: n, ctx: s.startCtx})
+		}
+		if s.tuner != nil {
+			s.tuner.AddGroup(node.TuneGroup(n))
+		}
+	}
+	if changed {
+		s.ns.Store(ns)
+	}
+	s.mu.Unlock()
+	for _, b := range boot {
+		go func(b started) {
+			if err := b.n.Start(b.ctx); err != nil {
+				return // already-up or crashed-meanwhile: the next Start heals
+			}
+			s.applySeals()
+			s.mu.Lock()
+			up := s.up
+			s.mu.Unlock()
+			if !up {
+				b.n.Crash() // the process crashed while we were booting
+			}
+		}(b)
+	}
+}
+
+// applySeals re-applies the topology's seals to the live protocol
+// incarnations. A protocol is a per-incarnation object: a crash between a
+// SEAL marker's delivery and the drain loses the in-memory seal, and the
+// replaying incarnation re-delivers the marker into a stream that already
+// knows it (inert), so the sharded layer re-arms the seal explicitly after
+// every boot.
+func (s *Sharded) applySeals() {
+	t := s.stream.Topology()
+	for g, sp := range t.Spans {
+		if !sp.Sealed {
+			continue
+		}
+		if p := s.protoAt(g); p != nil {
+			p.Seal(sp.Final)
+		}
+	}
 }
 
 // ringView returns the live process-level ring group nodes register their
@@ -319,19 +795,37 @@ func (s *Sharded) fdView(g GroupID) fd.API {
 	return s.sfd.View(g)
 }
 
-// epochStore returns the store holding the process-level incarnation
-// counter: the shared store, or — in a per-group-store deployment — group
-// 0's store (the cell's key is namespaced so it cannot collide with the
-// group's own state).
-func (s *Sharded) epochStore() Storage {
-	if s.shared != nil {
-		return s.shared
-	}
-	return s.stores[0]
-}
+// epochStore returns the store holding the process-level cells (the
+// incarnation counter, the persisted topology, the reaped set): the shared
+// store, or — in a per-group-store deployment — group 0's store (the
+// cells' keys are namespaced so they cannot collide with the group's own
+// state; that store is pinned at construction and survives group 0's
+// retirement).
+func (s *Sharded) epochStore() Storage { return s.epochSt }
 
-// Groups returns the number of ordering groups.
-func (s *Sharded) Groups() int { return s.groups }
+// Groups returns the number of ordering groups ever hosted (GroupIDs are
+// dense and never reused, so this is max GroupID + 1; retired and even
+// reaped groups count).
+func (s *Sharded) Groups() int { return len(s.ns.Load().nodes) }
+
+// ActiveGroups returns the unsealed groups new keys may route to,
+// ascending.
+func (s *Sharded) ActiveGroups() []GroupID { return s.stream.Topology().Active() }
+
+// Epoch returns the topology epoch the live router was built under; it
+// bumps on every seal or join.
+func (s *Sharded) Epoch() uint64 { return s.router.Load().epoch }
+
+// InTopology reports whether this process's topology knows group g — its
+// span is spliced into the global round numbering (sealed groups
+// included). A process that slept through a reshard learns the group late,
+// from the ordered JOIN marker or the floor gossip's topology descriptor;
+// an operator sequencing a retirement across processes should wait for
+// this before asking the process to retire g.
+func (s *Sharded) InTopology(g GroupID) bool {
+	_, ok := s.stream.Topology().Spans[g]
+	return ok
+}
 
 // Start boots the process (initialization or recovery): it logs the
 // process-level epoch, starts the shared failure detector, then boots
@@ -345,6 +839,7 @@ func (s *Sharded) Start(ctx context.Context) error {
 		return fmt.Errorf("abcast: sharded process %v already up", s.cfg.PID)
 	}
 	s.up = true
+	s.startCtx = ctx
 	s.mu.Unlock()
 
 	// The process-level liveness service comes up first so every group's
@@ -378,9 +873,19 @@ func (s *Sharded) Start(ctx context.Context) error {
 		s.mu.Unlock()
 	}
 
-	errs := make([]error, s.groups)
+	// Splice in any groups a newer topology knows that this instance has
+	// no node for yet (a recovery that learned of a reshard through the
+	// persisted topology happens in NewSharded; this covers in-process
+	// crash/recover cycles that slept through a live AddGroup).
+	s.ensureGroups(s.stream.Topology())
+
+	ns := s.ns.Load()
+	errs := make([]error, len(ns.nodes))
 	var wg sync.WaitGroup
-	for g, n := range s.nodes {
+	for g, n := range ns.nodes {
+		if n == nil {
+			continue
+		}
 		wg.Add(1)
 		go func(g int, n *node.Node) {
 			defer wg.Done()
@@ -394,6 +899,9 @@ func (s *Sharded) Start(ctx context.Context) error {
 			return fmt.Errorf("abcast: sharded group %d: %w", g, err)
 		}
 	}
+	// Re-arm the retirement seals on the fresh incarnations (the stream
+	// outlives incarnations, the protocols do not).
+	s.applySeals()
 	if s.tuner != nil {
 		s.tuner.Start()
 	}
@@ -414,8 +922,10 @@ func (s *Sharded) Crash() {
 	sring := s.sring
 	s.sring = nil
 	s.mu.Unlock()
-	for _, n := range s.nodes {
-		n.Crash() // each group unregisters its sink from the shared ring
+	for _, n := range s.ns.Load().nodes {
+		if n != nil {
+			n.Crash() // each group unregisters its sink from the shared ring
+		}
 	}
 	if sring != nil {
 		sring.Stop()
@@ -425,18 +935,25 @@ func (s *Sharded) Crash() {
 	}
 }
 
-// Up reports whether every group of the process is running.
+// Up reports whether every (unreaped) group of the process is running.
 func (s *Sharded) Up() bool {
-	for _, n := range s.nodes {
+	live := 0
+	for _, n := range s.ns.Load().nodes {
+		if n == nil {
+			continue
+		}
 		if !n.Up() {
 			return false
 		}
+		live++
 	}
-	return len(s.nodes) > 0
+	return live > 0
 }
 
-// Route returns the group the configured Router places key on.
-func (s *Sharded) Route(key []byte) GroupID { return s.router.Route(key) }
+// Route returns the group the live router places key on (the configured
+// Router, or the default consistent-hash ring over the currently active
+// groups).
+func (s *Sharded) Route(key []byte) GroupID { return s.router.Load().r.Route(key) }
 
 // FD returns the live process-level failure-detector view shared by every
 // group (nil when the process is down). All groups' facades read the same
@@ -452,23 +969,49 @@ func (s *Sharded) FD() fd.API {
 
 // Broadcast routes key to its group and A-broadcasts payload there. It
 // returns the owning group and the message identity (unique within that
-// group). A custom Router that places the key outside [0, Groups) is an
-// error, not a panic.
+// group). A custom Router that places the key outside the known groups is
+// an error, not a panic.
+//
+// A broadcast in flight while its group is sealed for retirement is
+// bounced with ErrSealed; when the default router is in use the call
+// re-routes the key on the post-seal ring (the seal swapped the router
+// before the protocol started bouncing) and retries with a fresh message
+// identity, so callers only ever see ErrSealed with a custom Router that
+// keeps placing the key on the sealed group.
 func (s *Sharded) Broadcast(ctx context.Context, key, payload []byte) (GroupID, MsgID, error) {
-	g := s.router.Route(key)
-	if s.checkGroup(g) != nil {
-		return g, MsgID{}, fmt.Errorf("abcast: router returned out-of-range group %v (groups=%d)", g, s.groups)
+	last := GroupID(-1)
+	for {
+		g := s.router.Load().r.Route(key)
+		if err := s.checkGroup(g); err != nil {
+			return g, MsgID{}, fmt.Errorf("abcast: router returned unknown group %v (groups=%d)", g, s.Groups())
+		}
+		n := s.nodeAt(g)
+		if n == nil {
+			return g, MsgID{}, fmt.Errorf("abcast: router returned retired group %v", g)
+		}
+		id, err := n.Broadcast(ctx, payload)
+		if !errors.Is(err, ErrSealed) || g == last {
+			return g, id, err
+		}
+		// Sealed under us: the topology moved and the router with it —
+		// re-route and retry. ErrSealed guarantees the message was NOT
+		// delivered, so the fresh identity cannot duplicate it. One equal
+		// re-route means the router is pinned (custom): surface the error.
+		last = g
 	}
-	id, err := s.nodes[g].Broadcast(ctx, payload)
-	return g, id, err
 }
 
-// BroadcastTo A-broadcasts payload on an explicitly chosen group.
+// BroadcastTo A-broadcasts payload on an explicitly chosen group. A sealed
+// group returns ErrSealed (the explicit choice is not re-routed).
 func (s *Sharded) BroadcastTo(ctx context.Context, g GroupID, payload []byte) (MsgID, error) {
 	if err := s.checkGroup(g); err != nil {
 		return MsgID{}, err
 	}
-	return s.nodes[g].Broadcast(ctx, payload)
+	n := s.nodeAt(g)
+	if n == nil {
+		return MsgID{}, fmt.Errorf("abcast: group %v retired", g)
+	}
+	return n.Broadcast(ctx, payload)
 }
 
 // BroadcastToAsync submits payload on group g without waiting for
@@ -477,7 +1020,7 @@ func (s *Sharded) BroadcastToAsync(g GroupID, payload []byte) (MsgID, error) {
 	if err := s.checkGroup(g); err != nil {
 		return MsgID{}, err
 	}
-	p := s.nodes[g].Proto()
+	p := s.protoAt(g)
 	if p == nil {
 		return MsgID{}, node.ErrDown
 	}
@@ -485,28 +1028,22 @@ func (s *Sharded) BroadcastToAsync(g GroupID, payload []byte) (MsgID, error) {
 }
 
 func (s *Sharded) checkGroup(g GroupID) error {
-	if g < 0 || int(g) >= s.groups {
-		return fmt.Errorf("abcast: group %v out of range [0,%d)", g, s.groups)
+	if n := s.Groups(); g < 0 || int(g) >= n {
+		return fmt.Errorf("abcast: group %v out of range [0,%d)", g, n)
 	}
 	return nil
 }
 
 // Delivered reports whether id is in group g's delivery sequence.
 func (s *Sharded) Delivered(g GroupID, id MsgID) bool {
-	if s.checkGroup(g) != nil {
-		return false
-	}
-	p := s.nodes[g].Proto()
+	p := s.protoAt(g)
 	return p != nil && p.Delivered(id)
 }
 
 // Sequence returns group g's A-deliver-sequence (base snapshot plus
 // explicit suffix).
 func (s *Sharded) Sequence(g GroupID) (Snapshot, []Delivery) {
-	if s.checkGroup(g) != nil {
-		return Snapshot{}, nil
-	}
-	p := s.nodes[g].Proto()
+	p := s.protoAt(g)
 	if p == nil {
 		return Snapshot{}, nil
 	}
@@ -519,7 +1056,10 @@ func (s *Sharded) Sequence(g GroupID) (Snapshot, []Delivery) {
 // stops at the process-wide merge frontier, so forcing checkpoints never
 // destroys rounds a merge consumer still needs.
 func (s *Sharded) CheckpointNow() error {
-	for g, n := range s.nodes {
+	for g, n := range s.ns.Load().nodes {
+		if n == nil {
+			continue // reaped
+		}
 		p := n.Proto()
 		if p == nil {
 			return fmt.Errorf("abcast: group %d is down", g)
@@ -528,15 +1068,19 @@ func (s *Sharded) CheckpointNow() error {
 			return fmt.Errorf("abcast: checkpoint group %d: %w", g, err)
 		}
 	}
+	// Folds just advanced the merge base: a drained retired group may now
+	// be reapable. Opportunistic only — never block a checkpoint behind a
+	// reshard in progress.
+	if s.reshardMu.TryLock() {
+		s.reapLocked()
+		s.reshardMu.Unlock()
+	}
 	return nil
 }
 
 // Round returns group g's round counter (its next Consensus instance).
 func (s *Sharded) Round(g GroupID) uint64 {
-	if s.checkGroup(g) != nil {
-		return 0
-	}
-	p := s.nodes[g].Proto()
+	p := s.protoAt(g)
 	if p == nil {
 		return 0
 	}
@@ -546,10 +1090,7 @@ func (s *Sharded) Round(g GroupID) uint64 {
 // UnorderedLen returns the size of group g's Unordered set
 // (observability: a non-empty set means ordering work is pending).
 func (s *Sharded) UnorderedLen(g GroupID) int {
-	if s.checkGroup(g) != nil {
-		return 0
-	}
-	p := s.nodes[g].Proto()
+	p := s.protoAt(g)
 	if p == nil {
 		return 0
 	}
@@ -576,14 +1117,21 @@ func (s *Sharded) Merged() (merged []Delivery, from, rounds uint64, ok bool) {
 	if err != nil {
 		return nil, 0, 0, false
 	}
-	merged, from, rounds = group.Merge(seqs)
+	merged, from, rounds = group.MergeT(seqs, s.stream.Topology())
 	return merged, from, rounds, true
 }
 
-// sequences snapshots every group's delivery sequence (Merge input).
+// sequences snapshots every group's delivery sequence (MergeT input).
+// Reaped groups are omitted — MergeT treats an absent sealed group as
+// fully decided, and the reap gate guarantees every consumer has already
+// passed its final round.
 func (s *Sharded) sequences() ([]group.Sequence, error) {
-	seqs := make([]group.Sequence, 0, s.groups)
-	for g, n := range s.nodes {
+	ns := s.ns.Load()
+	seqs := make([]group.Sequence, 0, len(ns.nodes))
+	for g, n := range ns.nodes {
+		if n == nil {
+			continue // reaped
+		}
 		p := n.Proto()
 		if p == nil {
 			return nil, fmt.Errorf("abcast: group %d is down", g)
@@ -680,9 +1228,14 @@ type ShardedStats struct {
 }
 
 // Stats returns the per-group and rolled-up counters of the live process.
+// Reaped groups report zero counters.
 func (s *Sharded) Stats() ShardedStats {
-	st := ShardedStats{PerGroup: make([]Stats, s.groups)}
-	for g, n := range s.nodes {
+	ns := s.ns.Load()
+	st := ShardedStats{PerGroup: make([]Stats, len(ns.nodes))}
+	for g, n := range ns.nodes {
+		if n == nil {
+			continue
+		}
 		p := n.Proto()
 		if p == nil {
 			continue
@@ -696,7 +1249,10 @@ func (s *Sharded) Stats() ShardedStats {
 		st.WALSyncs = sc.SyncCount()
 	} else if s.cfg.GroupStore != nil {
 		seen := make(map[syncCounter]bool)
-		for _, gst := range s.stores {
+		for _, gst := range ns.stores {
+			if gst == nil {
+				continue
+			}
 			if sc, ok := gst.(syncCounter); ok && !seen[sc] {
 				seen[sc] = true
 				st.WALSyncs += sc.SyncCount()
@@ -735,4 +1291,367 @@ func addStats(t *Stats, o Stats) {
 	t.PayloadStalls += o.PayloadStalls
 	t.BatchFullSeals += o.BatchFullSeals
 	t.BatchTimerSeals += o.BatchTimerSeals
+	t.StateSentGCForced += o.StateSentGCForced
+}
+
+// drainWindow is the W carried in SEAL markers: an upper bound on the
+// deepest proposal pipeline any process runs, so a proposer whose window
+// reaches past round r_s+W must have committed — and therefore delivered —
+// the seal at r_s, and proposes no application content.
+func (s *Sharded) drainWindow() uint64 {
+	w := 1
+	if d := s.cfg.Protocol.PipelineDepth; d > w {
+		w = d
+	}
+	if d := s.cfg.Protocol.coreConfig().MaxPipelineDepth; d > w {
+		w = d // adaptive resize headroom: the tuner may deepen past the static depth
+	}
+	return uint64(w)
+}
+
+// remapOrphanSeq tags an orphan's sequence number with its retiring
+// group's identity, making the re-injected identity disjoint from the
+// successor group's native ones: per-group sequence counters are
+// independent, so the original (sender, incarnation, seq) may already name
+// a different message in the successor, and the dedup that makes the
+// injection idempotent would then silently swallow the orphan. GroupIDs
+// are never reused and native counters stay far below 2^48, so the tag is
+// collision-free (an orphan re-orphaned through a chain of retirements
+// keeps only the most recent tag, which stays deterministic because every
+// process walks the same chain).
+func remapOrphanSeq(retiring GroupID, seq uint64) uint64 {
+	return uint64(retiring+1)<<48 | seq&(1<<48-1)
+}
+
+// retiredNamespace is the namespace inside the successor's store that a
+// retired group's sealed history is archived under.
+func retiredNamespace(g GroupID) string {
+	return fmt.Sprintf("retired/g%d/", g)
+}
+
+// AddGroup splices one fresh ordering group into the live deployment and
+// returns its GroupID. Call it on ONE process per scale-out (each call
+// mints a new group; reshard operations must be serialized cluster-wide
+// by the operator): the caller builds and boots its local member node,
+// then announces a JOIN marker in the anchor group, whose agreed delivery
+// position fixes the new group's offset in the global round space. Every
+// other process splices its own member node in when the marker reaches it
+// (or when the floor gossip's topology descriptor does) — no call needed
+// there, including processes that were down during the reshard. The call
+// returns once the local topology includes the group and the local node
+// is up; from that point the default router places ~1/G of the keyspace
+// on it.
+func (s *Sharded) AddGroup(ctx context.Context) (GroupID, error) {
+	s.reshardMu.Lock()
+	defer s.reshardMu.Unlock()
+
+	s.mu.Lock()
+	up := s.up
+	s.mu.Unlock()
+	if !up {
+		return 0, fmt.Errorf("abcast: sharded process %v is down", s.cfg.PID)
+	}
+
+	// The agreed new GroupID: one past every group ever hosted. Serialized
+	// resharding makes this the same number at every process.
+	gid := GroupID(s.Groups())
+	if sp := s.stream.Topology().Spans; len(sp) > int(gid) {
+		for g := range sp {
+			if g >= gid {
+				gid = g + 1
+			}
+		}
+	}
+	s.net.Grow(int(gid) + 1)
+
+	// Build, install and boot the local member node before announcing:
+	// the group must be able to order the moment the marker lands.
+	s.mu.Lock()
+	ns := s.ns.Load()
+	if int(gid) >= len(ns.nodes) {
+		grown := &nodeSet{nodes: make([]*node.Node, gid+1), stores: make([]Storage, gid+1)}
+		copy(grown.nodes, ns.nodes)
+		copy(grown.stores, ns.stores)
+		ns = grown
+	}
+	n := ns.nodes[gid]
+	if n == nil {
+		gst, built, err := s.buildGroup(gid)
+		if err != nil {
+			s.mu.Unlock()
+			return gid, err
+		}
+		n = built
+		ns.nodes[gid], ns.stores[gid] = n, gst
+		s.ns.Store(ns)
+		if s.tuner != nil {
+			s.tuner.AddGroup(node.TuneGroup(n))
+		}
+	}
+	bootCtx := s.startCtx
+	s.mu.Unlock()
+	if !n.Up() {
+		// Boot under the process's Start context, not the caller's: the
+		// node outlives this call, and a caller timeout must not take the
+		// freshly minted group's incarnation down with it.
+		if err := n.Start(bootCtx); err != nil {
+			return gid, fmt.Errorf("abcast: start group %v: %w", gid, err)
+		}
+	}
+
+	// Announce until the marker (ours or a peer's) lands. A sealed anchor
+	// means a retirement raced the join: re-read the topology for the new
+	// anchor and announce there.
+	for {
+		if _, known := s.stream.Topology().Spans[gid]; known {
+			break
+		}
+		anchor, ok := s.stream.Topology().Anchor()
+		if !ok {
+			return gid, fmt.Errorf("abcast: no active anchor group to order the join")
+		}
+		_, err := s.BroadcastTo(ctx, anchor, group.EncodeJoinMarker(gid))
+		if err == nil || errors.Is(err, ErrSealed) {
+			// Delivered locally (the broadcast waits for it) or bounced
+			// by a racing seal; either way re-check the topology.
+			if _, known := s.stream.Topology().Spans[gid]; known {
+				break
+			}
+			if errors.Is(err, ErrSealed) {
+				continue // pick the post-seal anchor
+			}
+			// Delivered but the topology hook lags the commit by a
+			// goroutine handoff: poll it in.
+			if err := s.awaitTopology(ctx, gid); err != nil {
+				return gid, err
+			}
+			break
+		}
+		if ctx.Err() != nil {
+			return gid, ctx.Err()
+		}
+		return gid, fmt.Errorf("abcast: announce join of %v: %w", gid, err)
+	}
+	return gid, nil
+}
+
+// awaitTopology polls until the local topology knows g.
+func (s *Sharded) awaitTopology(ctx context.Context, g GroupID) error {
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		if _, known := s.stream.Topology().Spans[g]; known {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// RetireGroup drains ordering group g out of the live deployment. Every
+// process calls RetireGroup for the same logical scale-in (serialized
+// cluster-wide by the operator); each announces the SEAL marker in g
+// itself — idempotent, the first one ordered fixes the drain boundary —
+// then waits for the group's sequence to seal shut at its final round,
+// re-injects the drained group's leftover unordered messages into the
+// active groups (identity-remapped, deduplicated, so all processes doing
+// the same is idempotent), and archives the group's namespace into the
+// anchor group's store under "retired/g<g>/".
+//
+// The retired node stays alive and quiescent (no proposals, no new
+// admissions) until every merge consumer — local and, via the gossiped
+// cluster floor, remote — has passed its final round; ReapRetired then
+// stops it and purges its namespace. The call is idempotent: crashed mid-
+// retirement, call it again.
+func (s *Sharded) RetireGroup(ctx context.Context, g GroupID) error {
+	s.reshardMu.Lock()
+	defer s.reshardMu.Unlock()
+
+	if err := s.checkGroup(g); err != nil {
+		return err
+	}
+	if s.nodeAt(g) == nil {
+		return fmt.Errorf("abcast: group %v already retired and reaped", g)
+	}
+	topo := s.stream.Topology()
+	sp, known := topo.Spans[g]
+	if !known {
+		return fmt.Errorf("abcast: group %v not in the topology", g)
+	}
+	if !sp.Sealed {
+		if len(topo.Active()) <= 1 {
+			return fmt.Errorf("abcast: cannot retire the last active group %v", g)
+		}
+		if _, err := s.BroadcastTo(ctx, g, group.EncodeSealMarker(s.drainWindow())); err != nil && !errors.Is(err, ErrSealed) {
+			// ErrSealed is success: a peer's marker won the race (or the
+			// drain cut our waiter) — the group IS sealed.
+			return fmt.Errorf("abcast: announce seal of %v: %w", g, err)
+		}
+	}
+
+	// Wait for the drain through the stream, not the protocol: the stream
+	// outlives incarnations, so the wait survives crash/recovery of the
+	// group under it.
+	start := time.Now()
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for !s.stream.Drained(g) {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+	drainNS := time.Since(start).Nanoseconds()
+
+	topo = s.stream.Topology()
+	sp = topo.Spans[g]
+	p := s.protoAt(g)
+	if p == nil {
+		return fmt.Errorf("abcast: group %v is down; recover and retry", g)
+	}
+
+	// Orphans: admitted before the seal, never ordered by the drain
+	// rounds. Every process re-injects its leftovers into the active
+	// groups — identity-remapped so the successor's dedup distinguishes
+	// them from its native messages, routed deterministically so every
+	// process picks the same successor. Marker payloads never cross
+	// groups (a re-injected SEAL would seal the successor).
+	orphans := 0
+	for _, m := range p.TakeOrphans() {
+		if group.IsMarker(m.Payload) {
+			continue
+		}
+		succ := s.orphanSuccessor(topo, m.Payload)
+		spProto := s.protoAt(succ)
+		if spProto == nil {
+			return fmt.Errorf("abcast: successor group %v is down; recover and retry", succ)
+		}
+		m.ID.Seq = remapOrphanSeq(g, m.ID.Seq)
+		if spProto.AddDisseminated(m) {
+			orphans++
+		}
+	}
+	s.rm.addOrphans(int64(orphans))
+	s.flight().Event(obs.EvReshardDrain, g, sp.Final+1, int64(orphans), drainNS, "")
+
+	// Archive the sealed namespace into the anchor's store: on a shared
+	// WAL engine this rides the compactor's live-state rewrite (the
+	// export enumerates exactly the live index) and lands as ordinary
+	// writes the next commit group fsyncs.
+	anchor, ok := topo.Anchor()
+	if !ok {
+		return fmt.Errorf("abcast: no active group to archive %v into", g)
+	}
+	ns := s.ns.Load()
+	src, dst := ns.stores[g], ns.stores[anchor]
+	if src != nil && dst != nil {
+		keys, bytes, err := storage.ExportNamespace(src, storage.NewPrefixed(dst, retiredNamespace(g)))
+		if err != nil {
+			return fmt.Errorf("abcast: archive group %v: %w", g, err)
+		}
+		s.rm.addMigrated(int64(keys), bytes)
+		s.flight().Event(obs.EvReshardMigrate, g, 0, int64(keys), bytes, "")
+	}
+
+	s.rm.addDrain(drainNS)
+	s.reapLocked() // usually too early (consumers lag), but free to try
+	return nil
+}
+
+// orphanSuccessor picks the active group an orphan payload is re-injected
+// into: the live router's placement when it lands on an active group, the
+// anchor otherwise. Both are pure functions of (payload, topology), so
+// every process picks the same successor.
+func (s *Sharded) orphanSuccessor(topo *group.Topology, payload []byte) GroupID {
+	g := s.router.Load().r.Route(payload)
+	if sp, ok := topo.Spans[g]; ok && !sp.Sealed {
+		return g
+	}
+	if anchor, ok := topo.Anchor(); ok {
+		return anchor
+	}
+	return g
+}
+
+// ReapRetired stops and purges retired groups whose sealed history no
+// consumer can still need: the group is drained, the local merge base
+// (checkpoint folds) has passed its final round, and the gossiped
+// cluster-wide floor says every fresh peer's merge has too. It returns how
+// many groups were reaped. CheckpointNow calls it opportunistically; call
+// it directly to reclaim eagerly.
+func (s *Sharded) ReapRetired() int {
+	s.reshardMu.Lock()
+	defer s.reshardMu.Unlock()
+	return s.reapLocked()
+}
+
+func (s *Sharded) reapLocked() int {
+	topo := s.stream.Topology()
+	seqs, err := s.sequences()
+	if err != nil {
+		return 0 // some group down: cannot assess the merge base
+	}
+	base := group.MergeBaseT(seqs, topo)
+	floor := s.floors.ClusterFloor(s.peers)
+	reaped := 0
+	for g, sp := range topo.Spans {
+		if !sp.Sealed || s.nodeAt(g) == nil || !s.stream.Drained(g) {
+			continue
+		}
+		final := sp.Offset + sp.Final
+		if base < final+1 || floor < final+1 {
+			continue
+		}
+		s.mu.Lock()
+		ns := s.ns.Load()
+		n, st := ns.nodes[g], ns.stores[g]
+		next := &nodeSet{nodes: make([]*node.Node, len(ns.nodes)), stores: make([]Storage, len(ns.stores))}
+		copy(next.nodes, ns.nodes)
+		copy(next.stores, ns.stores)
+		next.nodes[g], next.stores[g] = nil, nil
+		s.ns.Store(next)
+		s.reaped[g] = true
+		gs := make([]GroupID, 0, len(s.reaped))
+		for rg := range s.reaped {
+			gs = append(gs, rg)
+		}
+		s.mu.Unlock()
+		if err := s.epochSt.Put(keyReaped, encodeReaped(gs)); err != nil {
+			s.flight().Event(obs.EvViolation, g, 0, 0, 0, "persist reaped set: "+err.Error())
+		}
+		n.Crash()
+		if st != s.epochSt {
+			// The epoch store keeps the process-level cells; a hook
+			// deployment that gave group 0 that store skips the purge.
+			if _, err := storage.PurgeNamespace(st); err != nil {
+				s.flight().Event(obs.EvViolation, g, 0, 0, 0, "purge namespace: "+err.Error())
+			}
+		}
+		reaped++
+	}
+	return reaped
+}
+
+// addDrain/addOrphans/addMigrated are nil-safe metric helpers.
+func (m *reshardMetrics) addDrain(ns int64) {
+	if m.drainNS != nil {
+		m.drainNS.Add(uint64(ns))
+	}
+}
+
+func (m *reshardMetrics) addOrphans(n int64) {
+	if m.orphans != nil {
+		m.orphans.Add(uint64(n))
+	}
+}
+
+func (m *reshardMetrics) addMigrated(keys, bytes int64) {
+	if m.migratedKeys != nil {
+		m.migratedKeys.Add(uint64(keys))
+		m.migratedBytes.Add(uint64(bytes))
+	}
 }

@@ -11,10 +11,12 @@
 // throughput, full-payload versus ring dissemination, across payload
 // sizes and cluster sizes — and the E21 closed-loop autotuning study:
 // adaptive batching/pipeline/group-commit knobs against both static
-// extremes through a phase-shifting workload) and prints their tables.
-// EXPERIMENTS.md is generated from its full-scale output; BENCH_e19.json
-// is generated with -e19json, BENCH_e20.json with -e20json and
-// BENCH_e21.json with -e21json.
+// extremes through a phase-shifting workload — and the E22 elastic-
+// resharding study: a live G=2->4 scale-out and live retirement under
+// closed-loop load) and prints their tables. EXPERIMENTS.md is generated
+// from its full-scale output; BENCH_e19.json is generated with -e19json,
+// BENCH_e20.json with -e20json, BENCH_e21.json with -e21json and
+// BENCH_e22.json with -e22json.
 //
 // Usage:
 //
@@ -25,6 +27,7 @@
 //	abcast-bench -e19json PATH   # write the E19 latency trajectory JSON
 //	abcast-bench -e20json PATH   # write the E20 dissemination sweep JSON
 //	abcast-bench -e21json PATH   # write the E21 autotuning phase-shift JSON
+//	abcast-bench -e22json PATH   # write the E22 elastic-resharding JSON
 package main
 
 import (
@@ -44,6 +47,7 @@ func main() {
 	e19json := flag.String("e19json", "", "write the E19 latency trajectory JSON to this path and exit")
 	e20json := flag.String("e20json", "", "write the E20 dissemination sweep JSON to this path and exit")
 	e21json := flag.String("e21json", "", "write the E21 autotuning phase-shift JSON to this path and exit")
+	e22json := flag.String("e22json", "", "write the E22 elastic-resharding scale-out JSON to this path and exit")
 	flag.Parse()
 
 	scale := experiments.Full
@@ -75,6 +79,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote", *e21json)
+		return
+	}
+
+	if *e22json != "" {
+		if err := experiments.E22WriteJSON(scale, *e22json); err != nil {
+			fmt.Fprintln(os.Stderr, "abcast-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *e22json)
 		return
 	}
 

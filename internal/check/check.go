@@ -60,11 +60,28 @@ func NewRecorder(n int) *Recorder {
 }
 
 // StartSession opens a new incarnation history for pid. Call it before each
-// node start.
+// node start. An open session that recorded nothing is reused instead of
+// retired: crash/restart cycles that never deliver (common in soaks with
+// tight fault schedules, and for every group a process hosts but never
+// touches between two restarts) would otherwise accumulate one empty
+// session object per incarnation per group, forever — a recorder-side
+// memory leak proportional to the fault count.
 func (r *Recorder) StartSession(pid ids.ProcessID) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if ss := r.sessions[pid]; len(ss) > 0 && len(ss[len(ss)-1].events) == 0 {
+		return
+	}
 	r.sessions[pid] = append(r.sessions[pid], &session{})
+}
+
+// Sessions returns the number of incarnation histories retained for pid
+// (observability: soaks assert retained sessions track incarnations that
+// actually recorded events, not raw restart counts).
+func (r *Recorder) Sessions(pid ids.ProcessID) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sessions[pid])
 }
 
 // OnDeliver returns the delivery callback for pid.

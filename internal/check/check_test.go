@@ -196,3 +196,43 @@ func TestDeliveredAnywhereAndReturned(t *testing.T) {
 		t.Fatalf("returned: %v", got)
 	}
 }
+
+// TestStartSessionReusesEmptySessions is the recorder-leak regression: a
+// crash/restart cycle that never delivers must not retain a session
+// object per incarnation (sharded soaks restart every group of a process
+// on every fault, so the leak scaled with faults x groups).
+func TestStartSessionReusesEmptySessions(t *testing.T) {
+	r := NewRecorder(1)
+	for i := 0; i < 1000; i++ {
+		r.StartSession(0)
+	}
+	if n := r.Sessions(0); n != 1 {
+		t.Fatalf("%d empty sessions retained; want the one reused slot", n)
+	}
+
+	// A session that recorded something is retired, not reused: the next
+	// start opens a fresh one, and contiguity is still enforced per
+	// incarnation.
+	a := del(0, 1, 0, 0)
+	record(r, a)
+	r.OnDeliver(0)(a)
+	r.StartSession(0)
+	if n := r.Sessions(0); n != 2 {
+		t.Fatalf("sessions after a recorded history = %d; want 2", n)
+	}
+	for i := 0; i < 100; i++ {
+		r.StartSession(0)
+	}
+	if n := r.Sessions(0); n != 2 {
+		t.Fatalf("sessions after idle restarts = %d; want 2 (empty tail reused)", n)
+	}
+	// The reused tail still records correctly and the whole history
+	// verifies.
+	r.OnRestore(0)(core.Snapshot{Pos: 1, VC: vclock.New()})
+	b := del(0, 2, 1, 1)
+	record(r, b)
+	r.OnDeliver(0)(b)
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -37,6 +37,16 @@ import (
 // before invoking it.
 var ErrStopped = errors.New("core: protocol stopped")
 
+// ErrSealed is returned by Broadcast/BroadcastAsync on a group that has been
+// sealed for retirement: nothing was admitted, so the caller can safely
+// re-route the payload to the group's successor (live resharding's
+// bounce-with-retry). It is also the outcome of a Broadcast wait cut short by
+// the drain — in that case the message "may have or may have not been
+// A-broadcast" (same semantics as a crash mid-call): if it was ordered before
+// the final round it is delivered in the retiring group, otherwise the orphan
+// re-injection path carries the same MsgID into the successor.
+var ErrSealed = errors.New("core: group sealed for retirement")
+
 // Delivery is one A-delivered message with its agreed global position.
 // Round is the Consensus instance that ordered the message; Pos is the
 // message's index in the single total order (identical at every process —
@@ -213,6 +223,28 @@ type Config struct {
 	// into the Protocol.
 	MergeFloor func() uint64
 
+	// DiscardFloor, when set, caps how far a checkpoint may discard
+	// Consensus state and raise the GC floor: CheckpointNow discards only
+	// below min(k, DiscardFloor()). The checkpoint cell itself is still
+	// logged at the full round counter — local durability never waits —
+	// but rounds a slow peer may still need to re-learn stay in the
+	// Consensus log, so a recovering process finds them live instead of
+	// being forced into a state transfer. A sharded deployment sets this
+	// to the cluster-wide minimum of the gossiped durable frontiers
+	// (group.FloorTracker.ClusterFloor localized to the group's span).
+	// Nil discards everything below k (the paper's Fig. 4 line (c)).
+	// Called outside the protocol lock; it may take its own locks but
+	// must not call back into the Protocol.
+	DiscardFloor func() uint64
+
+	// OnCheckpoint, when set, is invoked after a checkpoint cell has been
+	// durably logged, with the round counter the cell records — i.e. the
+	// rounds this process can recover without any peer's help. Fired by
+	// CheckpointNow, by a state-transfer adoption (which logs the adopted
+	// state as a checkpoint), and once during recovery with the restored
+	// counter. The sharded layer feeds it to the durable-frontier gossip.
+	OnCheckpoint func(k uint64)
+
 	// OnDeliver, when set, is invoked in delivery order for every
 	// A-delivered message (including re-deliveries during the replay
 	// phase, which reconstruct the application state in the basic
@@ -270,6 +302,21 @@ type Config struct {
 	// incarnation baseline).
 	Obs *obs.Plane
 
+	// FloorSelf, when set, makes every periodic gossip piggyback a merge-
+	// floor frame: the process-wide merge frontier (how far this process has
+	// consumed the merged cross-group sequence), the topology epoch it was
+	// computed under, and the encoded topology itself. Peers feed the frames
+	// to a group.FloorTracker; the cluster-wide minimum (bounded by a
+	// staleness cap) then drives MergeFloor, so checkpoint folds and WAL
+	// compaction wait for the slowest live consumer instead of forcing a
+	// GC-triggered state transfer onto it. Called outside the protocol lock.
+	FloorSelf func() (floor uint64, epoch uint64, topo []byte)
+	// OnPeerFloor, when set with FloorSelf, receives the merge-floor frames
+	// piggybacked by peers (same gossip lane as digests). Called on the
+	// transport's delivery goroutine; it must not call back into the
+	// Protocol.
+	OnPeerFloor func(from ids.ProcessID, floor uint64, epoch uint64, topo []byte)
+
 	// OnRoundSkip, when set, is invoked when a state-transfer adoption
 	// (§5.3, including the GC-forced transfer a recovering process
 	// receives when it fell below a peer's collection floor) moves the
@@ -307,6 +354,7 @@ type Stats struct {
 	PullsSent           uint64 // pull requests sent for missing payloads
 	PullsServed         uint64 // pull requests answered with payloads
 	StateSent           uint64 // state messages sent (we were ahead)
+	StateSentGCForced   uint64 // state sends forced by the GC floor (peer below DiscardBelow)
 	StateAdopted        uint64 // state transfers adopted (we were behind)
 	Checkpoints         uint64
 	ReplayedRounds      uint64 // rounds re-executed by replay() on recovery

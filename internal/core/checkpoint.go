@@ -78,15 +78,38 @@ func (p *Protocol) CheckpointNow() error {
 	if err := p.st.Put(keyCkpt, w.Bytes()); err != nil {
 		return fmt.Errorf("core: log checkpoint: %w", err)
 	}
-	// (c) Proposed_p[i], i < k_p can be discarded from the log.
-	if err := p.cons.DiscardBelow(k); err != nil {
+	// (c) Proposed_p[i], i < k_p can be discarded from the log — capped
+	// by the cluster-wide durable floor when one is wired: a peer whose
+	// own recoverable prefix ends below k still needs those instances to
+	// re-learn its missing rounds through Consensus, and discarding them
+	// would force it into a state transfer (the gcFloor path).
+	discard := k
+	if p.cfg.DiscardFloor != nil {
+		if f := p.cfg.DiscardFloor(); f < discard {
+			discard = f
+		}
+	}
+	// The floor is persisted so a recovering incarnation knows how much
+	// of its Consensus log actually survived (gcFloor must reflect what
+	// was discarded, not the checkpoint counter).
+	fw := wire.GetWriter(16)
+	fw.U64(discard)
+	err := p.st.Put(keyGCFloor, fw.Bytes())
+	wire.PutWriter(fw)
+	if err != nil {
+		return fmt.Errorf("core: log gc floor: %w", err)
+	}
+	if err := p.cons.DiscardBelow(discard); err != nil {
 		return fmt.Errorf("core: discard consensus log: %w", err)
 	}
-	p.fl.Event(obs.EvCheckpoint, p.cfg.Group, k, 0, 0, "")
+	p.fl.Event(obs.EvCheckpoint, p.cfg.Group, k, int64(discard), 0, "")
 	p.mu.Lock()
-	if k > p.gcFloor {
-		p.gcFloor = k
+	if discard > p.gcFloor {
+		p.gcFloor = discard
 	}
 	p.mu.Unlock()
+	if cb := p.cfg.OnCheckpoint; cb != nil {
+		cb(k)
+	}
 	return nil
 }

@@ -15,6 +15,7 @@ const (
 	subState  uint8 = 2 // state(k_p - 1, Agreed_p)
 	subDigest uint8 = 3 // gossip(k_p, IDs of Unordered_p) — anti-entropy digest
 	subPull   uint8 = 4 // pull(IDs): please send these messages' payloads
+	subFloor  uint8 = 5 // floor(merge frontier, topology epoch, topology) — cluster GC floor
 )
 
 // gossipTask periodically multisends gossip(k_p, Unordered_p): it
@@ -111,6 +112,20 @@ func (p *Protocol) sendGossip() {
 		p.digestFrame(k, batch)
 	} else {
 		p.gossipFrame(k, batch, ids.Nobody)
+	}
+	if fs := p.cfg.FloorSelf; fs != nil {
+		// Piggyback the merge-floor frame on the periodic gossip cadence:
+		// peers fold it into their cluster-floor view (group.FloorTracker),
+		// and the attached topology epoch lets a process whose state
+		// transfer skipped the reshard marker rounds resync its topology.
+		floor, epoch, topo := fs()
+		w := wire.GetWriter(64)
+		w.U8(subFloor)
+		w.U64(floor)
+		w.U64(epoch)
+		w.Bytes32(topo)
+		p.net.Multisend(w.Bytes())
+		wire.PutWriter(w)
 	}
 	if len(repull) > 0 {
 		w := wire.GetWriter(64)
@@ -228,6 +243,21 @@ func (p *Protocol) OnMessage(from ids.ProcessID, payload []byte) {
 		p.onDigest(from, r)
 	case subPull:
 		p.onPull(from, r)
+	case subFloor:
+		p.onFloor(from, r)
+	}
+}
+
+// onFloor handles a peer's merge-floor frame (cluster-wide GC floor lane).
+func (p *Protocol) onFloor(from ids.ProcessID, r *wire.Reader) {
+	floor := r.U64()
+	epoch := r.U64()
+	topo := r.BytesCopy()
+	if r.Err() != nil {
+		return
+	}
+	if cb := p.cfg.OnPeerFloor; cb != nil {
+		cb(from, floor, epoch, topo)
 	}
 }
 
@@ -262,7 +292,15 @@ func (p *Protocol) noteRoundLocked(from ids.ProcessID, kq uint64) (sendState []b
 			p.ds.encode(w)
 			sendState = w.Bytes()
 			p.met.stateSent.Inc()
-			p.fl.Event(obs.EvStateSent, p.cfg.Group, p.k, int64(from), int64(kq), "peer lagging")
+			cause := "peer lagging"
+			if gcForced {
+				// The transfer is forced by our GC floor, not by Δ: the
+				// cluster-wide merge floor exists to make this rare (a
+				// recovering process should find its rounds still live).
+				p.met.stateSentGCForced.Inc()
+				cause = "peer below gc floor"
+			}
+			p.fl.Event(obs.EvStateSent, p.cfg.Group, p.k, int64(from), int64(kq), cause)
 		}
 	}
 	return sendState
@@ -281,7 +319,10 @@ func (p *Protocol) onGossip(from ids.ProcessID, r *wire.Reader) {
 	p.met.gossipReceived.Inc()
 	added := 0
 	for _, m := range batch {
-		if p.ds.contains(m.ID) {
+		if p.drained || p.ds.contains(m.ID) {
+			// Drained: the sealed sequence is complete; gossiped leftovers
+			// are orphans the resharding layer re-injects elsewhere, and
+			// re-admitting them here would bounce them between peers forever.
 			continue
 		}
 		if p.unordered.Add(m) {
@@ -327,8 +368,8 @@ func (p *Protocol) onDigest(from ids.ProcessID, r *wire.Reader) {
 	now := time.Now()
 	var missing []ids.MsgID
 	for _, id := range idList {
-		if p.unordered.Contains(id) || p.ds.contains(id) {
-			continue
+		if p.drained || p.unordered.Contains(id) || p.ds.contains(id) {
+			continue // drained: no pulls — the sealed sequence needs nothing
 		}
 		// Pull dedup: every peer advertises the same backlog within one
 		// interval, so without it one missing message would draw a pull

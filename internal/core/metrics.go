@@ -25,6 +25,7 @@ type metrics struct {
 	pullsSent           *obs.Counter
 	pullsServed         *obs.Counter
 	stateSent           *obs.Counter
+	stateSentGCForced   *obs.Counter
 	stateAdopted        *obs.Counter
 	checkpoints         *obs.Counter
 	replayedRounds      *obs.Counter
@@ -59,6 +60,7 @@ func newMetrics(reg *obs.Registry, g ids.GroupID) *metrics {
 		pullsSent:           c("pulls_sent"),
 		pullsServed:         c("pulls_served"),
 		stateSent:           c("state_sent"),
+		stateSentGCForced:   c("state_sent_gc_forced"),
 		stateAdopted:        c("state_adopted"),
 		checkpoints:         c("checkpoints"),
 		replayedRounds:      c("replayed_rounds"),
@@ -92,6 +94,7 @@ func (m *metrics) snapshot() Stats {
 		PullsSent:           m.pullsSent.Value(),
 		PullsServed:         m.pullsServed.Value(),
 		StateSent:           m.stateSent.Value(),
+		StateSentGCForced:   m.stateSentGCForced.Value(),
 		StateAdopted:        m.stateAdopted.Value(),
 		Checkpoints:         m.checkpoints.Value(),
 		ReplayedRounds:      m.replayedRounds.Value(),
@@ -124,6 +127,7 @@ func (m *metrics) incarnation() Stats {
 	s.PullsSent -= b.PullsSent
 	s.PullsServed -= b.PullsServed
 	s.StateSent -= b.StateSent
+	s.StateSentGCForced -= b.StateSentGCForced
 	s.StateAdopted -= b.StateAdopted
 	s.Checkpoints -= b.Checkpoints
 	s.ReplayedRounds -= b.ReplayedRounds

@@ -23,6 +23,7 @@ const (
 	keyCkpt     = "abcast/ckpt"     // (k, Agreed) checkpoint cell (§5.1/§5.2)
 	keyUnord    = "abcast/unord"    // full Unordered set cell (§5.4)
 	keyUnordLog = "abcast/unordlog" // incremental Unordered log (§5.5)
+	keyGCFloor  = "abcast/gcfloor"  // round the last checkpoint discarded below
 )
 
 // Protocol is one process's Atomic Broadcast endpoint for one incarnation.
@@ -50,6 +51,17 @@ type Protocol struct {
 	pending  *deliveryState // state transfer awaiting adoption
 	pendingK uint64
 	gcFloor  uint64 // consensus instances below this were discarded
+
+	// Retirement seal (live resharding). Once sealed, Broadcast rejects new
+	// messages with ErrSealed and the sequencer proposes only empty batches
+	// for rounds up to sealFinal — so the round counter deterministically
+	// reaches sealFinal+1 (the drain) and stops. drainedCh closes at the
+	// drain; messages admitted before the seal but never ordered by the
+	// final round become orphans (TakeOrphans) for the successor group.
+	sealed    bool
+	sealFinal uint64
+	drained   bool
+	drainedCh chan struct{}
 
 	// starved, in ring mode, is the decided head round whose commit is
 	// deferred because a payload named by its ID vector has not arrived
@@ -143,6 +155,7 @@ func New(cfg Config, st storage.Stable, cons consensus.API, net router.Net) *Pro
 		inflightRounds: make(map[uint64]context.CancelFunc),
 		inflightMsgs:   make(map[ids.MsgID]uint64),
 		resCh:          make(chan roundResult, maxDepth+1),
+		drainedCh:      make(chan struct{}),
 		wake:           make(chan struct{}, 1),
 		ckptCh:         make(chan struct{}, 1),
 		maxDepth:       maxDepth,
@@ -222,17 +235,29 @@ func (p *Protocol) recover() error {
 		if ds == nil || r.Done() != nil {
 			return fmt.Errorf("core: corrupt checkpoint cell")
 		}
+		// The checkpoint task discarded Consensus state below the floor
+		// it persisted alongside the cell; without one (a cell written
+		// before floors existed, or an adoption) assume the worst case —
+		// everything below k is gone.
+		gcFloor := k
+		if fraw, ok, err := p.st.Get(keyGCFloor); err != nil {
+			return fmt.Errorf("core: retrieve gc floor: %w", err)
+		} else if ok {
+			fr := wire.NewReader(fraw)
+			if f := fr.U64(); fr.Done() == nil && f < gcFloor {
+				gcFloor = f
+			}
+		}
 		p.mu.Lock()
 		p.k = k
 		p.ds = ds
-		// The checkpoint task discarded Consensus state below the
-		// checkpointed round before the crash.
-		p.gcFloor = k
+		p.gcFloor = gcFloor
 		p.recoveredFromCkpt.Store(true)
 		base := ds.snapshotBase()
 		redeliver := p.tagGroup(ds.deliveries())
 		restoreCb := p.cfg.OnRestore
 		deliverCb := p.cfg.OnDeliver
+		skipCb := p.cfg.OnRoundSkip
 		p.mu.Unlock()
 		if restoreCb != nil {
 			restoreCb(base)
@@ -241,6 +266,19 @@ func (p *Protocol) recover() error {
 			for _, d := range redeliver {
 				deliverCb(d)
 			}
+		}
+		if skipCb != nil {
+			// Rounds the checkpoint folded will never reach OnRound in
+			// this incarnation: announce the jump, exactly like a state-
+			// transfer adoption does. Without this a recovered DRAINED
+			// group (which commits nothing ever again) would leave the
+			// round stream's counter at zero forever.
+			skipCb(p.cfg.Group, k)
+		}
+		// The restored counter is this incarnation's recoverable prefix:
+		// re-arm the durable-frontier gossip with it.
+		if cb := p.cfg.OnCheckpoint; cb != nil {
+			cb(k)
 		}
 	}
 
@@ -364,6 +402,12 @@ func (p *Protocol) Broadcast(ctx context.Context, payload []byte) (ids.MsgID, er
 		p.mu.Unlock()
 		return ids.MsgID{}, ErrStopped
 	}
+	if p.sealed {
+		// Rejected at entry: nothing was admitted, so the caller re-routes
+		// the payload (with a fresh identity) to the successor group.
+		p.mu.Unlock()
+		return ids.MsgID{}, ErrSealed
+	}
 	p.seq++
 	m := msg.Message{
 		ID:      ids.MsgID{Sender: p.cfg.PID, Incarnation: p.cfg.Incarnation, Seq: p.seq},
@@ -419,6 +463,16 @@ func (p *Protocol) Broadcast(ctx context.Context, payload []byte) (ids.MsgID, er
 	select {
 	case <-ch:
 		return m.ID, nil
+	case <-p.drainedCh:
+		// The group sealed and drained while we waited. If the final rounds
+		// ordered m it is delivered here; otherwise it is now an orphan the
+		// resharding layer re-injects (same MsgID) into the successor group —
+		// either way the caller's outcome is "may have been A-broadcast",
+		// the same as a crash mid-call.
+		if p.Delivered(m.ID) {
+			return m.ID, nil
+		}
+		return m.ID, ErrSealed
 	case <-ctx.Done():
 		return m.ID, ctx.Err()
 	case <-p.ctx.Done():
@@ -435,6 +489,10 @@ func (p *Protocol) BroadcastAsync(payload []byte) (ids.MsgID, error) {
 	if p.stopped {
 		p.mu.Unlock()
 		return ids.MsgID{}, ErrStopped
+	}
+	if p.sealed {
+		p.mu.Unlock()
+		return ids.MsgID{}, ErrSealed
 	}
 	p.seq++
 	m := msg.Message{
@@ -475,7 +533,9 @@ func (p *Protocol) disseminate(m msg.Message) {
 // forwards a relay frame to the successor only when it is.
 func (p *Protocol) AddDisseminated(m msg.Message) bool {
 	p.mu.Lock()
-	if p.stopped || p.ds.contains(m.ID) {
+	if p.stopped || p.drained || p.ds.contains(m.ID) {
+		// Drained: the sealed sequence is complete; late payloads belong to
+		// the orphan re-injection path, not this group's Unordered set.
 		p.mu.Unlock()
 		return false
 	}
@@ -617,6 +677,13 @@ func (p *Protocol) commit(round uint64, result []byte) bool {
 	}
 	p.met.delivered.Add(uint64(len(deliveries)))
 	p.lastProgress = time.Now()
+	if p.sealed && !p.drained && p.k >= p.sealFinal+1 {
+		// The final round committed: the retiring group's sequence is
+		// complete. Waiting Broadcast callers resolve via drainedCh and
+		// whatever is left unordered is the orphan set.
+		p.drained = true
+		close(p.drainedCh)
+	}
 	confirmTo, confirmN, revokeFrom, revoked := p.settleTentativeLocked(round, deliveries)
 	ckptDue := p.cfg.CheckpointEvery > 0 && p.k%uint64(p.cfg.CheckpointEvery) == 0
 	deliverCb := p.cfg.OnDeliver
@@ -790,6 +857,77 @@ func (p *Protocol) poke() {
 	case p.wake <- struct{}{}:
 	default:
 	}
+}
+
+// Seal marks the group as retiring with final round `final`: Broadcast
+// rejects new messages with ErrSealed from now on, and the sequencer
+// proposes only empty batches for the remaining rounds [k, final], so every
+// process's round counter deterministically reaches final+1 and stops. The
+// caller learns `final` from the SEAL marker ordered in the group itself
+// (final = marker round + drain window), so all processes seal at the same
+// boundary. Idempotent; a smaller final than an earlier seal is ignored.
+func (p *Protocol) Seal(final uint64) {
+	p.mu.Lock()
+	if p.sealed {
+		p.mu.Unlock()
+		return
+	}
+	p.sealed = true
+	p.sealFinal = final
+	if !p.drained && p.k >= final+1 {
+		// Already past the boundary (a restart re-applying the seal, or a
+		// state adoption that jumped the counter).
+		p.drained = true
+		close(p.drainedCh)
+	}
+	p.mu.Unlock()
+	p.poke() // the sequencer's batch-delay hold no longer applies
+}
+
+// Sealed returns the retirement seal state: whether Seal was applied and,
+// if so, the final round of the sealed sequence.
+func (p *Protocol) Sealed() (bool, uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sealed, p.sealFinal
+}
+
+// Drained reports whether a sealed group has committed its full sequence
+// (round counter past the final round). Always false before Seal.
+func (p *Protocol) Drained() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.drained
+}
+
+// DrainedChan returns a channel closed when the sealed group drains (never,
+// for an unsealed group). The resharding layer waits on it to bound the
+// drain window.
+func (p *Protocol) DrainedChan() <-chan struct{} {
+	return p.drainedCh
+}
+
+// TakeOrphans removes and returns the messages left in the Unordered set
+// after a sealed group drained: admitted before the seal but never ordered
+// by the final rounds. The resharding layer re-injects them — same MsgID —
+// into the successor group, where delivery-state dedup keeps the injection
+// idempotent across the processes all doing the same. Nil until the drain.
+func (p *Protocol) TakeOrphans() []msg.Message {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.drained {
+		return nil
+	}
+	orphans := p.unordered.Slice()
+	if len(orphans) == 0 {
+		return nil
+	}
+	out := make([]msg.Message, len(orphans))
+	copy(out, orphans)
+	for _, m := range out {
+		p.unordered.Remove(m.ID)
+	}
+	return out
 }
 
 // Round returns the current round counter k_p.

@@ -288,6 +288,21 @@ func (p *Protocol) assembleBatch(r uint64) (batch []msg.Message, delay time.Dura
 	if p.pending != nil || r < p.k || r >= p.k+p.depth() {
 		return nil, 0, false // the world moved while the lock was free
 	}
+	if p.sealed {
+		if r > p.sealFinal {
+			return nil, 0, false // the sealed sequence ends at sealFinal
+		}
+		// Drain: propose empty rounds for the remainder of the sealed
+		// sequence, so every process's counter reaches final+1 without
+		// admitting new content. Proposals logged before the seal still
+		// compete and may win these rounds — their messages are delivered;
+		// everything else becomes an orphan for the successor group.
+		p.met.proposalsSubmitted.Inc()
+		if r > p.k {
+			p.met.pipelinedProposals.Inc()
+		}
+		return nil, 0, true
+	}
 	snap := p.unordered.Slice()
 	pending := make([]msg.Message, 0, len(snap))
 	pendingBytes := 0
@@ -477,6 +492,10 @@ func (p *Protocol) maybeAdopt() {
 	oldNext := p.ds.nextPos()
 	p.ds.adopt(newDS)
 	p.k = newK
+	if p.sealed && !p.drained && p.k >= p.sealFinal+1 {
+		p.drained = true
+		close(p.drainedCh)
+	}
 	if p.starved != nil && p.starved.round < p.k {
 		p.starved = nil // the adoption skipped the payload-starved round
 	}
@@ -542,10 +561,23 @@ func (p *Protocol) maybeAdopt() {
 	if err := p.st.Put(keyCkpt, ckptBytes); err != nil {
 		return // dying incarnation
 	}
-	_ = p.cons.DiscardBelow(newK)
+	discard := newK
+	if p.cfg.DiscardFloor != nil {
+		if f := p.cfg.DiscardFloor(); f < discard {
+			discard = f
+		}
+	}
+	fw := wire.GetWriter(16)
+	fw.U64(discard)
+	_ = p.st.Put(keyGCFloor, fw.Bytes())
+	wire.PutWriter(fw)
+	_ = p.cons.DiscardBelow(discard)
 	p.mu.Lock()
-	if newK > p.gcFloor {
-		p.gcFloor = newK
+	if discard > p.gcFloor {
+		p.gcFloor = discard
 	}
 	p.mu.Unlock()
+	if cb := p.cfg.OnCheckpoint; cb != nil {
+		cb(newK)
+	}
 }

@@ -1,0 +1,462 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/abcast"
+	"repro/internal/harness"
+	"repro/internal/ids"
+	"repro/internal/obs"
+)
+
+// E22 measures elastic resharding: a live G=2 -> 4 scale-out under
+// sustained load. E16 established that group count multiplies the
+// sequencer throughput ceiling, but its topologies were fixed at
+// construction; PR 10's AddGroup/RetireGroup make the group set a runtime
+// knob. The claim under test: calling AddGroup twice on a loaded G=2
+// cluster raises delivered throughput to >= 1.5x the pre-scale-out rate
+// (guarded in CI by TestScaleOutRaisesThroughput), climbing toward the
+// statically-G=4 level, without stopping the feed — and the subsequent
+// live RetireGroup drains in a bounded window while traffic keeps
+// flowing, re-routed off the sealed group by the router's epoch swap.
+//
+// The workload is the E16 shape (closed-loop keyed lanes, bounded
+// batches over a delayed-LAN mem transport) so a single sequencer's
+// PipelineDepth x MaxBatch ceiling — not the machine — is what the extra
+// groups relieve. Delivered messages are counted at p0 across fixed
+// wall-clock windows: pre (G=2), during (the window containing both
+// AddGroup calls and the cluster-wide splice), post (G=4), and
+// post-retire (G=3, after a live scale-in of the busiest original
+// group). A separate statically-G=4 cluster runs the same lanes for the
+// "how close did the live scale-out get" reference row.
+
+// e22N is the cluster size, matching E16's 3-process topology.
+const e22N = 3
+
+// e22Lanes is the closed-loop sender lanes per process.
+const e22Lanes = 4
+
+// e22Payload is the small-message payload size: batching and round
+// cadence, not bandwidth, dominate.
+const e22Payload = 64
+
+// e22Protocol is the bounded hot path shared by every E22 cluster: the
+// E16 shape with a TIGHTER per-group ceiling (one round in flight, 4
+// messages per proposal). E16's knobs leave a 2-group deployment fast
+// enough to push a shared CI machine into CPU saturation, where extra
+// sequencers relieve nothing; a scale-out experiment needs the per-group
+// cap — PipelineDepth x MaxBatch per consensus round trip — to be the
+// binding constraint on both sides of the transition, so the group count
+// is what moves the ceiling.
+func e22Protocol() abcast.ProtocolOptions {
+	return abcast.ProtocolOptions{
+		PipelineDepth:    1,
+		BatchedBroadcast: true,
+		IncrementalLog:   true,
+		MaxBatch:         4,
+		MaxBatchDelay:    200 * time.Microsecond,
+		CheckpointEvery:  32,
+	}
+}
+
+// E22Window is one fixed-duration throughput sample at p0.
+type E22Window struct {
+	Phase   string  `json:"phase"`
+	Groups  int     `json:"groups"`
+	Millis  float64 `json:"window_ms"`
+	Msgs    uint64  `json:"delivered"`
+	PerSec  float64 `json:"msgs_per_s"`
+	Speedup float64 `json:"vs_pre,omitempty"` // rate relative to the pre window
+}
+
+// E22Metrics is the whole live-resharding walk plus the static reference.
+type E22Metrics struct {
+	N       int         `json:"n"`
+	Windows []E22Window `json:"windows"`
+	// ScaleOutMs is the wall time from the first AddGroup call until every
+	// process has both new groups spliced in and serving.
+	ScaleOutMs float64 `json:"scaleout_ms"`
+	// DrainMs is the wall time of the live RetireGroup (the slowest
+	// process's call): seal marker ordered, W drain rounds committed,
+	// orphans re-injected, namespace archived.
+	DrainMs float64 `json:"drain_ms"`
+	// MigratedKeys/MigratedBytes are the retired group's archived
+	// namespace, from the abcast.reshard.* registry at p0.
+	MigratedKeys  uint64 `json:"migrated_keys"`
+	MigratedBytes uint64 `json:"migrated_bytes"`
+	// FinalEpoch is p0's topology epoch after the walk: one bump per
+	// join/seal transition (2 joins + 1 seal = 3 from the initial 0).
+	FinalEpoch int64 `json:"final_epoch"`
+	// StaticPerSec is the statically-G=4 cluster's rate on the same lanes.
+	StaticPerSec float64 `json:"static_g4_msgs_per_s"`
+	// PostOverPre and PostOverStatic summarize the claim: live scale-out
+	// multiplies throughput (>= e22ScaleOutFloor) and lands near the
+	// static-G=4 level.
+	PostOverPre    float64 `json:"post_over_pre"`
+	PostOverStatic float64 `json:"post_over_static"`
+}
+
+// e22ScaleOutFloor is the CI acceptance threshold: post-scale-out
+// throughput must be at least this multiple of the pre-scale-out rate.
+// Doubling the sequencers ideally doubles the ceiling; 1.5x leaves head-
+// room for shared-substrate saturation on a loaded runner.
+const e22ScaleOutFloor = 1.5
+
+// e22Cluster is one live abcast.Sharded deployment under closed-loop
+// lanes, with delivered-at-p0 counting.
+type e22Cluster struct {
+	procs     []*abcast.Sharded
+	planes    []*obs.Plane
+	delivered atomic.Uint64 // non-marker deliveries at p0
+	cancel    context.CancelFunc
+	laneWG    sync.WaitGroup
+	laneStop  context.CancelFunc
+}
+
+// e22Start builds and starts an e22N-process cluster with the given
+// initial group count.
+func e22Start(seed uint64, groups int) (*e22Cluster, error) {
+	c := &e22Cluster{}
+	net := abcast.NewMemNetwork(e22N, abcast.MemNetOptions{
+		// The E16 delayed LAN: networks charge per round trip, which is
+		// the cost G sequencers pay in parallel where one pays it serially.
+		Seed: seed, MinDelay: 200 * time.Microsecond, MaxDelay: 400 * time.Microsecond,
+	})
+	snet := abcast.NewShardedNetwork(net, groups)
+	ctx, cancel := context.WithCancel(context.Background())
+	c.cancel = func() { cancel(); net.Close() }
+	c.procs = make([]*abcast.Sharded, e22N)
+	c.planes = make([]*obs.Plane, e22N)
+	for p := 0; p < e22N; p++ {
+		pid := ids.ProcessID(p)
+		c.planes[p] = obs.New(obs.Options{PID: pid})
+		cfg := abcast.ShardedConfig{
+			PID: pid, N: e22N,
+			Protocol: e22Protocol(),
+			Obs:      c.planes[p],
+		}
+		if p == 0 {
+			cfg.OnDeliver = func(d abcast.Delivery) {
+				if !abcast.IsReshardMarker(d.Msg.Payload) {
+					c.delivered.Add(1)
+				}
+			}
+		}
+		s, err := abcast.NewSharded(cfg, abcast.NewMemStorage(), snet)
+		if err != nil {
+			c.cancel()
+			return nil, err
+		}
+		if err := s.Start(ctx); err != nil {
+			c.cancel()
+			return nil, err
+		}
+		c.procs[p] = s
+	}
+	return c, nil
+}
+
+// e22Window is each lane's in-flight cap: deep enough that every group's
+// sequencer always has a full MaxBatch x PipelineDepth window of supply
+// (throughput measures ordering capacity, not submission latency),
+// bounded so the unordered backlog cannot outgrow what the rounds drain —
+// BatchedBroadcast returns at log time, and an uncapped feed would bury
+// the protocol under an ever-growing unordered set.
+const e22InFlight = 32
+
+// startLanes launches e22Lanes keyed sender lanes per process, each a
+// sliding window of e22InFlight batched broadcasts: submit at log-time
+// speed, await the oldest message's local delivery once the window is
+// full. Submission errors are transient by construction (a key routed to
+// a group whose local member is still splicing in, or to one sealing
+// shut) and the lane retries with its next key; an await that outlives
+// its deadline (an orphan re-injected under a remapped identity during a
+// retirement) is abandoned — both dips are part of what the during-
+// window measures.
+func (c *e22Cluster) startLanes() {
+	lctx, lcancel := context.WithCancel(context.Background())
+	c.laneStop = lcancel
+	payload := make([]byte, e22Payload)
+	for p := 0; p < e22N; p++ {
+		for l := 0; l < e22Lanes; l++ {
+			c.laneWG.Add(1)
+			go func(s *abcast.Sharded, lane int) {
+				defer c.laneWG.Done()
+				type sent struct {
+					g  abcast.GroupID
+					id abcast.MsgID
+				}
+				var window []sent
+				for i := 0; lctx.Err() == nil; i++ {
+					key := fmt.Sprintf("e22-%d-%d", lane, i)
+					bctx, bcancel := context.WithTimeout(lctx, 5*time.Second)
+					g, id, err := s.Broadcast(bctx, []byte(key), payload)
+					bcancel()
+					if err != nil {
+						if lctx.Err() == nil {
+							time.Sleep(200 * time.Microsecond)
+						}
+						continue
+					}
+					window = append(window, sent{g, id})
+					if len(window) < e22InFlight {
+						continue
+					}
+					oldest := window[0]
+					window = window[1:]
+					deadline := time.Now().Add(250 * time.Millisecond)
+					done := false
+					for lctx.Err() == nil && time.Now().Before(deadline) {
+						if done = s.Delivered(oldest.g, oldest.id); done {
+							break
+						}
+						time.Sleep(200 * time.Microsecond)
+					}
+					if !done {
+						// A retirement orphaned this group's tail: those
+						// messages re-enter under remapped identities the
+						// lane cannot track. Flush the group's entries so
+						// one bounded timeout, not one per entry, covers
+						// the seal.
+						keep := window[:0]
+						for _, w := range window {
+							if w.g != oldest.g {
+								keep = append(keep, w)
+							}
+						}
+						window = keep
+					}
+				}
+			}(c.procs[p], p*e22Lanes+l)
+		}
+	}
+}
+
+func (c *e22Cluster) stopLanes() {
+	if c.laneStop != nil {
+		c.laneStop()
+		c.laneWG.Wait()
+	}
+}
+
+func (c *e22Cluster) stop() {
+	c.stopLanes()
+	for _, s := range c.procs {
+		if s != nil {
+			s.Crash()
+		}
+	}
+	c.cancel()
+}
+
+// window samples delivered-at-p0 over a fixed wall-clock duration.
+func (c *e22Cluster) window(phase string, groups int, d time.Duration) E22Window {
+	c0 := c.delivered.Load()
+	t0 := time.Now()
+	time.Sleep(d)
+	el := time.Since(t0)
+	n := c.delivered.Load() - c0
+	return E22Window{
+		Phase: phase, Groups: groups,
+		Millis: float64(el.Microseconds()) / 1e3,
+		Msgs:   n,
+		PerSec: float64(n) / el.Seconds(),
+	}
+}
+
+// awaitServing polls until every process has group g in its topology
+// with its local member node up.
+func e22AwaitServing(cx context.Context, procs []*abcast.Sharded, g abcast.GroupID) error {
+	for {
+		ready := true
+		for _, p := range procs {
+			if !p.InTopology(g) || !p.Up() {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			return nil
+		}
+		select {
+		case <-cx.Done():
+			return fmt.Errorf("await group %v serving everywhere: %w", g, cx.Err())
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// e22Live runs the full walk: pre window at G=2, two live AddGroups,
+// post window at G=4, then a live RetireGroup with the lanes still
+// feeding, plus the statically-G=4 reference cluster.
+func e22Live(scale Scale, seed uint64) (*E22Metrics, error) {
+	warm := time.Duration(scale.pick(150, 400)) * time.Millisecond
+	win := time.Duration(scale.pick(400, 1500)) * time.Millisecond
+
+	m := &E22Metrics{N: e22N}
+	cx, cancel := ctx()
+	defer cancel()
+
+	c, err := e22Start(seed, 2)
+	if err != nil {
+		return nil, fmt.Errorf("start live cluster: %w", err)
+	}
+	defer c.stop()
+	c.startLanes()
+	time.Sleep(warm)
+
+	pre := c.window("pre", 2, win)
+	pre.Speedup = 1
+	m.Windows = append(m.Windows, pre)
+
+	// Scale out live: mint both groups from p0 (one caller per scale-out;
+	// every other process splices in off the JOIN markers), then wait for
+	// the whole cluster to serve them. The during-window is the window
+	// that contains the transition.
+	d0 := c.delivered.Load()
+	t0 := time.Now()
+	var added []abcast.GroupID
+	for i := 0; i < 2; i++ {
+		g, err := c.procs[0].AddGroup(cx)
+		if err != nil {
+			return nil, fmt.Errorf("AddGroup #%d: %w", i+1, err)
+		}
+		added = append(added, g)
+	}
+	for _, g := range added {
+		if err := e22AwaitServing(cx, c.procs, g); err != nil {
+			return nil, err
+		}
+	}
+	m.ScaleOutMs = float64(time.Since(t0).Microseconds()) / 1e3
+	if rest := win - time.Since(t0); rest > 0 {
+		time.Sleep(rest)
+	}
+	el := time.Since(t0)
+	during := E22Window{
+		Phase: "during", Groups: 4,
+		Millis: float64(el.Microseconds()) / 1e3,
+		Msgs:   c.delivered.Load() - d0,
+	}
+	during.PerSec = float64(during.Msgs) / el.Seconds()
+	during.Speedup = during.PerSec / pre.PerSec
+	m.Windows = append(m.Windows, during)
+
+	time.Sleep(warm) // settle: batch delays re-amortize over 4 groups
+	post := c.window("post", 4, win)
+	post.Speedup = post.PerSec / pre.PerSec
+	m.Windows = append(m.Windows, post)
+
+	// Scale in live: retire original group 0 with the lanes still feeding
+	// it — Broadcast re-routes sealed keys itself. RetireGroup is an
+	// every-caller operation; the drain window is the slowest call.
+	t0 = time.Now()
+	errs := make(chan error, e22N)
+	for _, p := range c.procs {
+		go func(p *abcast.Sharded) { errs <- p.RetireGroup(cx, 0) }(p)
+	}
+	for range c.procs {
+		if err := <-errs; err != nil {
+			return nil, fmt.Errorf("RetireGroup(g0): %w", err)
+		}
+	}
+	m.DrainMs = float64(time.Since(t0).Microseconds()) / 1e3
+
+	retired := c.window("post-retire", 3, win)
+	retired.Speedup = retired.PerSec / pre.PerSec
+	m.Windows = append(m.Windows, retired)
+	c.stopLanes()
+
+	reg := c.planes[0].Reg()
+	m.MigratedKeys = reg.Counter("abcast.reshard.migrated_keys").Value()
+	m.MigratedBytes = reg.Counter("abcast.reshard.migrated_bytes").Value()
+	m.FinalEpoch = reg.Gauge("abcast.reshard.epoch").Value()
+	m.PostOverPre = post.Speedup
+
+	// The statically-G=4 reference: same lanes, same substrate, topology
+	// fixed at construction — what the live scale-out climbs toward.
+	sc, err := e22Start(seed+101, 4)
+	if err != nil {
+		return nil, fmt.Errorf("start static cluster: %w", err)
+	}
+	defer sc.stop()
+	sc.startLanes()
+	time.Sleep(warm)
+	stat := sc.window("static", 4, win)
+	m.StaticPerSec = stat.PerSec
+	if stat.PerSec > 0 {
+		m.PostOverStatic = post.PerSec / stat.PerSec
+	}
+	return m, nil
+}
+
+// e22Acceptance checks the E22 claim on one walk's metrics; nil when it
+// holds.
+func e22Acceptance(m *E22Metrics) []string {
+	var bad []string
+	if m.PostOverPre < e22ScaleOutFloor {
+		bad = append(bad, fmt.Sprintf("post-scale-out throughput is %.2fx pre (floor %.1fx)",
+			m.PostOverPre, e22ScaleOutFloor))
+	}
+	if m.FinalEpoch != 3 {
+		bad = append(bad, fmt.Sprintf("final topology epoch %d, want 3 (2 joins + 1 seal)", m.FinalEpoch))
+	}
+	return bad
+}
+
+// E22Resharding tabulates the live-resharding walk.
+func E22Resharding(scale Scale) (*Result, error) {
+	m, err := e22Live(scale, 22000)
+	if err != nil {
+		return nil, fmt.Errorf("E22: %w", err)
+	}
+	table := harness.NewTable(
+		"E22 — elastic resharding: live G=2->4 scale-out and G=4->3 scale-in under closed-loop load (n=3, 12 lanes, bounded batches)",
+		"phase", "groups", "window ms", "delivered", "msgs/s", "vs pre")
+	res := &Result{Table: table}
+	for _, w := range m.Windows {
+		table.Add(w.Phase, w.Groups, fmt.Sprintf("%.0f", w.Millis), w.Msgs,
+			fmt.Sprintf("%.0f", w.PerSec), fmt.Sprintf("%.2fx", w.Speedup))
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("scale-out (2x AddGroup + cluster-wide splice) took %.1f ms; traffic never stopped", m.ScaleOutMs),
+		fmt.Sprintf("live RetireGroup drained in %.1f ms (seal marker + W drain rounds + orphan re-injection + archive of %d keys / %d bytes)",
+			m.DrainMs, m.MigratedKeys, m.MigratedBytes),
+		fmt.Sprintf("post-scale-out reaches %.2fx pre-scale-out (acceptance: >= %.1fx, TestScaleOutRaisesThroughput) and %.0f%% of the statically-G=4 rate (%.0f msgs/s)",
+			m.PostOverPre, e22ScaleOutFloor, 100*m.PostOverStatic, m.StaticPerSec),
+		"joins and seals are ordinary agreed rounds (JOIN/SEAL markers), so every process switches topology at the same position — no downtime, no coordinator",
+	)
+	return res, nil
+}
+
+// E22WriteJSON runs the walk and publishes it as the committed
+// BENCH_e22.json artifact.
+func E22WriteJSON(scale Scale, path string) error {
+	m, err := e22Live(scale, 22000)
+	if err != nil {
+		return err
+	}
+	doc := struct {
+		Experiment string      `json:"experiment"`
+		Claim      string      `json:"claim"`
+		Scale      string      `json:"scale"`
+		Metrics    *E22Metrics `json:"metrics"`
+	}{
+		Experiment: "E22 elastic resharding",
+		Claim: fmt.Sprintf("a live G=2->4 scale-out under load reaches >= %.1fx the pre-scale-out delivered throughput, climbing toward the statically-G=4 level, and a live RetireGroup drains in a bounded window without stopping the feed",
+			e22ScaleOutFloor),
+		Scale:   map[Scale]string{Quick: "quick", Full: "full"}[scale],
+		Metrics: m,
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScaleOutRaisesThroughput is the E22 regression guard: a live
+// G=2->4 scale-out under closed-loop load must raise delivered
+// throughput to >= e22ScaleOutFloor of the pre-scale-out rate, and the
+// walk's topology must land on epoch 3 (two joins, one seal). Rates on a
+// shared CI runner jitter, so the guard retries with fresh seeds: a
+// resharding regression (a stalled splice, a router that keeps feeding
+// two groups) fails every attempt, noise does not.
+func TestScaleOutRaisesThroughput(t *testing.T) {
+	if raceEnabled {
+		t.Skip("throughput comparison is not meaningful under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("perf guard: runs in its own CI step (and in full local runs)")
+	}
+	const attempts = 3
+	var last []string
+	for a := 1; a <= attempts; a++ {
+		m, err := e22Live(Quick, uint64(22000+100*a))
+		if err != nil {
+			t.Fatalf("attempt %d: %v", a, err)
+		}
+		for _, w := range m.Windows {
+			t.Logf("attempt %d: %-11s G=%d %6.0f msgs/s (%.2fx pre)", a, w.Phase, w.Groups, w.PerSec, w.Speedup)
+		}
+		t.Logf("attempt %d: scale-out %.1f ms, drain %.1f ms, static G=4 %.0f msgs/s (post at %.0f%%)",
+			a, m.ScaleOutMs, m.DrainMs, m.StaticPerSec, 100*m.PostOverStatic)
+		if last = e22Acceptance(m); len(last) == 0 {
+			return
+		}
+		t.Logf("attempt %d failed acceptance: %s", a, strings.Join(last, "; "))
+	}
+	t.Fatalf("E22 acceptance failed on all %d attempts: %s", attempts, strings.Join(last, "; "))
+}

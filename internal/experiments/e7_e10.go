@@ -349,6 +349,7 @@ func All(scale Scale) ([]*Result, error) {
 		{"E19", E19Latency},
 		{"E20", E20Dissemination},
 		{"E21", E21Autotune},
+		{"E22", E22Resharding},
 	}
 	var out []*Result
 	for _, e := range exps {
@@ -406,6 +407,8 @@ func ByName(name string) (func(Scale) (*Result, error), bool) {
 		return E20Dissemination, true
 	case "E21":
 		return E21Autotune, true
+	case "E22":
+		return E22Resharding, true
 	default:
 		return nil, false
 	}

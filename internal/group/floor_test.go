@@ -1,0 +1,122 @@
+package group
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// floorClock is a manual clock for FloorTracker tests.
+type floorClock struct{ t time.Time }
+
+func (c *floorClock) now() time.Time          { return c.t }
+func (c *floorClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestTracker(self func() uint64, cap_ time.Duration) (*FloorTracker, *floorClock) {
+	clk := &floorClock{t: time.Unix(1000, 0)}
+	tr := NewFloorTracker(self, cap_)
+	tr.now = clk.now
+	tr.created = clk.t
+	return tr, clk
+}
+
+func TestFloorTrackerClusterMinimum(t *testing.T) {
+	local := uint64(100)
+	tr, _ := newTestTracker(func() uint64 { return local }, time.Second)
+	peers := []ids.ProcessID{1, 2}
+
+	// Never-reported peers hold the floor at 0 (conservative start).
+	if f := tr.ClusterFloor(peers); f != 0 {
+		t.Fatalf("floor before any report = %d; want 0", f)
+	}
+	tr.Report(1, 40, 0, nil)
+	tr.Report(2, 70, 0, nil)
+	if f := tr.ClusterFloor(peers); f != 40 {
+		t.Fatalf("floor = %d; want the slowest fresh peer (40)", f)
+	}
+	// The local frontier participates in the minimum.
+	local = 30
+	if f := tr.ClusterFloor(peers); f != 30 {
+		t.Fatalf("floor = %d; want the local frontier (30)", f)
+	}
+	local = 100
+
+	// Reports are monotone per peer: a reordered older report cannot
+	// lower an earlier one.
+	tr.Report(1, 25, 0, nil)
+	if f := tr.ClusterFloor(peers); f != 40 {
+		t.Fatalf("floor = %d after stale reorder; want 40", f)
+	}
+	tr.Report(1, 90, 0, nil)
+	if f := tr.ClusterFloor(peers); f != 70 {
+		t.Fatalf("floor = %d; want 70", f)
+	}
+}
+
+func TestFloorTrackerStalenessCap(t *testing.T) {
+	tr, clk := newTestTracker(func() uint64 { return 100 }, time.Second)
+	peers := []ids.ProcessID{1, 2}
+	tr.Report(1, 10, 0, nil)
+	tr.Report(2, 80, 0, nil)
+	if f := tr.ClusterFloor(peers); f != 10 {
+		t.Fatalf("floor = %d; want 10", f)
+	}
+
+	// p1 goes silent past the cap: it stops holding the floor down. p2
+	// keeps reporting and still gates.
+	clk.advance(1500 * time.Millisecond)
+	tr.Report(2, 80, 0, nil)
+	if f := tr.ClusterFloor(peers); f != 80 {
+		t.Fatalf("floor = %d after p1 went stale; want 80", f)
+	}
+	// p1 returns within a fresh report: it gates again.
+	tr.Report(1, 20, 0, nil)
+	if f := tr.ClusterFloor(peers); f != 20 {
+		t.Fatalf("floor = %d after p1 returned; want 20", f)
+	}
+
+	// A peer that NEVER reported stops holding the floor once the cap has
+	// elapsed since creation.
+	tr2, clk2 := newTestTracker(func() uint64 { return 50 }, time.Second)
+	if f := tr2.ClusterFloor(peers); f != 0 {
+		t.Fatalf("young tracker floor = %d; want 0", f)
+	}
+	clk2.advance(2 * time.Second)
+	if f := tr2.ClusterFloor(peers); f != 50 {
+		t.Fatalf("aged tracker floor = %d; want the local frontier", f)
+	}
+
+	// cap 0 = never stale: an unreported peer holds the floor forever.
+	tr3, clk3 := newTestTracker(func() uint64 { return 50 }, 0)
+	clk3.advance(time.Hour)
+	if f := tr3.ClusterFloor(peers); f != 0 {
+		t.Fatalf("uncapped tracker floor = %d; want 0 (waits indefinitely)", f)
+	}
+}
+
+func TestFloorTrackerEpochAdoption(t *testing.T) {
+	tr, _ := newTestTracker(func() uint64 { return 0 }, time.Second)
+	topo := NewStaticTopology(2)
+	topo.ApplyJoin(0, 3, 2)
+	enc := topo.Encode()
+
+	tr.Report(1, 5, topo.Epoch, enc)
+	if e, d := tr.Epoch(); e != topo.Epoch || d == nil {
+		t.Fatalf("epoch = %d, descriptor nil=%v", e, d == nil)
+	}
+	// Lower epochs never regress the descriptor.
+	tr.Report(2, 9, 0, nil)
+	if e, d := tr.Epoch(); e != topo.Epoch || d == nil {
+		t.Fatalf("epoch regressed to %d (descriptor nil=%v)", e, d == nil)
+	}
+	// The descriptor round-trips into the topology that produced it.
+	_, d := tr.Epoch()
+	dec, err := DecodeTopology(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Epoch != topo.Epoch || dec.Spans[2].Offset != topo.Spans[2].Offset {
+		t.Fatalf("adopted descriptor decodes to %+v; want %+v", dec, topo)
+	}
+}

@@ -94,6 +94,112 @@ func Merge(seqs []Sequence) (merged []core.Delivery, from, rounds uint64) {
 	return merged, from, rounds
 }
 
+// MergeT computes the deterministic cross-group interleave under a live
+// topology: each group's local rounds are lifted into the global numbering
+// (global = Span.Offset + local), output Deliveries carry the global round,
+// and the interleave walks global rounds ascending with groups ascending
+// within a round — which reduces to Merge exactly when every offset is 0.
+// Sealed groups stop gating the frontier once drained (decided past their
+// final round), and drained retired groups may be absent from seqs
+// entirely; a live group missing from seqs pins the frontier at its offset
+// (nothing beyond its splice point can be emitted without it).
+//
+// The result covers global rounds [from, rounds): from is MergeBaseT (the
+// highest folded global round), rounds the global merge frontier. Because
+// both are pure functions of the per-group sequences and the (marker-
+// agreed) topology, any two processes' merges agree on the global rounds
+// they both cover — the splice across a reshard epoch is deterministic.
+func MergeT(seqs []Sequence, topo *Topology) (merged []core.Delivery, from, rounds uint64) {
+	if topo == nil {
+		return Merge(seqs)
+	}
+	bySeq := make(map[ids.GroupID]*Sequence, len(seqs))
+	for i := range seqs {
+		if _, known := topo.Spans[seqs[i].Group]; known {
+			bySeq[seqs[i].Group] = &seqs[i]
+		}
+	}
+	rounds = noRound
+	for g, sp := range topo.Spans {
+		var decided uint64
+		if sq, ok := bySeq[g]; ok {
+			decided = sq.Rounds
+		} else if sp.Sealed {
+			decided = sp.Final + 1 // drained retired group: fully decided
+		}
+		if c := contribution(sp, decided); c < rounds {
+			rounds = c
+		}
+	}
+	if rounds == noRound {
+		rounds = 0
+		for g, sp := range topo.Spans {
+			var decided uint64
+			if sq, ok := bySeq[g]; ok {
+				decided = sq.Rounds
+			} else if sp.Sealed {
+				decided = sp.Final + 1
+			}
+			if c := sp.Offset + decided; c > rounds {
+				rounds = c
+			}
+		}
+	}
+	from = MergeBaseT(seqs, topo)
+	if from >= rounds {
+		return nil, from, rounds
+	}
+
+	gs := topo.Groups()
+	type bucket struct {
+		byRnd map[uint64][]core.Delivery
+	}
+	buckets := make([]bucket, len(gs))
+	for i, g := range gs {
+		sq, ok := bySeq[g]
+		if !ok {
+			continue
+		}
+		sp := topo.Spans[g]
+		b := bucket{byRnd: make(map[uint64][]core.Delivery)}
+		for _, d := range sq.Deliveries {
+			global := sp.Offset + d.Round
+			if global >= from && global < rounds {
+				d.Group = g
+				d.Round = global
+				b.byRnd[global] = append(b.byRnd[global], d)
+			}
+		}
+		buckets[i] = b
+	}
+	for k := from; k < rounds; k++ {
+		for i := range buckets {
+			if buckets[i].byRnd != nil {
+				merged = append(merged, buckets[i].byRnd[k]...)
+			}
+		}
+	}
+	return merged, from, rounds
+}
+
+// MergeBaseT returns the lowest global round a batch merge of seqs under
+// topo can reconstruct: the maximum over the groups' folded-prefix heights
+// lifted to global rounds. A group that has folded nothing contributes 0
+// regardless of its offset — its whole history is still present.
+func MergeBaseT(seqs []Sequence, topo *Topology) uint64 {
+	var base uint64
+	for _, s := range seqs {
+		sp, ok := topo.Spans[s.Group]
+		if !ok || s.Base.Rounds == 0 {
+			continue
+		}
+		if h := sp.Offset + s.Base.Rounds; h > base {
+			base = h
+		}
+	}
+	return base
+}
+
 // MergeBase returns the lowest round a batch merge of seqs can
 // reconstruct: the maximum over the groups' folded-prefix heights
 // (Base.Rounds). 0 when no group has checkpointed.

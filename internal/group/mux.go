@@ -96,7 +96,7 @@ type MuxStats struct {
 // wraps.
 type Mux struct {
 	inner  transport.Network
-	groups int
+	groups atomic.Int32 // raised by Grow during live scale-out
 	opts   MuxOptions
 
 	mu    sync.Mutex
@@ -121,16 +121,38 @@ func NewMuxOpts(inner transport.Network, groups int, opts MuxOptions) *Mux {
 		groups = maxGroups
 	}
 	opts.fill()
-	return &Mux{
-		inner:  inner,
-		groups: groups,
-		opts:   opts,
-		procs:  make(map[ids.ProcessID]*procMux),
+	m := &Mux{
+		inner: inner,
+		opts:  opts,
+		procs: make(map[ids.ProcessID]*procMux),
 	}
+	m.groups.Store(int32(groups))
+	return m
 }
 
 // Groups returns the number of ordering groups the mux serves.
-func (m *Mux) Groups() int { return m.groups }
+func (m *Mux) Groups() int { return int(m.groups.Load()) }
+
+// Grow raises the number of group lanes the mux serves to at least groups
+// — the live scale-out path. Existing lanes, attachments and in-flight
+// frames are untouched; frames tagged with a lane at or above the current
+// count stop being dropped as unknown the moment Grow returns. Shrinking
+// is not supported: a retired group's lane simply goes quiet once its
+// nodes detach.
+func (m *Mux) Grow(groups int) {
+	if groups > maxGroups {
+		groups = maxGroups
+	}
+	for {
+		cur := m.groups.Load()
+		if int32(groups) <= cur {
+			return
+		}
+		if m.groups.CompareAndSwap(cur, int32(groups)) {
+			return
+		}
+	}
+}
 
 // Inner returns the wrapped network.
 func (m *Mux) Inner() transport.Network { return m.inner }
@@ -184,8 +206,8 @@ var _ transport.Network = groupNet{}
 func (n groupNet) N() int { return n.m.inner.N() }
 
 func (n groupNet) Attach(pid ids.ProcessID) (transport.Endpoint, error) {
-	if n.g < 0 || int(n.g) >= n.m.groups {
-		return nil, fmt.Errorf("group: gid %v out of range [0,%d)", n.g, n.m.groups)
+	if n.g < 0 || int(n.g) >= n.m.Groups() {
+		return nil, fmt.Errorf("group: gid %v out of range [0,%d)", n.g, n.m.Groups())
 	}
 	return n.m.attach(uint16(n.g), pid)
 }
@@ -316,7 +338,7 @@ func (pm *procMux) splitCoalesced(from ids.ProcessID, rest []byte) {
 
 // dispatch routes one demultiplexed frame to its lane's inbox.
 func (pm *procMux) dispatch(from ids.ProcessID, tag uint16, payload []byte) {
-	if tag != procTag && tag != dissemTag && int(tag) >= pm.m.groups {
+	if tag != procTag && tag != dissemTag && int(tag) >= pm.m.Groups() {
 		pm.m.unknown.Add(1)
 		return
 	}

@@ -67,6 +67,30 @@ func NewHashRouter(groups int) Router {
 	return &hashRouter{points: points}
 }
 
+// NewHashRouterOver returns the consistent-hash router over an explicit
+// set of group IDs — the live-resharding constructor. Each group's vnode
+// labels are keyed by its actual GroupID, so the ring over {0..G-1} is
+// byte-identical to NewHashRouter(G)'s, and growing or retiring one group
+// leaves every other group's points untouched: only the ~1/G of the
+// keyspace owned by the changed group moves (the keyspace-stability
+// property the router tests pin down).
+func NewHashRouterOver(groups []ids.GroupID) Router {
+	if len(groups) == 0 {
+		return NewHashRouter(1)
+	}
+	points := make([]ringPoint, 0, len(groups)*vnodesPerGroup)
+	for _, g := range groups {
+		for v := 0; v < vnodesPerGroup; v++ {
+			points = append(points, ringPoint{
+				hash:  hash64(fmt.Appendf(nil, "g%d/v%d", g, v)),
+				group: g,
+			})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].hash < points[j].hash })
+	return &hashRouter{points: points}
+}
+
 func hash64(b []byte) uint64 {
 	h := fnv.New64a()
 	h.Write(b)

@@ -72,3 +72,102 @@ func TestRouterFunc(t *testing.T) {
 		t.Fatalf("RouterFunc = %v; want 2", got)
 	}
 }
+
+// TestHashRouterOverKeyspaceStability is the live-resharding stability
+// property: for every group count G in 2..16, growing the ring by one
+// group moves only keys that land on the newcomer (~1/(G+1) of the
+// keyspace), and retiring one group moves only the keys it owned
+// (~1/G) — every move lands on a surviving group. Mod-hashing would
+// reshuffle ~(G-1)/G of the keyspace; the bound pinned here is what
+// makes AddGroup/RetireGroup cheap for the application's key affinity.
+func TestHashRouterOverKeyspaceStability(t *testing.T) {
+	const n = 8000
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = fmt.Appendf(nil, "stability-key-%d", i)
+	}
+	for G := 2; G <= 16; G++ {
+		gs := make([]ids.GroupID, G)
+		for i := range gs {
+			gs[i] = ids.GroupID(i)
+		}
+		base := NewHashRouterOver(gs)
+
+		// Grow: add group G. Moves must all land on the newcomer and stay
+		// near the ideal n/(G+1) share.
+		grown := NewHashRouterOver(append(append([]ids.GroupID{}, gs...), ids.GroupID(G)))
+		moved := 0
+		for _, k := range keys {
+			was, is := base.Route(k), grown.Route(k)
+			if was == is {
+				continue
+			}
+			if is != ids.GroupID(G) {
+				t.Fatalf("G=%d grow: key moved %v->%v, not to the new group", G, was, is)
+			}
+			moved++
+		}
+		ideal := n / (G + 1)
+		if moved > 2*ideal {
+			t.Fatalf("G=%d grow moved %d/%d keys; ideal %d, cap %d", G, moved, n, ideal, 2*ideal)
+		}
+		if moved == 0 {
+			t.Fatalf("G=%d grow moved no keys: the new group is starved", G)
+		}
+
+		// Retire: remove the last group. Exactly its keys move, each to a
+		// survivor, and the move count mirrors the grow count of G-1->G.
+		retired := NewHashRouterOver(gs[:G-1])
+		moved = 0
+		for _, k := range keys {
+			was, is := base.Route(k), retired.Route(k)
+			if was == is {
+				continue
+			}
+			if was != ids.GroupID(G-1) {
+				t.Fatalf("G=%d retire: key moved %v->%v but its owner survived", G, was, is)
+			}
+			if is == ids.GroupID(G-1) {
+				t.Fatalf("G=%d retire: key still routed to the retired group", G)
+			}
+			moved++
+		}
+		ideal = n / G
+		if moved > 2*ideal {
+			t.Fatalf("G=%d retire moved %d/%d keys; ideal %d, cap %d", G, moved, n, ideal, 2*ideal)
+		}
+
+		// Identity with the static constructor over {0..G-1}: live and
+		// seed deployments of the same shape route identically.
+		static := NewHashRouter(G)
+		for _, k := range keys[:500] {
+			if base.Route(k) != static.Route(k) {
+				t.Fatalf("G=%d: NewHashRouterOver ring differs from NewHashRouter", G)
+			}
+		}
+	}
+}
+
+// TestHashRouterOverSparseIDs: after a retirement the live ID set has
+// holes; routing must stay deterministic and cover exactly the members.
+func TestHashRouterOverSparseIDs(t *testing.T) {
+	gs := []ids.GroupID{0, 2, 5}
+	r1, r2 := NewHashRouterOver(gs), NewHashRouterOver(gs)
+	seen := make(map[ids.GroupID]int)
+	for i := 0; i < 3000; i++ {
+		k := fmt.Appendf(nil, "sparse-%d", i)
+		g := r1.Route(k)
+		if g != 0 && g != 2 && g != 5 {
+			t.Fatalf("routed to non-member group %v", g)
+		}
+		if r2.Route(k) != g {
+			t.Fatalf("sparse routers disagree on %q", k)
+		}
+		seen[g]++
+	}
+	for _, g := range gs {
+		if seen[g] == 0 {
+			t.Fatalf("member group %v starved: %v", g, seen)
+		}
+	}
+}

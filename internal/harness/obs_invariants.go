@@ -66,6 +66,41 @@ func verifyObsInvariants(planes []*obs.Plane) error {
 			return fmt.Errorf("p%d: flight recorder watermark: ring holds %d, want min(total=%d, cap=%d)",
 				pid, fl.Len(), fl.Total(), fl.Cap())
 		}
+
+		// Resharding events are edge-detected off the agreed topology (the
+		// sharded layer fires them only when a marker actually changes its
+		// view, and re-seeds that view from the persisted topology across
+		// restarts), so a plane never records the same join or seal twice,
+		// and every drain carries a non-negative duration. The topology
+		// epoch gauge counts ALL transitions ever applied, so it bounds the
+		// retained marker events from above even after ring overwrites.
+		joins := make(map[int64]bool)
+		seals := make(map[int64]bool)
+		reshardEvents := int64(0)
+		for _, e := range fl.Dump() {
+			switch e.Kind {
+			case obs.EvReshardJoin:
+				if joins[e.A] {
+					return fmt.Errorf("p%d: reshard conservation: group %d joined twice", pid, e.A)
+				}
+				joins[e.A] = true
+				reshardEvents++
+			case obs.EvReshardSeal:
+				if seals[int64(e.Group)] {
+					return fmt.Errorf("p%d: reshard conservation: group %v sealed twice", pid, e.Group)
+				}
+				seals[int64(e.Group)] = true
+				reshardEvents++
+			case obs.EvReshardDrain:
+				if e.B < 0 {
+					return fmt.Errorf("p%d: reshard conservation: negative drain duration %d", pid, e.B)
+				}
+			}
+		}
+		if epoch := reg.Gauge("abcast.reshard.epoch").Value(); epoch < reshardEvents {
+			return fmt.Errorf("p%d: reshard conservation: epoch gauge %d below %d retained topology events",
+				pid, epoch, reshardEvents)
+		}
 	}
 	return nil
 }

@@ -29,6 +29,10 @@ const (
 	EvSlowSync                         // durability op over threshold (A=duration ns)
 	EvTune                             // autotuner moved a knob (A=old value, B=new value, Note=knob)
 	EvViolation                        // harness-detected safety/liveness violation
+	EvReshardSeal                      // retiring group sealed (Round=final round, A=drain window)
+	EvReshardJoin                      // new group spliced into the order (A=new gid, B=global offset)
+	EvReshardDrain                     // retiring group drained (Round=final+1, A=orphan count, B=drain ns)
+	EvReshardMigrate                   // retired namespace archived into successor (A=keys, B=bytes)
 )
 
 var evNames = map[EventKind]string{
@@ -37,7 +41,8 @@ var evNames = map[EventKind]string{
 	EvCursorLag: "cursor-lag", EvCheckpoint: "checkpoint", EvCompaction: "compaction",
 	EvSuspect: "suspect", EvTrust: "trust", EvEpochChange: "epoch-change",
 	EvPayloadStall: "payload-stall", EvSlowSync: "slow-sync", EvTune: "tune",
-	EvViolation: "VIOLATION",
+	EvViolation: "VIOLATION", EvReshardSeal: "reshard-seal", EvReshardJoin: "reshard-join",
+	EvReshardDrain: "reshard-drain", EvReshardMigrate: "reshard-migrate",
 }
 
 // String implements fmt.Stringer.
